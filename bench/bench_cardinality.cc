@@ -1,0 +1,54 @@
+// Experiment F1 — effect of trajectory cardinality |T| (paper Fig. "effect
+// of trajectory cardinalities", scaled; see DESIGN.md §4).
+//
+// Sweeps |T| on both cities and reports per-query CPU time and visited
+// trajectories for BF, TF, UOTS, and UOTS without the scheduling heuristic.
+// Expected shape: all costs grow with |T|; UOTS stays an order of magnitude
+// below TF/BF; the heuristic buys roughly a constant factor.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void RunCity(City city, const std::vector<int>& sizes) {
+  Table table({"city", "|T|", "algorithm", "avg ms", "visited", "settled"});
+  bool banner = false;
+  for (int size : sizes) {
+    auto db = LoadCity(city, size);
+    if (!banner) {
+      PrintBanner(std::string("F1 effect of |T|, ") + CityName(city), *db);
+      table.PrintHeader();
+      banner = true;
+    }
+    WorkloadOptions wopts;
+    wopts.num_queries = 10;
+    wopts.seed = 778;
+    const auto queries = DefaultWorkload(*db, wopts);
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kBruteForce, AlgorithmKind::kTextFirst,
+          AlgorithmKind::kUots, AlgorithmKind::kUotsNoHeuristic}) {
+      const RunMeasurement m = Measure(*db, queries, kind);
+      table.PrintRow({CityName(city), std::to_string(size), ToString(kind),
+                      FormatDouble(m.avg_ms, 2), FormatDouble(m.avg_visited, 0),
+                      FormatDouble(m.avg_settled, 0)});
+    }
+    table.PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::RunCity(uots::bench::City::kBRN, {5000, 10000, 15000, 20000});
+  uots::bench::RunCity(uots::bench::City::kNRN, {10000, 20000, 30000, 40000});
+  return 0;
+}

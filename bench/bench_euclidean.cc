@@ -1,0 +1,58 @@
+// Experiment A2 — Euclidean vs network distance (motivates the spatial-
+// network setting: Euclidean scoring returns measurably different results).
+//
+// Reports the overlap@k between the Euclidean ranking and the exact
+// network ranking, per city. Ring-radial topologies (BRN) detour more than
+// grids, so their overlap should be lower.
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "core/euclid_baseline.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void Run() {
+  Table table({"city", "k", "overlap@k", "EU ms", "BF ms"});
+  table.PrintHeader();
+  for (City city : {City::kBRN, City::kNRN}) {
+    auto db = LoadCity(city);
+    PrintBanner(std::string("A2 Euclidean vs network ranking, ") +
+                    CityName(city),
+                *db);
+    for (int k : {1, 10, 50}) {
+      WorkloadOptions wopts;
+      wopts.num_queries = 8;
+      wopts.k = k;
+      wopts.seed = 783;
+      const auto queries = DefaultWorkload(*db, wopts);
+      auto bf = CreateAlgorithm(*db, AlgorithmKind::kBruteForce);
+      auto eu = CreateAlgorithm(*db, AlgorithmKind::kEuclidean);
+      double overlap = 0.0, eu_ms = 0.0, bf_ms = 0.0;
+      for (const auto& q : queries) {
+        auto rb = bf->Search(q);
+        auto re = eu->Search(q);
+        if (!rb.ok() || !re.ok()) std::abort();
+        overlap += ResultOverlap(rb->items, re->items);
+        bf_ms += rb->stats.elapsed_ms;
+        eu_ms += re->stats.elapsed_ms;
+      }
+      const double n = static_cast<double>(queries.size());
+      table.PrintRow({CityName(city), std::to_string(k),
+                      FormatDouble(overlap / n, 3), FormatDouble(eu_ms / n, 2),
+                      FormatDouble(bf_ms / n, 2)});
+    }
+    table.PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::Run();
+  return 0;
+}

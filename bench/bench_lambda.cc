@@ -1,0 +1,49 @@
+// Experiment F3 — effect of the preference parameter lambda.
+//
+// lambda = 1 makes the query purely spatial, lambda = 0 purely textual.
+// Expected shape (matching the paper family's lambda figures): the spatial
+// domain needs more search effort than the textual domain, so cost rises
+// with lambda; at lambda = 0 the UOTS search answers from the keyword
+// index alone.
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void Run() {
+  for (City city : {City::kBRN, City::kNRN}) {
+    auto db = LoadCity(city);
+    PrintBanner(std::string("F3 effect of lambda, ") + CityName(city), *db);
+    Table table({"city", "lambda", "algorithm", "avg ms", "visited"});
+    table.PrintHeader();
+    for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      WorkloadOptions wopts;
+      wopts.num_queries = 10;
+      wopts.lambda = lambda;
+      wopts.seed = 780;
+      const auto queries = DefaultWorkload(*db, wopts);
+      for (AlgorithmKind kind :
+           {AlgorithmKind::kTextFirst, AlgorithmKind::kUots,
+            AlgorithmKind::kUotsNoHeuristic, AlgorithmKind::kUotsSequential}) {
+        const RunMeasurement m = Measure(*db, queries, kind);
+        table.PrintRow({CityName(city), FormatDouble(lambda, 1),
+                        ToString(kind), FormatDouble(m.avg_ms, 2),
+                        FormatDouble(m.avg_visited, 0)});
+      }
+      table.PrintRule();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::Run();
+  return 0;
+}

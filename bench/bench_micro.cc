@@ -1,0 +1,148 @@
+// Experiment M1 — substrate micro-benchmarks (google-benchmark).
+//
+// Costs of the primitives the search is built from: full Dijkstra,
+// incremental expansion steps, A* with Euclidean vs ALT heuristics,
+// keyword-index probes, and textual similarity. Useful for spotting
+// regressions and for the ALT ablation (A*/ALT settled-vertex reduction).
+
+#include <benchmark/benchmark.h>
+
+#include "common/datasets.h"
+#include "net/astar.h"
+#include "net/bidirectional.h"
+#include "net/dijkstra.h"
+#include "net/expansion.h"
+#include "net/landmarks.h"
+#include "text/inverted_index.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+const TrajectoryDatabase& Db() {
+  static auto* db = LoadCity(City::kBRN, 10000).release();
+  return *db;
+}
+
+void BM_DijkstraFullTree(benchmark::State& state) {
+  const auto& g = Db().network();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    benchmark::DoNotOptimize(ComputeShortestPathTree(g, s));
+  }
+}
+BENCHMARK(BM_DijkstraFullTree)->Unit(benchmark::kMillisecond);
+
+void BM_ExpansionSteps(benchmark::State& state) {
+  const auto& g = Db().network();
+  NetworkExpansion ex(g);
+  Rng rng(2);
+  const int64_t steps = state.range(0);
+  for (auto _ : state) {
+    ex.Reset(static_cast<VertexId>(rng.Uniform(g.NumVertices())));
+    VertexId v;
+    double d;
+    for (int64_t i = 0; i < steps && ex.Step(&v, &d); ++i) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_ExpansionSteps)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_AStarEuclidean(benchmark::State& state) {
+  const auto& g = Db().network();
+  AStarEngine astar(g);
+  Rng rng(3);
+  int64_t settled = 0;
+  for (auto _ : state) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const PathResult r = astar.FindPath(s, t);
+    settled += r.settled;
+    benchmark::DoNotOptimize(r.distance);
+  }
+  state.counters["settled/query"] =
+      static_cast<double>(settled) / state.iterations();
+}
+BENCHMARK(BM_AStarEuclidean)->Unit(benchmark::kMicrosecond);
+
+void BM_AStarALT(benchmark::State& state) {
+  const auto& g = Db().network();
+  static const LandmarkIndex* landmarks = new LandmarkIndex(g, 8);
+  AStarEngine astar(g);
+  Rng rng(3);  // same seed: same (s, t) pairs as the Euclidean variant
+  int64_t settled = 0;
+  for (auto _ : state) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const PathResult r = astar.FindPath(s, t, landmarks->HeuristicFor(t));
+    settled += r.settled;
+    benchmark::DoNotOptimize(r.distance);
+  }
+  state.counters["settled/query"] =
+      static_cast<double>(settled) / state.iterations();
+}
+BENCHMARK(BM_AStarALT)->Unit(benchmark::kMicrosecond);
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  const auto& g = Db().network();
+  BidirectionalDijkstra bidir(g);
+  Rng rng(3);  // same pairs as the A* benchmarks
+  int64_t settled = 0;
+  for (auto _ : state) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    benchmark::DoNotOptimize(bidir.Distance(s, t));
+    settled += bidir.last_settled();
+  }
+  state.counters["settled/query"] =
+      static_cast<double>(settled) / state.iterations();
+}
+BENCHMARK(BM_BidirectionalDijkstra)->Unit(benchmark::kMicrosecond);
+
+void BM_KeywordIndexProbe(benchmark::State& state) {
+  const auto& db = Db();
+  Rng rng(4);
+  TextualSimilarity sim;
+  std::vector<ScoredDoc> out;
+  for (auto _ : state) {
+    std::vector<TermId> terms;
+    for (int i = 0; i < 5; ++i) {
+      terms.push_back(static_cast<TermId>(rng.Uniform(1000)));
+    }
+    db.keyword_index().ScoreCandidates(KeywordSet(std::move(terms)), sim, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KeywordIndexProbe)->Unit(benchmark::kMicrosecond);
+
+void BM_JaccardScore(benchmark::State& state) {
+  TextualSimilarity sim;
+  const KeywordSet a({1, 5, 9, 13, 17, 21});
+  const KeywordSet b({5, 9, 10, 21, 30});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Score(a, b));
+  }
+}
+BENCHMARK(BM_JaccardScore);
+
+void BM_VertexIndexLookup(benchmark::State& state) {
+  const auto& db = Db();
+  Rng rng(5);
+  size_t total = 0;
+  for (auto _ : state) {
+    const VertexId v =
+        static_cast<VertexId>(rng.Uniform(db.network().NumVertices()));
+    total += db.vertex_index().TrajectoriesAt(v).size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_VertexIndexLookup);
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Experiment T1 — pruning effectiveness (the paper family's
+// candidate-ratio / pruning-ratio table).
+//
+// For each city and algorithm, reports the fraction of the trajectory set
+// that had to be refined to an exact score (candidate ratio) and its
+// complement (pruning ratio), under the default workload. Expected shape:
+// UOTS's candidate ratio is a fraction of TF's, and the heuristic improves
+// on round-robin scheduling.
+
+#include <cstdio>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void Run() {
+  Table table({"city", "algorithm", "cand.ratio", "prune.ratio", "avg ms"});
+  table.PrintHeader();
+  for (City city : {City::kBRN, City::kNRN}) {
+    auto db = LoadCity(city);
+    PrintBanner(std::string("T1 pruning effectiveness, ") + CityName(city),
+                *db);
+    WorkloadOptions wopts;
+    wopts.num_queries = 12;
+    wopts.seed = 777;
+    const auto queries = DefaultWorkload(*db, wopts);
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kTextFirst, AlgorithmKind::kUots,
+          AlgorithmKind::kUotsNoHeuristic, AlgorithmKind::kUotsSequential}) {
+      const RunMeasurement m = Measure(*db, queries, kind);
+      table.PrintRow({CityName(city), ToString(kind),
+                      FormatDouble(m.candidate_ratio, 4),
+                      FormatDouble(1.0 - m.candidate_ratio, 4),
+                      FormatDouble(m.avg_ms, 2)});
+    }
+    table.PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment F2 — effect of the number of query locations m.
+//
+// More query locations mean more query sources (expansions) in the spatial
+// domain. Expected shape: cost grows roughly linearly in m for every
+// algorithm; UOTS keeps its margin because each expansion terminates
+// earlier (the bound tightens with more sources).
+
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void Run() {
+  for (City city : {City::kBRN, City::kNRN}) {
+    auto db = LoadCity(city);
+    PrintBanner(std::string("F2 effect of m (query locations), ") +
+                    CityName(city),
+                *db);
+    Table table({"city", "m", "algorithm", "avg ms", "visited", "settled"});
+    table.PrintHeader();
+    for (int m : {2, 4, 6, 8, 10}) {
+      WorkloadOptions wopts;
+      wopts.num_queries = 10;
+      wopts.num_locations = m;
+      wopts.seed = 779;
+      const auto queries = DefaultWorkload(*db, wopts);
+      for (AlgorithmKind kind :
+           {AlgorithmKind::kBruteForce, AlgorithmKind::kTextFirst,
+            AlgorithmKind::kUots, AlgorithmKind::kUotsNoHeuristic}) {
+        const RunMeasurement meas = Measure(*db, queries, kind);
+        table.PrintRow({CityName(city), std::to_string(m), ToString(kind),
+                        FormatDouble(meas.avg_ms, 2),
+                        FormatDouble(meas.avg_visited, 0),
+                        FormatDouble(meas.avg_settled, 0)});
+      }
+      table.PrintRule();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment F6 — batch throughput vs thread count.
+//
+// UOTS per-query searches are independent, so a recommendation service
+// scales across queries. This machine may have few physical cores (the
+// banner prints hardware_concurrency); speedups flatten at that point —
+// the paper's cluster ran 24-120 threads, the shape (monotone until the
+// physical core count) is what carries over.
+
+#include <thread>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void Run() {
+  auto db = LoadCity(City::kNRN);
+  PrintBanner("F6 batch throughput vs thread count, NRN", *db);
+  std::printf("hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  WorkloadOptions wopts;
+  wopts.num_queries = 48;
+  wopts.seed = 782;
+  const auto queries = DefaultWorkload(*db, wopts);
+  Table table({"algorithm", "threads", "batch s", "queries/s"});
+  table.PrintHeader();
+  for (AlgorithmKind kind : {AlgorithmKind::kUots, AlgorithmKind::kTextFirst}) {
+    for (int threads : {1, 2, 4, 8}) {
+      const RunMeasurement m = Measure(*db, queries, kind, threads);
+      table.PrintRow({ToString(kind), std::to_string(threads),
+                      FormatDouble(m.wall_seconds, 3),
+                      FormatDouble(queries.size() / m.wall_seconds, 1)});
+    }
+    table.PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::Run();
+  return 0;
+}

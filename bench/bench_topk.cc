@@ -1,0 +1,48 @@
+// Experiment F4 — effect of the result size k (the paper's future-work
+// top-k variant, which this implementation supports natively).
+//
+// A larger k weakens the termination bound (the k-th best score is lower),
+// so UOTS must expand further. Expected shape: UOTS cost grows moderately
+// with k; BF is flat (it always scores everything).
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "util/string_util.h"
+
+namespace uots {
+namespace bench {
+namespace {
+
+void Run() {
+  for (City city : {City::kBRN, City::kNRN}) {
+    auto db = LoadCity(city);
+    PrintBanner(std::string("F4 effect of k, ") + CityName(city), *db);
+    Table table({"city", "k", "algorithm", "avg ms", "visited"});
+    table.PrintHeader();
+    for (int k : {1, 5, 10, 20, 50}) {
+      WorkloadOptions wopts;
+      wopts.num_queries = 10;
+      wopts.k = k;
+      wopts.seed = 781;
+      const auto queries = DefaultWorkload(*db, wopts);
+      for (AlgorithmKind kind :
+           {AlgorithmKind::kBruteForce, AlgorithmKind::kTextFirst,
+            AlgorithmKind::kUots}) {
+        const RunMeasurement m = Measure(*db, queries, kind);
+        table.PrintRow({CityName(city), std::to_string(k), ToString(kind),
+                        FormatDouble(m.avg_ms, 2),
+                        FormatDouble(m.avg_visited, 0)});
+      }
+      table.PrintRule();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uots
+
+int main() {
+  uots::bench::Run();
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "common/datasets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+#include "net/generators.h"
+#include "net/io.h"
+#include "traj/generator.h"
+#include "traj/io.h"
+
+namespace uots {
+namespace bench {
+
+namespace {
+
+std::string CacheDir() {
+  const char* env = std::getenv("UOTS_BENCH_CACHE_DIR");
+  return env != nullptr ? env : "/tmp/uots_bench_cache";
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+RoadNetwork BuildNetwork(City city) {
+  if (city == City::kBRN) {
+    RingRadialNetworkOptions opts;
+    opts.rings = 52;
+    opts.inner_ring_vertices = 12;
+    opts.ring_spacing_m = 220.0;
+    opts.radial_rate = 0.35;
+    opts.seed = 1001;
+    auto g = MakeRingRadialNetwork(opts);
+    if (!g.ok()) {
+      std::fprintf(stderr, "BRN generation failed: %s\n",
+                   g.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(*g);
+  }
+  GridNetworkOptions opts;
+  opts.rows = 160;
+  opts.cols = 160;
+  opts.spacing_m = 150.0;
+  opts.removal_rate = 0.12;
+  opts.seed = 1002;
+  auto g = MakeGridNetwork(opts);
+  if (!g.ok()) {
+    std::fprintf(stderr, "NRN generation failed: %s\n",
+                 g.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*g);
+}
+
+TrajectoryStore BuildTrips(const RoadNetwork& g, City city) {
+  TripGeneratorOptions opts;
+  opts.num_trajectories =
+      city == City::kBRN ? kMaxTrajectoriesBRN : kMaxTrajectoriesNRN;
+  opts.num_hotspots = 10;
+  opts.vocabulary_size = 1000;
+  opts.sample_stride = 3;
+  opts.seed = city == City::kBRN ? 2001 : 2002;
+  auto data = GenerateTrips(g, opts);
+  if (!data.ok()) {
+    std::fprintf(stderr, "trip generation failed: %s\n",
+                 data.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(data->store);
+}
+
+/// Copies the first n trajectories of `full` (cardinality sweeps).
+TrajectoryStore Slice(const TrajectoryStore& full, int n) {
+  TrajectoryStore out;
+  const TrajId limit = std::min<TrajId>(static_cast<TrajId>(n),
+                                        static_cast<TrajId>(full.size()));
+  for (TrajId id = 0; id < limit; ++id) {
+    auto added = out.Add(full.Materialize(id));
+    if (!added.ok()) std::abort();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<TrajectoryDatabase> LoadCity(City city, int num_trajectories) {
+  const std::string dir = CacheDir();
+  ::mkdir(dir.c_str(), 0755);
+  const std::string net_path = dir + "/" + CityName(city) + ".network";
+  const std::string traj_path = dir + "/" + CityName(city) + ".trajectories";
+
+  RoadNetwork network = [&] {
+    if (FileExists(net_path)) {
+      auto g = LoadNetwork(net_path);
+      if (g.ok()) return std::move(*g);
+      std::fprintf(stderr, "cache load failed (%s); regenerating\n",
+                   g.status().ToString().c_str());
+    }
+    RoadNetwork g = BuildNetwork(city);
+    if (!SaveNetwork(g, net_path).ok()) {
+      std::fprintf(stderr, "warning: cannot write cache %s\n",
+                   net_path.c_str());
+    }
+    return g;
+  }();
+
+  TrajectoryStore full = [&] {
+    if (FileExists(traj_path)) {
+      auto s = LoadTrajectories(traj_path);
+      if (s.ok()) return std::move(*s);
+      std::fprintf(stderr, "cache load failed (%s); regenerating\n",
+                   s.status().ToString().c_str());
+    }
+    TrajectoryStore s = BuildTrips(network, city);
+    if (!SaveTrajectories(s, traj_path).ok()) {
+      std::fprintf(stderr, "warning: cannot write cache %s\n",
+                   traj_path.c_str());
+    }
+    return s;
+  }();
+
+  TrajectoryStore store =
+      num_trajectories >= static_cast<int>(full.size())
+          ? std::move(full)
+          : Slice(full, num_trajectories);
+  return std::make_unique<TrajectoryDatabase>(
+      std::move(network), std::move(store), Vocabulary::Synthetic(1000));
+}
+
+std::unique_ptr<TrajectoryDatabase> LoadCity(City city) {
+  return LoadCity(city, city == City::kBRN ? kDefaultTrajectoriesBRN
+                                           : kDefaultTrajectoriesNRN);
+}
+
+}  // namespace bench
+}  // namespace uots

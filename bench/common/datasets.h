@@ -1,0 +1,49 @@
+// Shared benchmark datasets: a Beijing-like ring-radial network ("BRN") and
+// a New-York-like perturbed grid ("NRN"), each with a taxi-trip set.
+//
+// Scale note: the paper's networks have 28k/96k vertices and its trajectory
+// sets reach 10M (on a 10-node cluster). This harness is laptop-scale —
+// ~19k/25k vertices and tens of thousands of trips — which preserves every
+// trend the experiments measure (who wins, how cost scales) while keeping
+// each bench binary under a couple of minutes. EXPERIMENTS.md discusses the
+// scaling.
+//
+// Datasets are generated deterministically and cached as text files under
+// $UOTS_BENCH_CACHE_DIR (default /tmp/uots_bench_cache) so the suite of
+// bench binaries only pays generation once.
+
+#ifndef UOTS_BENCH_COMMON_DATASETS_H_
+#define UOTS_BENCH_COMMON_DATASETS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+
+namespace uots {
+namespace bench {
+
+/// Which benchmark city to load.
+enum class City { kBRN, kRingRadial = kBRN, kNRN, kGrid = kNRN };
+
+inline const char* CityName(City c) { return c == City::kBRN ? "BRN" : "NRN"; }
+
+/// Default trajectory cardinalities (the paper's "default" setting, scaled).
+inline constexpr int kDefaultTrajectoriesBRN = 15000;
+inline constexpr int kDefaultTrajectoriesNRN = 30000;
+
+/// Largest cardinality any bench sweeps to; the cache stores this many.
+inline constexpr int kMaxTrajectoriesBRN = 20000;
+inline constexpr int kMaxTrajectoriesNRN = 40000;
+
+/// \brief Loads (or generates+caches) a city network plus `num_trajectories`
+/// trips, fully indexed. `num_trajectories <= kMaxTrajectories*`.
+std::unique_ptr<TrajectoryDatabase> LoadCity(City city, int num_trajectories);
+
+/// Convenience: default-size database for the city.
+std::unique_ptr<TrajectoryDatabase> LoadCity(City city);
+
+}  // namespace bench
+}  // namespace uots
+
+#endif  // UOTS_BENCH_COMMON_DATASETS_H_

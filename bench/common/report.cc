@@ -1,0 +1,74 @@
+#include "common/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uots {
+namespace bench {
+
+Table::Table(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width) {}
+
+void Table::PrintHeader() const {
+  PrintRule();
+  for (const auto& c : columns_) std::printf("%-*s", width_, c.c_str());
+  std::printf("\n");
+  PrintRule();
+}
+
+void Table::PrintRow(const std::vector<std::string>& cells) const {
+  for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+  std::printf("\n");
+}
+
+void Table::PrintRule() const {
+  for (size_t i = 0; i < columns_.size() * static_cast<size_t>(width_); ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+RunMeasurement Measure(const TrajectoryDatabase& db,
+                       const std::vector<UotsQuery>& queries,
+                       AlgorithmKind kind, int threads) {
+  BatchOptions opts;
+  opts.algorithm = kind;
+  opts.threads = threads;
+  auto result = RunBatch(db, queries, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  RunMeasurement m;
+  const double q = static_cast<double>(queries.size());
+  m.avg_ms = result->total.elapsed_ms / q;
+  m.avg_visited = static_cast<double>(result->total.visited_trajectories) / q;
+  m.avg_candidates = static_cast<double>(result->total.candidates) / q;
+  m.avg_settled = static_cast<double>(result->total.settled_vertices) / q;
+  m.wall_seconds = result->wall_seconds;
+  m.candidate_ratio =
+      m.avg_candidates / static_cast<double>(db.store().size());
+  return m;
+}
+
+std::vector<UotsQuery> DefaultWorkload(const TrajectoryDatabase& db,
+                                       const WorkloadOptions& opts) {
+  auto queries = MakeWorkload(db, opts);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 queries.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*queries);
+}
+
+void PrintBanner(const std::string& experiment, const TrajectoryDatabase& db) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("network: |V|=%zu |E|=%zu   trajectories: |T|=%zu (avg len %.1f)\n",
+              db.network().NumVertices(), db.network().NumEdges(),
+              db.store().size(), db.store().AverageLength());
+}
+
+}  // namespace bench
+}  // namespace uots

@@ -1,0 +1,55 @@
+// Table printing and experiment helpers shared by the bench binaries.
+
+#ifndef UOTS_BENCH_COMMON_REPORT_H_
+#define UOTS_BENCH_COMMON_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/database.h"
+#include "core/workload.h"
+
+namespace uots {
+namespace bench {
+
+/// \brief Fixed-width table printer for experiment output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14);
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+  void PrintRule() const;
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+/// \brief One measured experiment cell: an algorithm run over a workload.
+struct RunMeasurement {
+  double avg_ms = 0.0;           ///< mean per-query wall time
+  double avg_visited = 0.0;      ///< mean visited trajectories per query
+  double avg_candidates = 0.0;   ///< mean refined candidates per query
+  double avg_settled = 0.0;      ///< mean settled vertices per query
+  double wall_seconds = 0.0;     ///< whole-batch wall time
+  double candidate_ratio = 0.0;  ///< avg_candidates / |T|
+};
+
+/// Runs `queries` with the given algorithm (single thread) and aggregates.
+RunMeasurement Measure(const TrajectoryDatabase& db,
+                       const std::vector<UotsQuery>& queries,
+                       AlgorithmKind kind, int threads = 1);
+
+/// Builds the default experiment workload on `db` with overrides applied.
+std::vector<UotsQuery> DefaultWorkload(const TrajectoryDatabase& db,
+                                       const WorkloadOptions& opts);
+
+/// Prints the standard experiment banner (dataset sizes etc.).
+void PrintBanner(const std::string& experiment, const TrajectoryDatabase& db);
+
+}  // namespace bench
+}  // namespace uots
+
+#endif  // UOTS_BENCH_COMMON_REPORT_H_

@@ -1,0 +1,57 @@
+#include "core/algorithm.h"
+
+#include "core/brute_force.h"
+#include "core/euclid_baseline.h"
+#include "core/search.h"
+#include "core/text_first.h"
+
+namespace uots {
+
+const char* ToString(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kBruteForce:
+      return "BF";
+    case AlgorithmKind::kTextFirst:
+      return "TF";
+    case AlgorithmKind::kUots:
+      return "UOTS";
+    case AlgorithmKind::kUotsNoHeuristic:
+      return "UOTS-w/o-h";
+    case AlgorithmKind::kUotsSequential:
+      return "UOTS-seq";
+    case AlgorithmKind::kEuclidean:
+      return "EU";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SearchAlgorithm> CreateAlgorithm(
+    const TrajectoryDatabase& db, AlgorithmKind kind,
+    const UotsSearchOptions& uots_opts) {
+  switch (kind) {
+    case AlgorithmKind::kBruteForce:
+      return std::make_unique<BruteForceSearch>(db);
+    case AlgorithmKind::kTextFirst:
+      return std::make_unique<TextFirstSearch>(db);
+    case AlgorithmKind::kUots: {
+      UotsSearchOptions o = uots_opts;
+      o.scheduling = SchedulingPolicy::kHeuristic;
+      return std::make_unique<UotsSearcher>(db, o);
+    }
+    case AlgorithmKind::kUotsNoHeuristic: {
+      UotsSearchOptions o = uots_opts;
+      o.scheduling = SchedulingPolicy::kRoundRobin;
+      return std::make_unique<UotsSearcher>(db, o);
+    }
+    case AlgorithmKind::kUotsSequential: {
+      UotsSearchOptions o = uots_opts;
+      o.scheduling = SchedulingPolicy::kSequential;
+      return std::make_unique<UotsSearcher>(db, o);
+    }
+    case AlgorithmKind::kEuclidean:
+      return std::make_unique<EuclideanSearch>(db);
+  }
+  return nullptr;
+}
+
+}  // namespace uots

@@ -1,0 +1,68 @@
+// Common interface of all UOTS search algorithms.
+
+#ifndef UOTS_CORE_ALGORITHM_H_
+#define UOTS_CORE_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "core/query.h"
+
+namespace uots {
+
+/// Identifies a search algorithm implementation.
+enum class AlgorithmKind {
+  kBruteForce,       ///< exact scan; ground truth ("BF")
+  kTextFirst,        ///< textual-first filter-and-refine baseline ("TF")
+  kUots,             ///< two-domain expansion search with heuristic ("UOTS")
+  kUotsNoHeuristic,  ///< UOTS with round-robin scheduling ("UOTS-w/o-h")
+  kUotsSequential,   ///< UOTS expanding sources one at a time ("UOTS-seq")
+  kEuclidean,        ///< Euclidean-distance variant ("EU"; approximate!)
+};
+
+const char* ToString(AlgorithmKind kind);
+
+/// How the UOTS searcher schedules its query sources (ablation A1).
+enum class SchedulingPolicy {
+  /// Exhaust one source before starting the next — what an implementation
+  /// without any scheduling strategy does.
+  kSequential,
+  /// Cycle through the sources in fixed order.
+  kRoundRobin,
+  /// The paper family's priority labels (see core/search.h).
+  kHeuristic,
+};
+
+/// \brief A stateful (per-thread) search engine over one database.
+///
+/// Implementations hold reusable scratch buffers, so a single instance is
+/// NOT thread-safe; create one per worker thread (they share the const
+/// database).
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+
+  /// Answers `query`; invalid queries yield an error.
+  virtual Result<SearchResult> Search(const UotsQuery& query) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// \brief Tuning knobs for the UOTS searcher (see core/search.h).
+struct UotsSearchOptions {
+  /// Query-source scheduling policy.
+  SchedulingPolicy scheduling = SchedulingPolicy::kHeuristic;
+  /// Minimum expansion steps between scheduling / termination checks (the
+  /// effective batch adapts upward with the partly-scanned set size).
+  int batch_size = 64;
+};
+
+/// Creates a fresh engine of the given kind over `db`.
+std::unique_ptr<SearchAlgorithm> CreateAlgorithm(
+    const TrajectoryDatabase& db, AlgorithmKind kind,
+    const UotsSearchOptions& uots_opts = {});
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_ALGORITHM_H_

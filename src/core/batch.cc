@@ -1,0 +1,54 @@
+#include "core/batch.h"
+
+#include <mutex>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace uots {
+
+Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
+                             const std::vector<UotsQuery>& queries,
+                             const BatchOptions& opts) {
+  if (opts.threads < 1) return Status::InvalidArgument("threads must be >= 1");
+  BatchResult out;
+  out.answers.resize(queries.size());
+  if (queries.empty()) return out;
+
+  const size_t shards =
+      std::min<size_t>(static_cast<size_t>(opts.threads), queries.size());
+  std::vector<QueryStats> shard_stats(shards);
+  std::vector<Status> shard_status(shards);
+
+  WallTimer timer;
+  {
+    ThreadPool pool(shards);
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      futures.push_back(pool.Submit([&, s] {
+        auto engine = CreateAlgorithm(db, opts.algorithm, opts.uots);
+        const size_t begin = s * queries.size() / shards;
+        const size_t end = (s + 1) * queries.size() / shards;
+        for (size_t i = begin; i < end; ++i) {
+          Result<SearchResult> r = engine->Search(queries[i]);
+          if (!r.ok()) {
+            shard_status[s] = r.status();
+            return;
+          }
+          shard_stats[s] += r->stats;
+          out.answers[i] = std::move(r->items);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  out.wall_seconds = timer.ElapsedSeconds();
+  for (const auto& st : shard_status) {
+    if (!st.ok()) return st;
+  }
+  for (const auto& s : shard_stats) out.total += s;
+  return out;
+}
+
+}  // namespace uots

@@ -1,0 +1,45 @@
+// Parallel batch execution of query workloads.
+//
+// UOTS per-query searches are independent; a trip-recommendation service
+// parallelizes across queries. The executor shards a workload over a
+// thread pool, one engine instance per worker (engines hold scratch state
+// and are not thread-safe; the database is const-shared).
+
+#ifndef UOTS_CORE_BATCH_H_
+#define UOTS_CORE_BATCH_H_
+
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace uots {
+
+/// \brief Batch execution configuration.
+struct BatchOptions {
+  AlgorithmKind algorithm = AlgorithmKind::kUots;
+  UotsSearchOptions uots;
+  int threads = 1;
+};
+
+/// \brief Aggregate outcome of a batch run.
+struct BatchResult {
+  /// Per-query answers, in workload order.
+  std::vector<std::vector<ScoredTrajectory>> answers;
+  /// Summed per-query counters.
+  QueryStats total;
+  /// End-to-end wall time of the batch (max over workers, not sum).
+  double wall_seconds = 0.0;
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0.0 ? answers.size() / wall_seconds : 0.0;
+  }
+};
+
+/// Runs `queries` against `db`; fails on the first invalid query.
+Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
+                             const std::vector<UotsQuery>& queries,
+                             const BatchOptions& opts);
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_BATCH_H_

@@ -1,0 +1,32 @@
+// Exact brute-force search — ground truth and the "BF" baseline.
+//
+// Runs one full Dijkstra per query location (m shortest-path trees), then
+// scores every trajectory exactly. Cost is O(m (|V| log |V| + |E|) +
+// m * total_samples) per query, independent of any pruning — the yardstick
+// the UOTS search must beat.
+
+#ifndef UOTS_CORE_BRUTE_FORCE_H_
+#define UOTS_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace uots {
+
+/// \brief Exact exhaustive searcher.
+class BruteForceSearch : public SearchAlgorithm {
+ public:
+  explicit BruteForceSearch(const TrajectoryDatabase& db) : db_(&db) {}
+
+  Result<SearchResult> Search(const UotsQuery& query) override;
+
+  const char* name() const override { return "BF"; }
+
+ private:
+  const TrajectoryDatabase* db_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_BRUTE_FORCE_H_

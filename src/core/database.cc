@@ -1,0 +1,34 @@
+#include "core/database.h"
+
+namespace uots {
+
+TrajectoryDatabase::TrajectoryDatabase(RoadNetwork network,
+                                       TrajectoryStore store,
+                                       Vocabulary vocabulary,
+                                       const SimilarityOptions& opts)
+    : network_(std::move(network)),
+      store_(std::move(store)),
+      vocabulary_(std::move(vocabulary)),
+      model_(opts) {
+  vertex_index_ =
+      std::make_unique<VertexTrajectoryIndex>(store_, network_.NumVertices());
+  keyword_index_ = std::make_unique<InvertedKeywordIndex>();
+  for (TrajId id = 0; id < store_.size(); ++id) {
+    keyword_index_->AddDocument(id, store_.KeywordsOf(id));
+  }
+  keyword_index_->Finalize();
+  time_index_ = std::make_unique<TimeIndex>(store_);
+  if (opts.measure == TextualMeasure::kWeighted) {
+    model_.textual().SetDocumentFrequencies(
+        keyword_index_->DocumentFrequencies(),
+        static_cast<int64_t>(store_.size()));
+  }
+}
+
+size_t TrajectoryDatabase::MemoryUsage() const {
+  return network_.MemoryUsage() + store_.MemoryUsage() +
+         vertex_index_->MemoryUsage() + keyword_index_->MemoryUsage() +
+         time_index_->MemoryUsage();
+}
+
+}  // namespace uots

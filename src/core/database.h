@@ -1,0 +1,56 @@
+// TrajectoryDatabase — the library's main entry point.
+//
+// Bundles the road network, the trajectory store, the two inverted indexes
+// (vertex -> trajectories for the spatial domain, keyword -> trajectories
+// for the textual domain) and the similarity model. All search algorithms
+// operate on a const database, so one database serves any number of
+// concurrent queries.
+
+#ifndef UOTS_CORE_DATABASE_H_
+#define UOTS_CORE_DATABASE_H_
+
+#include <memory>
+
+#include "core/model.h"
+#include "core/query.h"
+#include "net/graph.h"
+#include "text/inverted_index.h"
+#include "text/vocabulary.h"
+#include "traj/store.h"
+#include "traj/time_index.h"
+#include "traj/vertex_index.h"
+
+namespace uots {
+
+/// \brief Immutable, fully-indexed trajectory database.
+class TrajectoryDatabase {
+ public:
+  /// Builds all indexes. `vocabulary` may be empty (ids are still valid).
+  TrajectoryDatabase(RoadNetwork network, TrajectoryStore store,
+                     Vocabulary vocabulary = {},
+                     const SimilarityOptions& opts = {});
+
+  const RoadNetwork& network() const { return network_; }
+  const TrajectoryStore& store() const { return store_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const VertexTrajectoryIndex& vertex_index() const { return *vertex_index_; }
+  const InvertedKeywordIndex& keyword_index() const { return *keyword_index_; }
+  const TimeIndex& time_index() const { return *time_index_; }
+  const SimilarityModel& model() const { return model_; }
+
+  /// Total bytes across network, store, and indexes (approximate).
+  size_t MemoryUsage() const;
+
+ private:
+  RoadNetwork network_;
+  TrajectoryStore store_;
+  Vocabulary vocabulary_;
+  SimilarityModel model_;
+  std::unique_ptr<VertexTrajectoryIndex> vertex_index_;
+  std::unique_ptr<InvertedKeywordIndex> keyword_index_;
+  std::unique_ptr<TimeIndex> time_index_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_DATABASE_H_

@@ -1,0 +1,67 @@
+#include "core/euclid_baseline.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/topk.h"
+#include "util/timer.h"
+
+namespace uots {
+
+Result<SearchResult> EuclideanSearch::Search(const UotsQuery& query) {
+  UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  WallTimer timer;
+  SearchResult out;
+  const auto& store = db_->store();
+  const auto& g = db_->network();
+  const auto& model = db_->model();
+  const size_t m = query.locations.size();
+
+  std::vector<Point> origins;
+  origins.reserve(m);
+  for (VertexId o : query.locations) origins.push_back(g.PositionOf(o));
+
+  TopK topk(static_cast<size_t>(query.k));
+  std::vector<double> dists(m);
+  for (TrajId id = 0; id < store.size(); ++id) {
+    const auto samples = store.SamplesOf(id);
+    for (size_t i = 0; i < m; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Sample& s : samples) {
+        const double d2 = SquaredDistance(origins[i], g.PositionOf(s.vertex));
+        if (d2 < best) best = d2;
+      }
+      dists[i] = std::sqrt(best);
+      ++out.stats.trajectory_hits;
+    }
+    const double spatial = model.SpatialSim(dists);
+    const double textual =
+        model.textual().Score(query.keywords, store.KeywordsOf(id));
+    topk.Offer(ScoredTrajectory{
+        id, SimilarityModel::Combine(query.lambda, spatial, textual), spatial,
+        textual});
+    ++out.stats.visited_trajectories;
+  }
+  out.items = std::move(topk).Finish();
+  out.stats.candidates = static_cast<int64_t>(store.size());
+  out.stats.elapsed_ms = timer.ElapsedMillis();
+  return out;
+}
+
+double ResultOverlap(const std::vector<ScoredTrajectory>& a,
+                     const std::vector<ScoredTrajectory>& b) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  std::vector<TrajId> ia, ib;
+  for (const auto& x : a) ia.push_back(x.id);
+  for (const auto& x : b) ib.push_back(x.id);
+  std::sort(ia.begin(), ia.end());
+  std::sort(ib.begin(), ib.end());
+  std::vector<TrajId> common;
+  std::set_intersection(ia.begin(), ia.end(), ib.begin(), ib.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(std::max(ia.size(), ib.size()));
+}
+
+}  // namespace uots

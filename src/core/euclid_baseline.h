@@ -1,0 +1,36 @@
+// Euclidean-space variant ("EU") — an *approximate* comparator.
+//
+// Replaces every network distance d(o_i, tau) with the straight-line
+// distance to the nearest sample point. This is how Euclidean trajectory
+// search (e.g. BCT) would score the query; comparing its ranking against
+// the exact network ranking quantifies the error of ignoring the road
+// network — the motivation for running UOTS in spatial networks.
+
+#ifndef UOTS_CORE_EUCLID_BASELINE_H_
+#define UOTS_CORE_EUCLID_BASELINE_H_
+
+#include "core/algorithm.h"
+
+namespace uots {
+
+/// \brief Euclidean brute-force searcher.
+class EuclideanSearch : public SearchAlgorithm {
+ public:
+  explicit EuclideanSearch(const TrajectoryDatabase& db) : db_(&db) {}
+
+  Result<SearchResult> Search(const UotsQuery& query) override;
+
+  const char* name() const override { return "EU"; }
+
+ private:
+  const TrajectoryDatabase* db_;
+};
+
+/// Fraction of ids shared by two result lists (overlap@k); 1.0 = identical
+/// sets. Used by the Euclidean-error experiment (A2).
+double ResultOverlap(const std::vector<ScoredTrajectory>& a,
+                     const std::vector<ScoredTrajectory>& b);
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_EUCLID_BASELINE_H_

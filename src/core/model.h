@@ -1,0 +1,79 @@
+// The UOTS similarity model (DESIGN.md §1, §5.1-5.2).
+//
+//   SimU(q, tau) = lambda * SimS(q, tau) + (1 - lambda) * SimT(q, tau)
+//   SimS(q, tau) = (1/m) * sum_i exp(-d(o_i, tau) / sigma)
+//   SimT(q, tau) = set similarity of keywords (Jaccard by default)
+//
+// sigma converts meters into decay units; with the default 2 km, a
+// trajectory passing 2 km from a query location contributes e^-1 ~ 0.37.
+
+#ifndef UOTS_CORE_MODEL_H_
+#define UOTS_CORE_MODEL_H_
+
+#include <cmath>
+#include <span>
+
+#include "text/similarity.h"
+
+namespace uots {
+
+/// \brief Model configuration.
+struct SimilarityOptions {
+  /// Spatial decay scale in meters.
+  double sigma_m = 2000.0;
+  /// Temporal decay scale in seconds (three-domain extension,
+  /// core/temporal.h): a 30-minute offset contributes e^-1.
+  double sigma_s = 1800.0;
+  /// Which textual set-similarity to use for SimT.
+  TextualMeasure measure = TextualMeasure::kJaccard;
+};
+
+/// \brief Evaluates the UOTS similarity components.
+class SimilarityModel {
+ public:
+  explicit SimilarityModel(const SimilarityOptions& opts = {})
+      : sigma_m_(opts.sigma_m), sigma_s_(opts.sigma_s), textual_(opts.measure) {}
+
+  /// exp(-d/sigma): the contribution of one query location at distance d.
+  double SpatialDecay(double d) const { return std::exp(-d / sigma_m_); }
+
+  /// exp(-dt/sigma_s): the contribution of one query time at offset dt.
+  double TemporalDecay(double dt_seconds) const {
+    return std::exp(-dt_seconds / sigma_s_);
+  }
+
+  /// SimP (temporal similarity) from the per-time offsets min_i |t - t_i|.
+  double TemporalSim(std::span<const double> offsets) const {
+    if (offsets.empty()) return 0.0;
+    double sum = 0.0;
+    for (double dt : offsets) sum += TemporalDecay(dt);
+    return sum / static_cast<double>(offsets.size());
+  }
+
+  /// SimS from the m per-location network distances d(o_i, tau).
+  double SpatialSim(std::span<const double> distances) const {
+    if (distances.empty()) return 0.0;
+    double sum = 0.0;
+    for (double d : distances) sum += SpatialDecay(d);
+    return sum / static_cast<double>(distances.size());
+  }
+
+  /// SimU from the two components.
+  static double Combine(double lambda, double spatial, double textual) {
+    return lambda * spatial + (1.0 - lambda) * textual;
+  }
+
+  double sigma_m() const { return sigma_m_; }
+  double sigma_s() const { return sigma_s_; }
+  TextualSimilarity& textual() { return textual_; }
+  const TextualSimilarity& textual() const { return textual_; }
+
+ private:
+  double sigma_m_;
+  double sigma_s_;
+  TextualSimilarity textual_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_MODEL_H_

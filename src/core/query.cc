@@ -1,0 +1,24 @@
+#include "core/query.h"
+
+namespace uots {
+
+Status ValidateQuery(const UotsQuery& q, size_t num_vertices) {
+  if (q.locations.empty()) {
+    return Status::InvalidArgument("query needs at least one location");
+  }
+  if (q.locations.size() > kMaxQueryLocations) {
+    return Status::InvalidArgument("too many query locations (max 64)");
+  }
+  for (VertexId v : q.locations) {
+    if (v >= num_vertices) {
+      return Status::InvalidArgument("query location out of range");
+    }
+  }
+  if (q.lambda < 0.0 || q.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0,1]");
+  }
+  if (q.k < 1) return Status::InvalidArgument("k must be >= 1");
+  return Status::OK();
+}
+
+}  // namespace uots

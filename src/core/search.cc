@@ -1,0 +1,344 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/topk.h"
+#include "util/timer.h"
+
+namespace uots {
+
+/// Result-collection policy: either a top-k heap (prune threshold = the
+/// k-th best exact score so far) or a theta filter (fixed prune threshold).
+class UotsSearcher::Sink {
+ public:
+  /// Top-k mode.
+  explicit Sink(size_t k) : topk_(k) {}
+  /// Threshold mode.
+  explicit Sink(double theta)
+      : topk_(0), theta_(theta), threshold_mode_(true) {}
+
+  void Accept(const ScoredTrajectory& item) {
+    if (threshold_mode_) {
+      if (item.score >= theta_) all_.push_back(item);
+    } else {
+      topk_.Offer(item);
+    }
+  }
+
+  /// Score everything unresolved must beat for the search to continue.
+  double PruneThreshold() const {
+    return threshold_mode_ ? theta_ : topk_.Threshold();
+  }
+
+  std::vector<ScoredTrajectory> Finish() && {
+    if (!threshold_mode_) return std::move(topk_).Finish();
+    std::sort(all_.begin(), all_.end(),
+              [](const ScoredTrajectory& a, const ScoredTrajectory& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.id < b.id;
+              });
+    return std::move(all_);
+  }
+
+ private:
+  TopK topk_;
+  std::vector<ScoredTrajectory> all_;
+  double theta_ = 0.0;
+  bool threshold_mode_ = false;
+};
+
+UotsSearcher::UotsSearcher(const TrajectoryDatabase& db,
+                           const UotsSearchOptions& opts)
+    : db_(&db), opts_(opts) {
+  state_slot_.Resize(db.store().size());
+  text_of_.Resize(db.store().size());
+}
+
+void UotsSearcher::ResolveTextualDomain(const UotsQuery& query,
+                                        QueryStats* stats) {
+  const auto doc_keys = [this](DocId d) -> const KeywordSet& {
+    return db_->store().KeywordsOf(static_cast<TrajId>(d));
+  };
+  db_->keyword_index().ScoreCandidates(query.keywords, db_->model().textual(),
+                                       &text_docs_, &stats->posting_entries,
+                                       doc_keys);
+  std::sort(text_docs_.begin(), text_docs_.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  text_of_.Reset();
+  for (const ScoredDoc& d : text_docs_) text_of_.Set(d.doc, d.score);
+}
+
+Result<SearchResult> UotsSearcher::SearchTextOnly(const UotsQuery& query) {
+  // lambda == 0: the spatial domain cannot contribute; the textual domain
+  // is already exact after the index probe, so the answer is direct.
+  SearchResult out;
+  TopK topk(static_cast<size_t>(query.k));
+  for (const ScoredDoc& d : text_docs_) {
+    topk.Offer(
+        ScoredTrajectory{static_cast<TrajId>(d.doc), d.score, 0.0, d.score});
+    ++out.stats.visited_trajectories;
+  }
+  // Fill with SimT = 0 trajectories if k exceeds the candidate count.
+  if (topk.size() < static_cast<size_t>(query.k)) {
+    for (TrajId id = 0;
+         id < db_->store().size() && topk.size() < static_cast<size_t>(query.k);
+         ++id) {
+      if (text_of_.Has(id)) continue;  // already offered
+      topk.Offer(ScoredTrajectory{id, 0.0, 0.0, 0.0});
+    }
+  }
+  out.items = std::move(topk).Finish();
+  out.stats.candidates = static_cast<int64_t>(out.items.size());
+  return out;
+}
+
+Result<SearchResult> UotsSearcher::SearchTextOnlyThreshold(
+    const UotsQuery& query, double theta) {
+  SearchResult out;
+  for (const ScoredDoc& d : text_docs_) {
+    if (d.score < theta) break;  // descending order
+    out.items.push_back(
+        ScoredTrajectory{static_cast<TrajId>(d.doc), d.score, 0.0, d.score});
+    ++out.stats.visited_trajectories;
+  }
+  // theta <= 0 is matched by every trajectory, including keyword-less ones.
+  if (theta <= 0.0) {
+    for (TrajId id = 0; id < db_->store().size(); ++id) {
+      if (text_of_.Has(id)) continue;
+      out.items.push_back(ScoredTrajectory{id, 0.0, 0.0, 0.0});
+    }
+    std::sort(out.items.begin(), out.items.end(),
+              [](const ScoredTrajectory& a, const ScoredTrajectory& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.id < b.id;
+              });
+  }
+  out.stats.candidates = static_cast<int64_t>(out.items.size());
+  return out;
+}
+
+void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
+                             QueryStats* stats) {
+  const auto& store = db_->store();
+  const auto& model = db_->model();
+  const auto& vindex = db_->vertex_index();
+  const size_t m = query.locations.size();
+  const double lambda = query.lambda;
+
+  if (state_slot_.size() != store.size()) {
+    state_slot_.Resize(store.size());
+    text_of_.Resize(store.size());
+  }
+
+  // ---- Spatial domain: one expansion per query location. ----
+  while (expansions_.size() < m) {
+    expansions_.push_back(std::make_unique<NetworkExpansion>(db_->network()));
+  }
+  std::vector<double> cur_decay(m);  // e^(-radius_i/sigma); 0 once exhausted
+  for (size_t i = 0; i < m; ++i) {
+    expansions_[i]->Reset(query.locations[i]);
+    cur_decay[i] = 1.0;
+  }
+  size_t exhausted_count = 0;
+
+  state_slot_.Reset();
+  states_.clear();
+  partial_.clear();
+
+  size_t text_ptr = 0;  // head of the not-fully-scanned textual remainder
+  std::vector<double> labels(m, 0.0);
+  size_t cur = 0;  // current query source
+
+  // Processes one settled (source, vertex, distance) event.
+  const auto process_hit = [&](size_t i, VertexId v, double d) {
+    const double decay = model.SpatialDecay(d);
+    for (TrajId t : vindex.TrajectoriesAt(v)) {
+      int32_t idx = state_slot_.Get(t, -1);
+      if (idx < 0) {
+        idx = static_cast<int32_t>(states_.size());
+        state_slot_.Set(t, idx);
+        states_.push_back(TrajState{t, 0, 0, 0.0, text_of_.Get(t, 0.0)});
+        partial_.push_back(idx);
+        ++stats->visited_trajectories;
+      }
+      TrajState& s = states_[idx];
+      const uint64_t bit = uint64_t{1} << i;
+      if ((s.mask & bit) != 0) continue;  // source i already scanned tau
+      s.mask |= bit;
+      ++s.known;
+      s.sum_decay += decay;
+      ++stats->trajectory_hits;
+      if (s.known == static_cast<int>(m)) {
+        // Fully scanned: every d(o_i, tau) is exact; score it.
+        const double spatial = s.sum_decay / static_cast<double>(m);
+        const double score = SimilarityModel::Combine(lambda, spatial, s.text);
+        sink->Accept(ScoredTrajectory{t, score, spatial, s.text});
+        ++stats->candidates;
+      }
+    }
+  };
+
+  for (;;) {
+    if (exhausted_count == m) break;  // everything is fully scanned
+
+    // Expand the current source for one batch. The batch grows with the
+    // partly-scanned set so the O(|partial| * m) bookkeeping sweep below
+    // stays amortized (constant overhead per settled vertex).
+    const int batch =
+        std::max<int>(opts_.batch_size, static_cast<int>(partial_.size() / 4));
+    NetworkExpansion& ex = *expansions_[cur];
+    if (!ex.exhausted()) {
+      for (int step = 0; step < batch; ++step) {
+        VertexId v;
+        double d;
+        if (!ex.Step(&v, &d)) {
+          ++exhausted_count;
+          cur_decay[cur] = 0.0;
+          break;
+        }
+        ++stats->settled_vertices;
+        process_hit(cur, v, d);
+      }
+      if (!ex.exhausted()) {
+        cur_decay[cur] = model.SpatialDecay(ex.radius());
+      }
+    }
+    ++stats->schedule_steps;
+
+    // ---- Termination check + scheduling sweep. ----
+    double total_rs = 0.0;
+    for (size_t i = 0; i < m; ++i) total_rs += cur_decay[i];
+
+    // Advance past fully scanned textual candidates.
+    while (text_ptr < text_docs_.size()) {
+      const int32_t idx = state_slot_.Get(text_docs_[text_ptr].doc, -1);
+      if (idx >= 0 && states_[idx].known == static_cast<int>(m)) {
+        ++text_ptr;
+      } else {
+        break;
+      }
+    }
+    const double max_rem_text =
+        text_ptr < text_docs_.size() ? text_docs_[text_ptr].score : 0.0;
+    double global_ub = SimilarityModel::Combine(
+        lambda, total_rs / static_cast<double>(m), max_rem_text);
+
+    const bool heuristic = opts_.scheduling == SchedulingPolicy::kHeuristic;
+    if (heuristic) std::fill(labels.begin(), labels.end(), 0.0);
+    size_t w = 0;
+    for (size_t r = 0; r < partial_.size(); ++r) {
+      const TrajState& s = states_[partial_[r]];
+      if (s.known == static_cast<int>(m)) continue;  // resolved; drop
+      partial_[w++] = partial_[r];
+      // sum over unscanned sources of e^(-radius_i/sigma)
+      double missing = total_rs;
+      uint64_t mask = s.mask;
+      while (mask != 0) {
+        const int i = __builtin_ctzll(mask);
+        missing -= cur_decay[i];
+        mask &= mask - 1;
+      }
+      const double ub_s = (s.sum_decay + missing) / static_cast<double>(m);
+      const double ub = SimilarityModel::Combine(lambda, ub_s, s.text);
+      if (ub > global_ub) global_ub = ub;
+      if (heuristic) {
+        uint64_t unset =
+            ~s.mask & ((m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1));
+        while (unset != 0) {
+          const int i = __builtin_ctzll(unset);
+          labels[i] += ub;
+          unset &= unset - 1;
+        }
+      }
+    }
+    partial_.resize(w);
+
+    if (sink->PruneThreshold() >= global_ub) break;
+
+    // ---- Pick the next query source. ----
+    switch (opts_.scheduling) {
+      case SchedulingPolicy::kHeuristic: {
+        double best = -1.0;
+        size_t best_i = cur;
+        for (size_t i = 0; i < m; ++i) {
+          if (expansions_[i]->exhausted()) continue;
+          // Break label ties by least-settled so fresh sources get started.
+          if (labels[i] > best ||
+              (labels[i] == best && expansions_[i]->settled_count() <
+                                        expansions_[best_i]->settled_count())) {
+            best = labels[i];
+            best_i = i;
+          }
+        }
+        cur = best_i;
+        break;
+      }
+      case SchedulingPolicy::kRoundRobin: {
+        for (size_t step = 1; step <= m; ++step) {
+          const size_t i = (cur + step) % m;
+          if (!expansions_[i]->exhausted()) {
+            cur = i;
+            break;
+          }
+        }
+        break;
+      }
+      case SchedulingPolicy::kSequential: {
+        // Stay on the current source until it exhausts.
+        for (size_t i = 0; i < m && expansions_[cur]->exhausted(); ++i) {
+          cur = i;
+        }
+        break;
+      }
+    }
+    if (expansions_[cur]->exhausted()) break;  // all done
+  }
+}
+
+Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
+  UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  WallTimer timer;
+  SearchResult out;
+  ResolveTextualDomain(query, &out.stats);
+  if (query.lambda == 0.0) {
+    Result<SearchResult> r = SearchTextOnly(query);
+    if (r.ok()) {
+      r->stats.posting_entries = out.stats.posting_entries;
+      r->stats.elapsed_ms = timer.ElapsedMillis();
+    }
+    return r;
+  }
+  Sink sink(static_cast<size_t>(query.k));
+  RunSearch(query, &sink, &out.stats);
+  out.items = std::move(sink).Finish();
+  out.stats.elapsed_ms = timer.ElapsedMillis();
+  return out;
+}
+
+Result<SearchResult> UotsSearcher::SearchThreshold(const UotsQuery& query,
+                                                   double theta) {
+  UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  WallTimer timer;
+  SearchResult out;
+  ResolveTextualDomain(query, &out.stats);
+  if (query.lambda == 0.0) {
+    Result<SearchResult> r = SearchTextOnlyThreshold(query, theta);
+    if (r.ok()) {
+      r->stats.posting_entries = out.stats.posting_entries;
+      r->stats.elapsed_ms = timer.ElapsedMillis();
+    }
+    return r;
+  }
+  Sink sink(theta);
+  RunSearch(query, &sink, &out.stats);
+  out.items = std::move(sink).Finish();
+  out.stats.elapsed_ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace uots

@@ -1,0 +1,48 @@
+// Textual-first filter-and-refine baseline ("TF").
+//
+// The structural analogue of the (accelerated) temporal-first baseline in
+// this paper family: the non-spatial domain drives the search, so spatial
+// pruning is weak. Like the paper's "TF-A" variant, spatial distances come
+// from per-query precomputed shortest-path trees (one full Dijkstra per
+// query location) — without this acceleration the baseline degenerates to
+// per-candidate Dijkstras and is uncompetitive by construction.
+//
+// Candidates are visited in descending exact textual similarity; each is
+// refined to an exact score by tree lookup. The scan stops when even a
+// perfect spatial score (SimS = 1) cannot lift the next candidate above
+// the current k-th result:
+//   UB(next) = lambda * 1 + (1 - lambda) * SimT(next).
+// Trajectories sharing no query keyword (SimT = 0) form the tail of the
+// order and are only scanned while lambda alone can still beat the k-th.
+
+#ifndef UOTS_CORE_TEXT_FIRST_H_
+#define UOTS_CORE_TEXT_FIRST_H_
+
+#include <vector>
+
+#include "core/algorithm.h"
+#include "net/dijkstra.h"
+
+namespace uots {
+
+/// \brief Textual-first baseline searcher (stateful; one per thread).
+class TextFirstSearch : public SearchAlgorithm {
+ public:
+  explicit TextFirstSearch(const TrajectoryDatabase& db) : db_(&db) {}
+
+  Result<SearchResult> Search(const UotsQuery& query) override;
+
+  const char* name() const override { return "TF"; }
+
+ private:
+  /// Exact SimS of one trajectory by lookup in the per-query trees.
+  double ExactSpatial(TrajId id, QueryStats* stats) const;
+
+  const TrajectoryDatabase* db_;
+  std::vector<ShortestPathTree> trees_;  // one per query location
+  std::vector<ScoredDoc> text_docs_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_TEXT_FIRST_H_

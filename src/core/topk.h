@@ -1,0 +1,69 @@
+// Bounded top-k accumulator for scored trajectories.
+
+#ifndef UOTS_CORE_TOPK_H_
+#define UOTS_CORE_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/query.h"
+
+namespace uots {
+
+/// \brief Keeps the k highest-scoring trajectories seen so far.
+///
+/// Implemented as a binary min-heap on score; Threshold() (the k-th best
+/// score) is the pruning bound used by every search algorithm.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Offers an item; keeps it only if it beats the current threshold.
+  void Offer(const ScoredTrajectory& item) {
+    if (heap_.size() < k_) {
+      heap_.push_back(item);
+      std::push_heap(heap_.begin(), heap_.end(), MinOrder);
+      return;
+    }
+    if (item.score > heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), MinOrder);
+      heap_.back() = item;
+      std::push_heap(heap_.begin(), heap_.end(), MinOrder);
+    }
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+
+  /// Score a new item must exceed to enter; -inf until k items are held.
+  double Threshold() const {
+    return Full() ? heap_.front().score
+                  : -std::numeric_limits<double>::infinity();
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts items in descending score order (stable for equal scores by
+  /// ascending id, keeping results deterministic).
+  std::vector<ScoredTrajectory> Finish() && {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const ScoredTrajectory& a, const ScoredTrajectory& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.id < b.id;
+              });
+    return std::move(heap_);
+  }
+
+ private:
+  static bool MinOrder(const ScoredTrajectory& a, const ScoredTrajectory& b) {
+    return a.score > b.score;  // min-heap on score
+  }
+
+  size_t k_;
+  std::vector<ScoredTrajectory> heap_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_TOPK_H_

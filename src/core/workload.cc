@@ -1,0 +1,73 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace uots {
+
+Result<std::vector<UotsQuery>> MakeWorkload(const TrajectoryDatabase& db,
+                                            const WorkloadOptions& opts) {
+  if (db.store().empty()) {
+    return Status::InvalidArgument("database has no trajectories");
+  }
+  if (opts.num_queries < 0 || opts.num_locations < 1 ||
+      opts.num_locations > static_cast<int>(kMaxQueryLocations)) {
+    return Status::InvalidArgument("bad workload shape");
+  }
+  if (opts.lambda < 0.0 || opts.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0,1]");
+  }
+  if (opts.keyword_noise < 0.0 || opts.keyword_noise > 1.0) {
+    return Status::InvalidArgument("keyword_noise must be in [0,1]");
+  }
+  Rng rng(opts.seed);
+  const auto& g = db.network();
+  const auto& store = db.store();
+  const size_t vocab =
+      db.vocabulary().size() > 0 ? db.vocabulary().size() : 1000;
+
+  std::vector<UotsQuery> out;
+  out.reserve(opts.num_queries);
+  for (int qi = 0; qi < opts.num_queries; ++qi) {
+    const TrajId seed_id = static_cast<TrajId>(rng.Uniform(store.size()));
+    const auto samples = store.SamplesOf(seed_id);
+    UotsQuery q;
+    q.lambda = opts.lambda;
+    q.k = opts.k;
+
+    // Locations: evenly spaced seed samples, each perturbed by a short
+    // random walk on the network.
+    for (int li = 0; li < opts.num_locations; ++li) {
+      const size_t pick =
+          samples.size() <= 1
+              ? 0
+              : (li * (samples.size() - 1)) / (opts.num_locations > 1
+                                                   ? opts.num_locations - 1
+                                                   : 1);
+      VertexId v = samples[std::min(pick, samples.size() - 1)].vertex;
+      for (int s = 0; s < opts.location_walk_steps; ++s) {
+        const auto nbrs = g.Neighbors(v);
+        if (nbrs.empty()) break;
+        v = nbrs[rng.Uniform(nbrs.size())].to;
+      }
+      q.locations.push_back(v);
+    }
+
+    // Keywords: seed keywords with vocabulary noise mixed in.
+    const auto& seed_keys = store.KeywordsOf(seed_id).terms();
+    std::vector<TermId> keys;
+    for (int ki = 0; ki < opts.num_keywords; ++ki) {
+      if (!seed_keys.empty() && !rng.Bernoulli(opts.keyword_noise)) {
+        keys.push_back(seed_keys[rng.Uniform(seed_keys.size())]);
+      } else {
+        keys.push_back(static_cast<TermId>(rng.Uniform(vocab)));
+      }
+    }
+    q.keywords = KeywordSet(std::move(keys));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace uots

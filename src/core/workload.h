@@ -1,0 +1,45 @@
+// Query-workload generator for experiments and examples.
+//
+// Queries are derived from "seed" trajectories in the database, mimicking a
+// traveler who wants a trip like one that exists: query locations are
+// perturbed sample points of the seed (random walks of a few edges), query
+// keywords mix the seed's keywords with vocabulary noise. This guarantees
+// every query has at least one strong match, which is what makes pruning
+// bounds meaningful (a query with no good match degenerates every
+// algorithm to a full scan).
+
+#ifndef UOTS_CORE_WORKLOAD_H_
+#define UOTS_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Knobs for MakeWorkload.
+struct WorkloadOptions {
+  int num_queries = 20;
+  /// Query locations per query (m).
+  int num_locations = 5;
+  double lambda = 0.5;
+  int k = 10;
+  /// Random-walk steps applied to each seed sample (location perturbation).
+  int location_walk_steps = 3;
+  /// Query keywords per query (before deduplication).
+  int num_keywords = 5;
+  /// Probability a keyword is random noise instead of a seed keyword.
+  double keyword_noise = 0.3;
+  uint64_t seed = 7;
+};
+
+/// Generates a deterministic batch of queries over `db`.
+Result<std::vector<UotsQuery>> MakeWorkload(const TrajectoryDatabase& db,
+                                            const WorkloadOptions& opts);
+
+}  // namespace uots
+
+#endif  // UOTS_CORE_WORKLOAD_H_

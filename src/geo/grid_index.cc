@@ -1,0 +1,113 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace uots {
+
+GridIndex::GridIndex(std::vector<Point> points, double target_per_cell)
+    : points_(std::move(points)) {
+  bounds_ = BBox::Empty();
+  for (const auto& p : points_) bounds_.Extend(p);
+  if (points_.empty()) {
+    bounds_ = BBox{0, 0, 0, 0};
+  }
+  const double w = std::max(bounds_.Width(), 1.0);
+  const double h = std::max(bounds_.Height(), 1.0);
+  const double cells =
+      std::max(1.0, static_cast<double>(points_.size()) / target_per_cell);
+  // Choose a square-ish grid with `cells` cells over a w x h area.
+  cell_size_ = std::sqrt(w * h / cells);
+  nx_ = std::max(1, static_cast<int>(std::ceil(w / cell_size_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(h / cell_size_)));
+
+  // Counting sort of points into cells (CSR).
+  const size_t num_cells = static_cast<size_t>(nx_) * ny_;
+  offsets_.assign(num_cells + 1, 0);
+  std::vector<int64_t> cell_of(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const int cx = CellX(points_[i].x);
+    const int cy = CellY(points_[i].y);
+    cell_of[i] = static_cast<int64_t>(cy) * nx_ + cx;
+    ++offsets_[cell_of[i] + 1];
+  }
+  for (size_t c = 1; c <= num_cells; ++c) offsets_[c] += offsets_[c - 1];
+  entries_.resize(points_.size());
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    entries_[cursor[cell_of[i]]++] = static_cast<int64_t>(i);
+  }
+}
+
+int GridIndex::CellX(double x) const {
+  int c = static_cast<int>((x - bounds_.min_x) / cell_size_);
+  return std::clamp(c, 0, nx_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  int c = static_cast<int>((y - bounds_.min_y) / cell_size_);
+  return std::clamp(c, 0, ny_ - 1);
+}
+
+int64_t GridIndex::Nearest(const Point& q) const {
+  if (points_.empty()) return -1;
+  const int qx = CellX(q.x);
+  const int qy = CellY(q.y);
+  int64_t best = -1;
+  double best_d2 = std::numeric_limits<double>::max();
+  // Expand rings of cells until the closest possible point in the next ring
+  // cannot beat the best found so far.
+  const int max_ring = std::max(nx_, ny_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best >= 0) {
+      // Any point in ring r is at least (r-1)*cell_size_ away.
+      const double ring_min = (ring - 1) * cell_size_;
+      if (ring_min > 0 && ring_min * ring_min > best_d2) break;
+    }
+    for (int cy = qy - ring; cy <= qy + ring; ++cy) {
+      if (cy < 0 || cy >= ny_) continue;
+      for (int cx = qx - ring; cx <= qx + ring; ++cx) {
+        if (cx < 0 || cx >= nx_) continue;
+        // Only the ring boundary is new.
+        if (ring > 0 && cx != qx - ring && cx != qx + ring && cy != qy - ring &&
+            cy != qy + ring) {
+          continue;
+        }
+        const int64_t cell = static_cast<int64_t>(cy) * nx_ + cx;
+        for (int64_t e = offsets_[cell]; e < offsets_[cell + 1]; ++e) {
+          const int64_t idx = entries_[e];
+          const double d2 = SquaredDistance(points_[idx], q);
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = idx;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void GridIndex::WithinRadius(const Point& q, double radius,
+                             std::vector<int64_t>* out) const {
+  assert(out != nullptr);
+  if (points_.empty() || radius < 0) return;
+  const int cx0 = CellX(q.x - radius);
+  const int cx1 = CellX(q.x + radius);
+  const int cy0 = CellY(q.y - radius);
+  const int cy1 = CellY(q.y + radius);
+  const double r2 = radius * radius;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const int64_t cell = static_cast<int64_t>(cy) * nx_ + cx;
+      for (int64_t e = offsets_[cell]; e < offsets_[cell + 1]; ++e) {
+        const int64_t idx = entries_[e];
+        if (SquaredDistance(points_[idx], q) <= r2) out->push_back(idx);
+      }
+    }
+  }
+}
+
+}  // namespace uots

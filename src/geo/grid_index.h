@@ -1,0 +1,53 @@
+// Uniform grid over planar points.
+//
+// Powers the Euclidean-space baseline ("EU"): incremental ring expansion
+// around a query point yields points in (approximately) increasing Euclidean
+// distance, the Euclidean analogue of network expansion. Also used by the
+// trip generator for hotspot nearest-vertex lookups.
+
+#ifndef UOTS_GEO_GRID_INDEX_H_
+#define UOTS_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace uots {
+
+/// \brief Uniform grid index over a fixed set of points.
+class GridIndex {
+ public:
+  /// Builds a grid over `points` with roughly `target_per_cell` points/cell.
+  GridIndex(std::vector<Point> points, double target_per_cell = 8.0);
+
+  /// Returns the index of the point nearest to `q` (exact), or -1 if empty.
+  int64_t Nearest(const Point& q) const;
+
+  /// Appends the indices of all points within `radius` of `q` to `out`.
+  void WithinRadius(const Point& q, double radius,
+                    std::vector<int64_t>* out) const;
+
+  const std::vector<Point>& points() const { return points_; }
+  const BBox& bounds() const { return bounds_; }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<int64_t>& Cell(int cx, int cy) const;
+
+  std::vector<Point> points_;
+  BBox bounds_;
+  double cell_size_ = 1.0;
+  int nx_ = 1;
+  int ny_ = 1;
+  // CSR layout: cell (cx, cy) owns entries_[offsets_[cy*nx_+cx] ..
+  // offsets_[cy*nx_+cx+1]).
+  std::vector<int64_t> offsets_;
+  std::vector<int64_t> entries_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_GEO_GRID_INDEX_H_

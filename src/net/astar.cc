@@ -1,0 +1,85 @@
+#include "net/astar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace uots {
+
+namespace {
+
+struct HeapEntry {
+  double f;  // g + h
+  double g;
+  VertexId v;
+  bool operator>(const HeapEntry& o) const { return f > o.f; }
+};
+
+}  // namespace
+
+AStarEngine::AStarEngine(const RoadNetwork& g)
+    : g_(&g), dist_(g.NumVertices()), parent_(g.NumVertices(), kInvalidVertex) {}
+
+PathResult AStarEngine::FindPath(VertexId s, VertexId t) {
+  const Point goal = g_->PositionOf(t);
+  return Run(
+      s, t,
+      [this, goal](VertexId v) {
+        return EuclideanDistance(g_->PositionOf(v), goal);
+      },
+      /*want_path=*/true);
+}
+
+PathResult AStarEngine::FindPath(VertexId s, VertexId t, const Heuristic& h) {
+  return Run(s, t, h, /*want_path=*/true);
+}
+
+double AStarEngine::Distance(VertexId s, VertexId t) {
+  const Point goal = g_->PositionOf(t);
+  return Run(
+             s, t,
+             [this, goal](VertexId v) {
+               return EuclideanDistance(g_->PositionOf(v), goal);
+             },
+             /*want_path=*/false)
+      .distance;
+}
+
+PathResult AStarEngine::Run(VertexId s, VertexId t, const Heuristic& h,
+                            bool want_path) {
+  assert(s < g_->NumVertices() && t < g_->NumVertices());
+  PathResult out;
+  dist_.Reset();
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist_.Set(s, 0.0);
+  parent_[s] = kInvalidVertex;
+  heap.push({h(s), 0.0, s});
+  while (!heap.empty()) {
+    const auto [f, g, v] = heap.top();
+    heap.pop();
+    if (g > dist_.Get(v)) continue;  // stale
+    ++out.settled;
+    if (v == t) {
+      out.distance = g;
+      if (want_path) {
+        for (VertexId u = t;; u = parent_[u]) {
+          out.path.push_back(u);
+          if (u == s) break;
+        }
+        std::reverse(out.path.begin(), out.path.end());
+      }
+      return out;
+    }
+    for (const auto& e : g_->Neighbors(v)) {
+      const double ng = g + e.weight;
+      if (ng < dist_.Get(e.to)) {
+        dist_.Set(e.to, ng);
+        parent_[e.to] = v;
+        heap.push({ng + h(e.to), ng, e.to});
+      }
+    }
+  }
+  return out;  // unreachable
+}
+
+}  // namespace uots

@@ -1,0 +1,92 @@
+#include "net/bidirectional.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace uots {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  VertexId v;
+  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& g)
+    : g_(&g),
+      fwd_(g.NumVertices()),
+      bwd_(g.NumVertices()),
+      fwd_settled_(g.NumVertices()),
+      bwd_settled_(g.NumVertices()) {}
+
+double BidirectionalDijkstra::Distance(VertexId s, VertexId t) {
+  assert(s < g_->NumVertices() && t < g_->NumVertices());
+  last_settled_ = 0;
+  if (s == t) return 0.0;
+  fwd_.Reset();
+  bwd_.Reset();
+  fwd_settled_.Reset();
+  bwd_settled_.Reset();
+  MinHeap fheap, bheap;
+  fwd_.Set(s, 0.0);
+  bwd_.Set(t, 0.0);
+  fheap.push({0.0, s});
+  bheap.push({0.0, t});
+  double best = kInfDistance;
+  double fradius = 0.0, bradius = 0.0;
+
+  // Settles one vertex of the given side; updates `best` through edges
+  // crossing into the other side's labeled region.
+  const auto step = [&](MinHeap& heap, DistanceField& dist,
+                        DistanceField& settled, const DistanceField& other,
+                        double* radius) {
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (settled.IsSet(v)) continue;  // stale
+      settled.Set(v, 1.0);
+      *radius = d;
+      ++last_settled_;
+      for (const auto& e : g_->Neighbors(v)) {
+        const double nd = d + e.weight;
+        if (nd < dist.Get(e.to)) {
+          dist.Set(e.to, nd);
+          heap.push({nd, e.to});
+        }
+        // Connection through edge (v, e.to) into the other frontier.
+        const double od = other.Get(e.to);
+        if (od != kInfDistance) best = std::min(best, nd + od);
+      }
+      return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    // Termination: no shorter path can cross once the two settled radii
+    // together exceed the best connection found.
+    if (best <= fradius + bradius) break;
+    // Advance the side with the smaller radius (balanced meet point).
+    const bool forward = fradius <= bradius;
+    const bool progressed =
+        forward ? step(fheap, fwd_, fwd_settled_, bwd_, &fradius)
+                : step(bheap, bwd_, bwd_settled_, fwd_, &bradius);
+    if (!progressed) {
+      // This side is exhausted; if the other also cannot improve, stop.
+      const bool other_progressed =
+          forward ? step(bheap, bwd_, bwd_settled_, fwd_, &bradius)
+                  : step(fheap, fwd_, fwd_settled_, bwd_, &fradius);
+      if (!other_progressed) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace uots

@@ -1,0 +1,39 @@
+// Bidirectional Dijkstra for point-to-point distances.
+//
+// Meets in the middle: forward search from s and backward search from t
+// (identical on an undirected network) alternate by smaller frontier; the
+// search stops when the sum of both radii exceeds the best connection seen.
+// Settles ~half the vertices of unidirectional Dijkstra on road networks —
+// benchmarked against A*/ALT in bench_micro.
+
+#ifndef UOTS_NET_BIDIRECTIONAL_H_
+#define UOTS_NET_BIDIRECTIONAL_H_
+
+#include "net/dijkstra.h"
+#include "net/graph.h"
+
+namespace uots {
+
+/// \brief Reusable bidirectional point-to-point engine for one graph.
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const RoadNetwork& g);
+
+  /// Network distance sd(s, t); kInfDistance if unreachable.
+  double Distance(VertexId s, VertexId t);
+
+  /// Vertices settled by the last Distance() call (search effort).
+  int64_t last_settled() const { return last_settled_; }
+
+ private:
+  const RoadNetwork* g_;
+  DistanceField fwd_;
+  DistanceField bwd_;
+  DistanceField fwd_settled_;
+  DistanceField bwd_settled_;
+  int64_t last_settled_ = 0;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_NET_BIDIRECTIONAL_H_

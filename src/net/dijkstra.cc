@@ -1,0 +1,114 @@
+#include "net/dijkstra.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uots {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  VertexId v;
+  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+ShortestPathTree ComputeShortestPathTree(const RoadNetwork& g, VertexId source) {
+  const size_t n = g.NumVertices();
+  assert(source < n);
+  ShortestPathTree out;
+  out.dist.assign(n, kInfDistance);
+  out.parent.assign(n, kInvalidVertex);
+  MinHeap heap;
+  out.dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > out.dist[v]) continue;
+    for (const auto& e : g.Neighbors(v)) {
+      const double nd = d + e.weight;
+      if (nd < out.dist[e.to]) {
+        out.dist[e.to] = nd;
+        out.parent[e.to] = v;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+double ShortestPathDistance(const RoadNetwork& g, VertexId s, VertexId t) {
+  assert(s < g.NumVertices() && t < g.NumVertices());
+  if (s == t) return 0.0;
+  DistanceField dist(g.NumVertices());
+  MinHeap heap;
+  dist.Set(s, 0.0);
+  heap.push({0.0, s});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist.Get(v)) continue;
+    if (v == t) return d;
+    for (const auto& e : g.Neighbors(v)) {
+      const double nd = d + e.weight;
+      if (nd < dist.Get(e.to)) {
+        dist.Set(e.to, nd);
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+std::vector<VertexId> ShortestPathVertices(const RoadNetwork& g, VertexId s,
+                                           VertexId t) {
+  const ShortestPathTree tree = ComputeShortestPathTree(g, s);
+  if (tree.dist[t] == kInfDistance) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = t; v != kInvalidVertex; v = tree.parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  assert(path.front() == s);
+  return path;
+}
+
+DijkstraEngine::DijkstraEngine(const RoadNetwork& g)
+    : g_(&g), dist_(g.NumVertices()) {}
+
+NearestTargetResult DijkstraEngine::NearestOf(
+    VertexId source, const std::vector<uint8_t>& is_target, double max_radius) {
+  assert(is_target.size() == g_->NumVertices());
+  NearestTargetResult out;
+  dist_.Reset();
+  heap_ = {};
+  dist_.Set(source, 0.0);
+  heap_.push({0.0, source});
+  while (!heap_.empty()) {
+    const auto [d, v] = heap_.top();
+    heap_.pop();
+    if (d > dist_.Get(v)) continue;
+    if (d > max_radius) break;
+    if (is_target[v]) {
+      out.vertex = v;
+      out.distance = d;
+      return out;
+    }
+    for (const auto& e : g_->Neighbors(v)) {
+      const double nd = d + e.weight;
+      if (nd < dist_.Get(e.to)) {
+        dist_.Set(e.to, nd);
+        heap_.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uots

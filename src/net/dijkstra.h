@@ -1,0 +1,127 @@
+// Shortest-path primitives: full / bounded / multi-target Dijkstra.
+//
+// All variants run on the CSR RoadNetwork with a binary heap and lazy
+// deletion. Repeated queries reuse a DistanceField whose version-tagged
+// entries make Reset() O(1) instead of O(|V|).
+
+#ifndef UOTS_NET_DIJKSTRA_H_
+#define UOTS_NET_DIJKSTRA_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace uots {
+
+/// Distance value for unreachable vertices.
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// \brief Dense distance labels with O(1) reset via version tagging.
+class DistanceField {
+ public:
+  explicit DistanceField(size_t n = 0) { Resize(n); }
+
+  void Resize(size_t n) {
+    dist_.assign(n, 0.0);
+    version_.assign(n, 0);
+    current_ = 1;
+  }
+
+  /// Invalidates all labels in O(1).
+  void Reset() { ++current_; }
+
+  double Get(VertexId v) const {
+    return version_[v] == current_ ? dist_[v] : kInfDistance;
+  }
+  void Set(VertexId v, double d) {
+    dist_[v] = d;
+    version_[v] = current_;
+  }
+  bool IsSet(VertexId v) const { return version_[v] == current_; }
+  size_t size() const { return dist_.size(); }
+
+ private:
+  std::vector<double> dist_;
+  std::vector<uint32_t> version_;
+  uint32_t current_ = 1;
+};
+
+/// \brief Full single-source shortest-path tree.
+struct ShortestPathTree {
+  std::vector<double> dist;      ///< dist[v] = sd(source, v); inf if unreachable
+  std::vector<VertexId> parent;  ///< parent[v] on a shortest path; kInvalidVertex at source
+};
+
+/// Computes the complete shortest-path tree from `source`.
+ShortestPathTree ComputeShortestPathTree(const RoadNetwork& g, VertexId source);
+
+/// Network distance sd(s, t); kInfDistance if unreachable.
+double ShortestPathDistance(const RoadNetwork& g, VertexId s, VertexId t);
+
+/// Vertices of a shortest path s..t (inclusive); empty if unreachable.
+std::vector<VertexId> ShortestPathVertices(const RoadNetwork& g, VertexId s,
+                                           VertexId t);
+
+/// \brief Result of a multi-target search.
+struct NearestTargetResult {
+  VertexId vertex = kInvalidVertex;  ///< nearest target, or kInvalidVertex
+  double distance = kInfDistance;
+};
+
+/// \brief Reusable Dijkstra engine for repeated source queries on one graph.
+///
+/// The exact evaluator uses NearestOf() to compute d(o, tau) = the network
+/// distance from a query location to the closest sample point of a
+/// trajectory, stopping as soon as the first target vertex is settled.
+class DijkstraEngine {
+ public:
+  explicit DijkstraEngine(const RoadNetwork& g);
+
+  /// Distance from `source` to the nearest vertex with is_target[v] != 0.
+  /// Optionally bounded: stops once the search radius exceeds `max_radius`.
+  NearestTargetResult NearestOf(VertexId source,
+                                const std::vector<uint8_t>& is_target,
+                                double max_radius = kInfDistance);
+
+  /// Runs SSSP from `source` out to `max_radius` and invokes
+  /// visit(v, dist) for every settled vertex in nondecreasing distance.
+  template <typename Visitor>
+  void Explore(VertexId source, double max_radius, Visitor&& visit) {
+    dist_.Reset();
+    heap_ = {};
+    dist_.Set(source, 0.0);
+    heap_.push({0.0, source});
+    while (!heap_.empty()) {
+      const auto [d, v] = heap_.top();
+      heap_.pop();
+      if (d > dist_.Get(v)) continue;  // stale entry
+      if (d > max_radius) break;
+      visit(v, d);
+      for (const auto& e : g_->Neighbors(v)) {
+        const double nd = d + e.weight;
+        if (nd < dist_.Get(e.to)) {
+          dist_.Set(e.to, nd);
+          heap_.push({nd, e.to});
+        }
+      }
+    }
+  }
+
+ private:
+  struct HeapEntry {
+    double dist;
+    VertexId v;
+    bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+  };
+
+  const RoadNetwork* g_;
+  DistanceField dist_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_NET_DIJKSTRA_H_

@@ -1,0 +1,49 @@
+#include "net/expansion.h"
+
+#include <cassert>
+
+namespace uots {
+
+NetworkExpansion::NetworkExpansion(const RoadNetwork& g)
+    : g_(&g), dist_(g.NumVertices()), settled_(g.NumVertices()) {}
+
+void NetworkExpansion::Reset(VertexId source) {
+  assert(source < g_->NumVertices());
+  dist_.Reset();
+  settled_.Reset();
+  heap_ = {};
+  source_ = source;
+  radius_ = 0.0;
+  exhausted_ = false;
+  settled_count_ = 0;
+  heap_pops_ = 0;
+  dist_.Set(source, 0.0);
+  heap_.push({0.0, source});
+}
+
+bool NetworkExpansion::Step(VertexId* v_out, double* dist_out) {
+  assert(source_ != kInvalidVertex && "Reset() must be called first");
+  while (!heap_.empty()) {
+    const auto [d, v] = heap_.top();
+    heap_.pop();
+    ++heap_pops_;
+    if (settled_.IsSet(v)) continue;  // stale heap entry
+    settled_.Set(v, 1.0);
+    radius_ = d;
+    ++settled_count_;
+    for (const auto& e : g_->Neighbors(v)) {
+      const double nd = d + e.weight;
+      if (nd < dist_.Get(e.to)) {
+        dist_.Set(e.to, nd);
+        heap_.push({nd, e.to});
+      }
+    }
+    *v_out = v;
+    *dist_out = d;
+    return true;
+  }
+  exhausted_ = true;
+  return false;
+}
+
+}  // namespace uots

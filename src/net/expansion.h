@@ -1,0 +1,72 @@
+// Incremental network expansion — the spatial-domain query source.
+//
+// The UOTS search runs one expansion per query location and interleaves
+// their progress under a scheduling heuristic. Each expansion is a
+// resumable Dijkstra: Step() settles exactly one vertex per call, in
+// nondecreasing distance order, so the first time a trajectory's vertex is
+// settled by the expansion from query location o, the settled distance IS
+// d(o, tau) — no further refinement is ever needed. The current radius()
+// lower-bounds the distance to everything not yet settled, which is what
+// the upper-bound pruning in core/search.cc relies on.
+
+#ifndef UOTS_NET_EXPANSION_H_
+#define UOTS_NET_EXPANSION_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "net/dijkstra.h"
+#include "net/graph.h"
+
+namespace uots {
+
+/// \brief Resumable Dijkstra expansion from a single source vertex.
+class NetworkExpansion {
+ public:
+  /// Creates an expansion over `g`; call Reset() to (re)position the source.
+  explicit NetworkExpansion(const RoadNetwork& g);
+
+  /// (Re)starts the expansion from `source` in O(1) (version-tagged labels).
+  void Reset(VertexId source);
+
+  /// \brief Settles the next-nearest vertex.
+  /// \param[out] v      the settled vertex
+  /// \param[out] dist   its exact network distance from the source
+  /// \return false when the whole component has been exhausted.
+  bool Step(VertexId* v, double* dist);
+
+  /// Exact distance of the last settled vertex; lower bound for all
+  /// not-yet-settled vertices. 0 before the first Step().
+  double radius() const { return radius_; }
+
+  /// True once the expansion has exhausted its connected component.
+  bool exhausted() const { return exhausted_; }
+
+  VertexId source() const { return source_; }
+  int64_t settled_count() const { return settled_count_; }
+  int64_t heap_pops() const { return heap_pops_; }
+
+ private:
+  struct HeapEntry {
+    double dist;
+    VertexId v;
+    bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+  };
+
+  const RoadNetwork* g_;
+  DistanceField dist_;
+  // `settled` tagging reuses a second DistanceField purely for its O(1)
+  // reset; the stored value is unused.
+  DistanceField settled_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  VertexId source_ = kInvalidVertex;
+  double radius_ = 0.0;
+  bool exhausted_ = false;
+  int64_t settled_count_ = 0;
+  int64_t heap_pops_ = 0;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_NET_EXPANSION_H_

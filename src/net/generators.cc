@@ -1,0 +1,242 @@
+#include "net/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "geo/grid_index.h"
+
+namespace uots {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Union-find over vertex ids; used to keep generated networks connected.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns true if x and y were in different components.
+  bool Union(size_t x, size_t y) {
+    const size_t rx = Find(x);
+    const size_t ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<RoadNetwork> MakeGridNetwork(const GridNetworkOptions& opts) {
+  if (opts.rows < 2 || opts.cols < 2) {
+    return Status::InvalidArgument("grid must be at least 2x2");
+  }
+  if (opts.removal_rate < 0.0 || opts.removal_rate >= 1.0) {
+    return Status::InvalidArgument("removal_rate must be in [0,1)");
+  }
+  Rng rng(opts.seed);
+  GraphBuilder builder;
+  const auto vid = [&](int r, int c) {
+    return static_cast<VertexId>(r * opts.cols + c);
+  };
+  for (int r = 0; r < opts.rows; ++r) {
+    for (int c = 0; c < opts.cols; ++c) {
+      const double jx = rng.UniformDouble(-1.0, 1.0) * opts.jitter;
+      const double jy = rng.UniformDouble(-1.0, 1.0) * opts.jitter;
+      builder.AddVertex(Point{(c + jx) * opts.spacing_m,
+                              (r + jy) * opts.spacing_m});
+    }
+  }
+  // Collect all grid edges, shuffle, and mark a random spanning tree: tree
+  // edges are kept unconditionally so removal can never disconnect the graph.
+  struct E {
+    VertexId a, b;
+  };
+  std::vector<E> edges;
+  edges.reserve(static_cast<size_t>(opts.rows) * opts.cols * 2);
+  for (int r = 0; r < opts.rows; ++r) {
+    for (int c = 0; c < opts.cols; ++c) {
+      if (c + 1 < opts.cols) edges.push_back({vid(r, c), vid(r, c + 1)});
+      if (r + 1 < opts.rows) edges.push_back({vid(r, c), vid(r + 1, c)});
+    }
+  }
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.Uniform(i)]);
+  }
+  UnionFind uf(builder.NumVertices());
+  for (const auto& e : edges) {
+    const bool tree_edge = uf.Union(e.a, e.b);
+    if (tree_edge || !rng.Bernoulli(opts.removal_rate)) {
+      builder.AddEdge(e.a, e.b);
+    }
+  }
+  return std::move(builder).Finalize(/*require_connected=*/true);
+}
+
+Result<RoadNetwork> MakeRingRadialNetwork(const RingRadialNetworkOptions& opts) {
+  if (opts.rings < 1 || opts.inner_ring_vertices < 3) {
+    return Status::InvalidArgument("need >=1 ring and >=3 inner vertices");
+  }
+  if (opts.radial_rate <= 0.0 || opts.radial_rate > 1.0) {
+    return Status::InvalidArgument("radial_rate must be in (0,1]");
+  }
+  Rng rng(opts.seed);
+  GraphBuilder builder;
+  const VertexId center = builder.AddVertex(Point{0.0, 0.0});
+
+  // ring_vertices[k][i] = id of i-th vertex on ring k.
+  std::vector<std::vector<VertexId>> ring_vertices(opts.rings);
+  for (int k = 0; k < opts.rings; ++k) {
+    const double radius = (k + 1) * opts.ring_spacing_m;
+    // Keep vertex spacing along the ring roughly constant.
+    const int count = std::max(
+        3, static_cast<int>(std::round(opts.inner_ring_vertices *
+                                       (radius / opts.ring_spacing_m))));
+    ring_vertices[k].reserve(count);
+    for (int i = 0; i < count; ++i) {
+      const double angle = 2.0 * kPi * i / count;
+      const double jr = rng.UniformDouble(-1.0, 1.0) * opts.jitter *
+                        opts.ring_spacing_m;
+      const double r = radius + jr;
+      ring_vertices[k].push_back(
+          builder.AddVertex(Point{r * std::cos(angle), r * std::sin(angle)}));
+    }
+    // Ring road: cycle through the ring's vertices.
+    for (size_t i = 0; i < ring_vertices[k].size(); ++i) {
+      builder.AddEdge(ring_vertices[k][i],
+                      ring_vertices[k][(i + 1) % ring_vertices[k].size()]);
+    }
+  }
+  // Radial spokes: every ring vertex connects inward with prob radial_rate;
+  // vertex 0 of each ring always connects, guaranteeing connectivity.
+  for (int k = 0; k < opts.rings; ++k) {
+    const auto& ring = ring_vertices[k];
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const bool forced = (i == 0);
+      if (!forced && !rng.Bernoulli(opts.radial_rate)) continue;
+      if (k == 0) {
+        builder.AddEdge(ring[i], center);
+      } else {
+        // Connect to the angularly closest vertex on the inner ring.
+        const auto& inner = ring_vertices[k - 1];
+        const double angle = 2.0 * kPi * i / ring.size();
+        const size_t j = static_cast<size_t>(
+                             std::llround(angle / (2.0 * kPi) * inner.size())) %
+                         inner.size();
+        builder.AddEdge(ring[i], inner[j]);
+      }
+    }
+  }
+  return std::move(builder).Finalize(/*require_connected=*/true);
+}
+
+Result<RoadNetwork> MakeRandomGeometricNetwork(
+    const RandomGeometricOptions& opts) {
+  if (opts.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  if (opts.k_nearest < 1) {
+    return Status::InvalidArgument("k_nearest must be >= 1");
+  }
+  Rng rng(opts.seed);
+  std::vector<Point> points;
+  points.reserve(opts.num_vertices);
+  for (int i = 0; i < opts.num_vertices; ++i) {
+    points.push_back(Point{rng.UniformDouble(0.0, opts.extent_m),
+                           rng.UniformDouble(0.0, opts.extent_m)});
+  }
+  GridIndex grid(points);
+  GraphBuilder builder;
+  for (const auto& p : points) builder.AddVertex(p);
+
+  // Wire each vertex to (up to) its k nearest neighbors, deduplicated.
+  const double base_radius =
+      opts.extent_m / std::sqrt(static_cast<double>(opts.num_vertices));
+  std::vector<std::pair<VertexId, VertexId>> added;
+  auto try_add = [&](VertexId a, VertexId b) {
+    if (a == b) return;
+    const auto key = std::minmax(a, b);
+    added.emplace_back(key.first, key.second);
+  };
+  std::vector<int64_t> near;
+  for (int i = 0; i < opts.num_vertices; ++i) {
+    near.clear();
+    double radius = base_radius * 1.5;
+    while (static_cast<int>(near.size()) <= opts.k_nearest) {
+      near.clear();
+      grid.WithinRadius(points[i], radius, &near);
+      radius *= 2.0;
+    }
+    std::sort(near.begin(), near.end(), [&](int64_t a, int64_t b) {
+      return SquaredDistance(points[a], points[i]) <
+             SquaredDistance(points[b], points[i]);
+    });
+    int taken = 0;
+    for (int64_t j : near) {
+      if (j == i) continue;
+      try_add(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      if (++taken >= opts.k_nearest) break;
+    }
+  }
+  std::sort(added.begin(), added.end());
+  added.erase(std::unique(added.begin(), added.end()), added.end());
+
+  // Guarantee connectivity: greedily merge components through the shortest
+  // available inter-component candidate edges (k-NN graph components are
+  // spatially compact, so nearest-pair stitching is adequate).
+  UnionFind uf(points.size());
+  for (const auto& [a, b] : added) uf.Union(a, b);
+  std::vector<std::pair<VertexId, VertexId>> stitches;
+  for (;;) {
+    // Collect one representative per component.
+    std::vector<VertexId> reps;
+    for (size_t v = 0; v < points.size(); ++v) {
+      if (uf.Find(v) == v) reps.push_back(static_cast<VertexId>(v));
+    }
+    if (reps.size() <= 1) break;
+    // Connect the component of reps[1] to the nearest vertex in a different
+    // component; repeat until a single component remains.
+    const size_t comp = uf.Find(reps[1]);
+    VertexId best_a = kInvalidVertex, best_b = kInvalidVertex;
+    double best_d2 = 1e300;
+    for (size_t v = 0; v < points.size(); ++v) {
+      if (uf.Find(v) != comp) continue;
+      for (size_t u = 0; u < points.size(); ++u) {
+        if (uf.Find(u) == comp) continue;
+        const double d2 = SquaredDistance(points[v], points[u]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_a = static_cast<VertexId>(v);
+          best_b = static_cast<VertexId>(u);
+        }
+      }
+    }
+    assert(best_a != kInvalidVertex);
+    stitches.emplace_back(std::min(best_a, best_b), std::max(best_a, best_b));
+    uf.Union(best_a, best_b);
+  }
+  for (const auto& [a, b] : stitches) {
+    if (!std::binary_search(added.begin(), added.end(), std::make_pair(a, b))) {
+      added.emplace_back(a, b);
+    }
+  }
+  for (const auto& [a, b] : added) builder.AddEdge(a, b);
+  return std::move(builder).Finalize(/*require_connected=*/true);
+}
+
+}  // namespace uots

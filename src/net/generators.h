@@ -1,0 +1,75 @@
+// Synthetic road-network generators.
+//
+// The UOTS paper evaluates on the Beijing Road Network (ring-radial
+// topology, ~28k vertices) and a New-York-style network (grid topology).
+// Neither dataset ships with this repository, so the generators below
+// produce networks with the same topological character and scale. The
+// properties the search algorithms are sensitive to — local connectivity,
+// meter-scale edge weights, planarity, bounded degree — are preserved; see
+// DESIGN.md §5 for the substitution rationale.
+
+#ifndef UOTS_NET_GENERATORS_H_
+#define UOTS_NET_GENERATORS_H_
+
+#include <cstdint>
+
+#include "net/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Parameters for the perturbed-grid ("Manhattan") generator.
+struct GridNetworkOptions {
+  int rows = 100;
+  int cols = 100;
+  /// Distance between adjacent intersections, meters.
+  double spacing_m = 150.0;
+  /// Max positional jitter as a fraction of spacing (0 = perfect grid).
+  double jitter = 0.25;
+  /// Fraction of non-spanning-tree edges removed (road discontinuities).
+  double removal_rate = 0.10;
+  uint64_t seed = 1;
+};
+
+/// Generates a Manhattan-style perturbed grid. Always connected: a random
+/// spanning tree of the grid is kept, only surplus edges are removed.
+Result<RoadNetwork> MakeGridNetwork(const GridNetworkOptions& opts);
+
+/// \brief Parameters for the ring-radial ("Beijing") generator.
+struct RingRadialNetworkOptions {
+  /// Number of concentric ring roads.
+  int rings = 60;
+  /// Vertices on the innermost ring; outer rings scale with circumference.
+  int inner_ring_vertices = 12;
+  /// Radial distance between consecutive rings, meters.
+  double ring_spacing_m = 160.0;
+  /// Fraction of ring vertices that carry a radial connection inward.
+  double radial_rate = 0.35;
+  /// Max positional jitter as a fraction of ring spacing.
+  double jitter = 0.2;
+  uint64_t seed = 2;
+};
+
+/// Generates a ring-radial network (concentric ring roads + radial spokes
+/// + a centre), the Beijing-like topology. Connected by construction.
+Result<RoadNetwork> MakeRingRadialNetwork(const RingRadialNetworkOptions& opts);
+
+/// \brief Parameters for the random-geometric generator.
+struct RandomGeometricOptions {
+  int num_vertices = 2000;
+  /// Side of the square area, meters.
+  double extent_m = 10000.0;
+  /// Neighbors considered per vertex.
+  int k_nearest = 4;
+  uint64_t seed = 3;
+};
+
+/// Generates a random geometric graph: uniform points wired to their
+/// k-nearest neighbors, with extra edges added to guarantee connectivity.
+/// Used for irregular suburban-style topologies and randomized testing.
+Result<RoadNetwork> MakeRandomGeometricNetwork(const RandomGeometricOptions& opts);
+
+}  // namespace uots
+
+#endif  // UOTS_NET_GENERATORS_H_

@@ -1,0 +1,108 @@
+#include "net/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace uots {
+
+BBox RoadNetwork::Bounds() const {
+  BBox box = BBox::Empty();
+  for (const auto& p : positions_) box.Extend(p);
+  if (positions_.empty()) box = BBox{0, 0, 0, 0};
+  return box;
+}
+
+double RoadNetwork::TotalEdgeLength() const {
+  double total = 0.0;
+  for (const auto& e : adjacency_) total += e.weight;
+  return total / 2.0;  // each undirected edge stored twice
+}
+
+size_t RoadNetwork::MemoryUsage() const {
+  return positions_.capacity() * sizeof(Point) +
+         offsets_.capacity() * sizeof(uint64_t) +
+         adjacency_.capacity() * sizeof(AdjacencyEntry);
+}
+
+VertexId GraphBuilder::AddVertex(const Point& p) {
+  positions_.push_back(p);
+  return static_cast<VertexId>(positions_.size() - 1);
+}
+
+void GraphBuilder::AddEdge(VertexId a, VertexId b, double weight) {
+  if (weight < 0.0 && a < positions_.size() && b < positions_.size()) {
+    weight = EuclideanDistance(positions_[a], positions_[b]);
+    // Degenerate coincident vertices still need a positive weight.
+    if (weight <= 0.0) weight = 1e-3;
+  }
+  edges_.push_back(Edge{a, b, static_cast<float>(weight)});
+}
+
+Result<RoadNetwork> GraphBuilder::Finalize(bool require_connected) && {
+  const size_t n = positions_.size();
+  if (n == 0) return Status::InvalidArgument("graph has no vertices");
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(edges_.size() * 2);
+  for (const auto& e : edges_) {
+    if (e.a >= n || e.b >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.a == e.b) return Status::InvalidArgument("self loop");
+    if (!(e.weight > 0.0f)) {
+      return Status::InvalidArgument("non-positive edge weight");
+    }
+    const uint64_t key = (static_cast<uint64_t>(std::min(e.a, e.b)) << 32) |
+                         std::max(e.a, e.b);
+    if (!seen.insert(key).second) {
+      return Status::InvalidArgument("duplicate edge " + std::to_string(e.a) +
+                                     "-" + std::to_string(e.b));
+    }
+  }
+
+  RoadNetwork g;
+  g.positions_ = std::move(positions_);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.a + 1];
+    ++g.offsets_[e.b + 1];
+  }
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.adjacency_[cursor[e.a]++] = AdjacencyEntry{e.b, e.weight};
+    g.adjacency_[cursor[e.b]++] = AdjacencyEntry{e.a, e.weight};
+  }
+
+  if (require_connected && !IsConnected(g)) {
+    return Status::InvalidArgument("graph is not connected");
+  }
+  return g;
+}
+
+bool IsConnected(const RoadNetwork& g) {
+  const size_t n = g.NumVertices();
+  if (n == 0) return false;
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack = {0};
+  visited[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& e : g.Neighbors(v)) {
+      if (!visited[e.to]) {
+        visited[e.to] = true;
+        ++count;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return count == n;
+}
+
+}  // namespace uots

@@ -1,0 +1,107 @@
+// Road-network graph: connected, undirected, edge-weighted, CSR-compressed.
+//
+// Matches the paper family's model G = (V, E, F, W): vertices are road
+// intersections with planar positions (F), edges are road segments with
+// length weights in meters (W). Trajectory sample points are assumed
+// map-matched onto vertices (points on edges can be modeled by splitting the
+// edge with GraphBuilder::SplitEdge).
+
+#ifndef UOTS_NET_GRAPH_H_
+#define UOTS_NET_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// Vertex identifier; dense in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// \brief One directed half of an undirected road segment in the CSR
+/// adjacency array.
+struct AdjacencyEntry {
+  VertexId to;
+  float weight;  ///< Segment length in meters; float halves the CSR footprint.
+};
+
+class GraphBuilder;
+
+/// \brief Immutable CSR road network. Construct via GraphBuilder.
+class RoadNetwork {
+ public:
+  size_t NumVertices() const { return positions_.size(); }
+  /// Number of undirected edges.
+  size_t NumEdges() const { return adjacency_.size() / 2; }
+
+  /// Planar position of vertex v (meters).
+  const Point& PositionOf(VertexId v) const { return positions_[v]; }
+  const std::vector<Point>& positions() const { return positions_; }
+
+  /// Outgoing adjacency of v (both directions of each undirected edge appear).
+  std::span<const AdjacencyEntry> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  size_t DegreeOf(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Bounding box of all vertex positions.
+  BBox Bounds() const;
+
+  /// Sum of all undirected edge lengths, in meters.
+  double TotalEdgeLength() const;
+
+  /// Approximate resident memory of the CSR structures, in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  friend class GraphBuilder;
+  RoadNetwork() = default;
+
+  std::vector<Point> positions_;
+  std::vector<uint64_t> offsets_;  // size NumVertices()+1
+  std::vector<AdjacencyEntry> adjacency_;
+};
+
+/// \brief Accumulates vertices/edges, then finalizes into a RoadNetwork.
+class GraphBuilder {
+ public:
+  /// Adds a vertex at `p` and returns its id.
+  VertexId AddVertex(const Point& p);
+
+  /// Adds an undirected edge; weight defaults to the Euclidean length.
+  /// Self-loops and repeated edges are rejected at Finalize time.
+  void AddEdge(VertexId a, VertexId b, double weight = -1.0);
+
+  size_t NumVertices() const { return positions_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// Validates and builds the CSR network. Fails on self loops, duplicate or
+  /// dangling edges, non-positive weights, or a disconnected graph when
+  /// `require_connected` is set.
+  Result<RoadNetwork> Finalize(bool require_connected = true) &&;
+
+ private:
+  struct Edge {
+    VertexId a;
+    VertexId b;
+    float weight;
+  };
+
+  std::vector<Point> positions_;
+  std::vector<Edge> edges_;
+};
+
+/// Returns true if the network is connected (BFS from vertex 0).
+bool IsConnected(const RoadNetwork& g);
+
+}  // namespace uots
+
+#endif  // UOTS_NET_GRAPH_H_

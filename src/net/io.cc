@@ -1,0 +1,83 @@
+#include "net/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace uots {
+
+Status SaveNetwork(const RoadNetwork& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "uots-network 1\n";
+  out << g.NumVertices() << " " << g.NumEdges() << "\n";
+  char buf[96];
+  for (size_t v = 0; v < g.NumVertices(); ++v) {
+    const Point& p = g.PositionOf(static_cast<VertexId>(v));
+    std::snprintf(buf, sizeof(buf), "v %.3f %.3f\n", p.x, p.y);
+    out << buf;
+  }
+  for (size_t v = 0; v < g.NumVertices(); ++v) {
+    for (const auto& e : g.Neighbors(static_cast<VertexId>(v))) {
+      if (e.to < v) continue;  // emit each undirected edge once
+      std::snprintf(buf, sizeof(buf), "e %zu %u %.3f\n", v, e.to,
+                    static_cast<double>(e.weight));
+      out << buf;
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<RoadNetwork> LoadNetwork(const std::string& path,
+                                bool require_connected) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  auto next_line = [&](std::string* out_line) {
+    while (std::getline(in, *out_line)) {
+      const std::string_view t = Trim(*out_line);
+      if (t.empty() || t[0] == '#') continue;
+      *out_line = std::string(t);
+      return true;
+    }
+    return false;
+  };
+  if (!next_line(&line) || !StartsWith(line, "uots-network")) {
+    return Status::IOError("bad header in " + path);
+  }
+  if (!next_line(&line)) return Status::IOError("missing counts in " + path);
+  size_t nv = 0, ne = 0;
+  {
+    std::istringstream is(line);
+    if (!(is >> nv >> ne)) return Status::IOError("bad counts in " + path);
+  }
+  GraphBuilder builder;
+  for (size_t i = 0; i < nv; ++i) {
+    if (!next_line(&line)) return Status::IOError("truncated vertices");
+    std::istringstream is(line);
+    char tag = 0;
+    double x = 0, y = 0;
+    if (!(is >> tag >> x >> y) || tag != 'v') {
+      return Status::IOError("bad vertex line: " + line);
+    }
+    builder.AddVertex(Point{x, y});
+  }
+  for (size_t i = 0; i < ne; ++i) {
+    if (!next_line(&line)) return Status::IOError("truncated edges");
+    std::istringstream is(line);
+    char tag = 0;
+    uint64_t a = 0, b = 0;
+    double w = 0;
+    if (!(is >> tag >> a >> b >> w) || tag != 'e') {
+      return Status::IOError("bad edge line: " + line);
+    }
+    builder.AddEdge(static_cast<VertexId>(a), static_cast<VertexId>(b), w);
+  }
+  return std::move(builder).Finalize(require_connected);
+}
+
+}  // namespace uots

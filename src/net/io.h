@@ -1,0 +1,31 @@
+// Plain-text persistence for road networks.
+//
+// Format (line-oriented, '#' comments allowed):
+//   uots-network 1
+//   <num_vertices> <num_edges>
+//   v <x> <y>          -- num_vertices lines, ids implicit 0..n-1
+//   e <a> <b> <w>      -- num_edges lines
+//
+// A text format keeps generated datasets diffable and lets users feed in
+// their own extracts (e.g. converted from OSM) without extra tooling.
+
+#ifndef UOTS_NET_IO_H_
+#define UOTS_NET_IO_H_
+
+#include <string>
+
+#include "net/graph.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// Writes `g` to `path` in the uots-network text format.
+Status SaveNetwork(const RoadNetwork& g, const std::string& path);
+
+/// Reads a network from `path`; validates structure via GraphBuilder.
+Result<RoadNetwork> LoadNetwork(const std::string& path,
+                                bool require_connected = true);
+
+}  // namespace uots
+
+#endif  // UOTS_NET_IO_H_

@@ -1,0 +1,60 @@
+#include "net/landmarks.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "net/dijkstra.h"
+
+namespace uots {
+
+LandmarkIndex::LandmarkIndex(const RoadNetwork& g, int num_landmarks) {
+  assert(num_landmarks >= 1);
+  const size_t n = g.NumVertices();
+  // Farthest-point selection: the first landmark is the vertex farthest from
+  // vertex 0; each next landmark maximizes the minimum distance to the
+  // already-chosen set.
+  std::vector<double> min_dist(n, kInfDistance);
+  VertexId next = 0;
+  {
+    const ShortestPathTree t0 = ComputeShortestPathTree(g, 0);
+    double best = -1.0;
+    for (size_t v = 0; v < n; ++v) {
+      if (t0.dist[v] != kInfDistance && t0.dist[v] > best) {
+        best = t0.dist[v];
+        next = static_cast<VertexId>(v);
+      }
+    }
+  }
+  for (int l = 0; l < num_landmarks; ++l) {
+    landmarks_.push_back(next);
+    ShortestPathTree tree = ComputeShortestPathTree(g, next);
+    dist_.push_back(std::move(tree.dist));
+    double best = -1.0;
+    for (size_t v = 0; v < n; ++v) {
+      const double d = dist_.back()[v];
+      if (d < min_dist[v]) min_dist[v] = d;
+      if (min_dist[v] != kInfDistance && min_dist[v] > best) {
+        best = min_dist[v];
+        next = static_cast<VertexId>(v);
+      }
+    }
+  }
+}
+
+double LandmarkIndex::LowerBound(VertexId u, VertexId v) const {
+  double best = 0.0;
+  for (const auto& d : dist_) {
+    const double du = d[u];
+    const double dv = d[v];
+    if (du == kInfDistance || dv == kInfDistance) continue;
+    const double b = std::fabs(du - dv);
+    if (b > best) best = b;
+  }
+  return best;
+}
+
+Heuristic LandmarkIndex::HeuristicFor(VertexId t) const {
+  return [this, t](VertexId v) { return LowerBound(v, t); };
+}
+
+}  // namespace uots

@@ -1,0 +1,43 @@
+// ALT (A*, Landmarks, Triangle inequality) lower bounds.
+//
+// Preprocessing picks landmarks by farthest-point selection and stores full
+// distance vectors from each. The triangle inequality gives the admissible
+// bound  sd(v, t) >= |d(L, t) - d(L, v)|  maximized over landmarks L.
+// Provided as a substrate optimization; the ablation benchmark quantifies
+// its effect on point-to-point search effort.
+
+#ifndef UOTS_NET_LANDMARKS_H_
+#define UOTS_NET_LANDMARKS_H_
+
+#include <vector>
+
+#include "net/astar.h"
+#include "net/graph.h"
+
+namespace uots {
+
+/// \brief Landmark distance tables supporting ALT lower bounds.
+class LandmarkIndex {
+ public:
+  /// Preprocesses `num_landmarks` landmarks (farthest-point selection seeded
+  /// at vertex 0). Cost: num_landmarks full Dijkstras.
+  LandmarkIndex(const RoadNetwork& g, int num_landmarks);
+
+  /// Admissible lower bound on sd(u, v).
+  double LowerBound(VertexId u, VertexId v) const;
+
+  /// Heuristic closure for AStarEngine targeting `t`.
+  Heuristic HeuristicFor(VertexId t) const;
+
+  int num_landmarks() const { return static_cast<int>(landmarks_.size()); }
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+
+ private:
+  std::vector<VertexId> landmarks_;
+  // dist_[l][v] = sd(landmarks_[l], v)
+  std::vector<std::vector<double>> dist_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_NET_LANDMARKS_H_

@@ -1,0 +1,107 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uots {
+
+void InvertedKeywordIndex::AddDocument(DocId doc, const KeywordSet& keys) {
+  assert(!finalized_);
+  if (doc >= doc_sizes_.size()) doc_sizes_.resize(doc + 1, 0);
+  doc_sizes_[doc] = static_cast<uint32_t>(keys.size());
+  for (TermId t : keys.terms()) {
+    if (t >= postings_.size()) postings_.resize(t + 1);
+    postings_[t].push_back(doc);
+  }
+}
+
+void InvertedKeywordIndex::Finalize() {
+  for (auto& p : postings_) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+    p.shrink_to_fit();
+  }
+  finalized_ = true;
+}
+
+std::span<const DocId> InvertedKeywordIndex::Postings(TermId t) const {
+  assert(finalized_);
+  if (t >= postings_.size()) return {};
+  return {postings_[t].data(), postings_[t].size()};
+}
+
+void InvertedKeywordIndex::ScoreCandidates(
+    const KeywordSet& query, const TextualSimilarity& sim,
+    std::vector<ScoredDoc>* out, int64_t* posting_entries,
+    const std::function<const KeywordSet&(DocId)>& doc_keys) const {
+  assert(finalized_);
+  out->clear();
+  if (query.empty()) return;
+
+  if (count_.size() != doc_sizes_.size()) {
+    count_.assign(doc_sizes_.size(), 0);
+    count_version_.assign(doc_sizes_.size(), 0);
+    version_ = 0;
+  }
+  ++version_;
+
+  // Merge posting lists, counting per-document term overlap.
+  std::vector<DocId> touched;
+  for (TermId t : query.terms()) {
+    for (DocId d : Postings(t)) {
+      if (posting_entries != nullptr) ++*posting_entries;
+      if (count_version_[d] != version_) {
+        count_version_[d] = version_;
+        count_[d] = 0;
+        touched.push_back(d);
+      }
+      ++count_[d];
+    }
+  }
+
+  out->reserve(touched.size());
+  const double qsize = static_cast<double>(query.size());
+  for (DocId d : touched) {
+    const double inter = count_[d];
+    const double dsize = doc_sizes_[d];
+    double score = 0.0;
+    switch (sim.measure()) {
+      case TextualMeasure::kJaccard:
+        score = inter / (qsize + dsize - inter);
+        break;
+      case TextualMeasure::kDice:
+        score = 2.0 * inter / (qsize + dsize);
+        break;
+      case TextualMeasure::kOverlap:
+        score = inter / std::min(qsize, dsize);
+        break;
+      case TextualMeasure::kCosine:
+        score = inter / std::sqrt(qsize * dsize);
+        break;
+      case TextualMeasure::kWeighted:
+        assert(doc_keys && "kWeighted requires a doc_keys accessor");
+        score = sim.Score(query, doc_keys(d));
+        break;
+    }
+    out->push_back(ScoredDoc{d, score});
+  }
+}
+
+std::vector<int64_t> InvertedKeywordIndex::DocumentFrequencies() const {
+  std::vector<int64_t> df(postings_.size());
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    df[t] = static_cast<int64_t>(postings_[t].size());
+  }
+  return df;
+}
+
+size_t InvertedKeywordIndex::MemoryUsage() const {
+  size_t bytes = doc_sizes_.capacity() * sizeof(uint32_t) +
+                 count_.capacity() * sizeof(uint32_t) +
+                 count_version_.capacity() * sizeof(uint32_t);
+  for (const auto& p : postings_) bytes += p.capacity() * sizeof(DocId);
+  return bytes;
+}
+
+}  // namespace uots

@@ -1,0 +1,77 @@
+// Keyword -> document inverted index (documents are trajectory ids).
+//
+// One probe of the index yields the exact textual similarity of every
+// trajectory sharing at least one keyword with the query; everything else
+// has SimT = 0 exactly (all supported measures are intersection-based).
+// This is the textual-domain "expansion" of the UOTS search: the spatial
+// domain is explored incrementally, while the textual domain is resolved
+// up-front at posting-list cost, giving the search exact SimT values to
+// fold into its upper bounds.
+
+#ifndef UOTS_TEXT_INVERTED_INDEX_H_
+#define UOTS_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "text/keyword_set.h"
+#include "text/similarity.h"
+
+namespace uots {
+
+/// Document (trajectory) identifier used by the index.
+using DocId = uint32_t;
+
+/// A document id paired with its exact textual similarity to the query.
+struct ScoredDoc {
+  DocId doc;
+  double score;
+};
+
+/// \brief Immutable-after-Finalize keyword inverted index.
+class InvertedKeywordIndex {
+ public:
+  /// Registers a document; ids must be dense-ish (max id bounds memory).
+  void AddDocument(DocId doc, const KeywordSet& keys);
+
+  /// Sorts posting lists and freezes the index.
+  void Finalize();
+
+  /// Posting list (ascending doc ids) for term `t`; empty if unseen.
+  std::span<const DocId> Postings(TermId t) const;
+
+  /// \brief Scores every document sharing >= 1 term with `query`.
+  ///
+  /// Results are unsorted. For TextualMeasure::kWeighted a `doc_keys`
+  /// accessor must be supplied (weighted overlap needs the full sets); for
+  /// the counting measures it is ignored. `posting_entries`, if non-null,
+  /// is incremented by the number of posting entries scanned.
+  void ScoreCandidates(
+      const KeywordSet& query, const TextualSimilarity& sim,
+      std::vector<ScoredDoc>* out, int64_t* posting_entries = nullptr,
+      const std::function<const KeywordSet&(DocId)>& doc_keys = nullptr) const;
+
+  /// Document frequency per term (posting-list lengths), for idf weighting.
+  std::vector<int64_t> DocumentFrequencies() const;
+
+  size_t num_documents() const { return doc_sizes_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+  size_t MemoryUsage() const;
+
+ private:
+  bool finalized_ = false;
+  std::vector<std::vector<DocId>> postings_;
+  std::vector<uint32_t> doc_sizes_;  ///< |keys| per doc id
+  // Scratch for ScoreCandidates: per-doc intersection counters with O(1)
+  // reset (version tags), sized lazily to num_documents().
+  mutable std::vector<uint32_t> count_;
+  mutable std::vector<uint32_t> count_version_;
+  mutable uint32_t version_ = 0;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,76 @@
+// Sorted, deduplicated keyword sets with fast intersection.
+
+#ifndef UOTS_TEXT_KEYWORD_SET_H_
+#define UOTS_TEXT_KEYWORD_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace uots {
+
+/// \brief An immutable-after-build sorted set of TermIds.
+///
+/// Trajectory keyword sets are small (typically 3-15 terms), so a sorted
+/// vector with merge-style intersection beats hash sets on both memory and
+/// speed.
+class KeywordSet {
+ public:
+  KeywordSet() = default;
+  explicit KeywordSet(std::vector<TermId> terms) : terms_(std::move(terms)) {
+    Normalize();
+  }
+  KeywordSet(std::initializer_list<TermId> terms)
+      : terms_(terms) {
+    Normalize();
+  }
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+  const std::vector<TermId>& terms() const { return terms_; }
+
+  bool Contains(TermId t) const {
+    return std::binary_search(terms_.begin(), terms_.end(), t);
+  }
+
+  /// |this ∩ other| via linear merge.
+  size_t IntersectionSize(const KeywordSet& other) const {
+    size_t i = 0, j = 0, count = 0;
+    while (i < terms_.size() && j < other.terms_.size()) {
+      if (terms_[i] < other.terms_[j]) {
+        ++i;
+      } else if (terms_[i] > other.terms_[j]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+    return count;
+  }
+
+  /// |this ∪ other| = |a| + |b| - |a ∩ b|.
+  size_t UnionSize(const KeywordSet& other) const {
+    return size() + other.size() - IntersectionSize(other);
+  }
+
+  friend bool operator==(const KeywordSet& a, const KeywordSet& b) {
+    return a.terms_ == b.terms_;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(terms_.begin(), terms_.end());
+    terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+  }
+
+  std::vector<TermId> terms_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TEXT_KEYWORD_SET_H_

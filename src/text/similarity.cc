@@ -1,0 +1,82 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uots {
+
+const char* ToString(TextualMeasure m) {
+  switch (m) {
+    case TextualMeasure::kJaccard:
+      return "jaccard";
+    case TextualMeasure::kDice:
+      return "dice";
+    case TextualMeasure::kOverlap:
+      return "overlap";
+    case TextualMeasure::kCosine:
+      return "cosine";
+    case TextualMeasure::kWeighted:
+      return "weighted-jaccard";
+  }
+  return "unknown";
+}
+
+void TextualSimilarity::SetDocumentFrequencies(std::vector<int64_t> df,
+                                               int64_t num_docs) {
+  idf_.resize(df.size());
+  for (size_t t = 0; t < df.size(); ++t) {
+    idf_[t] = df[t] > 0
+                  ? std::log(1.0 + static_cast<double>(num_docs) / df[t])
+                  : std::log(1.0 + static_cast<double>(num_docs));
+  }
+}
+
+double TextualSimilarity::IdfOf(TermId t) const {
+  return t < idf_.size() ? idf_[t] : 1.0;
+}
+
+double TextualSimilarity::WeightedJaccard(const KeywordSet& a,
+                                          const KeywordSet& b) const {
+  const auto& ta = a.terms();
+  const auto& tb = b.terms();
+  double inter = 0.0, uni = 0.0;
+  size_t i = 0, j = 0;
+  while (i < ta.size() || j < tb.size()) {
+    if (j == tb.size() || (i < ta.size() && ta[i] < tb[j])) {
+      uni += IdfOf(ta[i++]);
+    } else if (i == ta.size() || tb[j] < ta[i]) {
+      uni += IdfOf(tb[j++]);
+    } else {
+      const double w = IdfOf(ta[i]);
+      inter += w;
+      uni += w;
+      ++i;
+      ++j;
+    }
+  }
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double TextualSimilarity::Score(const KeywordSet& query,
+                                const KeywordSet& doc) const {
+  if (query.empty() || doc.empty()) return 0.0;
+  if (measure_ == TextualMeasure::kWeighted) return WeightedJaccard(query, doc);
+  const double inter = static_cast<double>(query.IntersectionSize(doc));
+  switch (measure_) {
+    case TextualMeasure::kJaccard:
+      return inter / static_cast<double>(query.UnionSize(doc));
+    case TextualMeasure::kDice:
+      return 2.0 * inter / static_cast<double>(query.size() + doc.size());
+    case TextualMeasure::kOverlap:
+      return inter / static_cast<double>(std::min(query.size(), doc.size()));
+    case TextualMeasure::kCosine:
+      return inter / std::sqrt(static_cast<double>(query.size()) *
+                               static_cast<double>(doc.size()));
+    case TextualMeasure::kWeighted:
+      break;  // handled above
+  }
+  return 0.0;
+}
+
+}  // namespace uots

@@ -1,0 +1,38 @@
+#include "text/vocabulary.h"
+
+#include <array>
+#include <cstdio>
+
+namespace uots {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+Vocabulary Vocabulary::Synthetic(size_t n) {
+  // Category prefixes make example output readable; the categories echo the
+  // activity/POI flavour of trip-recommendation keywords.
+  static constexpr std::array<const char*, 10> kCategories = {
+      "food",    "museum", "park",   "shopping", "nightlife",
+      "transit", "hotel",  "sport",  "medical",  "scenic"};
+  Vocabulary v;
+  char buf[48];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s_%zu", kCategories[i % kCategories.size()],
+                  i / kCategories.size());
+    v.Intern(buf);
+  }
+  return v;
+}
+
+}  // namespace uots

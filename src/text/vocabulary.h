@@ -1,0 +1,45 @@
+// Term dictionary mapping keyword strings <-> dense ids.
+
+#ifndef UOTS_TEXT_VOCABULARY_H_
+#define UOTS_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace uots {
+
+/// Dense keyword identifier.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// \brief Bidirectional term <-> id dictionary.
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTerm if unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// The string for an id; id must be valid.
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Builds a synthetic vocabulary of `n` POI/activity-style terms
+  /// ("poi_0".."poi_{n-1}" prefixed with a category hint). Used by the data
+  /// generators when no real tag corpus is supplied.
+  static Vocabulary Synthetic(size_t n);
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TEXT_VOCABULARY_H_

@@ -1,0 +1,60 @@
+// Zipf-distributed sampling for skewed keyword frequencies.
+//
+// Real POI/activity tags are heavily skewed ("food" vastly outnumbers
+// "observatory"); the keyword generator samples term ids from a Zipf
+// distribution so the inverted-index posting lists show the same skew the
+// textual-domain algorithms must cope with.
+
+#ifndef UOTS_TEXT_ZIPF_H_
+#define UOTS_TEXT_ZIPF_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace uots {
+
+/// \brief Samples integers in [0, n) with P(i) ∝ 1/(i+1)^s.
+///
+/// Uses an explicit inverse-CDF table: construction is O(n), sampling is
+/// O(log n), and the distribution is exact (no rejection).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  /// Draws one sample.
+  size_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    // First index with cdf >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t domain_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TEXT_ZIPF_H_

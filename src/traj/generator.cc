@@ -1,0 +1,204 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "geo/grid_index.h"
+#include "net/astar.h"
+#include "text/zipf.h"
+#include "util/rng.h"
+
+namespace uots {
+
+namespace {
+
+/// Picks one trip endpoint: hotspot-biased or uniform.
+VertexId PickEndpoint(const RoadNetwork& g, const GridIndex& grid,
+                      const std::vector<VertexId>& hotspots,
+                      const TripGeneratorOptions& opts, Rng& rng,
+                      int* hotspot_out) {
+  if (!hotspots.empty() && rng.Bernoulli(opts.hotspot_bias)) {
+    const int h = static_cast<int>(rng.Uniform(hotspots.size()));
+    const Point& c = g.PositionOf(hotspots[h]);
+    const Point p{c.x + rng.Normal(0.0, opts.hotspot_sigma_m),
+                  c.y + rng.Normal(0.0, opts.hotspot_sigma_m)};
+    const int64_t v = grid.Nearest(p);
+    if (hotspot_out != nullptr) *hotspot_out = h;
+    return static_cast<VertexId>(v);
+  }
+  if (hotspot_out != nullptr) *hotspot_out = -1;
+  return static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+}
+
+/// Departure time: 50/50 mixture of two rush-hour Gaussians plus a uniform
+/// background, wrapped into [0, kSecondsPerDay).
+int32_t SampleDeparture(Rng& rng) {
+  double t;
+  const double u = rng.UniformDouble();
+  if (u < 0.35) {
+    t = rng.Normal(8.0 * 3600, 1.2 * 3600);  // morning rush
+  } else if (u < 0.70) {
+    t = rng.Normal(18.0 * 3600, 1.5 * 3600);  // evening rush
+  } else {
+    t = rng.UniformDouble(0.0, kSecondsPerDay);
+  }
+  int64_t s = static_cast<int64_t>(std::llround(t)) % kSecondsPerDay;
+  if (s < 0) s += kSecondsPerDay;
+  return static_cast<int32_t>(s);
+}
+
+}  // namespace
+
+Result<TripDataset> GenerateTrips(const RoadNetwork& g,
+                                  const TripGeneratorOptions& opts) {
+  if (opts.num_trajectories < 0) {
+    return Status::InvalidArgument("num_trajectories must be >= 0");
+  }
+  if (opts.sample_stride < 1) {
+    return Status::InvalidArgument("sample_stride must be >= 1");
+  }
+  if (opts.min_keywords < 1 || opts.max_keywords < opts.min_keywords) {
+    return Status::InvalidArgument("bad keyword count range");
+  }
+  if (opts.vocabulary_size < opts.max_keywords) {
+    return Status::InvalidArgument("vocabulary too small for max_keywords");
+  }
+  if (opts.speed_mps <= 0.0) {
+    return Status::InvalidArgument("speed must be positive");
+  }
+  if (opts.topic_affinity < 0.0 || opts.topic_affinity > 1.0 ||
+      opts.hotspot_bias < 0.0 || opts.hotspot_bias > 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+
+  Rng rng(opts.seed);
+  TripDataset out;
+  out.vocabulary = Vocabulary::Synthetic(opts.vocabulary_size);
+
+  // Hotspots: random vertices kept apart by rejection (best effort).
+  GridIndex grid(g.positions());
+  const double min_sep = std::max(g.Bounds().Width(), g.Bounds().Height()) /
+                         (2.0 * std::max(1, opts.num_hotspots));
+  for (int h = 0; h < opts.num_hotspots; ++h) {
+    VertexId best = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const VertexId cand = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+      bool far_enough = true;
+      for (VertexId prev : out.hotspots) {
+        if (EuclideanDistance(g.PositionOf(cand), g.PositionOf(prev)) <
+            min_sep) {
+          far_enough = false;
+          break;
+        }
+      }
+      if (far_enough) {
+        best = cand;
+        break;
+      }
+    }
+    out.hotspots.push_back(best);
+  }
+
+  ZipfSampler zipf(opts.vocabulary_size, opts.zipf_s);
+  AStarEngine router(g);
+  // Topic blocks: hotspot h prefers terms in a contiguous block of the
+  // vocabulary; drawing the block offset through the same Zipf sampler
+  // keeps per-block popularity skewed too.
+  const int block =
+      std::max(1, opts.vocabulary_size / std::max(1, opts.num_hotspots));
+
+  int generated = 0;
+  int attempts = 0;
+  const int max_attempts = opts.num_trajectories * 20 + 100;
+  while (generated < opts.num_trajectories && attempts < max_attempts) {
+    ++attempts;
+    int src_hotspot = -1, dst_hotspot = -1;
+    const VertexId src =
+        PickEndpoint(g, grid, out.hotspots, opts, rng, &src_hotspot);
+    const VertexId dst =
+        PickEndpoint(g, grid, out.hotspots, opts, rng, &dst_hotspot);
+    if (src == dst) continue;
+    PathResult route = router.FindPath(src, dst);
+    if (route.path.size() < static_cast<size_t>(opts.min_route_vertices)) {
+      continue;
+    }
+
+    Trajectory traj;
+    // Subsample the route: endpoints always kept.
+    std::vector<VertexId> kept;
+    for (size_t i = 0; i < route.path.size(); ++i) {
+      if (i == 0 || i + 1 == route.path.size() ||
+          i % static_cast<size_t>(opts.sample_stride) == 0) {
+        kept.push_back(route.path[i]);
+      }
+    }
+    // Timestamps: cumulative network distance over a jittered trip speed.
+    const double speed = opts.speed_mps * rng.UniformDouble(0.7, 1.3);
+    const int32_t depart = SampleDeparture(rng);
+    double cum = 0.0;
+    Point prev = g.PositionOf(kept.front());
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if (i > 0) {
+        // Straight-line between kept samples underestimates slightly; the
+        // exact route distance is not needed for plausible timestamps.
+        cum += EuclideanDistance(prev, g.PositionOf(kept[i]));
+        prev = g.PositionOf(kept[i]);
+      }
+      int64_t t = depart + static_cast<int64_t>(cum / speed);
+      // Trips crossing midnight are clamped to the end of day to keep
+      // timestamps monotone within [0, kSecondsPerDay).
+      if (t >= kSecondsPerDay) t = kSecondsPerDay - 1;
+      traj.samples.push_back(Sample{kept[i], static_cast<int32_t>(t)});
+    }
+
+    // Keywords: Zipf global draws, redirected into the destination
+    // hotspot's topic block with probability topic_affinity.
+    const int nkeys = static_cast<int>(
+        rng.UniformInt(opts.min_keywords, opts.max_keywords));
+    std::vector<TermId> keys;
+    keys.reserve(nkeys);
+    const int topic = dst_hotspot >= 0 ? dst_hotspot : src_hotspot;
+    for (int i = 0; i < nkeys; ++i) {
+      size_t term = zipf.Sample(rng);
+      if (topic >= 0 && rng.Bernoulli(opts.topic_affinity)) {
+        term = (static_cast<size_t>(topic) * block + term % block) %
+               opts.vocabulary_size;
+      }
+      keys.push_back(static_cast<TermId>(term));
+    }
+    traj.keywords = KeywordSet(std::move(keys));
+
+    auto added = out.store.Add(traj);
+    if (!added.ok()) return added.status();
+    out.topics.push_back(topic);
+    ++generated;
+  }
+  if (generated < opts.num_trajectories) {
+    return Status::Internal("trip generation stalled; relax options");
+  }
+  return out;
+}
+
+std::vector<Trajectory> SplitByDuration(const Trajectory& traj,
+                                        int32_t max_duration_s) {
+  assert(max_duration_s > 0);
+  std::vector<Trajectory> out;
+  Trajectory cur;
+  cur.keywords = traj.keywords;
+  int32_t window_start = 0;
+  for (const Sample& s : traj.samples) {
+    if (cur.samples.empty()) {
+      window_start = s.time_s;
+    } else if (s.time_s - window_start > max_duration_s) {
+      out.push_back(cur);
+      cur.samples.clear();
+      window_start = s.time_s;
+    }
+    cur.samples.push_back(s);
+  }
+  if (!cur.samples.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace uots

@@ -1,0 +1,88 @@
+// Synthetic taxi-trip generator.
+//
+// Substitutes for the T-drive (Beijing) and NYC taxi datasets used by the
+// paper. Each generated trip:
+//   * picks origin/destination vertices biased toward a set of spatial
+//     hotspots (city centres, stations) — reproducing the skewed spatial
+//     density of real taxi data;
+//   * routes along the network shortest path (the paper assumes movement
+//     between adjacent samples follows shortest paths) and subsamples it;
+//   * stamps times from a bimodal rush-hour departure distribution plus a
+//     per-trip cruising speed — reproducing realistic trip durations;
+//   * draws Zipf-skewed activity keywords correlated with the destination
+//     hotspot — reproducing the keyword skew and the spatial-textual
+//     correlation ("people going to the museum district talk about
+//     museums") that make the textual domain informative.
+// All randomness derives from a single seed: identical options => identical
+// dataset.
+
+#ifndef UOTS_TRAJ_GENERATOR_H_
+#define UOTS_TRAJ_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "text/vocabulary.h"
+#include "traj/store.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Knobs for TripGenerator.
+struct TripGeneratorOptions {
+  int num_trajectories = 10000;
+
+  // --- spatial ---
+  int num_hotspots = 8;
+  /// Probability that a trip endpoint is drawn near a hotspot (vs uniform).
+  double hotspot_bias = 0.7;
+  /// Gaussian spread of endpoints around a hotspot, meters.
+  double hotspot_sigma_m = 800.0;
+  /// Keep every `stride`-th route vertex as a sample (plus both endpoints).
+  int sample_stride = 3;
+  /// Reject trips whose route has fewer vertices than this.
+  int min_route_vertices = 8;
+
+  // --- temporal ---
+  /// Mean cruising speed, m/s (jittered +-30% per trip).
+  double speed_mps = 8.0;
+
+  // --- textual ---
+  /// Vocabulary size (synthetic POI/activity terms).
+  int vocabulary_size = 1000;
+  /// Zipf skew of keyword popularity.
+  double zipf_s = 0.8;
+  int min_keywords = 3;
+  int max_keywords = 10;
+  /// Probability a keyword is drawn from the destination hotspot's topic
+  /// block instead of the global distribution (spatial-textual correlation).
+  double topic_affinity = 0.5;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Generated dataset: trajectories plus the vocabulary and the
+/// hotspot vertices that shaped them.
+struct TripDataset {
+  TrajectoryStore store;
+  Vocabulary vocabulary;
+  std::vector<VertexId> hotspots;
+  /// Per trajectory: the hotspot whose topic block biased its keywords
+  /// (-1 when both endpoints were uniform draws).
+  std::vector<int> topics;
+};
+
+/// Generates a trip dataset over `g`. Fails only on invalid options.
+Result<TripDataset> GenerateTrips(const RoadNetwork& g,
+                                  const TripGeneratorOptions& opts);
+
+/// Splits a (long) trajectory into sub-trajectories of at most
+/// `max_duration_s` seconds each — the preprocessing the paper applies to
+/// day-long T-drive traces to obtain trip-scale trajectories.
+std::vector<Trajectory> SplitByDuration(const Trajectory& traj,
+                                        int32_t max_duration_s);
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_GENERATOR_H_

@@ -1,0 +1,81 @@
+#include "traj/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace uots {
+
+Status SaveTrajectories(const TrajectoryStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "uots-trajectories 1\n" << store.size() << "\n";
+  for (TrajId id = 0; id < store.size(); ++id) {
+    const auto samples = store.SamplesOf(id);
+    const auto& keys = store.KeywordsOf(id);
+    out << "t " << samples.size() << " " << keys.size() << "\n";
+    for (const Sample& s : samples) out << s.vertex << " " << s.time_s << "\n";
+    for (size_t i = 0; i < keys.terms().size(); ++i) {
+      if (i > 0) out << " ";
+      out << keys.terms()[i];
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TrajectoryStore> LoadTrajectories(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, "uots-trajectories")) {
+    return Status::IOError("bad header in " + path);
+  }
+  size_t count = 0;
+  if (!std::getline(in, line)) return Status::IOError("missing count");
+  {
+    std::istringstream is(line);
+    if (!(is >> count)) return Status::IOError("bad count: " + line);
+  }
+  TrajectoryStore store;
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) return Status::IOError("truncated file");
+    std::istringstream hd(line);
+    char tag = 0;
+    size_t nsamples = 0, nkeys = 0;
+    if (!(hd >> tag >> nsamples >> nkeys) || tag != 't') {
+      return Status::IOError("bad trajectory header: " + line);
+    }
+    Trajectory traj;
+    traj.samples.reserve(nsamples);
+    for (size_t s = 0; s < nsamples; ++s) {
+      if (!std::getline(in, line)) return Status::IOError("truncated samples");
+      std::istringstream is(line);
+      uint64_t v = 0;
+      int64_t t = 0;
+      if (!(is >> v >> t)) return Status::IOError("bad sample: " + line);
+      traj.samples.push_back(
+          Sample{static_cast<VertexId>(v), static_cast<int32_t>(t)});
+    }
+    if (!std::getline(in, line)) return Status::IOError("truncated keywords");
+    {
+      std::istringstream is(line);
+      std::vector<TermId> terms;
+      terms.reserve(nkeys);
+      uint64_t t = 0;
+      while (is >> t) terms.push_back(static_cast<TermId>(t));
+      if (terms.size() != nkeys) {
+        return Status::IOError("keyword count mismatch: " + line);
+      }
+      traj.keywords = KeywordSet(std::move(terms));
+    }
+    auto added = store.Add(traj);
+    if (!added.ok()) return added.status();
+  }
+  return store;
+}
+
+}  // namespace uots

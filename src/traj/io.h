@@ -1,0 +1,28 @@
+// Plain-text persistence for trajectory stores.
+//
+// Format:
+//   uots-trajectories 1
+//   <count>
+//   t <num_samples> <num_keywords>
+//   <vertex> <time_s>        -- num_samples lines
+//   <term> <term> ...        -- single line, num_keywords ids (may be empty)
+
+#ifndef UOTS_TRAJ_IO_H_
+#define UOTS_TRAJ_IO_H_
+
+#include <string>
+
+#include "traj/store.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// Writes the store to `path`.
+Status SaveTrajectories(const TrajectoryStore& store, const std::string& path);
+
+/// Reads a store from `path`.
+Result<TrajectoryStore> LoadTrajectories(const std::string& path);
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_IO_H_

@@ -1,0 +1,107 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace uots {
+
+namespace {
+
+/// Euclidean distance from p to segment [a, b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return EuclideanDistance(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return EuclideanDistance(p, Point{a.x + t * abx, a.y + t * aby});
+}
+
+/// Recursive Douglas-Peucker over samples[lo..hi]; marks kept indices.
+void DouglasPeucker(const RoadNetwork& g, const std::vector<Sample>& samples,
+                    size_t lo, size_t hi, double tolerance,
+                    std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  const Point& a = g.PositionOf(samples[lo].vertex);
+  const Point& b = g.PositionOf(samples[hi].vertex);
+  double worst = -1.0;
+  size_t worst_i = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = PointSegmentDistance(g.PositionOf(samples[i].vertex), a, b);
+    if (d > worst) {
+      worst = d;
+      worst_i = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_i] = true;
+    DouglasPeucker(g, samples, lo, worst_i, tolerance, keep);
+    DouglasPeucker(g, samples, worst_i, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Trajectory SimplifyDouglasPeucker(const RoadNetwork& network,
+                                  const Trajectory& traj, double tolerance_m) {
+  Trajectory out;
+  out.keywords = traj.keywords;
+  if (traj.samples.size() <= 2) {
+    out.samples = traj.samples;
+    return out;
+  }
+  std::vector<bool> keep(traj.samples.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(network, traj.samples, 0, traj.samples.size() - 1,
+                 std::max(tolerance_m, 0.0), &keep);
+  for (size_t i = 0; i < traj.samples.size(); ++i) {
+    if (keep[i]) out.samples.push_back(traj.samples[i]);
+  }
+  return out;
+}
+
+Trajectory DownsampleUniform(const Trajectory& traj, size_t max_samples) {
+  assert(max_samples >= 2);
+  Trajectory out;
+  out.keywords = traj.keywords;
+  const size_t n = traj.samples.size();
+  if (n <= max_samples) {
+    out.samples = traj.samples;
+    return out;
+  }
+  for (size_t i = 0; i < max_samples; ++i) {
+    const size_t pick = i * (n - 1) / (max_samples - 1);
+    out.samples.push_back(traj.samples[pick]);
+  }
+  return out;
+}
+
+double SimplificationError(const RoadNetwork& network,
+                           const Trajectory& original,
+                           const Trajectory& simplified) {
+  if (simplified.samples.empty()) return 0.0;
+  double worst = 0.0;
+  // The simplified trajectory is a subsequence of the original, so a
+  // single forward scan matches each kept sample by identity and assigns
+  // every dropped sample to the segment between its kept neighbors.
+  size_t seg = 0;  // current segment [seg, seg+1] of the simplified traj
+  for (const Sample& s : original.samples) {
+    if (seg + 1 < simplified.samples.size() &&
+        s == simplified.samples[seg + 1]) {
+      ++seg;
+      continue;  // kept sample: zero deviation by definition
+    }
+    const Point& p = network.PositionOf(s.vertex);
+    const Point& a = network.PositionOf(simplified.samples[seg].vertex);
+    const Point& b = network.PositionOf(
+        simplified.samples[std::min(seg + 1, simplified.samples.size() - 1)]
+            .vertex);
+    worst = std::max(worst, PointSegmentDistance(p, a, b));
+  }
+  return worst;
+}
+
+}  // namespace uots

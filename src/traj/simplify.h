@@ -1,0 +1,40 @@
+// Trajectory simplification — preprocessing for data cleaning and storage
+// reduction (the paper's data-cleaning motivation).
+//
+// Two reducers are provided:
+//  * Douglas-Peucker on the sample positions, keeping every sample whose
+//    removal would displace the polyline by more than `tolerance_m`;
+//  * uniform downsampling to a target sample count.
+// Both keep the endpoints, preserve timestamp order, and keep the keyword
+// set intact, so the output is always a valid Trajectory.
+
+#ifndef UOTS_TRAJ_SIMPLIFY_H_
+#define UOTS_TRAJ_SIMPLIFY_H_
+
+#include "net/graph.h"
+#include "traj/trajectory.h"
+
+namespace uots {
+
+/// \brief Douglas-Peucker simplification.
+///
+/// `network` supplies sample positions. The Euclidean point-to-segment
+/// distance drives the retention decision; tolerance_m <= 0 keeps only the
+/// endpoints of straight runs (exact collinear removal).
+Trajectory SimplifyDouglasPeucker(const RoadNetwork& network,
+                                  const Trajectory& traj, double tolerance_m);
+
+/// \brief Uniform downsampling to at most `max_samples` samples (>= 2),
+/// always keeping the first and last sample.
+Trajectory DownsampleUniform(const Trajectory& traj, size_t max_samples);
+
+/// Maximum Euclidean deviation (meters) of `simplified` from `original`:
+/// for every dropped sample, its distance to the segment between its
+/// surviving neighbors. Returns 0 when nothing was dropped.
+double SimplificationError(const RoadNetwork& network,
+                           const Trajectory& original,
+                           const Trajectory& simplified);
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_SIMPLIFY_H_

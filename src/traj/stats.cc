@@ -1,0 +1,86 @@
+#include "traj/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace uots {
+
+DistributionSummary Summarize(std::vector<double> values) {
+  DistributionSummary out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  out.p50 = values[values.size() / 2];
+  out.p90 = values[values.size() * 9 / 10];
+  out.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  return out;
+}
+
+std::string DistributionSummary::ToString() const {
+  std::ostringstream os;
+  os << "min=" << min << " p50=" << p50 << " p90=" << p90 << " max=" << max
+     << " mean=" << mean;
+  return os.str();
+}
+
+DatasetStats ComputeDatasetStats(const RoadNetwork& network,
+                                 const TrajectoryStore& store) {
+  DatasetStats out;
+  out.num_trajectories = store.size();
+  out.total_samples = store.TotalSamples();
+
+  std::vector<double> lengths, durations, keyword_counts;
+  std::vector<bool> covered(network.NumVertices(), false);
+  std::array<int64_t, 24> hour_histogram{};
+  lengths.reserve(store.size());
+  durations.reserve(store.size());
+  keyword_counts.reserve(store.size());
+  for (TrajId id = 0; id < store.size(); ++id) {
+    const auto samples = store.SamplesOf(id);
+    lengths.push_back(static_cast<double>(samples.size()));
+    const auto [t0, t1] = store.TimeRangeOf(id);
+    durations.push_back((t1 - t0) / 60.0);
+    keyword_counts.push_back(static_cast<double>(store.KeywordsOf(id).size()));
+    for (const Sample& s : samples) {
+      covered[s.vertex] = true;
+      ++hour_histogram[std::min(23, s.time_s / 3600)];
+    }
+  }
+  out.samples_per_trajectory = Summarize(std::move(lengths));
+  out.duration_minutes = Summarize(std::move(durations));
+  out.keywords_per_trajectory = Summarize(std::move(keyword_counts));
+
+  size_t covered_count = 0;
+  for (bool c : covered) covered_count += c ? 1 : 0;
+  out.vertex_coverage = network.NumVertices() > 0
+                            ? static_cast<double>(covered_count) /
+                                  static_cast<double>(network.NumVertices())
+                            : 0.0;
+
+  // Busiest ~10% of hours (top 2 of 24) as a share of all sample events.
+  std::array<int64_t, 24> sorted = hour_histogram;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const int64_t total =
+      std::accumulate(hour_histogram.begin(), hour_histogram.end(), int64_t{0});
+  out.temporal_skew =
+      total > 0 ? static_cast<double>(sorted[0] + sorted[1]) / total : 0.0;
+  return out;
+}
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream os;
+  os << "trajectories=" << num_trajectories << " samples=" << total_samples
+     << "\n  samples/traj: " << samples_per_trajectory.ToString()
+     << "\n  duration(min): " << duration_minutes.ToString()
+     << "\n  keywords/traj: " << keywords_per_trajectory.ToString()
+     << "\n  vertex coverage=" << vertex_coverage
+     << " temporal skew(top2h)=" << temporal_skew;
+  return os.str();
+}
+
+}  // namespace uots

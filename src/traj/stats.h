@@ -1,0 +1,53 @@
+// Dataset statistics — sanity-checking generated or imported trajectory
+// sets against the properties the search algorithms assume (trip length,
+// duration, keyword skew, spatial coverage).
+
+#ifndef UOTS_TRAJ_STATS_H_
+#define UOTS_TRAJ_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+#include "traj/store.h"
+
+namespace uots {
+
+/// \brief Simple five-number-ish summary of a distribution.
+struct DistributionSummary {
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Summarizes a sample vector (empty input yields all zeros).
+DistributionSummary Summarize(std::vector<double> values);
+
+/// \brief Aggregate statistics of a trajectory store.
+struct DatasetStats {
+  size_t num_trajectories = 0;
+  size_t total_samples = 0;
+  DistributionSummary samples_per_trajectory;
+  DistributionSummary duration_minutes;
+  DistributionSummary keywords_per_trajectory;
+  /// Fraction of network vertices covered by at least one trajectory.
+  double vertex_coverage = 0.0;
+  /// Fraction of all sample events in the busiest 10% of day-hours —
+  /// > 0.1 means temporally skewed (rush hours).
+  double temporal_skew = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes dataset statistics over `store` on `network`.
+DatasetStats ComputeDatasetStats(const RoadNetwork& network,
+                                 const TrajectoryStore& store);
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_STATS_H_

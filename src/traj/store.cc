@@ -1,0 +1,38 @@
+#include "traj/store.h"
+
+namespace uots {
+
+Result<TrajId> TrajectoryStore::Add(const Trajectory& traj) {
+  if (!traj.IsValid()) {
+    return Status::InvalidArgument(
+        "trajectory must be non-empty with nondecreasing in-range timestamps");
+  }
+  const TrajId id = static_cast<TrajId>(size());
+  samples_.insert(samples_.end(), traj.samples.begin(), traj.samples.end());
+  offsets_.push_back(samples_.size());
+  keywords_.push_back(traj.keywords);
+  return id;
+}
+
+double TrajectoryStore::AverageLength() const {
+  if (empty()) return 0.0;
+  return static_cast<double>(samples_.size()) / static_cast<double>(size());
+}
+
+size_t TrajectoryStore::MemoryUsage() const {
+  size_t bytes = offsets_.capacity() * sizeof(uint64_t) +
+                 samples_.capacity() * sizeof(Sample) +
+                 keywords_.capacity() * sizeof(KeywordSet);
+  for (const auto& k : keywords_) bytes += k.terms().capacity() * sizeof(TermId);
+  return bytes;
+}
+
+Trajectory TrajectoryStore::Materialize(TrajId id) const {
+  Trajectory t;
+  const auto s = SamplesOf(id);
+  t.samples.assign(s.begin(), s.end());
+  t.keywords = KeywordsOf(id);
+  return t;
+}
+
+}  // namespace uots

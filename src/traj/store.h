@@ -1,0 +1,69 @@
+// Columnar in-memory trajectory store.
+//
+// Samples of all trajectories live in one contiguous array addressed
+// through per-trajectory offsets (CSR layout), which keeps scans cache
+// friendly and makes the memory footprint predictable — the paper family
+// holds trajectory sets memory-resident during join/search processing.
+
+#ifndef UOTS_TRAJ_STORE_H_
+#define UOTS_TRAJ_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Append-only columnar container of trajectories.
+class TrajectoryStore {
+ public:
+  TrajectoryStore() { offsets_.push_back(0); }
+
+  /// Appends a trajectory; returns its id or an error if invalid.
+  Result<TrajId> Add(const Trajectory& traj);
+
+  size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Samples of trajectory `id`, time-ordered.
+  std::span<const Sample> SamplesOf(TrajId id) const {
+    return {samples_.data() + offsets_[id],
+            samples_.data() + offsets_[id + 1]};
+  }
+
+  /// Number of samples of trajectory `id`.
+  size_t LengthOf(TrajId id) const { return offsets_[id + 1] - offsets_[id]; }
+
+  /// Keyword set of trajectory `id`.
+  const KeywordSet& KeywordsOf(TrajId id) const { return keywords_[id]; }
+
+  /// Temporal range [first sample time, last sample time] of `id`.
+  std::pair<int32_t, int32_t> TimeRangeOf(TrajId id) const {
+    const auto s = SamplesOf(id);
+    return {s.front().time_s, s.back().time_s};
+  }
+
+  /// Mean samples per trajectory (0 if empty).
+  double AverageLength() const;
+
+  /// Total sample count across all trajectories.
+  size_t TotalSamples() const { return samples_.size(); }
+
+  size_t MemoryUsage() const;
+
+  /// Materializes trajectory `id` back to row form (tests, IO).
+  Trajectory Materialize(TrajId id) const;
+
+ private:
+  std::vector<uint64_t> offsets_;  // size() + 1
+  std::vector<Sample> samples_;
+  std::vector<KeywordSet> keywords_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_STORE_H_

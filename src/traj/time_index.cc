@@ -1,0 +1,65 @@
+#include "traj/time_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace uots {
+
+TimeIndex::TimeIndex(const TrajectoryStore& store) {
+  entries_.reserve(store.TotalSamples());
+  for (TrajId id = 0; id < store.size(); ++id) {
+    for (const Sample& s : store.SamplesOf(id)) {
+      entries_.push_back(Entry{s.time_s, id});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return a.traj < b.traj;
+            });
+}
+
+size_t TimeIndex::LowerBound(int32_t t) const {
+  return static_cast<size_t>(
+      std::lower_bound(entries_.begin(), entries_.end(), t,
+                       [](const Entry& e, int32_t v) { return e.time_s < v; }) -
+      entries_.begin());
+}
+
+void TemporalExpansion::Reset(int32_t t) {
+  origin_ = t;
+  lo_ = hi_ = index_->LowerBound(t);
+  radius_ = 0.0;
+  exhausted_ = index_->size() == 0;
+  settled_count_ = 0;
+}
+
+bool TemporalExpansion::Step(TrajId* traj, double* dt) {
+  const auto& entries = index_->entries();
+  const bool has_left = lo_ > 0;
+  const bool has_right = hi_ < entries.size();
+  if (!has_left && !has_right) {
+    exhausted_ = true;
+    return false;
+  }
+  const double left_dt =
+      has_left ? static_cast<double>(origin_) - entries[lo_ - 1].time_s
+               : std::numeric_limits<double>::infinity();
+  const double right_dt =
+      has_right ? static_cast<double>(entries[hi_].time_s) - origin_
+                : std::numeric_limits<double>::infinity();
+  if (left_dt <= right_dt) {
+    *traj = entries[--lo_].traj;
+    *dt = left_dt;
+  } else {
+    *traj = entries[hi_++].traj;
+    *dt = right_dt;
+  }
+  assert(*dt >= radius_);
+  radius_ = *dt;
+  ++settled_count_;
+  return true;
+}
+
+}  // namespace uots

@@ -1,0 +1,79 @@
+// Timeline index and incremental temporal expansion.
+//
+// The temporal analogue of the spatial network expansion: all trajectory
+// samples are sorted on their time-of-day, and a TemporalExpansion walks
+// outward from a query timestamp, settling samples in nondecreasing
+// absolute time difference. Exactly like Dijkstra's settle order makes the
+// first scanned vertex of a trajectory its network distance, the first
+// settled sample of a trajectory here IS d(t, tau) = min_i |t - t_i|, and
+// the current radius lower-bounds every unseen trajectory's temporal
+// distance. This powers the three-domain (spatial + temporal + textual)
+// extension of the UOTS search (core/temporal.h).
+
+#ifndef UOTS_TRAJ_TIME_INDEX_H_
+#define UOTS_TRAJ_TIME_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/store.h"
+
+namespace uots {
+
+/// \brief Immutable sorted (time, trajectory) timeline over one store.
+class TimeIndex {
+ public:
+  explicit TimeIndex(const TrajectoryStore& store);
+
+  /// One timeline entry.
+  struct Entry {
+    int32_t time_s;
+    TrajId traj;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Index of the first entry with time >= t (size() if none).
+  size_t LowerBound(int32_t t) const;
+
+  size_t MemoryUsage() const { return entries_.capacity() * sizeof(Entry); }
+
+ private:
+  std::vector<Entry> entries_;  // sorted by (time_s, traj)
+};
+
+/// \brief Resumable outward walk from a query timestamp.
+class TemporalExpansion {
+ public:
+  explicit TemporalExpansion(const TimeIndex& index) : index_(&index) {}
+
+  /// (Re)starts the walk from time-of-day `t` (seconds).
+  void Reset(int32_t t);
+
+  /// \brief Settles the next-nearest sample.
+  /// \param[out] traj  the trajectory owning the settled sample
+  /// \param[out] dt    its absolute time difference from the query time
+  /// \return false when the whole timeline is exhausted.
+  bool Step(TrajId* traj, double* dt);
+
+  /// |Δt| of the last settled sample; lower bound for everything unseen.
+  double radius() const { return radius_; }
+  bool exhausted() const { return exhausted_; }
+  int64_t settled_count() const { return settled_count_; }
+
+ private:
+  const TimeIndex* index_;
+  int32_t origin_ = 0;
+  // Entries below lo_ (exclusive, moving left) and from hi_ (moving right)
+  // are unsettled; [lo_, hi_) has been consumed.
+  size_t lo_ = 0;
+  size_t hi_ = 0;
+  double radius_ = 0.0;
+  bool exhausted_ = false;
+  int64_t settled_count_ = 0;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_TIME_INDEX_H_

@@ -1,0 +1,60 @@
+// Trajectory model.
+//
+// A trajectory is a finite time-ordered sequence of map-matched sample
+// points <v1..vn>, vi = (pi, ti), where pi is a road-network vertex and ti
+// a time-of-day timestamp (seconds in [0, 86400); dates are dropped because
+// urban movement is largely daily-periodic — same convention as the paper
+// family). Each trajectory additionally carries the keyword set describing
+// the activities/POIs of the trip, which the UOTS textual domain matches
+// against the user's preference keywords.
+
+#ifndef UOTS_TRAJ_TRAJECTORY_H_
+#define UOTS_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "text/keyword_set.h"
+
+namespace uots {
+
+/// Trajectory identifier; dense in [0, store.size()).
+using TrajId = uint32_t;
+
+inline constexpr TrajId kInvalidTraj = static_cast<TrajId>(-1);
+
+/// Seconds in a day; all timestamps are reduced modulo this.
+inline constexpr int32_t kSecondsPerDay = 86400;
+
+/// \brief One timestamped, map-matched sample point.
+struct Sample {
+  VertexId vertex;
+  int32_t time_s;  ///< time of day, seconds in [0, kSecondsPerDay)
+
+  friend bool operator==(const Sample& a, const Sample& b) {
+    return a.vertex == b.vertex && a.time_s == b.time_s;
+  }
+};
+
+/// \brief A trajectory under construction (row form). The columnar
+/// TrajectoryStore is the query-time representation.
+struct Trajectory {
+  std::vector<Sample> samples;
+  KeywordSet keywords;
+
+  bool IsValid() const {
+    if (samples.empty()) return false;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (samples[i].time_s < 0 || samples[i].time_s >= kSecondsPerDay) {
+        return false;
+      }
+      if (i > 0 && samples[i].time_s < samples[i - 1].time_s) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_TRAJECTORY_H_

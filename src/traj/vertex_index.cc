@@ -1,0 +1,30 @@
+#include "traj/vertex_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uots {
+
+VertexTrajectoryIndex::VertexTrajectoryIndex(const TrajectoryStore& store,
+                                             size_t num_vertices) {
+  // Two-pass counting sort over (vertex, traj) pairs, deduplicating
+  // repeated visits of the same vertex within one trajectory.
+  std::vector<std::pair<VertexId, TrajId>> pairs;
+  pairs.reserve(store.TotalSamples());
+  for (TrajId id = 0; id < store.size(); ++id) {
+    for (const Sample& s : store.SamplesOf(id)) {
+      assert(s.vertex < num_vertices);
+      pairs.emplace_back(s.vertex, id);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  offsets_.assign(num_vertices + 1, 0);
+  for (const auto& [v, id] : pairs) ++offsets_[v + 1];
+  for (size_t v = 0; v < num_vertices; ++v) offsets_[v + 1] += offsets_[v];
+  entries_.resize(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) entries_[i] = pairs[i].second;
+}
+
+}  // namespace uots

@@ -1,0 +1,47 @@
+// Vertex -> trajectory inverted index.
+//
+// When a network expansion settles vertex v, the search must learn which
+// trajectories pass through v. This index stores, per vertex, the sorted
+// deduplicated list of trajectory ids containing the vertex — the network
+// analogue of the posting lists the paper family stores per vertex/node for
+// expansion-driven trajectory discovery.
+
+#ifndef UOTS_TRAJ_VERTEX_INDEX_H_
+#define UOTS_TRAJ_VERTEX_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/graph.h"
+#include "traj/store.h"
+
+namespace uots {
+
+/// \brief Immutable vertex -> trajectories index over one store.
+class VertexTrajectoryIndex {
+ public:
+  /// Builds the index for `store` on a network with `num_vertices` vertices.
+  VertexTrajectoryIndex(const TrajectoryStore& store, size_t num_vertices);
+
+  /// Ids of trajectories with a sample at `v` (ascending, deduplicated).
+  std::span<const TrajId> TrajectoriesAt(VertexId v) const {
+    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+  }
+
+  /// Number of (vertex, trajectory) postings.
+  size_t TotalEntries() const { return entries_.size(); }
+
+  size_t MemoryUsage() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           entries_.capacity() * sizeof(TrajId);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // num_vertices + 1
+  std::vector<TrajId> entries_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TRAJ_VERTEX_INDEX_H_

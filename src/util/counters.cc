@@ -1,0 +1,16 @@
+#include "util/counters.h"
+
+#include <sstream>
+
+namespace uots {
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "visited=" << visited_trajectories << " hits=" << trajectory_hits
+     << " settled=" << settled_vertices << " pops=" << heap_pops
+     << " candidates=" << candidates << " postings=" << posting_entries
+     << " steps=" << schedule_steps << " ms=" << elapsed_ms;
+  return os.str();
+}
+
+}  // namespace uots

@@ -1,0 +1,51 @@
+// Per-query instrumentation counters.
+//
+// "Number of visited trajectories" is the primary data-access metric used by
+// the paper family's evaluations (it is storage-location independent); the
+// remaining counters support the ablation analyses.
+
+#ifndef UOTS_UTIL_COUNTERS_H_
+#define UOTS_UTIL_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace uots {
+
+/// \brief Counters collected while answering a single query.
+struct QueryStats {
+  /// Distinct trajectories touched by any domain of the search.
+  int64_t visited_trajectories = 0;
+  /// Trajectory "data accesses": every (query source, trajectory) hit.
+  int64_t trajectory_hits = 0;
+  /// Vertices settled by network expansions.
+  int64_t settled_vertices = 0;
+  /// Priority-queue pops across all expansions.
+  int64_t heap_pops = 0;
+  /// Trajectories whose exact score was fully evaluated (candidates).
+  int64_t candidates = 0;
+  /// Posting-list entries scanned in the textual domain.
+  int64_t posting_entries = 0;
+  /// Scheduling decisions taken (query-source switches included).
+  int64_t schedule_steps = 0;
+  /// Wall-clock time spent answering the query.
+  double elapsed_ms = 0.0;
+
+  QueryStats& operator+=(const QueryStats& o) {
+    visited_trajectories += o.visited_trajectories;
+    trajectory_hits += o.trajectory_hits;
+    settled_vertices += o.settled_vertices;
+    heap_pops += o.heap_pops;
+    candidates += o.candidates;
+    posting_entries += o.posting_entries;
+    schedule_steps += o.schedule_steps;
+    elapsed_ms += o.elapsed_ms;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_COUNTERS_H_

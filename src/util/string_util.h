@@ -1,0 +1,32 @@
+// Small string helpers shared by IO code and table printers.
+
+#ifndef UOTS_UTIL_STRING_UTIL_H_
+#define UOTS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uots {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins the items with `sep`.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Renders `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Renders byte counts as "12.3 MB" style strings.
+std::string HumanBytes(size_t bytes);
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uots {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  assert(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Static chunking: tasks in the batch executor have similar cost, and
+  // static chunks avoid per-item queue traffic.
+  const size_t chunks = std::min(n, num_threads() * 4);
+  std::atomic<size_t> next_chunk{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    futures.push_back(Submit([&, chunks, n] {
+      for (;;) {
+        const size_t chunk = next_chunk.fetch_add(1);
+        if (chunk >= chunks) return;
+        const size_t begin = chunk * n / chunks;
+        const size_t end = (chunk + 1) * n / chunks;
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace uots

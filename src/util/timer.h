@@ -1,0 +1,36 @@
+// Wall-clock timing helpers for experiments.
+
+#ifndef UOTS_UTIL_TIMER_H_
+#define UOTS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace uots {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_TIMER_H_

@@ -1,0 +1,61 @@
+// Dense arrays with O(1) bulk reset via version tagging.
+//
+// Query processing touches per-trajectory / per-vertex state that must be
+// cleared between queries; version tags replace an O(n) memset per query
+// with a single counter bump.
+
+#ifndef UOTS_UTIL_VERSIONED_H_
+#define UOTS_UTIL_VERSIONED_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace uots {
+
+/// \brief Fixed-size array of T whose entries all become "unset" on Reset().
+template <typename T>
+class VersionedArray {
+ public:
+  explicit VersionedArray(size_t n = 0) { Resize(n); }
+
+  void Resize(size_t n) {
+    values_.assign(n, T{});
+    version_.assign(n, 0);
+    current_ = 1;
+  }
+
+  /// Marks every entry unset in O(1).
+  void Reset() { ++current_; }
+
+  bool Has(size_t i) const { return version_[i] == current_; }
+
+  /// Returns the entry if set, else `fallback`.
+  T Get(size_t i, T fallback = T{}) const {
+    return Has(i) ? values_[i] : fallback;
+  }
+
+  void Set(size_t i, T value) {
+    values_[i] = value;
+    version_[i] = current_;
+  }
+
+  /// Reference to entry i, default-initializing it if unset.
+  T& Ref(size_t i) {
+    if (!Has(i)) {
+      values_[i] = T{};
+      version_[i] = current_;
+    }
+    return values_[i];
+  }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<T> values_;
+  std::vector<uint32_t> version_;
+  uint32_t current_ = 1;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_VERSIONED_H_

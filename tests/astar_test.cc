@@ -1,0 +1,132 @@
+// A* and ALT landmark correctness against Dijkstra ground truth.
+
+#include "net/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+#include "net/landmarks.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+RoadNetwork TestNetwork(uint64_t seed) {
+  GridNetworkOptions opts;
+  opts.rows = 20;
+  opts.cols = 20;
+  opts.seed = seed;
+  auto g = MakeGridNetwork(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+class AStarPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AStarPropertyTest, EuclideanHeuristicMatchesDijkstra) {
+  const RoadNetwork g = TestNetwork(GetParam());
+  AStarEngine astar(g);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const double expected = ShortestPathDistance(g, s, t);
+    const PathResult r = astar.FindPath(s, t);
+    EXPECT_NEAR(r.distance, expected, 1e-6) << "s=" << s << " t=" << t;
+    ASSERT_FALSE(r.path.empty());
+    EXPECT_EQ(r.path.front(), s);
+    EXPECT_EQ(r.path.back(), t);
+  }
+}
+
+TEST_P(AStarPropertyTest, PathEdgesAreAdjacentAndSumToDistance) {
+  const RoadNetwork g = TestNetwork(GetParam() + 5);
+  AStarEngine astar(g);
+  Rng rng(GetParam() + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const PathResult r = astar.FindPath(s, t);
+    double sum = 0.0;
+    for (size_t i = 0; i + 1 < r.path.size(); ++i) {
+      double w = -1.0;
+      for (const auto& e : g.Neighbors(r.path[i])) {
+        if (e.to == r.path[i + 1]) w = e.weight;
+      }
+      ASSERT_GT(w, 0.0) << "path uses non-edge";
+      sum += w;
+    }
+    EXPECT_NEAR(sum, r.distance, 1e-6);
+  }
+}
+
+TEST_P(AStarPropertyTest, LandmarkBoundsAreAdmissible) {
+  const RoadNetwork g = TestNetwork(GetParam() + 10);
+  const LandmarkIndex landmarks(g, 4);
+  Rng rng(GetParam() + 10);
+  for (int trial = 0; trial < 30; ++trial) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId v = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const double lb = landmarks.LowerBound(u, v);
+    const double exact = ShortestPathDistance(g, u, v);
+    EXPECT_LE(lb, exact + 1e-6) << "u=" << u << " v=" << v;
+    EXPECT_GE(lb, 0.0);
+  }
+}
+
+TEST_P(AStarPropertyTest, AltGivesExactDistancesWithFewerSettles) {
+  const RoadNetwork g = TestNetwork(GetParam() + 15);
+  const LandmarkIndex landmarks(g, 8);
+  AStarEngine astar(g);
+  Rng rng(GetParam() + 15);
+  int64_t settled_euclid = 0, settled_alt = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const PathResult re = astar.FindPath(s, t);
+    const PathResult ra = astar.FindPath(s, t, landmarks.HeuristicFor(t));
+    EXPECT_NEAR(re.distance, ra.distance, 1e-6);
+    settled_euclid += re.settled;
+    settled_alt += ra.settled;
+  }
+  // ALT dominates the Euclidean bound on grid networks (weights ARE
+  // Euclidean lengths, so ALT's max with triangle bounds can only help).
+  EXPECT_LE(settled_alt, settled_euclid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarPropertyTest, ::testing::Values(3, 7, 13));
+
+TEST(AStar, SourceEqualsTarget) {
+  const RoadNetwork g = TestNetwork(1);
+  AStarEngine astar(g);
+  const PathResult r = astar.FindPath(5, 5);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_EQ(r.path[0], 5u);
+}
+
+TEST(AStar, DistanceOnlySkipsPath) {
+  const RoadNetwork g = TestNetwork(2);
+  AStarEngine astar(g);
+  EXPECT_NEAR(astar.Distance(0, 10), ShortestPathDistance(g, 0, 10), 1e-6);
+}
+
+TEST(Landmarks, SelectsRequestedCount) {
+  const RoadNetwork g = TestNetwork(3);
+  const LandmarkIndex landmarks(g, 5);
+  EXPECT_EQ(landmarks.num_landmarks(), 5);
+  // Landmarks are distinct vertices.
+  auto ls = landmarks.landmarks();
+  std::sort(ls.begin(), ls.end());
+  EXPECT_EQ(std::unique(ls.begin(), ls.end()), ls.end());
+}
+
+TEST(Landmarks, LowerBoundIsSymmetricAndReflexive) {
+  const RoadNetwork g = TestNetwork(4);
+  const LandmarkIndex landmarks(g, 3);
+  EXPECT_DOUBLE_EQ(landmarks.LowerBound(7, 7), 0.0);
+  EXPECT_DOUBLE_EQ(landmarks.LowerBound(3, 9), landmarks.LowerBound(9, 3));
+}
+
+}  // namespace
+}  // namespace uots

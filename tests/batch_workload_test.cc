@@ -1,0 +1,157 @@
+// Workload generation and the parallel batch executor.
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "core/euclid_baseline.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+const TrajectoryDatabase& TestDb() {
+  static auto* db = [] {
+    GridNetworkOptions gopts;
+    gopts.rows = 18;
+    gopts.cols = 18;
+    gopts.seed = 21;
+    auto g = MakeGridNetwork(gopts);
+    TripGeneratorOptions topts;
+    topts.num_trajectories = 250;
+    topts.vocabulary_size = 120;
+    topts.seed = 22;
+    auto data = GenerateTrips(*g, topts);
+    return new TrajectoryDatabase(std::move(*g), std::move(data->store),
+                                  std::move(data->vocabulary));
+  }();
+  return *db;
+}
+
+TEST(Workload, DeterministicAndWellFormed) {
+  WorkloadOptions opts;
+  opts.num_queries = 10;
+  opts.num_locations = 4;
+  opts.k = 3;
+  auto a = MakeWorkload(TestDb(), opts);
+  auto b = MakeWorkload(TestDb(), opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), 10u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    const UotsQuery& q = (*a)[i];
+    EXPECT_TRUE(ValidateQuery(q, TestDb().network().NumVertices()).ok());
+    EXPECT_EQ(q.locations.size(), 4u);
+    EXPECT_EQ(q.k, 3);
+    EXPECT_EQ(q.locations, (*b)[i].locations);
+    EXPECT_EQ(q.keywords, (*b)[i].keywords);
+    EXPECT_FALSE(q.keywords.empty());
+  }
+}
+
+TEST(Workload, RejectsBadOptions) {
+  WorkloadOptions opts;
+  opts.num_locations = 0;
+  EXPECT_FALSE(MakeWorkload(TestDb(), opts).ok());
+  opts = {};
+  opts.lambda = 2.0;
+  EXPECT_FALSE(MakeWorkload(TestDb(), opts).ok());
+  opts = {};
+  opts.keyword_noise = -0.1;
+  EXPECT_FALSE(MakeWorkload(TestDb(), opts).ok());
+}
+
+TEST(Workload, FailsOnEmptyDatabase) {
+  GridNetworkOptions gopts;
+  gopts.rows = 4;
+  gopts.cols = 4;
+  auto g = MakeGridNetwork(gopts);
+  TrajectoryDatabase empty(std::move(*g), TrajectoryStore());
+  EXPECT_FALSE(MakeWorkload(empty, {}).ok());
+}
+
+TEST(Batch, MatchesSequentialExecution) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 12;
+  wopts.k = 5;
+  auto queries = MakeWorkload(TestDb(), wopts);
+  ASSERT_TRUE(queries.ok());
+
+  BatchOptions seq;
+  seq.threads = 1;
+  BatchOptions par;
+  par.threads = 4;
+  auto rs = RunBatch(TestDb(), *queries, seq);
+  auto rp = RunBatch(TestDb(), *queries, par);
+  ASSERT_TRUE(rs.ok() && rp.ok());
+  ASSERT_EQ(rs->answers.size(), queries->size());
+  ASSERT_EQ(rp->answers.size(), queries->size());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    ASSERT_EQ(rs->answers[i].size(), rp->answers[i].size()) << "query " << i;
+    for (size_t j = 0; j < rs->answers[i].size(); ++j) {
+      EXPECT_EQ(rs->answers[i][j].id, rp->answers[i][j].id);
+      EXPECT_DOUBLE_EQ(rs->answers[i][j].score, rp->answers[i][j].score);
+    }
+  }
+  // Work counters are thread-count independent (same total work).
+  EXPECT_EQ(rs->total.visited_trajectories, rp->total.visited_trajectories);
+  EXPECT_EQ(rs->total.settled_vertices, rp->total.settled_vertices);
+  EXPECT_GT(rs->QueriesPerSecond(), 0.0);
+}
+
+TEST(Batch, EmptyWorkload) {
+  auto r = RunBatch(TestDb(), {}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->answers.empty());
+}
+
+TEST(Batch, PropagatesQueryErrors) {
+  std::vector<UotsQuery> queries(1);  // invalid: no locations
+  auto r = RunBatch(TestDb(), queries, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Batch, RejectsBadThreadCount) {
+  BatchOptions opts;
+  opts.threads = 0;
+  EXPECT_FALSE(RunBatch(TestDb(), {}, opts).ok());
+}
+
+TEST(Euclidean, RankingIsPlausibleButApproximate) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 6;
+  wopts.k = 10;
+  auto queries = MakeWorkload(TestDb(), wopts);
+  ASSERT_TRUE(queries.ok());
+  auto bf = CreateAlgorithm(TestDb(), AlgorithmKind::kBruteForce);
+  auto eu = CreateAlgorithm(TestDb(), AlgorithmKind::kEuclidean);
+  double overlap_sum = 0;
+  for (const auto& q : *queries) {
+    auto rb = bf->Search(q);
+    auto re = eu->Search(q);
+    ASSERT_TRUE(rb.ok() && re.ok());
+    const double ov = ResultOverlap(rb->items, re->items);
+    EXPECT_GE(ov, 0.0);
+    EXPECT_LE(ov, 1.0);
+    overlap_sum += ov;
+    // Euclidean distance lower-bounds network distance, so the Euclidean
+    // spatial similarity can only be >= the network one.
+    for (size_t i = 0; i < re->items.size(); ++i) {
+      EXPECT_GE(re->items[i].spatial_sim, -1e-12);
+    }
+  }
+  // On dense grids the two rankings should agree substantially.
+  EXPECT_GT(overlap_sum / queries->size(), 0.3);
+}
+
+TEST(Euclidean, ResultOverlapFunction) {
+  std::vector<ScoredTrajectory> a = {{1, 1, 0, 0}, {2, 0.9, 0, 0}};
+  std::vector<ScoredTrajectory> b = {{2, 1, 0, 0}, {3, 0.9, 0, 0}};
+  EXPECT_DOUBLE_EQ(ResultOverlap(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ResultOverlap(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(ResultOverlap({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ResultOverlap(a, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace uots

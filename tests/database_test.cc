@@ -1,0 +1,120 @@
+// TrajectoryDatabase construction and index-wiring invariants.
+
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+TEST(Database, IndexesCoverTheStore) {
+  GridNetworkOptions gopts;
+  gopts.rows = 12;
+  gopts.cols = 12;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 100;
+  topts.vocabulary_size = 80;
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  const size_t total_samples = data->store.TotalSamples();
+
+  TrajectoryDatabase db(std::move(*g), std::move(data->store),
+                        std::move(data->vocabulary));
+  EXPECT_EQ(db.store().size(), 100u);
+  EXPECT_EQ(db.vocabulary().size(), 80u);
+  EXPECT_EQ(db.time_index().size(), total_samples);
+  EXPECT_EQ(db.vertex_index().TotalEntries() > 0, true);
+  EXPECT_EQ(db.keyword_index().num_documents(), 100u);
+  EXPECT_GT(db.MemoryUsage(), 0u);
+}
+
+TEST(Database, EmptyStoreIsUsable) {
+  GridNetworkOptions gopts;
+  gopts.rows = 4;
+  gopts.cols = 4;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TrajectoryDatabase db(std::move(*g), TrajectoryStore());
+  EXPECT_EQ(db.store().size(), 0u);
+  EXPECT_EQ(db.time_index().size(), 0u);
+  // Queries over an empty database return empty results, not errors.
+  UotsQuery q;
+  q.locations = {0};
+  q.k = 3;
+  for (auto kind : {AlgorithmKind::kBruteForce, AlgorithmKind::kTextFirst,
+                    AlgorithmKind::kUots, AlgorithmKind::kEuclidean}) {
+    auto r = CreateAlgorithm(db, kind)->Search(q);
+    ASSERT_TRUE(r.ok()) << ToString(kind);
+    EXPECT_TRUE(r->items.empty()) << ToString(kind);
+  }
+}
+
+TEST(Database, WeightedMeasureWiresDocumentFrequencies) {
+  GridNetworkOptions gopts;
+  gopts.rows = 10;
+  gopts.cols = 10;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 60;
+  topts.vocabulary_size = 50;
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  SimilarityOptions sopts;
+  sopts.measure = TextualMeasure::kWeighted;
+  TrajectoryDatabase db(std::move(*g), std::move(data->store),
+                        std::move(data->vocabulary), sopts);
+  // With idf wired, a rare shared term outweighs a common one; just check
+  // that scoring is live and bounded.
+  const double s = db.model().textual().Score(db.store().KeywordsOf(0),
+                                              db.store().KeywordsOf(0));
+  EXPECT_DOUBLE_EQ(s, 1.0);
+  // The pipeline must remain exact: UOTS == BF under the weighted measure.
+  UotsQuery q;
+  q.locations = {5, 40};
+  q.keywords = db.store().KeywordsOf(3);
+  q.k = 5;
+  auto rb = CreateAlgorithm(db, AlgorithmKind::kBruteForce)->Search(q);
+  auto ru = CreateAlgorithm(db, AlgorithmKind::kUots)->Search(q);
+  ASSERT_TRUE(rb.ok() && ru.ok());
+  ASSERT_EQ(rb->items.size(), ru->items.size());
+  for (size_t i = 0; i < rb->items.size(); ++i) {
+    EXPECT_NEAR(rb->items[i].score, ru->items[i].score, 1e-9);
+  }
+}
+
+TEST(Database, CustomSigmaChangesScores) {
+  GridNetworkOptions gopts;
+  gopts.rows = 10;
+  gopts.cols = 10;
+  auto g1 = MakeGridNetwork(gopts);
+  auto g2 = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 50;
+  auto d1 = GenerateTrips(*g1, topts);
+  auto d2 = GenerateTrips(*g2, topts);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  SimilarityOptions tight;
+  tight.sigma_m = 200.0;
+  TrajectoryDatabase db_default(std::move(*g1), std::move(d1->store));
+  TrajectoryDatabase db_tight(std::move(*g2), std::move(d2->store), {}, tight);
+  UotsQuery q;
+  q.locations = {0};
+  q.lambda = 1.0;
+  q.k = 1;
+  auto r1 = CreateAlgorithm(db_default, AlgorithmKind::kBruteForce)->Search(q);
+  auto r2 = CreateAlgorithm(db_tight, AlgorithmKind::kBruteForce)->Search(q);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Tighter sigma decays faster: the best score cannot be larger.
+  EXPECT_LE(r2->items[0].score, r1->items[0].score + 1e-12);
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,177 @@
+// Shortest-path correctness: Dijkstra variants vs Floyd-Warshall on random
+// graphs, parameterized over seeds (property-style sweep).
+
+#include "net/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+/// O(V^3) all-pairs reference.
+std::vector<std::vector<double>> FloydWarshall(const RoadNetwork& g) {
+  const size_t n = g.NumVertices();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, kInfDistance));
+  for (size_t v = 0; v < n; ++v) {
+    d[v][v] = 0.0;
+    for (const auto& e : g.Neighbors(static_cast<VertexId>(v))) {
+      d[v][e.to] = std::min(d[v][e.to], static_cast<double>(e.weight));
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfDistance) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (d[i][k] + d[k][j] < d[i][j]) d[i][j] = d[i][k] + d[k][j];
+      }
+    }
+  }
+  return d;
+}
+
+RoadNetwork SmallRandomNetwork(uint64_t seed) {
+  RandomGeometricOptions opts;
+  opts.num_vertices = 60;
+  opts.extent_m = 1000.0;
+  opts.k_nearest = 3;
+  opts.seed = seed;
+  auto g = MakeRandomGeometricNetwork(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+class DijkstraPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraPropertyTest, TreeMatchesFloydWarshall) {
+  const RoadNetwork g = SmallRandomNetwork(GetParam());
+  const auto ref = FloydWarshall(g);
+  for (VertexId s = 0; s < g.NumVertices(); s += 7) {
+    const ShortestPathTree tree = ComputeShortestPathTree(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      EXPECT_NEAR(tree.dist[t], ref[s][t], 1e-6) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(DijkstraPropertyTest, PairDistanceMatchesTree) {
+  const RoadNetwork g = SmallRandomNetwork(GetParam() + 100);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const ShortestPathTree tree = ComputeShortestPathTree(g, s);
+    EXPECT_NEAR(ShortestPathDistance(g, s, t), tree.dist[t], 1e-9);
+  }
+}
+
+TEST_P(DijkstraPropertyTest, PathIsValidAndHasReportedLength) {
+  const RoadNetwork g = SmallRandomNetwork(GetParam() + 200);
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const auto path = ShortestPathVertices(g, s, t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    double length = 0.0;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      double w = -1.0;
+      for (const auto& e : g.Neighbors(path[i])) {
+        if (e.to == path[i + 1]) w = e.weight;
+      }
+      ASSERT_GE(w, 0.0) << "non-adjacent path step";
+      length += w;
+    }
+    EXPECT_NEAR(length, ShortestPathDistance(g, s, t), 1e-6);
+  }
+}
+
+TEST_P(DijkstraPropertyTest, NearestOfFindsClosestTarget) {
+  const RoadNetwork g = SmallRandomNetwork(GetParam() + 300);
+  Rng rng(GetParam() + 2);
+  DijkstraEngine engine(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint8_t> is_target(g.NumVertices(), 0);
+    for (int i = 0; i < 5; ++i) is_target[rng.Uniform(g.NumVertices())] = 1;
+    const VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    const NearestTargetResult r = engine.NearestOf(s, is_target);
+    const ShortestPathTree tree = ComputeShortestPathTree(g, s);
+    double best = kInfDistance;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (is_target[v]) best = std::min(best, tree.dist[v]);
+    }
+    ASSERT_NE(r.vertex, kInvalidVertex);
+    EXPECT_NEAR(r.distance, best, 1e-9);
+    EXPECT_TRUE(is_target[r.vertex]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Dijkstra, SourceEqualsTarget) {
+  const RoadNetwork g = SmallRandomNetwork(5);
+  EXPECT_DOUBLE_EQ(ShortestPathDistance(g, 3, 3), 0.0);
+  const auto path = ShortestPathVertices(g, 3, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 3u);
+}
+
+TEST(Dijkstra, NearestOfRespectsMaxRadius) {
+  const RoadNetwork g = SmallRandomNetwork(6);
+  DijkstraEngine engine(g);
+  std::vector<uint8_t> is_target(g.NumVertices(), 0);
+  // Pick the farthest vertex from 0 as the only target.
+  const ShortestPathTree tree = ComputeShortestPathTree(g, 0);
+  VertexId far = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (tree.dist[v] > tree.dist[far]) far = v;
+  }
+  is_target[far] = 1;
+  const auto r = engine.NearestOf(0, is_target, tree.dist[far] / 2.0);
+  EXPECT_EQ(r.vertex, kInvalidVertex);
+  EXPECT_EQ(r.distance, kInfDistance);
+}
+
+TEST(Dijkstra, NearestOfSourceIsTarget) {
+  const RoadNetwork g = SmallRandomNetwork(7);
+  DijkstraEngine engine(g);
+  std::vector<uint8_t> is_target(g.NumVertices(), 0);
+  is_target[4] = 1;
+  const auto r = engine.NearestOf(4, is_target);
+  EXPECT_EQ(r.vertex, 4u);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(Dijkstra, ExploreVisitsInNondecreasingOrder) {
+  const RoadNetwork g = SmallRandomNetwork(8);
+  DijkstraEngine engine(g);
+  double last = -1.0;
+  size_t count = 0;
+  engine.Explore(0, kInfDistance, [&](VertexId, double d) {
+    EXPECT_GE(d, last);
+    last = d;
+    ++count;
+  });
+  EXPECT_EQ(count, g.NumVertices());
+}
+
+TEST(DistanceField, ResetIsCheapAndComplete) {
+  DistanceField f(10);
+  f.Set(3, 1.5);
+  EXPECT_TRUE(f.IsSet(3));
+  EXPECT_DOUBLE_EQ(f.Get(3), 1.5);
+  EXPECT_EQ(f.Get(4), kInfDistance);
+  f.Reset();
+  EXPECT_FALSE(f.IsSet(3));
+  EXPECT_EQ(f.Get(3), kInfDistance);
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,148 @@
+// Incremental network expansion: the invariants the UOTS bounds rely on.
+
+#include "net/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+RoadNetwork TestNetwork(uint64_t seed) {
+  RandomGeometricOptions opts;
+  opts.num_vertices = 200;
+  opts.seed = seed;
+  auto g = MakeRandomGeometricNetwork(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+class ExpansionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExpansionPropertyTest, SettlesEveryVertexOnceInNondecreasingOrder) {
+  const RoadNetwork g = TestNetwork(GetParam());
+  NetworkExpansion ex(g);
+  ex.Reset(0);
+  std::vector<int> seen(g.NumVertices(), 0);
+  double last = -1.0;
+  VertexId v;
+  double d;
+  while (ex.Step(&v, &d)) {
+    EXPECT_GE(d, last) << "distance order violated";
+    EXPECT_DOUBLE_EQ(d, ex.radius());
+    last = d;
+    ++seen[v];
+  }
+  EXPECT_TRUE(ex.exhausted());
+  for (size_t u = 0; u < g.NumVertices(); ++u) {
+    EXPECT_EQ(seen[u], 1) << "vertex " << u;
+  }
+  EXPECT_EQ(ex.settled_count(), static_cast<int64_t>(g.NumVertices()));
+}
+
+TEST_P(ExpansionPropertyTest, DistancesMatchFullDijkstra) {
+  const RoadNetwork g = TestNetwork(GetParam() + 10);
+  Rng rng(GetParam());
+  const VertexId source = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+  const ShortestPathTree tree = ComputeShortestPathTree(g, source);
+  NetworkExpansion ex(g);
+  ex.Reset(source);
+  VertexId v;
+  double d;
+  while (ex.Step(&v, &d)) {
+    EXPECT_NEAR(d, tree.dist[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST_P(ExpansionPropertyTest, RadiusLowerBoundsUnsettledVertices) {
+  // THE invariant behind Eq. (13)/(16)-style bounds: at any point of the
+  // expansion, every not-yet-settled vertex is at distance >= radius().
+  const RoadNetwork g = TestNetwork(GetParam() + 20);
+  const ShortestPathTree tree = ComputeShortestPathTree(g, 5);
+  NetworkExpansion ex(g);
+  ex.Reset(5);
+  std::vector<bool> settled(g.NumVertices(), false);
+  VertexId v;
+  double d;
+  int checkpoint = 0;
+  while (ex.Step(&v, &d)) {
+    settled[v] = true;
+    if (++checkpoint % 37 == 0) {
+      for (VertexId u = 0; u < g.NumVertices(); ++u) {
+        if (!settled[u]) {
+          EXPECT_GE(tree.dist[u] + 1e-12, ex.radius()) << "vertex " << u;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpansionPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Expansion, ResetRestartsCleanly) {
+  const RoadNetwork g = TestNetwork(42);
+  NetworkExpansion ex(g);
+  ex.Reset(0);
+  VertexId v;
+  double d;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ex.Step(&v, &d));
+  const double radius_before = ex.radius();
+  EXPECT_GT(radius_before, 0.0);
+
+  ex.Reset(7);
+  EXPECT_DOUBLE_EQ(ex.radius(), 0.0);
+  EXPECT_FALSE(ex.exhausted());
+  ASSERT_TRUE(ex.Step(&v, &d));
+  EXPECT_EQ(v, 7u);  // source settles first at distance 0
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(Expansion, RepeatedResetMatchesFreshInstance) {
+  const RoadNetwork g = TestNetwork(43);
+  NetworkExpansion reused(g);
+  for (VertexId source : {0u, 10u, 20u}) {
+    reused.Reset(source);
+    NetworkExpansion fresh(g);
+    fresh.Reset(source);
+    VertexId v1, v2;
+    double d1, d2;
+    while (true) {
+      const bool ok1 = reused.Step(&v1, &d1);
+      const bool ok2 = fresh.Step(&v2, &d2);
+      ASSERT_EQ(ok1, ok2);
+      if (!ok1) break;
+      EXPECT_EQ(v1, v2);
+      EXPECT_DOUBLE_EQ(d1, d2);
+    }
+  }
+}
+
+TEST(Expansion, FirstStepIsSource) {
+  const RoadNetwork g = TestNetwork(44);
+  NetworkExpansion ex(g);
+  ex.Reset(3);
+  VertexId v;
+  double d;
+  ASSERT_TRUE(ex.Step(&v, &d));
+  EXPECT_EQ(v, 3u);
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(Expansion, HeapPopsCounted) {
+  const RoadNetwork g = TestNetwork(45);
+  NetworkExpansion ex(g);
+  ex.Reset(0);
+  VertexId v;
+  double d;
+  while (ex.Step(&v, &d)) {
+  }
+  EXPECT_GE(ex.heap_pops(), ex.settled_count());
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,165 @@
+// Randomized consistency fuzzing: adversarially-shaped databases and
+// queries must never break the UOTS == brute-force equivalence.
+//
+// Unlike the workload-driven equivalence suite (which mirrors realistic
+// usage), this suite generates degenerate structure on purpose:
+// single-sample trajectories, vertex-revisiting loops, keyword-less trips,
+// duplicate trajectories, path- and star-shaped graphs, and random queries
+// that have no relation to any trajectory.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "core/search.h"
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+/// A degenerate little road network: a path chained to a star.
+Result<RoadNetwork> MakePathStarNetwork(int path_len, int star_arms) {
+  GraphBuilder b;
+  std::vector<VertexId> path;
+  for (int i = 0; i < path_len; ++i) {
+    path.push_back(b.AddVertex(Point{i * 100.0, 0.0}));
+    if (i > 0) b.AddEdge(path[i - 1], path[i]);
+  }
+  const VertexId hub = path.back();
+  for (int a = 0; a < star_arms; ++a) {
+    const VertexId leaf =
+        b.AddVertex(Point{path_len * 100.0 + 80.0, (a - star_arms / 2) * 90.0});
+    b.AddEdge(hub, leaf);
+  }
+  return std::move(b).Finalize();
+}
+
+/// Fills a store with intentionally nasty trajectory shapes.
+TrajectoryStore MakeNastyStore(const RoadNetwork& g, Rng& rng, int count) {
+  TrajectoryStore store;
+  for (int i = 0; i < count; ++i) {
+    Trajectory t;
+    const int kind = static_cast<int>(rng.Uniform(4));
+    const int32_t t0 = static_cast<int32_t>(rng.Uniform(kSecondsPerDay - 4000));
+    switch (kind) {
+      case 0: {  // single sample
+        t.samples = {
+            Sample{static_cast<VertexId>(rng.Uniform(g.NumVertices())), t0}};
+        break;
+      }
+      case 1: {  // ping-pong between two vertices (revisits)
+        const VertexId a = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+        const auto nbrs = g.Neighbors(a);
+        const VertexId c = nbrs.empty() ? a : nbrs[0].to;
+        for (int s = 0; s < 6; ++s) {
+          t.samples.push_back(Sample{s % 2 == 0 ? a : c, t0 + s * 60});
+        }
+        break;
+      }
+      case 2: {  // random walk
+        VertexId v = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+        for (int s = 0; s < 8; ++s) {
+          t.samples.push_back(Sample{v, t0 + s * 45});
+          const auto nbrs = g.Neighbors(v);
+          if (!nbrs.empty()) v = nbrs[rng.Uniform(nbrs.size())].to;
+        }
+        break;
+      }
+      default: {  // all samples at the same timestamp
+        for (int s = 0; s < 4; ++s) {
+          t.samples.push_back(Sample{
+              static_cast<VertexId>(rng.Uniform(g.NumVertices())), t0});
+        }
+        break;
+      }
+    }
+    // Keywords: sometimes none, sometimes heavy overlap.
+    if (!rng.Bernoulli(0.3)) {
+      std::vector<TermId> keys;
+      const int nk = 1 + static_cast<int>(rng.Uniform(6));
+      for (int k = 0; k < nk; ++k) {
+        keys.push_back(static_cast<TermId>(rng.Uniform(12)));
+      }
+      t.keywords = KeywordSet(std::move(keys));
+    }
+    EXPECT_TRUE(store.Add(t).ok());
+  }
+  // Exact duplicates of a few entries.
+  for (int d = 0; d < 3 && store.size() > 0; ++d) {
+    EXPECT_TRUE(
+        store.Add(store.Materialize(static_cast<TrajId>(
+                      rng.Uniform(store.size()))))
+            .ok());
+  }
+  return store;
+}
+
+class FuzzConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzConsistencyTest, UotsAlwaysMatchesBruteForce) {
+  Rng rng(GetParam());
+  // Alternate between a degenerate path-star graph and a random one.
+  Result<RoadNetwork> g =
+      GetParam() % 2 == 0
+          ? MakePathStarNetwork(10 + static_cast<int>(rng.Uniform(20)),
+                                3 + static_cast<int>(rng.Uniform(5)))
+          : MakeRandomGeometricNetwork({
+                .num_vertices = 80 + static_cast<int>(rng.Uniform(120)),
+                .extent_m = 4000.0,
+                .k_nearest = 3,
+                .seed = GetParam(),
+            });
+  ASSERT_TRUE(g.ok());
+  TrajectoryStore store = MakeNastyStore(*g, rng, 120);
+  TrajectoryDatabase db(std::move(*g), std::move(store));
+
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  UotsSearcher threshold_searcher(db);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    UotsQuery q;
+    const int m = 1 + static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < m; ++i) {
+      q.locations.push_back(
+          static_cast<VertexId>(rng.Uniform(db.network().NumVertices())));
+    }
+    std::vector<TermId> keys;
+    for (int i = 0; i < static_cast<int>(rng.Uniform(5)); ++i) {
+      keys.push_back(static_cast<TermId>(rng.Uniform(14)));
+    }
+    q.keywords = KeywordSet(std::move(keys));
+    q.lambda = rng.UniformDouble();
+    q.k = 1 + static_cast<int>(rng.Uniform(20));
+
+    auto rb = bf->Search(q);
+    auto ru = uots->Search(q);
+    ASSERT_TRUE(rb.ok() && ru.ok());
+    ASSERT_EQ(rb->items.size(), ru->items.size());
+    for (size_t i = 0; i < rb->items.size(); ++i) {
+      ASSERT_NEAR(rb->items[i].score, ru->items[i].score, 1e-9)
+          << "seed=" << GetParam() << " trial=" << trial << " rank=" << i;
+    }
+
+    // Threshold mode at a random theta agrees with the filtered BF list.
+    const double theta = rng.UniformDouble(0.2, 0.9);
+    auto rt = threshold_searcher.SearchThreshold(q, theta);
+    ASSERT_TRUE(rt.ok());
+    UotsQuery all = q;
+    all.k = static_cast<int>(db.store().size());
+    auto rall = bf->Search(all);
+    ASSERT_TRUE(rall.ok());
+    size_t expected = 0;
+    for (const auto& item : rall->items) {
+      if (item.score >= theta) ++expected;
+    }
+    ASSERT_EQ(rt->items.size(), expected)
+        << "seed=" << GetParam() << " trial=" << trial << " theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConsistencyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,134 @@
+#include "net/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace uots {
+namespace {
+
+TEST(GridNetwork, ShapeAndConnectivity) {
+  GridNetworkOptions opts;
+  opts.rows = 12;
+  opts.cols = 15;
+  opts.removal_rate = 0.2;
+  auto g = MakeGridNetwork(opts);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 12u * 15u);
+  EXPECT_TRUE(IsConnected(*g));
+  // Removal keeps at least the spanning tree and at most the full grid.
+  const size_t full = 12 * 14 + 11 * 15;
+  EXPECT_GE(g->NumEdges(), g->NumVertices() - 1);
+  EXPECT_LE(g->NumEdges(), full);
+}
+
+TEST(GridNetwork, ZeroRemovalKeepsFullGrid) {
+  GridNetworkOptions opts;
+  opts.rows = 5;
+  opts.cols = 7;
+  opts.removal_rate = 0.0;
+  auto g = MakeGridNetwork(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 5u * 6 + 4u * 7);
+}
+
+TEST(GridNetwork, DeterministicForSeed) {
+  GridNetworkOptions opts;
+  opts.rows = 8;
+  opts.cols = 8;
+  opts.seed = 99;
+  auto a = MakeGridNetwork(opts);
+  auto b = MakeGridNetwork(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (VertexId v = 0; v < a->NumVertices(); ++v) {
+    EXPECT_EQ(a->PositionOf(v).x, b->PositionOf(v).x);
+    ASSERT_EQ(a->DegreeOf(v), b->DegreeOf(v));
+  }
+}
+
+TEST(GridNetwork, RejectsBadOptions) {
+  GridNetworkOptions opts;
+  opts.rows = 1;
+  EXPECT_FALSE(MakeGridNetwork(opts).ok());
+  opts.rows = 5;
+  opts.removal_rate = 1.0;
+  EXPECT_FALSE(MakeGridNetwork(opts).ok());
+}
+
+TEST(RingRadialNetwork, ConnectedWithExpectedScale) {
+  RingRadialNetworkOptions opts;
+  opts.rings = 10;
+  opts.inner_ring_vertices = 8;
+  auto g = MakeRingRadialNetwork(opts);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(IsConnected(*g));
+  // Ring k has ~8(k+1) vertices -> total ~ 8 * 55 = 440 plus centre.
+  EXPECT_GT(g->NumVertices(), 300u);
+  EXPECT_LT(g->NumVertices(), 600u);
+}
+
+TEST(RingRadialNetwork, RadialRateIncreasesEdges) {
+  RingRadialNetworkOptions sparse, dense;
+  sparse.rings = dense.rings = 8;
+  sparse.radial_rate = 0.1;
+  dense.radial_rate = 0.9;
+  auto gs = MakeRingRadialNetwork(sparse);
+  auto gd = MakeRingRadialNetwork(dense);
+  ASSERT_TRUE(gs.ok() && gd.ok());
+  EXPECT_GT(gd->NumEdges(), gs->NumEdges());
+}
+
+TEST(RingRadialNetwork, RejectsBadOptions) {
+  RingRadialNetworkOptions opts;
+  opts.rings = 0;
+  EXPECT_FALSE(MakeRingRadialNetwork(opts).ok());
+  opts.rings = 3;
+  opts.radial_rate = 0.0;
+  EXPECT_FALSE(MakeRingRadialNetwork(opts).ok());
+}
+
+TEST(RandomGeometricNetwork, ConnectedAtVariousSizes) {
+  for (int n : {10, 100, 400}) {
+    RandomGeometricOptions opts;
+    opts.num_vertices = n;
+    opts.seed = 17 + n;
+    auto g = MakeRandomGeometricNetwork(opts);
+    ASSERT_TRUE(g.ok()) << "n=" << n << ": " << g.status().ToString();
+    EXPECT_EQ(g->NumVertices(), static_cast<size_t>(n));
+    EXPECT_TRUE(IsConnected(*g));
+  }
+}
+
+TEST(RandomGeometricNetwork, DegreeBoundedByConstruction) {
+  RandomGeometricOptions opts;
+  opts.num_vertices = 300;
+  opts.k_nearest = 3;
+  auto g = MakeRandomGeometricNetwork(opts);
+  ASSERT_TRUE(g.ok());
+  double total_degree = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) total_degree += g->DegreeOf(v);
+  // Mean degree is around 2*k (k out-choices, symmetrized) plus stitches.
+  EXPECT_LT(total_degree / g->NumVertices(), 2.0 * 2 * opts.k_nearest);
+}
+
+TEST(RandomGeometricNetwork, RejectsBadOptions) {
+  RandomGeometricOptions opts;
+  opts.num_vertices = 1;
+  EXPECT_FALSE(MakeRandomGeometricNetwork(opts).ok());
+  opts.num_vertices = 10;
+  opts.k_nearest = 0;
+  EXPECT_FALSE(MakeRandomGeometricNetwork(opts).ok());
+}
+
+TEST(Generators, AllEdgesHavePositiveFiniteWeights) {
+  auto g = MakeRingRadialNetwork({});
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (const auto& e : g->Neighbors(v)) {
+      EXPECT_GT(e.weight, 0.0f);
+      EXPECT_TRUE(std::isfinite(e.weight));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uots

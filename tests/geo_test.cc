@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "geo/point.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+TEST(Point, Distances) {
+  const Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(BBox, ExtendAndContains) {
+  BBox box = BBox::Empty();
+  box.Extend(Point{1, 2});
+  box.Extend(Point{-1, 5});
+  EXPECT_TRUE(box.Contains(Point{0, 3}));
+  EXPECT_FALSE(box.Contains(Point{2, 3}));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+}
+
+TEST(BBox, MinDistanceZeroInsidePositiveOutside) {
+  BBox box{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(box.MinDistance(Point{5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinDistance(Point{13, 14}), 5.0);  // corner 3-4-5
+  EXPECT_DOUBLE_EQ(box.MinDistance(Point{-2, 5}), 2.0);
+}
+
+TEST(ProjectLonLat, ScalesWithLatitude) {
+  const Point equator = ProjectLonLat(1.0, 0.0, 0.0);
+  EXPECT_NEAR(equator.x, 111320.0, 1.0);
+  const Point sixty = ProjectLonLat(1.0, 0.0, 60.0);
+  EXPECT_NEAR(sixty.x, 111320.0 * 0.5, 10.0);
+}
+
+class GridIndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridIndexRandomTest, NearestMatchesBruteForce) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)});
+  }
+  GridIndex index(pts);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.UniformDouble(-100, 1100), rng.UniformDouble(-100, 1100)};
+    const int64_t got = index.Nearest(q);
+    ASSERT_GE(got, 0);
+    double best = std::numeric_limits<double>::max();
+    for (const auto& p : pts) best = std::min(best, SquaredDistance(p, q));
+    EXPECT_DOUBLE_EQ(SquaredDistance(pts[got], q), best);
+  }
+}
+
+TEST_P(GridIndexRandomTest, WithinRadiusMatchesBruteForce) {
+  Rng rng(GetParam() + 1000);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(Point{rng.UniformDouble(0, 500), rng.UniformDouble(0, 500)});
+  }
+  GridIndex index(pts);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.UniformDouble(0, 500), rng.UniformDouble(0, 500)};
+    const double radius = rng.UniformDouble(10, 150);
+    std::vector<int64_t> got;
+    index.WithinRadius(q, radius, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> expected;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (EuclideanDistance(pts[i], q) <= radius) {
+        expected.push_back(static_cast<int64_t>(i));
+      }
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GridIndex, EmptyIndexReturnsMinusOne) {
+  GridIndex index({});
+  EXPECT_EQ(index.Nearest(Point{0, 0}), -1);
+  std::vector<int64_t> out;
+  index.WithinRadius(Point{0, 0}, 10, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GridIndex, SinglePoint) {
+  GridIndex index({Point{5, 5}});
+  EXPECT_EQ(index.Nearest(Point{100, 100}), 0);
+}
+
+TEST(GridIndex, CoincidentPoints) {
+  std::vector<Point> pts(10, Point{1, 1});
+  GridIndex index(pts);
+  const int64_t got = index.Nearest(Point{1, 1});
+  EXPECT_GE(got, 0);
+  EXPECT_LT(got, 10);
+  std::vector<int64_t> out;
+  index.WithinRadius(Point{1, 1}, 0.5, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,166 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "net/io.h"
+
+namespace uots {
+namespace {
+
+RoadNetwork MakeTriangle() {
+  GraphBuilder b;
+  const VertexId v0 = b.AddVertex(Point{0, 0});
+  const VertexId v1 = b.AddVertex(Point{3, 0});
+  const VertexId v2 = b.AddVertex(Point{0, 4});
+  b.AddEdge(v0, v1);
+  b.AddEdge(v1, v2);
+  b.AddEdge(v2, v0);
+  auto g = std::move(b).Finalize();
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+TEST(GraphBuilder, BuildsTriangle) {
+  const RoadNetwork g = MakeTriangle();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.DegreeOf(0), 2u);
+  // Default weights are Euclidean lengths.
+  double w01 = -1;
+  for (const auto& e : g.Neighbors(0)) {
+    if (e.to == 1) w01 = e.weight;
+  }
+  EXPECT_DOUBLE_EQ(w01, 3.0);
+  EXPECT_NEAR(g.TotalEdgeLength(), 3 + 4 + 5, 1e-3);
+}
+
+TEST(GraphBuilder, ExplicitWeightOverridesEuclidean) {
+  GraphBuilder b;
+  const VertexId v0 = b.AddVertex(Point{0, 0});
+  const VertexId v1 = b.AddVertex(Point{1, 0});
+  b.AddEdge(v0, v1, 99.0);
+  auto g = std::move(b).Finalize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Neighbors(0)[0].weight, 99.0);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b;
+  b.AddVertex(Point{0, 0});
+  b.AddVertex(Point{1, 0});
+  b.AddEdge(0, 0, 1.0);
+  EXPECT_FALSE(std::move(b).Finalize().ok());
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdgeEitherDirection) {
+  GraphBuilder b;
+  b.AddVertex(Point{0, 0});
+  b.AddVertex(Point{1, 0});
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  EXPECT_FALSE(std::move(b).Finalize().ok());
+}
+
+TEST(GraphBuilder, RejectsDanglingEndpoint) {
+  GraphBuilder b;
+  b.AddVertex(Point{0, 0});
+  b.AddEdge(0, 5, 1.0);
+  EXPECT_FALSE(std::move(b).Finalize().ok());
+}
+
+TEST(GraphBuilder, RejectsNonPositiveWeight) {
+  GraphBuilder b;
+  b.AddVertex(Point{0, 0});
+  b.AddVertex(Point{1, 0});
+  b.AddEdge(0, 1, 0.0);
+  EXPECT_FALSE(std::move(b).Finalize().ok());
+}
+
+TEST(GraphBuilder, RejectsEmptyGraph) {
+  GraphBuilder b;
+  EXPECT_FALSE(std::move(b).Finalize().ok());
+}
+
+TEST(GraphBuilder, DisconnectedRejectedUnlessAllowed) {
+  GraphBuilder b1;
+  b1.AddVertex(Point{0, 0});
+  b1.AddVertex(Point{1, 0});
+  b1.AddVertex(Point{5, 5});
+  b1.AddVertex(Point{6, 5});
+  b1.AddEdge(0, 1);
+  b1.AddEdge(2, 3);
+  EXPECT_FALSE(std::move(b1).Finalize(true).ok());
+
+  GraphBuilder b2;
+  b2.AddVertex(Point{0, 0});
+  b2.AddVertex(Point{1, 0});
+  b2.AddVertex(Point{5, 5});
+  b2.AddVertex(Point{6, 5});
+  b2.AddEdge(0, 1);
+  b2.AddEdge(2, 3);
+  auto g = std::move(b2).Finalize(false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(IsConnected(*g));
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  const RoadNetwork g = MakeTriangle();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const auto& e : g.Neighbors(v)) {
+      bool back = false;
+      for (const auto& r : g.Neighbors(e.to)) {
+        if (r.to == v && r.weight == e.weight) back = true;
+      }
+      EXPECT_TRUE(back) << "edge " << v << "->" << e.to;
+    }
+  }
+}
+
+TEST(Graph, BoundsCoverAllVertices) {
+  const RoadNetwork g = MakeTriangle();
+  const BBox box = g.Bounds();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(box.Contains(g.PositionOf(v)));
+  }
+}
+
+TEST(Graph, MemoryUsagePositive) {
+  EXPECT_GT(MakeTriangle().MemoryUsage(), 0u);
+}
+
+TEST(NetworkIO, SaveLoadRoundTrip) {
+  const RoadNetwork g = MakeTriangle();
+  const std::string path = testing::TempDir() + "/uots_net_roundtrip.txt";
+  ASSERT_TRUE(SaveNetwork(g, path).ok());
+  auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(loaded->PositionOf(v).x, g.PositionOf(v).x, 1e-3);
+    EXPECT_NEAR(loaded->PositionOf(v).y, g.PositionOf(v).y, 1e-3);
+    EXPECT_EQ(loaded->DegreeOf(v), g.DegreeOf(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIO, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadNetwork("/nonexistent/path/net.txt").ok());
+}
+
+TEST(NetworkIO, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/uots_net_garbage.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a network file\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadNetwork(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,152 @@
+// Keyword inverted index: postings structure and candidate scoring
+// equivalence against direct pairwise evaluation.
+
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+std::vector<KeywordSet> RandomDocs(Rng& rng, int count, int vocab,
+                                   int max_terms) {
+  std::vector<KeywordSet> docs;
+  for (int d = 0; d < count; ++d) {
+    std::vector<TermId> terms;
+    const int n = 1 + static_cast<int>(rng.Uniform(max_terms));
+    for (int i = 0; i < n; ++i) {
+      terms.push_back(static_cast<TermId>(rng.Uniform(vocab)));
+    }
+    docs.emplace_back(std::move(terms));
+  }
+  return docs;
+}
+
+TEST(InvertedIndex, PostingsSortedAndDeduplicated) {
+  InvertedKeywordIndex index;
+  index.AddDocument(2, KeywordSet({1, 2}));
+  index.AddDocument(0, KeywordSet({1}));
+  index.AddDocument(1, KeywordSet({1, 3}));
+  index.Finalize();
+  const auto p1 = index.Postings(1);
+  ASSERT_EQ(p1.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(p1.begin(), p1.end()));
+  EXPECT_EQ(index.Postings(2).size(), 1u);
+  EXPECT_TRUE(index.Postings(99).empty());
+  EXPECT_EQ(index.num_documents(), 3u);
+}
+
+TEST(InvertedIndex, DocumentFrequencies) {
+  InvertedKeywordIndex index;
+  index.AddDocument(0, KeywordSet({0, 1}));
+  index.AddDocument(1, KeywordSet({1}));
+  index.Finalize();
+  const auto df = index.DocumentFrequencies();
+  ASSERT_EQ(df.size(), 2u);
+  EXPECT_EQ(df[0], 1);
+  EXPECT_EQ(df[1], 2);
+}
+
+class IndexScoringTest : public ::testing::TestWithParam<TextualMeasure> {};
+
+TEST_P(IndexScoringTest, ScoreCandidatesMatchesDirectEvaluation) {
+  Rng rng(55);
+  const auto docs = RandomDocs(rng, 200, 40, 8);
+  InvertedKeywordIndex index;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    index.AddDocument(static_cast<DocId>(d), docs[d]);
+  }
+  index.Finalize();
+
+  TextualSimilarity sim(GetParam());
+  if (GetParam() == TextualMeasure::kWeighted) {
+    sim.SetDocumentFrequencies(index.DocumentFrequencies(),
+                               static_cast<int64_t>(docs.size()));
+  }
+  const auto accessor = [&docs](DocId d) -> const KeywordSet& {
+    return docs[d];
+  };
+
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<TermId> qterms;
+    for (int i = 0; i < 5; ++i) {
+      qterms.push_back(static_cast<TermId>(rng.Uniform(40)));
+    }
+    const KeywordSet query(qterms);
+    std::vector<ScoredDoc> got;
+    int64_t postings = 0;
+    index.ScoreCandidates(query, sim, &got, &postings, accessor);
+
+    std::map<DocId, double> got_map;
+    for (const auto& s : got) got_map[s.doc] = s.score;
+    EXPECT_EQ(got_map.size(), got.size()) << "duplicate docs in result";
+
+    int64_t expected_candidates = 0;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      const double expected = sim.Score(query, docs[d]);
+      if (query.IntersectionSize(docs[d]) > 0) {
+        ++expected_candidates;
+        ASSERT_TRUE(got_map.count(static_cast<DocId>(d))) << "missing doc " << d;
+        EXPECT_NEAR(got_map[static_cast<DocId>(d)], expected, 1e-12);
+      } else {
+        EXPECT_FALSE(got_map.count(static_cast<DocId>(d)))
+            << "doc " << d << " shares no term";
+        EXPECT_DOUBLE_EQ(expected, 0.0);
+      }
+    }
+    EXPECT_EQ(static_cast<int64_t>(got.size()), expected_candidates);
+    EXPECT_GE(postings, static_cast<int64_t>(got.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Measures, IndexScoringTest,
+    ::testing::Values(TextualMeasure::kJaccard, TextualMeasure::kDice,
+                      TextualMeasure::kOverlap, TextualMeasure::kCosine,
+                      TextualMeasure::kWeighted),
+    [](const ::testing::TestParamInfo<TextualMeasure>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(InvertedIndex, EmptyQueryYieldsNothing) {
+  InvertedKeywordIndex index;
+  index.AddDocument(0, KeywordSet({1}));
+  index.Finalize();
+  std::vector<ScoredDoc> out = {{0, 0.5}};
+  index.ScoreCandidates(KeywordSet{}, TextualSimilarity(), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(InvertedIndex, DocWithNoKeywordsNeverReturned) {
+  InvertedKeywordIndex index;
+  index.AddDocument(0, KeywordSet{});
+  index.AddDocument(1, KeywordSet({4}));
+  index.Finalize();
+  std::vector<ScoredDoc> out;
+  index.ScoreCandidates(KeywordSet({4}), TextualSimilarity(), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].doc, 1u);
+}
+
+TEST(InvertedIndex, MemoryUsageGrowsWithContent) {
+  InvertedKeywordIndex small, large;
+  small.AddDocument(0, KeywordSet({1}));
+  small.Finalize();
+  for (DocId d = 0; d < 100; ++d) {
+    large.AddDocument(d, KeywordSet({d, d + 1, d + 2}));
+  }
+  large.Finalize();
+  EXPECT_GT(large.MemoryUsage(), small.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,273 @@
+// The key correctness property of the UOTS search: pruning never changes
+// the answer. Both UOTS variants must return exactly the brute-force
+// result (same scores; ids may differ only across equal scores), and the
+// textual-first baseline must agree within its documented 1e-9-level
+// distance-cutoff tolerance. Swept over lambda, query-location count m,
+// k, and network topology via parameterized tests.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/algorithm.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+enum class NetKind { kGrid, kRingRadial };
+
+const TrajectoryDatabase& SharedDatabase(NetKind kind) {
+  static auto* grid_db = [] {
+    GridNetworkOptions gopts;
+    gopts.rows = 22;
+    gopts.cols = 22;
+    gopts.seed = 11;
+    auto g = MakeGridNetwork(gopts);
+    TripGeneratorOptions topts;
+    topts.num_trajectories = 400;
+    topts.vocabulary_size = 150;
+    topts.seed = 12;
+    auto data = GenerateTrips(*g, topts);
+    return new TrajectoryDatabase(std::move(*g), std::move(data->store),
+                                  std::move(data->vocabulary));
+  }();
+  static auto* ring_db = [] {
+    RingRadialNetworkOptions ropts;
+    ropts.rings = 14;
+    ropts.inner_ring_vertices = 8;
+    ropts.seed = 13;
+    auto g = MakeRingRadialNetwork(ropts);
+    TripGeneratorOptions topts;
+    topts.num_trajectories = 400;
+    topts.vocabulary_size = 150;
+    topts.seed = 14;
+    auto data = GenerateTrips(*g, topts);
+    return new TrajectoryDatabase(std::move(*g), std::move(data->store),
+                                  std::move(data->vocabulary));
+  }();
+  return kind == NetKind::kGrid ? *grid_db : *ring_db;
+}
+
+// Checks `got` against brute-force ground truth. Equal scores make the
+// identity of boundary items ambiguous (any tied trajectory is a correct
+// answer), so the check is: (1) the score sequence matches exactly, and
+// (2) every returned id carries its true score — verified against an
+// extended brute-force list so ties beyond rank k are visible.
+void ExpectMatchesBruteForce(const TrajectoryDatabase& db, const UotsQuery& q,
+                             const SearchResult& got, double tol,
+                             const char* what) {
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto rb = bf->Search(q);
+  UotsQuery ext = q;
+  ext.k = q.k + 32;
+  auto rext = bf->Search(ext);
+  ASSERT_TRUE(rb.ok() && rext.ok()) << what;
+  ASSERT_EQ(rb->items.size(), got.items.size()) << what;
+  std::map<TrajId, double> truth;
+  for (const auto& item : rext->items) truth[item.id] = item.score;
+  for (size_t i = 0; i < rb->items.size(); ++i) {
+    EXPECT_NEAR(rb->items[i].score, got.items[i].score, tol)
+        << what << " rank " << i;
+    const auto it = truth.find(got.items[i].id);
+    if (it != truth.end()) {
+      EXPECT_NEAR(it->second, got.items[i].score, tol)
+          << what << " claimed score of trajectory " << got.items[i].id;
+    }
+  }
+}
+
+using Param = std::tuple<NetKind, double /*lambda*/, int /*m*/, int /*k*/>;
+
+class EquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EquivalenceTest, AllExactAlgorithmsAgreeWithBruteForce) {
+  const auto [kind, lambda, m, k] = GetParam();
+  const TrajectoryDatabase& db = SharedDatabase(kind);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 4;
+  wopts.num_locations = m;
+  wopts.lambda = lambda;
+  wopts.k = k;
+  wopts.seed = 100 + static_cast<uint64_t>(lambda * 10) + m * 7 + k;
+  auto queries = MakeWorkload(db, wopts);
+  ASSERT_TRUE(queries.ok());
+
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  auto uots_rr = CreateAlgorithm(db, AlgorithmKind::kUotsNoHeuristic);
+  auto uots_seq = CreateAlgorithm(db, AlgorithmKind::kUotsSequential);
+  auto tf = CreateAlgorithm(db, AlgorithmKind::kTextFirst);
+
+  for (const UotsQuery& q : *queries) {
+    auto rb = bf->Search(q);
+    auto ru = uots->Search(q);
+    auto rr = uots_rr->Search(q);
+    auto rs = uots_seq->Search(q);
+    auto rt = tf->Search(q);
+    ASSERT_TRUE(rb.ok() && ru.ok() && rr.ok() && rs.ok() && rt.ok());
+
+    ExpectMatchesBruteForce(db, q, *ru, 1e-9, "UOTS");
+    ExpectMatchesBruteForce(db, q, *rr, 1e-9, "UOTS-w/o-h");
+    ExpectMatchesBruteForce(db, q, *rs, 1e-9, "UOTS-seq");
+    ExpectMatchesBruteForce(db, q, *rt, 1e-6, "TF");
+
+    // Component decomposition must be consistent.
+    for (const auto& item : ru->items) {
+      EXPECT_NEAR(item.score,
+                  SimilarityModel::Combine(q.lambda, item.spatial_sim,
+                                           item.textual_sim),
+                  1e-12);
+      EXPECT_GE(item.spatial_sim, 0.0);
+      EXPECT_LE(item.spatial_sim, 1.0);
+      EXPECT_GE(item.textual_sim, 0.0);
+      EXPECT_LE(item.textual_sim, 1.0);
+    }
+
+    // Stats sanity: the pruning search must not visit more than everything,
+    // and candidates are a subset of visits.
+    EXPECT_LE(ru->stats.visited_trajectories,
+              static_cast<int64_t>(db.store().size()));
+    EXPECT_LE(ru->stats.candidates, ru->stats.visited_trajectories);
+    if (q.lambda > 0.0) {
+      EXPECT_LE(ru->stats.settled_vertices,
+                static_cast<int64_t>(q.locations.size() *
+                                     db.network().NumVertices()));
+      EXPECT_GT(ru->stats.settled_vertices, 0);
+    }
+  }
+}
+
+std::string SweepName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name =
+      std::get<0>(info.param) == NetKind::kGrid ? "grid" : "ring";
+  name += "_l" + std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+  name += "_m" + std::to_string(std::get<2>(info.param));
+  name += "_k" + std::to_string(std::get<3>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Combine(::testing::Values(NetKind::kGrid, NetKind::kRingRadial),
+                       ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0),
+                       ::testing::Values(1, 3, 6),
+                       ::testing::Values(1, 10)),
+    SweepName);
+
+// ---- Edge cases ----
+
+TEST(SearchEdgeCases, KLargerThanDatabaseReturnsEverything) {
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kGrid);
+  UotsQuery q;
+  q.locations = {0, 5};
+  q.keywords = KeywordSet({1, 2, 3});
+  q.k = static_cast<int>(db.store().size()) + 50;
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto ru = uots->Search(q);
+  auto rb = bf->Search(q);
+  ASSERT_TRUE(ru.ok() && rb.ok());
+  EXPECT_EQ(ru->items.size(), db.store().size());
+  ExpectMatchesBruteForce(db, q, *ru, 1e-9, "UOTS k>n");
+}
+
+TEST(SearchEdgeCases, DuplicateQueryLocations) {
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kGrid);
+  UotsQuery q;
+  q.locations = {7, 7, 7};
+  q.keywords = KeywordSet({1});
+  q.k = 5;
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto ru = uots->Search(q);
+  auto rb = bf->Search(q);
+  ASSERT_TRUE(ru.ok() && rb.ok());
+  ExpectMatchesBruteForce(db, q, *ru, 1e-9, "UOTS dup locations");
+}
+
+TEST(SearchEdgeCases, EmptyKeywordsIsPureSpatialRanking) {
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kGrid);
+  UotsQuery q;
+  q.locations = {3, 40, 80};
+  q.k = 5;
+  q.lambda = 0.5;  // textual contributes 0 for everyone
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto ru = uots->Search(q);
+  auto rb = bf->Search(q);
+  ASSERT_TRUE(ru.ok() && rb.ok());
+  ExpectMatchesBruteForce(db, q, *ru, 1e-9, "UOTS empty keywords");
+  for (const auto& item : ru->items) EXPECT_DOUBLE_EQ(item.textual_sim, 0.0);
+}
+
+TEST(SearchEdgeCases, UnknownKeywordsMatchNothingTextually) {
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kGrid);
+  UotsQuery q;
+  q.locations = {10};
+  // Terms far outside the generated vocabulary.
+  q.keywords = KeywordSet({900000, 900001});
+  q.k = 3;
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  auto rb = CreateAlgorithm(db, AlgorithmKind::kBruteForce)->Search(q);
+  auto ru = uots->Search(q);
+  ASSERT_TRUE(ru.ok() && rb.ok());
+  ExpectMatchesBruteForce(db, q, *ru, 1e-9, "unknown keywords");
+  for (const auto& item : ru->items) EXPECT_DOUBLE_EQ(item.textual_sim, 0.0);
+}
+
+TEST(SearchEdgeCases, InvalidQueriesRejectedByAllAlgorithms) {
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kGrid);
+  UotsQuery q;  // no locations
+  for (auto kind : {AlgorithmKind::kBruteForce, AlgorithmKind::kTextFirst,
+                    AlgorithmKind::kUots, AlgorithmKind::kUotsNoHeuristic,
+                    AlgorithmKind::kUotsSequential, AlgorithmKind::kEuclidean}) {
+    auto algo = CreateAlgorithm(db, kind);
+    EXPECT_FALSE(algo->Search(q).ok()) << algo->name();
+  }
+}
+
+TEST(SearchEdgeCases, ResultsSortedDescendingWithIdTiebreak) {
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kRingRadial);
+  UotsQuery q;
+  q.locations = {1, 2};
+  q.keywords = KeywordSet({0, 1, 2});
+  q.k = 25;
+  auto ru = CreateAlgorithm(db, AlgorithmKind::kUots)->Search(q);
+  ASSERT_TRUE(ru.ok());
+  for (size_t i = 1; i < ru->items.size(); ++i) {
+    const auto& prev = ru->items[i - 1];
+    const auto& curr = ru->items[i];
+    EXPECT_TRUE(prev.score > curr.score ||
+                (prev.score == curr.score && prev.id < curr.id));
+  }
+}
+
+TEST(SearchEdgeCases, PruningActuallyHappensOnSelectiveQueries) {
+  // Not a correctness property, but the point of the algorithm: with the
+  // default selective workload, UOTS must not do a full scan.
+  const TrajectoryDatabase& db = SharedDatabase(NetKind::kGrid);
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  wopts.k = 1;
+  auto queries = MakeWorkload(db, wopts);
+  ASSERT_TRUE(queries.ok());
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  int64_t settled = 0;
+  for (const auto& q : *queries) {
+    auto r = uots->Search(q);
+    ASSERT_TRUE(r.ok());
+    settled += r->stats.settled_vertices;
+  }
+  const int64_t full = static_cast<int64_t>(5 * wopts.num_locations *
+                                            db.network().NumVertices());
+  EXPECT_LT(settled, full) << "expansions never terminated early";
+}
+
+}  // namespace
+}  // namespace uots

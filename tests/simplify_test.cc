@@ -1,0 +1,139 @@
+#include "traj/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+RoadNetwork TestNetwork() {
+  GridNetworkOptions opts;
+  opts.rows = 20;
+  opts.cols = 20;
+  opts.jitter = 0.0;  // perfect grid: collinearity is exact
+  opts.removal_rate = 0.0;
+  auto g = MakeGridNetwork(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+Trajectory StraightRow(int row, int from_col, int to_col) {
+  // A trajectory straight along one grid row: all interior points are
+  // collinear with the endpoints.
+  Trajectory t;
+  for (int c = from_col; c <= to_col; ++c) {
+    t.samples.push_back(
+        Sample{static_cast<VertexId>(row * 20 + c), (c - from_col) * 30});
+  }
+  t.keywords = KeywordSet({1, 2});
+  return t;
+}
+
+TEST(DouglasPeucker, CollinearCollapsesToEndpoints) {
+  const RoadNetwork g = TestNetwork();
+  const Trajectory t = StraightRow(5, 2, 15);
+  const Trajectory s = SimplifyDouglasPeucker(g, t, 1.0);
+  ASSERT_EQ(s.samples.size(), 2u);
+  EXPECT_EQ(s.samples.front(), t.samples.front());
+  EXPECT_EQ(s.samples.back(), t.samples.back());
+  EXPECT_EQ(s.keywords, t.keywords);
+  EXPECT_TRUE(s.IsValid());
+}
+
+TEST(DouglasPeucker, CornerIsKept) {
+  const RoadNetwork g = TestNetwork();
+  // L-shaped route: along row 3 then down column 10.
+  Trajectory t;
+  for (int c = 0; c <= 10; ++c) {
+    t.samples.push_back(Sample{static_cast<VertexId>(3 * 20 + c), c * 30});
+  }
+  for (int r = 4; r <= 12; ++r) {
+    t.samples.push_back(
+        Sample{static_cast<VertexId>(r * 20 + 10), 300 + (r - 3) * 30});
+  }
+  const Trajectory s = SimplifyDouglasPeucker(g, t, 10.0);
+  // Endpoints plus the corner at (row 3, col 10).
+  ASSERT_EQ(s.samples.size(), 3u);
+  EXPECT_EQ(s.samples[1].vertex, static_cast<VertexId>(3 * 20 + 10));
+}
+
+TEST(DouglasPeucker, ErrorBoundedByTolerance) {
+  GridNetworkOptions gopts;
+  gopts.rows = 25;
+  gopts.cols = 25;
+  gopts.seed = 9;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 40;
+  topts.sample_stride = 1;  // dense: real route shape
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  for (double tolerance : {25.0, 100.0, 400.0}) {
+    for (TrajId id = 0; id < data->store.size(); ++id) {
+      const Trajectory t = data->store.Materialize(id);
+      const Trajectory s = SimplifyDouglasPeucker(*g, t, tolerance);
+      EXPECT_TRUE(s.IsValid());
+      EXPECT_LE(s.samples.size(), t.samples.size());
+      EXPECT_LE(SimplificationError(*g, t, s), tolerance + 1e-9)
+          << "traj " << id << " tol " << tolerance;
+    }
+  }
+}
+
+TEST(DouglasPeucker, LargerToleranceKeepsFewerSamples) {
+  GridNetworkOptions gopts;
+  gopts.rows = 25;
+  gopts.cols = 25;
+  gopts.seed = 10;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 20;
+  topts.sample_stride = 1;
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  size_t tight = 0, loose = 0;
+  for (TrajId id = 0; id < data->store.size(); ++id) {
+    const Trajectory t = data->store.Materialize(id);
+    tight += SimplifyDouglasPeucker(*g, t, 20.0).samples.size();
+    loose += SimplifyDouglasPeucker(*g, t, 500.0).samples.size();
+  }
+  EXPECT_LT(loose, tight);
+}
+
+TEST(DouglasPeucker, TinyTrajectoriesUntouched) {
+  const RoadNetwork g = TestNetwork();
+  Trajectory one;
+  one.samples = {Sample{3, 0}};
+  EXPECT_EQ(SimplifyDouglasPeucker(g, one, 10.0).samples.size(), 1u);
+  Trajectory two;
+  two.samples = {Sample{3, 0}, Sample{4, 10}};
+  EXPECT_EQ(SimplifyDouglasPeucker(g, two, 10.0).samples.size(), 2u);
+}
+
+TEST(DownsampleUniform, KeepsEndpointsAndOrder) {
+  const RoadNetwork g = TestNetwork();
+  const Trajectory t = StraightRow(2, 0, 19);
+  const Trajectory s = DownsampleUniform(t, 5);
+  ASSERT_EQ(s.samples.size(), 5u);
+  EXPECT_EQ(s.samples.front(), t.samples.front());
+  EXPECT_EQ(s.samples.back(), t.samples.back());
+  EXPECT_TRUE(s.IsValid());
+}
+
+TEST(DownsampleUniform, NoopWhenAlreadySmall) {
+  const Trajectory t = StraightRow(2, 0, 3);
+  EXPECT_EQ(DownsampleUniform(t, 10).samples.size(), t.samples.size());
+}
+
+TEST(SimplificationError, ZeroWhenNothingDropped) {
+  const RoadNetwork g = TestNetwork();
+  const Trajectory t = StraightRow(1, 0, 6);
+  EXPECT_DOUBLE_EQ(SimplificationError(g, t, t), 0.0);
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,56 @@
+// End-to-end smoke test: build a small dataset, run every algorithm, and
+// check the exact ones agree with brute force.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+TEST(Smoke, EndToEnd) {
+  GridNetworkOptions gopts;
+  gopts.rows = 30;
+  gopts.cols = 30;
+  auto net = MakeGridNetwork(gopts);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 300;
+  topts.vocabulary_size = 100;
+  auto data = GenerateTrips(*net, topts);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->store.size(), 300u);
+
+  TrajectoryDatabase db(std::move(*net), std::move(data->store),
+                        std::move(data->vocabulary));
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  wopts.k = 5;
+  auto queries = MakeWorkload(db, wopts);
+  ASSERT_TRUE(queries.ok());
+
+  auto bf = CreateAlgorithm(db, AlgorithmKind::kBruteForce);
+  auto uots = CreateAlgorithm(db, AlgorithmKind::kUots);
+  auto tf = CreateAlgorithm(db, AlgorithmKind::kTextFirst);
+  for (const UotsQuery& q : *queries) {
+    auto rb = bf->Search(q);
+    auto ru = uots->Search(q);
+    auto rt = tf->Search(q);
+    ASSERT_TRUE(rb.ok());
+    ASSERT_TRUE(ru.ok());
+    ASSERT_TRUE(rt.ok());
+    ASSERT_EQ(rb->items.size(), ru->items.size());
+    for (size_t i = 0; i < rb->items.size(); ++i) {
+      EXPECT_NEAR(rb->items[i].score, ru->items[i].score, 1e-9);
+      EXPECT_NEAR(rb->items[i].score, rt->items[i].score, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,114 @@
+// Trajectory model, columnar store, IO round-trips, and splitting.
+
+#include "traj/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "traj/generator.h"
+#include "traj/io.h"
+
+namespace uots {
+namespace {
+
+Trajectory MakeTraj(std::vector<Sample> samples, std::vector<TermId> keys) {
+  Trajectory t;
+  t.samples = std::move(samples);
+  t.keywords = KeywordSet(std::move(keys));
+  return t;
+}
+
+TEST(Trajectory, ValidityRules) {
+  EXPECT_FALSE(Trajectory{}.IsValid());  // empty
+  EXPECT_TRUE(MakeTraj({{0, 10}, {1, 20}}, {}).IsValid());
+  EXPECT_TRUE(MakeTraj({{0, 10}, {1, 10}}, {}).IsValid());  // equal times ok
+  EXPECT_FALSE(MakeTraj({{0, 20}, {1, 10}}, {}).IsValid());  // decreasing
+  EXPECT_FALSE(MakeTraj({{0, -1}}, {}).IsValid());           // negative
+  EXPECT_FALSE(MakeTraj({{0, kSecondsPerDay}}, {}).IsValid());  // out of day
+}
+
+TEST(TrajectoryStore, AddAndRead) {
+  TrajectoryStore store;
+  EXPECT_TRUE(store.empty());
+  auto id1 = store.Add(MakeTraj({{3, 100}, {4, 200}}, {7, 5}));
+  auto id2 = store.Add(MakeTraj({{9, 50}}, {}));
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_EQ(*id1, 0u);
+  EXPECT_EQ(*id2, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.LengthOf(0), 2u);
+  EXPECT_EQ(store.LengthOf(1), 1u);
+  EXPECT_EQ(store.SamplesOf(0)[1], (Sample{4, 200}));
+  EXPECT_EQ(store.KeywordsOf(0).terms(), (std::vector<TermId>{5, 7}));
+  EXPECT_TRUE(store.KeywordsOf(1).empty());
+  EXPECT_EQ(store.TimeRangeOf(0), (std::pair<int32_t, int32_t>{100, 200}));
+  EXPECT_DOUBLE_EQ(store.AverageLength(), 1.5);
+  EXPECT_EQ(store.TotalSamples(), 3u);
+}
+
+TEST(TrajectoryStore, RejectsInvalid) {
+  TrajectoryStore store;
+  EXPECT_FALSE(store.Add(Trajectory{}).ok());
+  EXPECT_FALSE(store.Add(MakeTraj({{0, 5}, {1, 4}}, {})).ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TrajectoryStore, MaterializeRoundTrips) {
+  TrajectoryStore store;
+  const Trajectory t = MakeTraj({{1, 10}, {2, 20}, {3, 30}}, {4, 2});
+  ASSERT_TRUE(store.Add(t).ok());
+  const Trajectory back = store.Materialize(0);
+  EXPECT_EQ(back.samples, t.samples);
+  EXPECT_EQ(back.keywords, t.keywords);
+}
+
+TEST(TrajectoryIO, SaveLoadRoundTrip) {
+  TrajectoryStore store;
+  ASSERT_TRUE(store.Add(MakeTraj({{1, 10}, {2, 25}}, {3, 1, 3})).ok());
+  ASSERT_TRUE(store.Add(MakeTraj({{5, 0}}, {})).ok());
+  const std::string path = testing::TempDir() + "/uots_traj_roundtrip.txt";
+  ASSERT_TRUE(SaveTrajectories(store, path).ok());
+  auto loaded = LoadTrajectories(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), store.size());
+  for (TrajId id = 0; id < store.size(); ++id) {
+    const Trajectory a = store.Materialize(id);
+    const Trajectory b = loaded->Materialize(id);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.keywords, b.keywords);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrajectoryIO, LoadMissingFails) {
+  EXPECT_FALSE(LoadTrajectories("/no/such/file.txt").ok());
+}
+
+TEST(SplitByDuration, SplitsAtWindowBoundaries) {
+  Trajectory t = MakeTraj(
+      {{0, 0}, {1, 100}, {2, 250}, {3, 400}, {4, 900}, {5, 1000}}, {1});
+  const auto parts = SplitByDuration(t, 300);
+  // Windows: [0,100,250] (400-0>300 starts new), [400], [900,1000].
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].samples.size(), 3u);
+  EXPECT_EQ(parts[1].samples.size(), 1u);
+  EXPECT_EQ(parts[2].samples.size(), 2u);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.samples.size();
+    EXPECT_TRUE(p.IsValid());
+    EXPECT_EQ(p.keywords, t.keywords);  // keywords inherited
+  }
+  EXPECT_EQ(total, t.samples.size());
+}
+
+TEST(SplitByDuration, NoSplitWhenShort) {
+  Trajectory t = MakeTraj({{0, 0}, {1, 50}}, {});
+  const auto parts = SplitByDuration(t, 1000);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].samples.size(), 2u);
+}
+
+}  // namespace
+}  // namespace uots

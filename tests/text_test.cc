@@ -1,0 +1,151 @@
+// Vocabulary, keyword sets, Zipf sampling, and textual similarity measures.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "text/keyword_set.h"
+#include "text/similarity.h"
+#include "text/vocabulary.h"
+#include "text/zipf.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+TEST(Vocabulary, InternIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.Intern("museum");
+  const TermId b = v.Intern("food");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("museum"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.TermOf(a), "museum");
+}
+
+TEST(Vocabulary, LookupUnknownReturnsInvalid) {
+  Vocabulary v;
+  v.Intern("x");
+  EXPECT_EQ(v.Lookup("y"), kInvalidTerm);
+  EXPECT_EQ(v.Lookup("x"), 0u);
+}
+
+TEST(Vocabulary, SyntheticHasDistinctTerms) {
+  const Vocabulary v = Vocabulary::Synthetic(250);
+  EXPECT_EQ(v.size(), 250u);
+  EXPECT_NE(v.TermOf(0), v.TermOf(10));
+}
+
+TEST(KeywordSet, NormalizesSortedUnique) {
+  const KeywordSet k({5, 1, 5, 3, 1});
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_EQ(k.terms(), (std::vector<TermId>{1, 3, 5}));
+  EXPECT_TRUE(k.Contains(3));
+  EXPECT_FALSE(k.Contains(2));
+}
+
+TEST(KeywordSet, IntersectionAndUnion) {
+  const KeywordSet a({1, 2, 3, 4});
+  const KeywordSet b({3, 4, 5});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+  EXPECT_EQ(a.UnionSize(b), 5u);
+  EXPECT_EQ(a.IntersectionSize(KeywordSet{}), 0u);
+  EXPECT_EQ(a.UnionSize(KeywordSet{}), 4u);
+}
+
+TEST(Zipf, ProbabilitiesDecreaseWithRank) {
+  Rng rng(99);
+  ZipfSampler zipf(50, 1.0);
+  std::map<size_t, int> hits;
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.Sample(rng)];
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[0], 50000 / 50);  // head far above uniform share
+  for (const auto& [term, _] : hits) EXPECT_LT(term, 50u);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  Rng rng(7);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[zipf.Sample(rng)];
+  for (int h : hits) EXPECT_NEAR(h, 2000, 350);
+}
+
+// --- Similarity measure properties, parameterized over measures. ---
+
+class MeasurePropertyTest : public ::testing::TestWithParam<TextualMeasure> {};
+
+TEST_P(MeasurePropertyTest, RangeSymmetryIdentityDisjoint) {
+  TextualSimilarity sim(GetParam());
+  if (GetParam() == TextualMeasure::kWeighted) {
+    sim.SetDocumentFrequencies({5, 10, 1, 3, 8, 2, 9, 4}, 20);
+  }
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<TermId> ta, tb;
+    for (int i = 0; i < 6; ++i) {
+      ta.push_back(static_cast<TermId>(rng.Uniform(8)));
+      tb.push_back(static_cast<TermId>(rng.Uniform(8)));
+    }
+    const KeywordSet a(ta), b(tb);
+    const double sab = sim.Score(a, b);
+    EXPECT_GE(sab, 0.0);
+    EXPECT_LE(sab, 1.0);
+    EXPECT_DOUBLE_EQ(sab, sim.Score(b, a)) << "must be symmetric";
+    EXPECT_DOUBLE_EQ(sim.Score(a, a), a.empty() ? 0.0 : 1.0);
+  }
+  // Disjoint sets score 0.
+  EXPECT_DOUBLE_EQ(sim.Score(KeywordSet({0, 1}), KeywordSet({2, 3})), 0.0);
+  // Empty sets score 0 under every measure.
+  EXPECT_DOUBLE_EQ(sim.Score(KeywordSet{}, KeywordSet({1})), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Score(KeywordSet({1}), KeywordSet{}), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Measures, MeasurePropertyTest,
+    ::testing::Values(TextualMeasure::kJaccard, TextualMeasure::kDice,
+                      TextualMeasure::kOverlap, TextualMeasure::kCosine,
+                      TextualMeasure::kWeighted),
+    [](const ::testing::TestParamInfo<TextualMeasure>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Similarity, KnownJaccardValue) {
+  TextualSimilarity sim(TextualMeasure::kJaccard);
+  // |{1,2} ∩ {2,3}| = 1, |union| = 3.
+  EXPECT_DOUBLE_EQ(sim.Score(KeywordSet({1, 2}), KeywordSet({2, 3})), 1.0 / 3);
+}
+
+TEST(Similarity, KnownDiceValue) {
+  TextualSimilarity sim(TextualMeasure::kDice);
+  EXPECT_DOUBLE_EQ(sim.Score(KeywordSet({1, 2}), KeywordSet({2, 3})), 0.5);
+}
+
+TEST(Similarity, KnownOverlapValue) {
+  TextualSimilarity sim(TextualMeasure::kOverlap);
+  // Subset scores 1 under the overlap coefficient.
+  EXPECT_DOUBLE_EQ(sim.Score(KeywordSet({1, 2}), KeywordSet({1, 2, 3, 4})), 1.0);
+}
+
+TEST(Similarity, WeightedFavorsRareTerms) {
+  TextualSimilarity sim(TextualMeasure::kWeighted);
+  // Term 0 is very common (df=100), term 1 very rare (df=1).
+  sim.SetDocumentFrequencies({100, 1}, 100);
+  const KeywordSet query({0, 1});
+  const double match_rare = sim.Score(query, KeywordSet({1}));
+  const double match_common = sim.Score(query, KeywordSet({0}));
+  EXPECT_GT(match_rare, match_common);
+}
+
+TEST(Similarity, MeasureNames) {
+  EXPECT_STREQ(ToString(TextualMeasure::kJaccard), "jaccard");
+  EXPECT_STREQ(ToString(TextualMeasure::kWeighted), "weighted-jaccard");
+}
+
+}  // namespace
+}  // namespace uots

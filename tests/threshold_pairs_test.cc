@@ -1,0 +1,226 @@
+// Threshold-query mode and the similar-pairs self join.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/pairs.h"
+#include "core/search.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+std::unique_ptr<TrajectoryDatabase> MakeDb(int num_trajectories,
+                                           uint64_t seed) {
+  GridNetworkOptions gopts;
+  gopts.rows = 20;
+  gopts.cols = 20;
+  gopts.seed = seed;
+  auto g = MakeGridNetwork(gopts);
+  EXPECT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = num_trajectories;
+  topts.vocabulary_size = 120;
+  topts.seed = seed + 1;
+  auto data = GenerateTrips(*g, topts);
+  EXPECT_TRUE(data.ok());
+  return std::make_unique<TrajectoryDatabase>(
+      std::move(*g), std::move(data->store), std::move(data->vocabulary));
+}
+
+/// Brute-force threshold reference: k = everything, filter by theta.
+std::vector<ScoredTrajectory> BruteThreshold(const TrajectoryDatabase& db,
+                                             UotsQuery q, double theta) {
+  q.k = static_cast<int>(db.store().size());
+  BruteForceSearch bf(db);
+  auto r = bf.Search(q);
+  EXPECT_TRUE(r.ok());
+  std::vector<ScoredTrajectory> out;
+  for (const auto& item : r->items) {
+    if (item.score >= theta) out.push_back(item);
+  }
+  return out;
+}
+
+class ThresholdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ThresholdPropertyTest, MatchesBruteForceFilter) {
+  const auto [lambda, theta] = GetParam();
+  auto db = MakeDb(300, 31);
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  wopts.lambda = lambda;
+  wopts.seed = 32;
+  auto queries = MakeWorkload(*db, wopts);
+  ASSERT_TRUE(queries.ok());
+  UotsSearcher searcher(*db);
+  for (const UotsQuery& q : *queries) {
+    auto got = searcher.SearchThreshold(q, theta);
+    ASSERT_TRUE(got.ok());
+    const auto expected = BruteThreshold(*db, q, theta);
+    ASSERT_EQ(got->items.size(), expected.size())
+        << "lambda=" << lambda << " theta=" << theta;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(got->items[i].score, expected[i].score, 1e-9);
+      EXPECT_GE(got->items[i].score, theta);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.7, 1.0),
+                       ::testing::Values(0.4, 0.6, 0.8, 0.95)),
+    [](const ::testing::TestParamInfo<std::tuple<double, double>>& info) {
+      return "l" + std::to_string(static_cast<int>(
+                       std::get<0>(info.param) * 10)) +
+             "_t" + std::to_string(static_cast<int>(
+                        std::get<1>(info.param) * 100));
+    });
+
+TEST(ThresholdSearch, HighThetaReturnsNothing) {
+  auto db = MakeDb(100, 41);
+  UotsQuery q;
+  q.locations = {3, 17};
+  q.keywords = KeywordSet({1, 2});
+  UotsSearcher searcher(*db);
+  auto r = searcher.SearchThreshold(q, 1.01);  // above the max of SimU
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->items.empty());
+}
+
+TEST(ThresholdSearch, ZeroThetaReturnsEverything) {
+  auto db = MakeDb(100, 42);
+  UotsQuery q;
+  q.locations = {3, 17};
+  q.keywords = KeywordSet({1, 2});
+  UotsSearcher searcher(*db);
+  auto r = searcher.SearchThreshold(q, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->items.size(), db->store().size());
+  // Sorted descending.
+  for (size_t i = 1; i < r->items.size(); ++i) {
+    EXPECT_GE(r->items[i - 1].score, r->items[i].score);
+  }
+}
+
+TEST(ThresholdSearch, InvalidQueryRejected) {
+  auto db = MakeDb(10, 43);
+  UotsSearcher searcher(*db);
+  EXPECT_FALSE(searcher.SearchThreshold(UotsQuery{}, 0.5).ok());
+}
+
+TEST(PairQuery, UsesTrajectoryOwnSamplesAndKeywords) {
+  auto db = MakeDb(50, 44);
+  PairJoinOptions opts;
+  opts.max_query_locations = 4;
+  const UotsQuery q = MakePairQuery(*db, 0, opts);
+  EXPECT_LE(q.locations.size(), 4u);
+  EXPECT_GE(q.locations.size(), 1u);
+  const auto samples = db->store().SamplesOf(0);
+  for (VertexId v : q.locations) {
+    bool found = false;
+    for (const Sample& s : samples) found |= (s.vertex == v);
+    EXPECT_TRUE(found) << "query location not on the trajectory";
+  }
+  EXPECT_EQ(q.keywords, db->store().KeywordsOf(0));
+}
+
+TEST(SimilarPairs, FindsPlantedDuplicates) {
+  // Build a database with explicit duplicate trajectories.
+  GridNetworkOptions gopts;
+  gopts.rows = 15;
+  gopts.cols = 15;
+  gopts.seed = 51;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 60;
+  topts.vocabulary_size = 100;
+  topts.seed = 52;
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  // Duplicate trajectories 3 and 7 (ids 60, 61).
+  TrajectoryStore store = std::move(data->store);
+  ASSERT_TRUE(store.Add(store.Materialize(3)).ok());
+  ASSERT_TRUE(store.Add(store.Materialize(7)).ok());
+  TrajectoryDatabase db(std::move(*g), std::move(store),
+                        std::move(data->vocabulary));
+
+  PairJoinOptions opts;
+  opts.theta = 0.95;
+  auto pairs = FindSimilarPairs(db, opts);
+  ASSERT_TRUE(pairs.ok());
+  std::set<std::pair<TrajId, TrajId>> found;
+  for (const auto& p : *pairs) {
+    EXPECT_LT(p.a, p.b);
+    EXPECT_GE(p.score, opts.theta);
+    found.emplace(p.a, p.b);
+  }
+  EXPECT_TRUE(found.count({3, 60})) << "duplicate of 3 not detected";
+  EXPECT_TRUE(found.count({7, 61})) << "duplicate of 7 not detected";
+  // No pair may appear twice.
+  EXPECT_EQ(found.size(), pairs->size());
+}
+
+TEST(SimilarPairs, ThreadCountDoesNotChangeResult) {
+  auto db = MakeDb(80, 61);
+  PairJoinOptions seq, par;
+  seq.theta = par.theta = 0.7;
+  seq.threads = 1;
+  par.threads = 4;
+  auto a = FindSimilarPairs(*db, seq);
+  auto b = FindSimilarPairs(*db, par);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].a, (*b)[i].a);
+    EXPECT_EQ((*a)[i].b, (*b)[i].b);
+    EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+  }
+}
+
+TEST(SimilarPairs, ScoresAreSymmetricAverages) {
+  auto db = MakeDb(60, 62);
+  PairJoinOptions opts;
+  opts.theta = 0.6;
+  auto pairs = FindSimilarPairs(*db, opts);
+  ASSERT_TRUE(pairs.ok());
+  UotsSearcher searcher(*db);
+  for (const auto& p : *pairs) {
+    auto ra = searcher.SearchThreshold(MakePairQuery(*db, p.a, opts), opts.theta);
+    auto rb = searcher.SearchThreshold(MakePairQuery(*db, p.b, opts), opts.theta);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    double sab = -1, sba = -1;
+    for (const auto& item : ra->items) {
+      if (item.id == p.b) sab = item.score;
+    }
+    for (const auto& item : rb->items) {
+      if (item.id == p.a) sba = item.score;
+    }
+    ASSERT_GE(sab, 0.0);
+    ASSERT_GE(sba, 0.0);
+    EXPECT_NEAR(p.score, (sab + sba) / 2.0, 1e-12);
+  }
+}
+
+TEST(SimilarPairs, RejectsBadOptions) {
+  auto db = MakeDb(10, 63);
+  PairJoinOptions opts;
+  opts.threads = 0;
+  EXPECT_FALSE(FindSimilarPairs(*db, opts).ok());
+  opts = {};
+  opts.lambda = -0.1;
+  EXPECT_FALSE(FindSimilarPairs(*db, opts).ok());
+  opts = {};
+  opts.max_query_locations = 0;
+  EXPECT_FALSE(FindSimilarPairs(*db, opts).ok());
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,205 @@
+// Trip generator: determinism, structural validity, and the statistical
+// properties the substitution (DESIGN.md §5.4) must preserve.
+
+#include "traj/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/dijkstra.h"
+#include "net/generators.h"
+
+namespace uots {
+namespace {
+
+RoadNetwork TestNetwork() {
+  GridNetworkOptions opts;
+  opts.rows = 25;
+  opts.cols = 25;
+  opts.seed = 4;
+  auto g = MakeGridNetwork(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+TEST(TripGenerator, ProducesRequestedCount) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 150;
+  auto data = GenerateTrips(g, opts);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->store.size(), 150u);
+  EXPECT_EQ(data->hotspots.size(), static_cast<size_t>(opts.num_hotspots));
+  EXPECT_EQ(data->vocabulary.size(),
+            static_cast<size_t>(opts.vocabulary_size));
+}
+
+TEST(TripGenerator, DeterministicForSeed) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 40;
+  opts.seed = 77;
+  auto a = GenerateTrips(g, opts);
+  auto b = GenerateTrips(g, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->store.size(), b->store.size());
+  for (TrajId id = 0; id < a->store.size(); ++id) {
+    EXPECT_EQ(a->store.Materialize(id).samples, b->store.Materialize(id).samples);
+    EXPECT_EQ(a->store.KeywordsOf(id), b->store.KeywordsOf(id));
+  }
+}
+
+TEST(TripGenerator, DifferentSeedsDiffer) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 20;
+  opts.seed = 1;
+  auto a = GenerateTrips(g, opts);
+  opts.seed = 2;
+  auto b = GenerateTrips(g, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (TrajId id = 0; id < a->store.size(); ++id) {
+    if (a->store.Materialize(id).samples != b->store.Materialize(id).samples) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TripGenerator, TrajectoriesAreStructurallyValid) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 100;
+  auto data = GenerateTrips(g, opts);
+  ASSERT_TRUE(data.ok());
+  for (TrajId id = 0; id < data->store.size(); ++id) {
+    const auto samples = data->store.SamplesOf(id);
+    ASSERT_GE(samples.size(), 2u);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      EXPECT_LT(samples[i].vertex, g.NumVertices());
+      EXPECT_GE(samples[i].time_s, 0);
+      EXPECT_LT(samples[i].time_s, kSecondsPerDay);
+      if (i > 0) {
+        EXPECT_GE(samples[i].time_s, samples[i - 1].time_s);
+        EXPECT_NE(samples[i].vertex, samples[i - 1].vertex);
+      }
+    }
+    const auto& keys = data->store.KeywordsOf(id);
+    EXPECT_GE(keys.size(), 1u);
+    EXPECT_LE(keys.size(), static_cast<size_t>(opts.max_keywords));
+    for (TermId t : keys.terms()) {
+      EXPECT_LT(t, static_cast<TermId>(opts.vocabulary_size));
+    }
+  }
+}
+
+TEST(TripGenerator, SamplesFollowNetworkRoutes) {
+  // Adjacent samples must be near each other in network distance (the route
+  // between them is at most `stride` edges).
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 10;
+  opts.sample_stride = 3;
+  auto data = GenerateTrips(g, opts);
+  ASSERT_TRUE(data.ok());
+  for (TrajId id = 0; id < data->store.size(); ++id) {
+    const auto samples = data->store.SamplesOf(id);
+    for (size_t i = 0; i + 1 < samples.size(); ++i) {
+      const double d =
+          ShortestPathDistance(g, samples[i].vertex, samples[i + 1].vertex);
+      // Grid spacing is 150 m; stride 3 with jitter stays well under 1.5 km.
+      EXPECT_LT(d, 1500.0);
+    }
+  }
+}
+
+TEST(TripGenerator, HotspotBiasConcentratesEndpoints) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions biased, uniform;
+  biased.num_trajectories = uniform.num_trajectories = 200;
+  biased.hotspot_bias = 1.0;
+  uniform.hotspot_bias = 0.0;
+  biased.seed = uniform.seed = 5;
+  auto db = GenerateTrips(g, biased);
+  auto du = GenerateTrips(g, uniform);
+  ASSERT_TRUE(db.ok() && du.ok());
+  // Count distinct endpoint vertices: biased trips reuse hotspot areas.
+  std::set<VertexId> biased_ends, uniform_ends;
+  for (TrajId id = 0; id < 200; ++id) {
+    biased_ends.insert(db->store.SamplesOf(id).back().vertex);
+    uniform_ends.insert(du->store.SamplesOf(id).back().vertex);
+  }
+  EXPECT_LT(biased_ends.size(), uniform_ends.size());
+}
+
+TEST(TripGenerator, TopicAffinityCorrelatesKeywordsWithDestinations) {
+  // The spatial-textual correlation property (DESIGN.md §5.4): trips with
+  // the same destination topic share more keywords than trips with
+  // different topics.
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 300;
+  opts.topic_affinity = 1.0;
+  opts.hotspot_bias = 1.0;
+  opts.seed = 6;
+  auto data = GenerateTrips(g, opts);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->topics.size(), data->store.size());
+
+  double same_sum = 0, cross_sum = 0;
+  int same_n = 0, cross_n = 0;
+  for (TrajId a = 0; a < 150; ++a) {
+    for (TrajId b = a + 1; b < 150; ++b) {
+      if (data->topics[a] < 0 || data->topics[b] < 0) continue;
+      const auto& ka = data->store.KeywordsOf(a);
+      const auto& kb = data->store.KeywordsOf(b);
+      const double jac = static_cast<double>(ka.IntersectionSize(kb)) /
+                         static_cast<double>(ka.UnionSize(kb));
+      if (data->topics[a] == data->topics[b]) {
+        same_sum += jac;
+        ++same_n;
+      } else {
+        cross_sum += jac;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_sum / same_n, 2.0 * (cross_sum / cross_n))
+      << "same-topic trips must share far more keywords";
+}
+
+TEST(TripGenerator, RejectsBadOptions) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.sample_stride = 0;
+  EXPECT_FALSE(GenerateTrips(g, opts).ok());
+  opts = {};
+  opts.min_keywords = 5;
+  opts.max_keywords = 3;
+  EXPECT_FALSE(GenerateTrips(g, opts).ok());
+  opts = {};
+  opts.vocabulary_size = 2;
+  EXPECT_FALSE(GenerateTrips(g, opts).ok());
+  opts = {};
+  opts.speed_mps = 0;
+  EXPECT_FALSE(GenerateTrips(g, opts).ok());
+  opts = {};
+  opts.hotspot_bias = 1.5;
+  EXPECT_FALSE(GenerateTrips(g, opts).ok());
+}
+
+TEST(TripGenerator, ZeroTrajectoriesIsFine) {
+  const RoadNetwork g = TestNetwork();
+  TripGeneratorOptions opts;
+  opts.num_trajectories = 0;
+  auto data = GenerateTrips(g, opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->store.empty());
+}
+
+}  // namespace
+}  // namespace uots

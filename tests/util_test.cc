@@ -1,0 +1,147 @@
+// Tests for string helpers, versioned arrays, counters, and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/counters.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/versioned.h"
+
+namespace uots {
+namespace {
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitSingleToken) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtil, TrimWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringUtil, JoinRoundTripsSplit) {
+  const std::vector<std::string> items = {"a", "b", "c"};
+  EXPECT_EQ(Join(items, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("uots-network 1", "uots-network"));
+  EXPECT_FALSE(StartsWith("uots", "uots-network"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(VersionedArray, ResetInvalidatesAllEntries) {
+  VersionedArray<int> a(4);
+  a.Set(1, 7);
+  EXPECT_TRUE(a.Has(1));
+  EXPECT_EQ(a.Get(1), 7);
+  EXPECT_FALSE(a.Has(0));
+  EXPECT_EQ(a.Get(0, -1), -1);
+  a.Reset();
+  EXPECT_FALSE(a.Has(1));
+  EXPECT_EQ(a.Get(1, -1), -1);
+}
+
+TEST(VersionedArray, RefDefaultInitializes) {
+  VersionedArray<double> a(2);
+  a.Ref(0) += 1.5;
+  a.Ref(0) += 1.5;
+  EXPECT_DOUBLE_EQ(a.Get(0), 3.0);
+  a.Reset();
+  a.Ref(0) += 2.0;  // starts fresh after reset
+  EXPECT_DOUBLE_EQ(a.Get(0), 2.0);
+}
+
+TEST(VersionedArray, SurvivesManyResets) {
+  VersionedArray<int> a(1);
+  for (int round = 0; round < 100000; ++round) {
+    EXPECT_FALSE(a.Has(0));
+    a.Set(0, round);
+    a.Reset();
+  }
+}
+
+TEST(QueryStats, AccumulatesAllFields) {
+  QueryStats a, b;
+  a.visited_trajectories = 1;
+  a.trajectory_hits = 2;
+  a.settled_vertices = 3;
+  a.heap_pops = 4;
+  a.candidates = 5;
+  a.posting_entries = 6;
+  a.schedule_steps = 7;
+  a.elapsed_ms = 1.5;
+  b = a;
+  b += a;
+  EXPECT_EQ(b.visited_trajectories, 2);
+  EXPECT_EQ(b.trajectory_hits, 4);
+  EXPECT_EQ(b.settled_vertices, 6);
+  EXPECT_EQ(b.heap_pops, 8);
+  EXPECT_EQ(b.candidates, 10);
+  EXPECT_EQ(b.posting_entries, 12);
+  EXPECT_EQ(b.schedule_steps, 14);
+  EXPECT_DOUBLE_EQ(b.elapsed_ms, 3.0);
+  EXPECT_NE(b.ToString().find("visited=2"), std::string::npos);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  auto f1 = pool.Submit([] { return 21 * 2; });
+  auto f2 = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ManySmallTasksDrain) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+}  // namespace
+}  // namespace uots

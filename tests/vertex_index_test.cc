@@ -1,0 +1,67 @@
+#include "traj/vertex_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+TEST(VertexTrajectoryIndex, MembershipMatchesStore) {
+  GridNetworkOptions gopts;
+  gopts.rows = 15;
+  gopts.cols = 15;
+  auto g = MakeGridNetwork(gopts);
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 80;
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  const auto& store = data->store;
+
+  const VertexTrajectoryIndex index(store, g->NumVertices());
+
+  // Reference: per-vertex sets built directly.
+  std::vector<std::set<TrajId>> expected(g->NumVertices());
+  for (TrajId id = 0; id < store.size(); ++id) {
+    for (const Sample& s : store.SamplesOf(id)) expected[s.vertex].insert(id);
+  }
+  size_t total = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    const auto got = index.TrajectoriesAt(v);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(std::set<TrajId>(got.begin(), got.end()), expected[v])
+        << "vertex " << v;
+    EXPECT_EQ(got.size(), expected[v].size()) << "duplicates at vertex " << v;
+    total += got.size();
+  }
+  EXPECT_EQ(index.TotalEntries(), total);
+  EXPECT_GT(index.MemoryUsage(), 0u);
+}
+
+TEST(VertexTrajectoryIndex, EmptyStore) {
+  TrajectoryStore store;
+  const VertexTrajectoryIndex index(store, 10);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(index.TrajectoriesAt(v).empty());
+  }
+  EXPECT_EQ(index.TotalEntries(), 0u);
+}
+
+TEST(VertexTrajectoryIndex, RepeatedVertexWithinTrajectoryDeduplicated) {
+  TrajectoryStore store;
+  Trajectory t;
+  t.samples = {{3, 0}, {4, 10}, {3, 20}};  // revisits vertex 3
+  ASSERT_TRUE(store.Add(t).ok());
+  const VertexTrajectoryIndex index(store, 5);
+  EXPECT_EQ(index.TrajectoriesAt(3).size(), 1u);
+  EXPECT_EQ(index.TrajectoriesAt(4).size(), 1u);
+  EXPECT_EQ(index.TotalEntries(), 2u);
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cardinality.dir/bench/bench_cardinality.cc.o"
+  "CMakeFiles/bench_cardinality.dir/bench/bench_cardinality.cc.o.d"
+  "bench/bench_cardinality"
+  "bench/bench_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_euclidean.dir/bench/bench_euclidean.cc.o"
+  "CMakeFiles/bench_euclidean.dir/bench/bench_euclidean.cc.o.d"
+  "bench/bench_euclidean"
+  "bench/bench_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

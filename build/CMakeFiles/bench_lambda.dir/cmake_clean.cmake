@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lambda.dir/bench/bench_lambda.cc.o"
+  "CMakeFiles/bench_lambda.dir/bench/bench_lambda.cc.o.d"
+  "bench/bench_lambda"
+  "bench/bench_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

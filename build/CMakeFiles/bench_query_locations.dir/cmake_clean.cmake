@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_locations.dir/bench/bench_query_locations.cc.o"
+  "CMakeFiles/bench_query_locations.dir/bench/bench_query_locations.cc.o.d"
+  "bench/bench_query_locations"
+  "bench/bench_query_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

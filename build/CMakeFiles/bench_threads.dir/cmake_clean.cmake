@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threads.dir/bench/bench_threads.cc.o"
+  "CMakeFiles/bench_threads.dir/bench/bench_threads.cc.o.d"
+  "bench/bench_threads"
+  "bench/bench_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

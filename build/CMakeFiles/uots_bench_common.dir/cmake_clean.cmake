@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_bench_common.dir/bench/common/datasets.cc.o"
+  "CMakeFiles/uots_bench_common.dir/bench/common/datasets.cc.o.d"
+  "CMakeFiles/uots_bench_common.dir/bench/common/report.cc.o"
+  "CMakeFiles/uots_bench_common.dir/bench/common/report.cc.o.d"
+  "libuots_bench_common.a"
+  "libuots_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

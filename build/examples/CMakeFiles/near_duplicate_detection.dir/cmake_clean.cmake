@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_duplicate_detection.dir/near_duplicate_detection.cc.o"
+  "CMakeFiles/near_duplicate_detection.dir/near_duplicate_detection.cc.o.d"
+  "near_duplicate_detection"
+  "near_duplicate_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_duplicate_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_trip.dir/temporal_trip.cc.o"
+  "CMakeFiles/temporal_trip.dir/temporal_trip.cc.o.d"
+  "temporal_trip"
+  "temporal_trip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

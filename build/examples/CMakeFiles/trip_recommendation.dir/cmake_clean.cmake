@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_recommendation.dir/trip_recommendation.cc.o"
+  "CMakeFiles/trip_recommendation.dir/trip_recommendation.cc.o.d"
+  "trip_recommendation"
+  "trip_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm.cc" "src/core/CMakeFiles/uots_core.dir/algorithm.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/algorithm.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/core/CMakeFiles/uots_core.dir/batch.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/batch.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/uots_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/uots_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/database.cc.o.d"
+  "/root/repo/src/core/euclid_baseline.cc" "src/core/CMakeFiles/uots_core.dir/euclid_baseline.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/euclid_baseline.cc.o.d"
+  "/root/repo/src/core/pairs.cc" "src/core/CMakeFiles/uots_core.dir/pairs.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/pairs.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/uots_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/query.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/uots_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/search.cc.o.d"
+  "/root/repo/src/core/temporal.cc" "src/core/CMakeFiles/uots_core.dir/temporal.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/temporal.cc.o.d"
+  "/root/repo/src/core/text_first.cc" "src/core/CMakeFiles/uots_core.dir/text_first.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/text_first.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/uots_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/uots_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/uots_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/uots_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/uots_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_core.dir/algorithm.cc.o"
+  "CMakeFiles/uots_core.dir/algorithm.cc.o.d"
+  "CMakeFiles/uots_core.dir/batch.cc.o"
+  "CMakeFiles/uots_core.dir/batch.cc.o.d"
+  "CMakeFiles/uots_core.dir/brute_force.cc.o"
+  "CMakeFiles/uots_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/uots_core.dir/database.cc.o"
+  "CMakeFiles/uots_core.dir/database.cc.o.d"
+  "CMakeFiles/uots_core.dir/euclid_baseline.cc.o"
+  "CMakeFiles/uots_core.dir/euclid_baseline.cc.o.d"
+  "CMakeFiles/uots_core.dir/pairs.cc.o"
+  "CMakeFiles/uots_core.dir/pairs.cc.o.d"
+  "CMakeFiles/uots_core.dir/query.cc.o"
+  "CMakeFiles/uots_core.dir/query.cc.o.d"
+  "CMakeFiles/uots_core.dir/search.cc.o"
+  "CMakeFiles/uots_core.dir/search.cc.o.d"
+  "CMakeFiles/uots_core.dir/temporal.cc.o"
+  "CMakeFiles/uots_core.dir/temporal.cc.o.d"
+  "CMakeFiles/uots_core.dir/text_first.cc.o"
+  "CMakeFiles/uots_core.dir/text_first.cc.o.d"
+  "CMakeFiles/uots_core.dir/workload.cc.o"
+  "CMakeFiles/uots_core.dir/workload.cc.o.d"
+  "libuots_core.a"
+  "libuots_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuots_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_geo.dir/grid_index.cc.o"
+  "CMakeFiles/uots_geo.dir/grid_index.cc.o.d"
+  "libuots_geo.a"
+  "libuots_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

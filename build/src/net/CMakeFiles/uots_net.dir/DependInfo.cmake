@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/astar.cc" "src/net/CMakeFiles/uots_net.dir/astar.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/astar.cc.o.d"
+  "/root/repo/src/net/bidirectional.cc" "src/net/CMakeFiles/uots_net.dir/bidirectional.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/bidirectional.cc.o.d"
+  "/root/repo/src/net/dijkstra.cc" "src/net/CMakeFiles/uots_net.dir/dijkstra.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/dijkstra.cc.o.d"
+  "/root/repo/src/net/expansion.cc" "src/net/CMakeFiles/uots_net.dir/expansion.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/expansion.cc.o.d"
+  "/root/repo/src/net/generators.cc" "src/net/CMakeFiles/uots_net.dir/generators.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/generators.cc.o.d"
+  "/root/repo/src/net/graph.cc" "src/net/CMakeFiles/uots_net.dir/graph.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/graph.cc.o.d"
+  "/root/repo/src/net/io.cc" "src/net/CMakeFiles/uots_net.dir/io.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/io.cc.o.d"
+  "/root/repo/src/net/landmarks.cc" "src/net/CMakeFiles/uots_net.dir/landmarks.cc.o" "gcc" "src/net/CMakeFiles/uots_net.dir/landmarks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/uots_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_net.dir/astar.cc.o"
+  "CMakeFiles/uots_net.dir/astar.cc.o.d"
+  "CMakeFiles/uots_net.dir/bidirectional.cc.o"
+  "CMakeFiles/uots_net.dir/bidirectional.cc.o.d"
+  "CMakeFiles/uots_net.dir/dijkstra.cc.o"
+  "CMakeFiles/uots_net.dir/dijkstra.cc.o.d"
+  "CMakeFiles/uots_net.dir/expansion.cc.o"
+  "CMakeFiles/uots_net.dir/expansion.cc.o.d"
+  "CMakeFiles/uots_net.dir/generators.cc.o"
+  "CMakeFiles/uots_net.dir/generators.cc.o.d"
+  "CMakeFiles/uots_net.dir/graph.cc.o"
+  "CMakeFiles/uots_net.dir/graph.cc.o.d"
+  "CMakeFiles/uots_net.dir/io.cc.o"
+  "CMakeFiles/uots_net.dir/io.cc.o.d"
+  "CMakeFiles/uots_net.dir/landmarks.cc.o"
+  "CMakeFiles/uots_net.dir/landmarks.cc.o.d"
+  "libuots_net.a"
+  "libuots_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_text.dir/inverted_index.cc.o"
+  "CMakeFiles/uots_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/uots_text.dir/similarity.cc.o"
+  "CMakeFiles/uots_text.dir/similarity.cc.o.d"
+  "CMakeFiles/uots_text.dir/vocabulary.cc.o"
+  "CMakeFiles/uots_text.dir/vocabulary.cc.o.d"
+  "libuots_text.a"
+  "libuots_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

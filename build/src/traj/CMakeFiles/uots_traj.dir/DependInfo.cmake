@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/generator.cc" "src/traj/CMakeFiles/uots_traj.dir/generator.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/generator.cc.o.d"
+  "/root/repo/src/traj/io.cc" "src/traj/CMakeFiles/uots_traj.dir/io.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/io.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/uots_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/stats.cc" "src/traj/CMakeFiles/uots_traj.dir/stats.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/stats.cc.o.d"
+  "/root/repo/src/traj/store.cc" "src/traj/CMakeFiles/uots_traj.dir/store.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/store.cc.o.d"
+  "/root/repo/src/traj/time_index.cc" "src/traj/CMakeFiles/uots_traj.dir/time_index.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/time_index.cc.o.d"
+  "/root/repo/src/traj/vertex_index.cc" "src/traj/CMakeFiles/uots_traj.dir/vertex_index.cc.o" "gcc" "src/traj/CMakeFiles/uots_traj.dir/vertex_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/uots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/uots_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uots_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/uots_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_traj.dir/generator.cc.o"
+  "CMakeFiles/uots_traj.dir/generator.cc.o.d"
+  "CMakeFiles/uots_traj.dir/io.cc.o"
+  "CMakeFiles/uots_traj.dir/io.cc.o.d"
+  "CMakeFiles/uots_traj.dir/simplify.cc.o"
+  "CMakeFiles/uots_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/uots_traj.dir/stats.cc.o"
+  "CMakeFiles/uots_traj.dir/stats.cc.o.d"
+  "CMakeFiles/uots_traj.dir/store.cc.o"
+  "CMakeFiles/uots_traj.dir/store.cc.o.d"
+  "CMakeFiles/uots_traj.dir/time_index.cc.o"
+  "CMakeFiles/uots_traj.dir/time_index.cc.o.d"
+  "CMakeFiles/uots_traj.dir/vertex_index.cc.o"
+  "CMakeFiles/uots_traj.dir/vertex_index.cc.o.d"
+  "libuots_traj.a"
+  "libuots_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

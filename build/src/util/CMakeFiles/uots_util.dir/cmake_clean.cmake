@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_util.dir/counters.cc.o"
+  "CMakeFiles/uots_util.dir/counters.cc.o.d"
+  "CMakeFiles/uots_util.dir/status.cc.o"
+  "CMakeFiles/uots_util.dir/status.cc.o.d"
+  "CMakeFiles/uots_util.dir/string_util.cc.o"
+  "CMakeFiles/uots_util.dir/string_util.cc.o.d"
+  "CMakeFiles/uots_util.dir/thread_pool.cc.o"
+  "CMakeFiles/uots_util.dir/thread_pool.cc.o.d"
+  "libuots_util.a"
+  "libuots_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/astar_test.cc" "tests/CMakeFiles/uots_astar_test.dir/astar_test.cc.o" "gcc" "tests/CMakeFiles/uots_astar_test.dir/astar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/uots_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/uots_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/uots_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

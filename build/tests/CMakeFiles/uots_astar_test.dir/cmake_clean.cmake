@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_astar_test.dir/astar_test.cc.o"
+  "CMakeFiles/uots_astar_test.dir/astar_test.cc.o.d"
+  "uots_astar_test"
+  "uots_astar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_astar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_batch_workload_test.dir/batch_workload_test.cc.o"
+  "CMakeFiles/uots_batch_workload_test.dir/batch_workload_test.cc.o.d"
+  "uots_batch_workload_test"
+  "uots_batch_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_batch_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

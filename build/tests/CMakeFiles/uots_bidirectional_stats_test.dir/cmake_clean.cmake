@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_bidirectional_stats_test.dir/bidirectional_stats_test.cc.o"
+  "CMakeFiles/uots_bidirectional_stats_test.dir/bidirectional_stats_test.cc.o.d"
+  "uots_bidirectional_stats_test"
+  "uots_bidirectional_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_bidirectional_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_database_test.dir/database_test.cc.o"
+  "CMakeFiles/uots_database_test.dir/database_test.cc.o.d"
+  "uots_database_test"
+  "uots_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

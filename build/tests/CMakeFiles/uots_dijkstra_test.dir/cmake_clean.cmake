@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_dijkstra_test.dir/dijkstra_test.cc.o"
+  "CMakeFiles/uots_dijkstra_test.dir/dijkstra_test.cc.o.d"
+  "uots_dijkstra_test"
+  "uots_dijkstra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_dijkstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

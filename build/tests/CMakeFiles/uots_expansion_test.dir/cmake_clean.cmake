@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_expansion_test.dir/expansion_test.cc.o"
+  "CMakeFiles/uots_expansion_test.dir/expansion_test.cc.o.d"
+  "uots_expansion_test"
+  "uots_expansion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

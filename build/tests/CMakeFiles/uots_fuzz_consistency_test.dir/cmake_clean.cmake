@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_fuzz_consistency_test.dir/fuzz_consistency_test.cc.o"
+  "CMakeFiles/uots_fuzz_consistency_test.dir/fuzz_consistency_test.cc.o.d"
+  "uots_fuzz_consistency_test"
+  "uots_fuzz_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_fuzz_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_generators_test.dir/generators_test.cc.o"
+  "CMakeFiles/uots_generators_test.dir/generators_test.cc.o.d"
+  "uots_generators_test"
+  "uots_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

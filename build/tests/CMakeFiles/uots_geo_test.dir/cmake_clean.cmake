@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_geo_test.dir/geo_test.cc.o"
+  "CMakeFiles/uots_geo_test.dir/geo_test.cc.o.d"
+  "uots_geo_test"
+  "uots_geo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_graph_test.dir/graph_test.cc.o"
+  "CMakeFiles/uots_graph_test.dir/graph_test.cc.o.d"
+  "uots_graph_test"
+  "uots_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_inverted_index_test.dir/inverted_index_test.cc.o"
+  "CMakeFiles/uots_inverted_index_test.dir/inverted_index_test.cc.o.d"
+  "uots_inverted_index_test"
+  "uots_inverted_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_inverted_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

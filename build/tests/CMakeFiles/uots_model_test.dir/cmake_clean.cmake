@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_model_test.dir/model_test.cc.o"
+  "CMakeFiles/uots_model_test.dir/model_test.cc.o.d"
+  "uots_model_test"
+  "uots_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

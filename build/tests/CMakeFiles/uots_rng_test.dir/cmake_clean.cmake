@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_rng_test.dir/rng_test.cc.o"
+  "CMakeFiles/uots_rng_test.dir/rng_test.cc.o.d"
+  "uots_rng_test"
+  "uots_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_search_equivalence_test.dir/search_equivalence_test.cc.o"
+  "CMakeFiles/uots_search_equivalence_test.dir/search_equivalence_test.cc.o.d"
+  "uots_search_equivalence_test"
+  "uots_search_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_search_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

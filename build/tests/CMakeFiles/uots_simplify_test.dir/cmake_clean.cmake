@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_simplify_test.dir/simplify_test.cc.o"
+  "CMakeFiles/uots_simplify_test.dir/simplify_test.cc.o.d"
+  "uots_simplify_test"
+  "uots_simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

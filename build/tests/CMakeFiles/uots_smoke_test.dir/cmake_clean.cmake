@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_smoke_test.dir/smoke_test.cc.o"
+  "CMakeFiles/uots_smoke_test.dir/smoke_test.cc.o.d"
+  "uots_smoke_test"
+  "uots_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_status_test.dir/status_test.cc.o"
+  "CMakeFiles/uots_status_test.dir/status_test.cc.o.d"
+  "uots_status_test"
+  "uots_status_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_store_test.dir/store_test.cc.o"
+  "CMakeFiles/uots_store_test.dir/store_test.cc.o.d"
+  "uots_store_test"
+  "uots_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

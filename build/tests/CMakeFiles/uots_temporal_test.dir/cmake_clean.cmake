@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_temporal_test.dir/temporal_test.cc.o"
+  "CMakeFiles/uots_temporal_test.dir/temporal_test.cc.o.d"
+  "uots_temporal_test"
+  "uots_temporal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_text_test.dir/text_test.cc.o"
+  "CMakeFiles/uots_text_test.dir/text_test.cc.o.d"
+  "uots_text_test"
+  "uots_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

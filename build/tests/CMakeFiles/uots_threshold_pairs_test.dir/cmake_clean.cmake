@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_threshold_pairs_test.dir/threshold_pairs_test.cc.o"
+  "CMakeFiles/uots_threshold_pairs_test.dir/threshold_pairs_test.cc.o.d"
+  "uots_threshold_pairs_test"
+  "uots_threshold_pairs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_threshold_pairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_traj_generator_test.dir/traj_generator_test.cc.o"
+  "CMakeFiles/uots_traj_generator_test.dir/traj_generator_test.cc.o.d"
+  "uots_traj_generator_test"
+  "uots_traj_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_traj_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_util_test.dir/util_test.cc.o"
+  "CMakeFiles/uots_util_test.dir/util_test.cc.o.d"
+  "uots_util_test"
+  "uots_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uots_vertex_index_test.dir/vertex_index_test.cc.o"
+  "CMakeFiles/uots_vertex_index_test.dir/vertex_index_test.cc.o.d"
+  "uots_vertex_index_test"
+  "uots_vertex_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uots_vertex_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

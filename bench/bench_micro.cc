@@ -6,12 +6,18 @@
 // regressions and for the ALT ablation (A*/ALT settled-vertex reduction).
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <vector>
 
 #include "common/datasets.h"
+#include "common/report.h"
 #include "net/astar.h"
 #include "net/bidirectional.h"
 #include "net/dijkstra.h"
 #include "net/expansion.h"
+#include "net/generators.h"
 #include "net/landmarks.h"
 #include "text/inverted_index.h"
 #include "util/rng.h"
@@ -50,6 +56,32 @@ void BM_ExpansionSteps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * steps);
 }
 BENCHMARK(BM_ExpansionSteps)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ExpansionStepsDense(benchmark::State& state) {
+  // Denser substrate than the generated cities (k=8 vs 3 nearest
+  // neighbors): decrease-key traffic grows with degree, which is the
+  // regime where the indexed frontier separates from a lazy queue.
+  static const RoadNetwork* dense = [] {
+    RandomGeometricOptions opts;
+    opts.num_vertices = 50000;
+    opts.k_nearest = 8;
+    opts.seed = 11;
+    auto g = MakeRandomGeometricNetwork(opts);
+    return new RoadNetwork(std::move(*g));
+  }();
+  NetworkExpansion ex(*dense);
+  Rng rng(6);
+  const int64_t steps = state.range(0);
+  for (auto _ : state) {
+    ex.Reset(static_cast<VertexId>(rng.Uniform(dense->NumVertices())));
+    VertexId v;
+    double d;
+    for (int64_t i = 0; i < steps && ex.Step(&v, &d); ++i) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_ExpansionStepsDense)->Arg(1000)->Arg(5000);
 
 void BM_AStarEuclidean(benchmark::State& state) {
   const auto& g = Db().network();
@@ -141,8 +173,45 @@ void BM_VertexIndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_VertexIndexLookup);
 
+// Forwards every run to the normal console table while capturing it as a
+// JsonReport row, so the binary emits BENCH_micro.json as a side effect.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(JsonReport* report)
+      : ConsoleReporter(isatty(fileno(stdout)) ? OO_Defaults : OO_Tabular),
+        report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      auto& row = report_->AddRow();
+      row.Set("name", run.benchmark_name())
+          .Set("time_unit", benchmark::GetTimeUnitString(run.time_unit))
+          .Set("real_time", run.GetAdjustedRealTime())
+          .Set("cpu_time", run.GetAdjustedCPUTime())
+          .Set("iterations", static_cast<int64_t>(run.iterations));
+      for (const auto& [key, counter] : run.counters) {
+        row.Set(key, static_cast<double>(counter));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonReport* report_;
+};
+
 }  // namespace
 }  // namespace bench
 }  // namespace uots
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  uots::bench::JsonReport report("M1 substrate micro-benchmarks");
+  uots::bench::JsonTeeReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.WriteFile("BENCH_micro.json");
+  return 0;
+}

@@ -1,10 +1,55 @@
 #include "common/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 namespace uots {
 namespace bench {
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
 
 Table::Table(std::vector<std::string> columns, int width)
     : columns_(std::move(columns)), width_(width) {}
@@ -68,6 +113,63 @@ void PrintBanner(const std::string& experiment, const TrajectoryDatabase& db) {
   std::printf("network: |V|=%zu |E|=%zu   trajectories: |T|=%zu (avg len %.1f)\n",
               db.network().NumVertices(), db.network().NumEdges(),
               db.store().size(), db.store().AverageLength());
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key,
+                                      const std::string& value) {
+  fields_.emplace_back(key, JsonQuote(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonReport::JsonReport(std::string experiment)
+    : experiment_(std::move(experiment)) {}
+
+JsonReport::Row& JsonReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string JsonReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"experiment\": " << JsonQuote(experiment_)
+     << ",\n  \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {";
+    const auto& fields = rows_[i].fields_;
+    for (size_t j = 0; j < fields.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << JsonQuote(fields[j].first) << ": " << fields[j].second;
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool JsonReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = ToJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "JsonReport: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  return true;
 }
 
 }  // namespace bench

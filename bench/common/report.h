@@ -49,6 +49,41 @@ std::vector<UotsQuery> DefaultWorkload(const TrajectoryDatabase& db,
 /// Prints the standard experiment banner (dataset sizes etc.).
 void PrintBanner(const std::string& experiment, const TrajectoryDatabase& db);
 
+/// \brief Machine-readable sidecar for a bench binary: accumulates flat
+/// rows of string/number fields and serialises them as
+/// `{"experiment": ..., "rows": [{...}, ...]}` so runs can be diffed by
+/// scripts instead of scraping the console tables.
+class JsonReport {
+ public:
+  /// One row under "rows"; fields keep insertion order. Returned by
+  /// AddRow() by reference — the report owns the storage.
+  class Row {
+   public:
+    Row& Set(const std::string& key, const std::string& value);
+    Row& Set(const std::string& key, double value);
+    Row& Set(const std::string& key, int64_t value);
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON
+  };
+
+  explicit JsonReport(std::string experiment);
+
+  Row& AddRow();
+  size_t NumRows() const { return rows_.size(); }
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; reports (not aborts) on I/O failure.
+  /// \return true when the file was written completely.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string experiment_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace bench
 }  // namespace uots
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite in
+# Release, then again under ASan+UBSan. Run from the repo root:
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh release    # just the fast one
+#   scripts/check.sh asan       # just the sanitizer pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 2)
+presets=("${@:-release asan}")
+# Split the default string into two presets when invoked with no args.
+if [[ $# -eq 0 ]]; then presets=(release asan); fi
+
+for preset in "${presets[@]}"; do
+  echo "==> preset: ${preset}"
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+echo "==> all checks passed"

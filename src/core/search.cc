@@ -153,32 +153,123 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
   size_t text_ptr = 0;  // head of the not-fully-scanned textual remainder
   std::vector<double> labels(m, 0.0);
   size_t cur = 0;  // current query source
+  const uint64_t full_mask =
+      (m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1);
+
+  // ---- Incremental bound maintenance. ----
+  //
+  // The per-round termination/scheduling sweep used to rescan the whole
+  // partly-scanned set (O(|partial| * m) per round). Instead, each state
+  // caches its SimU upper bound (TrajState::cached_ub) from the moment it
+  // was last touched, and three aggregates are maintained as deltas:
+  //
+  //  * labels[i]      — sum of cached_ub over states source i has not
+  //                     scanned yet (the scheduling heuristic's input);
+  //  * cached_max     — max cached_ub since the last full rebuild;
+  //  * partial_count  — number of unresolved states inside partial_.
+  //
+  // Soundness: radii only grow, so cur_decay[] only shrinks, and a newly
+  // scanned exact decay e^(-d/sigma) never exceeds the cur_decay it
+  // replaces in the bound. Every state's true bound is therefore
+  // non-increasing over time and never exceeds its cached_ub, so
+  // max(base_ub, cached_max) always over-approximates the true global
+  // bound: terminating against it can never terminate too early (results
+  // stay exact), only too late. To avoid "too late", the sweep is rebuilt
+  // from scratch — recomputing every cached_ub with current decays and
+  // compacting partial_ — exactly when the cached partial max is the only
+  // thing blocking termination AND the inputs moved since the last rebuild.
+  double total_rs = static_cast<double>(m);  // sum of cur_decay
+  size_t partial_count = 0;
+  double cached_max = -std::numeric_limits<double>::infinity();
+  double total_rs_at_rebuild = total_rs;
+  bool touched_since_rebuild = false;
+
+  // SimU upper bound of a partly scanned state under current decays.
+  const auto state_ub = [&](const TrajState& s) {
+    // sum over unscanned sources of e^(-radius_i/sigma)
+    double missing = total_rs;
+    uint64_t mask = s.mask;
+    while (mask != 0) {
+      const int i = __builtin_ctzll(mask);
+      missing -= cur_decay[i];
+      mask &= mask - 1;
+    }
+    return SimilarityModel::Combine(
+        lambda, (s.sum_decay + missing) / static_cast<double>(m), s.text);
+  };
+
+  // Recomputes labels / cached_max from scratch and compacts partial_.
+  const auto rebuild_bounds = [&] {
+    std::fill(labels.begin(), labels.end(), 0.0);
+    cached_max = -std::numeric_limits<double>::infinity();
+    size_t w = 0;
+    for (size_t r = 0; r < partial_.size(); ++r) {
+      TrajState& s = states_[partial_[r]];
+      if (s.known == static_cast<int>(m)) continue;  // resolved; drop
+      partial_[w++] = partial_[r];
+      const double ub = state_ub(s);
+      s.cached_ub = ub;
+      if (ub > cached_max) cached_max = ub;
+      uint64_t unset = ~s.mask & full_mask;
+      while (unset != 0) {
+        const int i = __builtin_ctzll(unset);
+        labels[i] += ub;
+        unset &= unset - 1;
+      }
+    }
+    partial_.resize(w);
+    partial_count = w;
+    total_rs_at_rebuild = total_rs;
+    touched_since_rebuild = false;
+    ++stats->bound_rebuilds;
+  };
 
   // Processes one settled (source, vertex, distance) event.
   const auto process_hit = [&](size_t i, VertexId v, double d) {
     const double decay = model.SpatialDecay(d);
+    const uint64_t bit = uint64_t{1} << i;
     for (TrajId t : vindex.TrajectoriesAt(v)) {
       int32_t idx = state_slot_.Get(t, -1);
       if (idx < 0) {
         idx = static_cast<int32_t>(states_.size());
         state_slot_.Set(t, idx);
-        states_.push_back(TrajState{t, 0, 0, 0.0, text_of_.Get(t, 0.0)});
+        states_.push_back(TrajState{t, 0, 0, 0.0, text_of_.Get(t, 0.0), 0.0});
         partial_.push_back(idx);
+        ++partial_count;
         ++stats->visited_trajectories;
       }
       TrajState& s = states_[idx];
-      const uint64_t bit = uint64_t{1} << i;
       if ((s.mask & bit) != 0) continue;  // source i already scanned tau
+      const bool fresh = s.mask == 0;
+      const double u_old = fresh ? 0.0 : s.cached_ub;
       s.mask |= bit;
       ++s.known;
       s.sum_decay += decay;
       ++stats->trajectory_hits;
+      touched_since_rebuild = true;
       if (s.known == static_cast<int>(m)) {
-        // Fully scanned: every d(o_i, tau) is exact; score it.
+        // Fully scanned: every d(o_i, tau) is exact; score it. Its only
+        // remaining label contribution was to source i, just scanned.
+        if (!fresh) labels[i] -= u_old;
+        --partial_count;
         const double spatial = s.sum_decay / static_cast<double>(m);
         const double score = SimilarityModel::Combine(lambda, spatial, s.text);
         sink->Accept(ScoredTrajectory{t, score, spatial, s.text});
         ++stats->candidates;
+        continue;
+      }
+      const double u_new = state_ub(s);
+      s.cached_ub = u_new;
+      if (u_new > cached_max) cached_max = u_new;
+      // Label deltas: source i stops missing this state; every still-
+      // missing source sees the cached bound move u_old -> u_new.
+      if (!fresh) labels[i] -= u_old;
+      uint64_t unset = ~s.mask & full_mask;
+      const double delta = u_new - u_old;
+      while (unset != 0) {
+        const int j = __builtin_ctzll(unset);
+        labels[j] += delta;
+        unset &= unset - 1;
       }
     }
   };
@@ -187,10 +278,9 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     if (exhausted_count == m) break;  // everything is fully scanned
 
     // Expand the current source for one batch. The batch grows with the
-    // partly-scanned set so the O(|partial| * m) bookkeeping sweep below
-    // stays amortized (constant overhead per settled vertex).
+    // partly-scanned set so per-round bookkeeping stays amortized.
     const int batch =
-        std::max<int>(opts_.batch_size, static_cast<int>(partial_.size() / 4));
+        std::max<int>(opts_.batch_size, static_cast<int>(partial_count / 4));
     NetworkExpansion& ex = *expansions_[cur];
     if (!ex.exhausted()) {
       for (int step = 0; step < batch; ++step) {
@@ -210,8 +300,8 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     }
     ++stats->schedule_steps;
 
-    // ---- Termination check + scheduling sweep. ----
-    double total_rs = 0.0;
+    // ---- Termination check against the cached bound. ----
+    total_rs = 0.0;
     for (size_t i = 0; i < m; ++i) total_rs += cur_decay[i];
 
     // Advance past fully scanned textual candidates.
@@ -225,40 +315,22 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     }
     const double max_rem_text =
         text_ptr < text_docs_.size() ? text_docs_[text_ptr].score : 0.0;
-    double global_ub = SimilarityModel::Combine(
+    // Bound on everything the spatial domain has not seen at all.
+    const double base_ub = SimilarityModel::Combine(
         lambda, total_rs / static_cast<double>(m), max_rem_text);
+    const double threshold = sink->PruneThreshold();
 
-    const bool heuristic = opts_.scheduling == SchedulingPolicy::kHeuristic;
-    if (heuristic) std::fill(labels.begin(), labels.end(), 0.0);
-    size_t w = 0;
-    for (size_t r = 0; r < partial_.size(); ++r) {
-      const TrajState& s = states_[partial_[r]];
-      if (s.known == static_cast<int>(m)) continue;  // resolved; drop
-      partial_[w++] = partial_[r];
-      // sum over unscanned sources of e^(-radius_i/sigma)
-      double missing = total_rs;
-      uint64_t mask = s.mask;
-      while (mask != 0) {
-        const int i = __builtin_ctzll(mask);
-        missing -= cur_decay[i];
-        mask &= mask - 1;
-      }
-      const double ub_s = (s.sum_decay + missing) / static_cast<double>(m);
-      const double ub = SimilarityModel::Combine(lambda, ub_s, s.text);
-      if (ub > global_ub) global_ub = ub;
-      if (heuristic) {
-        uint64_t unset =
-            ~s.mask & ((m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1));
-        while (unset != 0) {
-          const int i = __builtin_ctzll(unset);
-          labels[i] += ub;
-          unset &= unset - 1;
-        }
-      }
+    const auto current_global_ub = [&] {
+      return partial_count > 0 ? std::max(base_ub, cached_max) : base_ub;
+    };
+    if (threshold >= current_global_ub()) break;
+    if (threshold >= base_ub &&
+        (touched_since_rebuild || total_rs < total_rs_at_rebuild)) {
+      // Only the (possibly stale) partial max blocks termination and its
+      // inputs have moved: pay for one exact rebuild and re-check.
+      rebuild_bounds();
+      if (threshold >= current_global_ub()) break;
     }
-    partial_.resize(w);
-
-    if (sink->PruneThreshold() >= global_ub) break;
 
     // ---- Pick the next query source. ----
     switch (opts_.scheduling) {
@@ -289,14 +361,27 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
         break;
       }
       case SchedulingPolicy::kSequential: {
-        // Stay on the current source until it exhausts.
-        for (size_t i = 0; i < m && expansions_[cur]->exhausted(); ++i) {
-          cur = i;
+        // Stay on the current source until it exhausts, then move to the
+        // lowest-indexed source that still has work.
+        if (expansions_[cur]->exhausted()) {
+          size_t next = 0;
+          while (next < m && expansions_[next]->exhausted()) ++next;
+          if (next < m) cur = next;
         }
         break;
       }
     }
     if (expansions_[cur]->exhausted()) break;  // all done
+  }
+
+  // Expose the heap behavior of this query's expansions: with the indexed
+  // frontier heap, pops == settles (stale pops would show up here).
+  for (size_t i = 0; i < m; ++i) {
+    const NetworkExpansion& done = *expansions_[i];
+    stats->heap_pops += done.heap_pops();
+    stats->heap_pushes += done.heap_pushes();
+    stats->heap_decreases += done.heap_decreases();
+    stats->heap_stale_pops += done.heap_pops() - done.settled_count();
   }
 }
 

@@ -75,6 +75,10 @@ class UotsSearcher : public SearchAlgorithm {
     int known = 0;           ///< popcount(mask)
     double sum_decay = 0.0;  ///< sum of e^(-d_i/sigma) over scanned sources
     double text = 0.0;       ///< exact SimT
+    /// SimU upper bound cached when the state was last touched/rebuilt.
+    /// Radii only grow and decays only shrink, so this never underestimates
+    /// the state's true current bound (see RunSearch).
+    double cached_ub = 0.0;
   };
 
   /// \brief Result-collection policy shared by the top-k and threshold

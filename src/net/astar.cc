@@ -2,23 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 
 namespace uots {
 
-namespace {
-
-struct HeapEntry {
-  double f;  // g + h
-  double g;
-  VertexId v;
-  bool operator>(const HeapEntry& o) const { return f > o.f; }
-};
-
-}  // namespace
-
 AStarEngine::AStarEngine(const RoadNetwork& g)
-    : g_(&g), dist_(g.NumVertices()), parent_(g.NumVertices(), kInvalidVertex) {}
+    : g_(&g),
+      dist_(g.NumVertices()),
+      heap_(g.NumVertices()),
+      parent_(g.NumVertices(), kInvalidVertex) {}
 
 PathResult AStarEngine::FindPath(VertexId s, VertexId t) {
   const Point goal = g_->PositionOf(t);
@@ -50,14 +41,15 @@ PathResult AStarEngine::Run(VertexId s, VertexId t, const Heuristic& h,
   assert(s < g_->NumVertices() && t < g_->NumVertices());
   PathResult out;
   dist_.Reset();
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap_.Reset();
   dist_.Set(s, 0.0);
   parent_[s] = kInvalidVertex;
-  heap.push({h(s), 0.0, s});
-  while (!heap.empty()) {
-    const auto [f, g, v] = heap.top();
-    heap.pop();
-    if (g > dist_.Get(v)) continue;  // stale
+  heap_.Push(s, h(s));
+  while (!heap_.empty()) {
+    // The heap key is f = g + h; the exact g of the popped vertex is its
+    // distance label (kept in lockstep by every relaxation).
+    const VertexId v = heap_.Pop().id;
+    const double g = dist_.Get(v);
     ++out.settled;
     if (v == t) {
       out.distance = g;
@@ -70,12 +62,17 @@ PathResult AStarEngine::Run(VertexId s, VertexId t, const Heuristic& h,
       }
       return out;
     }
-    for (const auto& e : g_->Neighbors(v)) {
+    const auto neighbors = g_->Neighbors(v);
+    for (const auto& e : neighbors) dist_.Prefetch(e.to);
+    for (const auto& e : neighbors) {
       const double ng = g + e.weight;
       if (ng < dist_.Get(e.to)) {
         dist_.Set(e.to, ng);
         parent_[e.to] = v;
-        heap.push({ng + h(e.to), ng, e.to});
+        // A popped vertex may re-enter here under an inconsistent
+        // heuristic (PushOrDecrease re-inserts it), matching the lazy
+        // re-expansion behavior this engine always had.
+        heap_.PushOrDecrease(e.to, ng + h(e.to));
       }
     }
   }

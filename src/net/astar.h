@@ -46,6 +46,7 @@ class AStarEngine {
 
   const RoadNetwork* g_;
   DistanceField dist_;
+  VertexHeap heap_;  ///< keyed by f = g + h; g lives in dist_
   std::vector<VertexId> parent_;
 };
 

@@ -2,29 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 
 namespace uots {
-
-namespace {
-
-struct HeapEntry {
-  double dist;
-  VertexId v;
-  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-}  // namespace
 
 BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& g)
     : g_(&g),
       fwd_(g.NumVertices()),
       bwd_(g.NumVertices()),
-      fwd_settled_(g.NumVertices()),
-      bwd_settled_(g.NumVertices()) {}
+      fwd_heap_(g.NumVertices()),
+      bwd_heap_(g.NumVertices()) {}
 
 double BidirectionalDijkstra::Distance(VertexId s, VertexId t) {
   assert(s < g_->NumVertices() && t < g_->NumVertices());
@@ -32,41 +18,42 @@ double BidirectionalDijkstra::Distance(VertexId s, VertexId t) {
   if (s == t) return 0.0;
   fwd_.Reset();
   bwd_.Reset();
-  fwd_settled_.Reset();
-  bwd_settled_.Reset();
-  MinHeap fheap, bheap;
+  fwd_heap_.Reset();
+  bwd_heap_.Reset();
   fwd_.Set(s, 0.0);
   bwd_.Set(t, 0.0);
-  fheap.push({0.0, s});
-  bheap.push({0.0, t});
+  fwd_heap_.Push(s, 0.0);
+  bwd_heap_.Push(t, 0.0);
   double best = kInfDistance;
   double fradius = 0.0, bradius = 0.0;
 
   // Settles one vertex of the given side; updates `best` through edges
   // crossing into the other side's labeled region.
-  const auto step = [&](MinHeap& heap, DistanceField& dist,
-                        DistanceField& settled, const DistanceField& other,
-                        double* radius) {
-    while (!heap.empty()) {
-      const auto [d, v] = heap.top();
-      heap.pop();
-      if (settled.IsSet(v)) continue;  // stale
-      settled.Set(v, 1.0);
-      *radius = d;
-      ++last_settled_;
-      for (const auto& e : g_->Neighbors(v)) {
-        const double nd = d + e.weight;
-        if (nd < dist.Get(e.to)) {
-          dist.Set(e.to, nd);
-          heap.push({nd, e.to});
+  const auto step = [&](VertexHeap& heap, DistanceField& dist,
+                        const DistanceField& other, double* radius) {
+    if (heap.empty()) return false;
+    const auto [d, v] = heap.Pop();
+    *radius = d;
+    ++last_settled_;
+    const auto neighbors = g_->Neighbors(v);
+    for (const auto& e : neighbors) dist.Prefetch(e.to);
+    for (const auto& e : neighbors) {
+      const double old = dist.Get(e.to);
+      const double nd = d + e.weight;
+      if (nd < old) {
+        dist.Set(e.to, nd);
+        // Finite improvable label => queued; infinite => first visit.
+        if (old == kInfDistance) {
+          heap.Push(e.to, nd);
+        } else {
+          heap.DecreaseKey(e.to, nd);
         }
-        // Connection through edge (v, e.to) into the other frontier.
-        const double od = other.Get(e.to);
-        if (od != kInfDistance) best = std::min(best, nd + od);
       }
-      return true;
+      // Connection through edge (v, e.to) into the other frontier.
+      const double od = other.Get(e.to);
+      if (od != kInfDistance) best = std::min(best, nd + od);
     }
-    return false;
+    return true;
   };
 
   for (;;) {
@@ -75,14 +62,13 @@ double BidirectionalDijkstra::Distance(VertexId s, VertexId t) {
     if (best <= fradius + bradius) break;
     // Advance the side with the smaller radius (balanced meet point).
     const bool forward = fradius <= bradius;
-    const bool progressed =
-        forward ? step(fheap, fwd_, fwd_settled_, bwd_, &fradius)
-                : step(bheap, bwd_, bwd_settled_, fwd_, &bradius);
+    const bool progressed = forward ? step(fwd_heap_, fwd_, bwd_, &fradius)
+                                    : step(bwd_heap_, bwd_, fwd_, &bradius);
     if (!progressed) {
       // This side is exhausted; if the other also cannot improve, stop.
       const bool other_progressed =
-          forward ? step(bheap, bwd_, bwd_settled_, fwd_, &bradius)
-                  : step(fheap, fwd_, fwd_settled_, bwd_, &fradius);
+          forward ? step(bwd_heap_, bwd_, fwd_, &bradius)
+                  : step(fwd_heap_, fwd_, bwd_, &fradius);
       if (!other_progressed) break;
     }
   }

@@ -4,13 +4,16 @@
 // (identical on an undirected network) alternate by smaller frontier; the
 // search stops when the sum of both radii exceeds the best connection seen.
 // Settles ~half the vertices of unidirectional Dijkstra on road networks —
-// benchmarked against A*/ALT in bench_micro.
+// benchmarked against A*/ALT in bench_micro. Both frontiers run on indexed
+// 4-ary heaps, so every pop settles a vertex (no stale entries to skip and
+// no separate settled bitmaps to maintain).
 
 #ifndef UOTS_NET_BIDIRECTIONAL_H_
 #define UOTS_NET_BIDIRECTIONAL_H_
 
 #include "net/dijkstra.h"
 #include "net/graph.h"
+#include "util/dary_heap.h"
 
 namespace uots {
 
@@ -29,8 +32,8 @@ class BidirectionalDijkstra {
   const RoadNetwork* g_;
   DistanceField fwd_;
   DistanceField bwd_;
-  DistanceField fwd_settled_;
-  DistanceField bwd_settled_;
+  VertexHeap fwd_heap_;
+  VertexHeap bwd_heap_;
   int64_t last_settled_ = 0;
 };
 

@@ -5,38 +5,32 @@
 
 namespace uots {
 
-namespace {
-
-struct HeapEntry {
-  double dist;
-  VertexId v;
-  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-}  // namespace
-
 ShortestPathTree ComputeShortestPathTree(const RoadNetwork& g, VertexId source) {
   const size_t n = g.NumVertices();
   assert(source < n);
   ShortestPathTree out;
   out.dist.assign(n, kInfDistance);
   out.parent.assign(n, kInvalidVertex);
-  MinHeap heap;
+  VertexHeap heap(n);
   out.dist[source] = 0.0;
-  heap.push({0.0, source});
+  heap.Push(source, 0.0);
   while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > out.dist[v]) continue;
-    for (const auto& e : g.Neighbors(v)) {
+    const auto [d, v] = heap.Pop();
+    const auto neighbors = g.Neighbors(v);
+    for (const auto& e : neighbors) __builtin_prefetch(&out.dist[e.to]);
+    for (const auto& e : neighbors) {
       const double nd = d + e.weight;
-      if (nd < out.dist[e.to]) {
+      const double old = out.dist[e.to];
+      if (nd < old) {
         out.dist[e.to] = nd;
         out.parent[e.to] = v;
-        heap.push({nd, e.to});
+        // Finite improvable label => e.to is queued (settled labels are
+        // final under nonnegative weights); infinite => first visit.
+        if (old == kInfDistance) {
+          heap.Push(e.to, nd);
+        } else {
+          heap.DecreaseKey(e.to, nd);
+        }
       }
     }
   }
@@ -47,19 +41,24 @@ double ShortestPathDistance(const RoadNetwork& g, VertexId s, VertexId t) {
   assert(s < g.NumVertices() && t < g.NumVertices());
   if (s == t) return 0.0;
   DistanceField dist(g.NumVertices());
-  MinHeap heap;
+  VertexHeap heap(g.NumVertices());
   dist.Set(s, 0.0);
-  heap.push({0.0, s});
+  heap.Push(s, 0.0);
   while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > dist.Get(v)) continue;
+    const auto [d, v] = heap.Pop();
     if (v == t) return d;
-    for (const auto& e : g.Neighbors(v)) {
+    const auto neighbors = g.Neighbors(v);
+    for (const auto& e : neighbors) dist.Prefetch(e.to);
+    for (const auto& e : neighbors) {
+      const double old = dist.Get(e.to);
       const double nd = d + e.weight;
-      if (nd < dist.Get(e.to)) {
+      if (nd < old) {
         dist.Set(e.to, nd);
-        heap.push({nd, e.to});
+        if (old == kInfDistance) {
+          heap.Push(e.to, nd);
+        } else {
+          heap.DecreaseKey(e.to, nd);
+        }
       }
     }
   }
@@ -80,31 +79,36 @@ std::vector<VertexId> ShortestPathVertices(const RoadNetwork& g, VertexId s,
 }
 
 DijkstraEngine::DijkstraEngine(const RoadNetwork& g)
-    : g_(&g), dist_(g.NumVertices()) {}
+    : g_(&g), dist_(g.NumVertices()), heap_(g.NumVertices()) {}
 
 NearestTargetResult DijkstraEngine::NearestOf(
     VertexId source, const std::vector<uint8_t>& is_target, double max_radius) {
   assert(is_target.size() == g_->NumVertices());
   NearestTargetResult out;
   dist_.Reset();
-  heap_ = {};
+  heap_.Reset();
   dist_.Set(source, 0.0);
-  heap_.push({0.0, source});
+  heap_.Push(source, 0.0);
   while (!heap_.empty()) {
-    const auto [d, v] = heap_.top();
-    heap_.pop();
-    if (d > dist_.Get(v)) continue;
+    const auto [d, v] = heap_.Pop();
     if (d > max_radius) break;
     if (is_target[v]) {
       out.vertex = v;
       out.distance = d;
       return out;
     }
-    for (const auto& e : g_->Neighbors(v)) {
+    const auto neighbors = g_->Neighbors(v);
+    for (const auto& e : neighbors) dist_.Prefetch(e.to);
+    for (const auto& e : neighbors) {
+      const double old = dist_.Get(e.to);
       const double nd = d + e.weight;
-      if (nd < dist_.Get(e.to)) {
+      if (nd < old) {
         dist_.Set(e.to, nd);
-        heap_.push({nd, e.to});
+        if (old == kInfDistance) {
+          heap_.Push(e.to, nd);
+        } else {
+          heap_.DecreaseKey(e.to, nd);
+        }
       }
     }
   }

@@ -5,45 +5,57 @@
 namespace uots {
 
 NetworkExpansion::NetworkExpansion(const RoadNetwork& g)
-    : g_(&g), dist_(g.NumVertices()), settled_(g.NumVertices()) {}
+    : g_(&g), dist_(g.NumVertices()), heap_(g.NumVertices()) {}
 
 void NetworkExpansion::Reset(VertexId source) {
   assert(source < g_->NumVertices());
   dist_.Reset();
-  settled_.Reset();
-  heap_ = {};
+  heap_.Reset();
   source_ = source;
   radius_ = 0.0;
   exhausted_ = false;
   settled_count_ = 0;
   heap_pops_ = 0;
+  heap_pushes_ = 0;
+  heap_decreases_ = 0;
   dist_.Set(source, 0.0);
-  heap_.push({0.0, source});
+  heap_.Push(source, 0.0);
+  ++heap_pushes_;
 }
 
 bool NetworkExpansion::Step(VertexId* v_out, double* dist_out) {
   assert(source_ != kInvalidVertex && "Reset() must be called first");
-  while (!heap_.empty()) {
-    const auto [d, v] = heap_.top();
-    heap_.pop();
-    ++heap_pops_;
-    if (settled_.IsSet(v)) continue;  // stale heap entry
-    settled_.Set(v, 1.0);
-    radius_ = d;
-    ++settled_count_;
-    for (const auto& e : g_->Neighbors(v)) {
-      const double nd = d + e.weight;
-      if (nd < dist_.Get(e.to)) {
-        dist_.Set(e.to, nd);
-        heap_.push({nd, e.to});
+  if (heap_.empty()) {
+    exhausted_ = true;
+    return false;
+  }
+  const auto [d, v] = heap_.Pop();
+  ++heap_pops_;
+  radius_ = d;
+  ++settled_count_;
+  const auto neighbors = g_->Neighbors(v);
+  for (const auto& e : neighbors) dist_.Prefetch(e.to);
+  for (const auto& e : neighbors) {
+    const double old = dist_.Get(e.to);
+    const double nd = d + e.weight;
+    if (nd < old) {
+      dist_.Set(e.to, nd);
+      // An improvable finite label means e.to is on the frontier: a settled
+      // vertex's label is final under nonnegative weights (nd >= d >= it),
+      // so the infinite/finite split decides insert vs decrease without a
+      // separate heap membership probe.
+      if (old == kInfDistance) {
+        heap_.Push(e.to, nd);
+        ++heap_pushes_;
+      } else {
+        heap_.DecreaseKey(e.to, nd);
+        ++heap_decreases_;
       }
     }
-    *v_out = v;
-    *dist_out = d;
-    return true;
   }
-  exhausted_ = true;
-  return false;
+  *v_out = v;
+  *dist_out = d;
+  return true;
 }
 
 }  // namespace uots

@@ -8,16 +8,20 @@
 // d(o, tau) — no further refinement is ever needed. The current radius()
 // lower-bounds the distance to everything not yet settled, which is what
 // the upper-bound pruning in core/search.cc relies on.
+//
+// The frontier is an indexed 4-ary heap (util/dary_heap.h): relaxations
+// decrease keys in place, so every pop settles a vertex and
+// heap_pops() == settled_count() over any drain (the former lazy-deletion
+// queue popped ~|E|/|V| stale entries per settle).
 
 #ifndef UOTS_NET_EXPANSION_H_
 #define UOTS_NET_EXPANSION_H_
 
 #include <cstdint>
-#include <queue>
-#include <vector>
 
 #include "net/dijkstra.h"
 #include "net/graph.h"
+#include "util/dary_heap.h"
 
 namespace uots {
 
@@ -45,26 +49,23 @@ class NetworkExpansion {
 
   VertexId source() const { return source_; }
   int64_t settled_count() const { return settled_count_; }
+  /// Always equals settled_count() — kept as a separate counter so the
+  /// no-stale-pops invariant stays observable (tests assert equality).
   int64_t heap_pops() const { return heap_pops_; }
+  int64_t heap_pushes() const { return heap_pushes_; }
+  int64_t heap_decreases() const { return heap_decreases_; }
 
  private:
-  struct HeapEntry {
-    double dist;
-    VertexId v;
-    bool operator>(const HeapEntry& o) const { return dist > o.dist; }
-  };
-
   const RoadNetwork* g_;
   DistanceField dist_;
-  // `settled` tagging reuses a second DistanceField purely for its O(1)
-  // reset; the stored value is unused.
-  DistanceField settled_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  VertexHeap heap_;
   VertexId source_ = kInvalidVertex;
   double radius_ = 0.0;
   bool exhausted_ = false;
   int64_t settled_count_ = 0;
   int64_t heap_pops_ = 0;
+  int64_t heap_pushes_ = 0;
+  int64_t heap_decreases_ = 0;
 };
 
 }  // namespace uots

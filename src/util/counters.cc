@@ -8,8 +8,10 @@ std::string QueryStats::ToString() const {
   std::ostringstream os;
   os << "visited=" << visited_trajectories << " hits=" << trajectory_hits
      << " settled=" << settled_vertices << " pops=" << heap_pops
-     << " candidates=" << candidates << " postings=" << posting_entries
-     << " steps=" << schedule_steps << " ms=" << elapsed_ms;
+     << " pushes=" << heap_pushes << " decreases=" << heap_decreases
+     << " stale=" << heap_stale_pops << " candidates=" << candidates
+     << " postings=" << posting_entries << " steps=" << schedule_steps
+     << " rebuilds=" << bound_rebuilds << " ms=" << elapsed_ms;
   return os.str();
 }
 

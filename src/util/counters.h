@@ -20,14 +20,26 @@ struct QueryStats {
   int64_t trajectory_hits = 0;
   /// Vertices settled by network expansions.
   int64_t settled_vertices = 0;
-  /// Priority-queue pops across all expansions.
+  /// Priority-queue pops across all expansions. With the indexed frontier
+  /// heap this equals settled_vertices exactly (no stale entries).
   int64_t heap_pops = 0;
+  /// Frontier-heap inserts across all expansions (first relaxations).
+  int64_t heap_pushes = 0;
+  /// In-place DecreaseKey relaxations (would each have been an extra
+  /// push + stale pop under the old lazy-deletion queue).
+  int64_t heap_decreases = 0;
+  /// Pops that settled nothing; structurally 0 with the indexed heap, kept
+  /// so any regression to lazy behavior is observable.
+  int64_t heap_stale_pops = 0;
   /// Trajectories whose exact score was fully evaluated (candidates).
   int64_t candidates = 0;
   /// Posting-list entries scanned in the textual domain.
   int64_t posting_entries = 0;
   /// Scheduling decisions taken (query-source switches included).
   int64_t schedule_steps = 0;
+  /// Full recomputations of the cached global upper bound / label sums
+  /// (the incremental bookkeeping's fallback path).
+  int64_t bound_rebuilds = 0;
   /// Wall-clock time spent answering the query.
   double elapsed_ms = 0.0;
 
@@ -36,9 +48,13 @@ struct QueryStats {
     trajectory_hits += o.trajectory_hits;
     settled_vertices += o.settled_vertices;
     heap_pops += o.heap_pops;
+    heap_pushes += o.heap_pushes;
+    heap_decreases += o.heap_decreases;
+    heap_stale_pops += o.heap_stale_pops;
     candidates += o.candidates;
     posting_entries += o.posting_entries;
     schedule_steps += o.schedule_steps;
+    bound_rebuilds += o.bound_rebuilds;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

@@ -1,0 +1,184 @@
+// Indexed d-ary min-heap with O(1) bulk reset via version tagging.
+//
+// The spatial hot paths (Dijkstra variants and the resumable network
+// expansion) previously ran on std::priority_queue with lazy deletion:
+// every relaxation pushed a fresh node, so the heap carried one entry per
+// *edge relaxation* instead of one per *frontier vertex*, and every pop had
+// to be checked against the distance labels for staleness. This heap keys
+// entries by their dense id (VertexId), keeps an id -> heap-slot map so a
+// relaxation becomes an in-place DecreaseKey sift, and reuses the same
+// version-tagging trick as DistanceField so Reset() between queries is a
+// counter bump, not an O(n) clear.
+//
+// Invariants the callers rely on:
+//  * each id is in the heap at most once;
+//  * Pop() returns ids in nondecreasing key order (so pops == settles in a
+//    Dijkstra drain — no stale entries, ever);
+//  * Reset() invalidates all bookkeeping in O(1) and keeps the backing
+//    storage, so a reused heap allocates only on first growth.
+//
+// Arity 4 instead of 2: sift-down does d comparisons per level but the tree
+// is half as deep, and the children of slot i share one cache line — the
+// standard trade for Dijkstra workloads where pops (sift-down heavy)
+// dominate decreases (sift-up heavy).
+
+#ifndef UOTS_UTIL_DARY_HEAP_H_
+#define UOTS_UTIL_DARY_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uots {
+
+/// \brief Indexed d-ary min-heap over ids in [0, n) with double keys.
+template <int Arity = 4>
+class DaryHeap {
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
+
+ public:
+  struct Entry {
+    double key;
+    uint32_t id;
+  };
+
+  explicit DaryHeap(size_t n = 0) { Resize(n); }
+
+  /// Grows the id universe; existing entries are invalidated.
+  void Resize(size_t n) {
+    pos_.assign(n, Pos{0, 0});
+    current_ = 1;
+    heap_.clear();
+  }
+
+  /// Empties the heap in O(1); ids keep their capacity.
+  void Reset() {
+    ++current_;
+    heap_.clear();
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  size_t universe() const { return pos_.size(); }
+
+  /// True iff `id` is currently queued (pushed and not yet popped).
+  bool Contains(uint32_t id) const {
+    const Pos p = pos_[id];
+    return p.version == current_ && p.slot != kPopped;
+  }
+
+  /// Key of a queued id; must satisfy Contains(id).
+  double KeyOf(uint32_t id) const {
+    assert(Contains(id));
+    return heap_[pos_[id].slot].key;
+  }
+
+  /// Inserts a new id; must not be queued already (popped ids may re-enter,
+  /// though Dijkstra-style callers never re-insert a settled vertex).
+  void Push(uint32_t id, double key) {
+    assert(id < pos_.size());
+    assert(!Contains(id));
+    const uint32_t at = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(Entry{key, id});
+    pos_[id] = Pos{at, current_};
+    SiftUp(at);
+  }
+
+  /// Lowers the key of a queued id in place; `key` must not exceed the
+  /// current key (equal is a no-op).
+  void DecreaseKey(uint32_t id, double key) {
+    assert(Contains(id));
+    const uint32_t at = pos_[id].slot;
+    assert(key <= heap_[at].key);
+    if (key == heap_[at].key) return;
+    heap_[at].key = key;
+    SiftUp(at);
+  }
+
+  /// Relaxation helper: Push if absent, DecreaseKey otherwise.
+  /// \return true when the id was newly inserted.
+  bool PushOrDecrease(uint32_t id, double key) {
+    if (Contains(id)) {
+      DecreaseKey(id, key);
+      return false;
+    }
+    Push(id, key);
+    return true;
+  }
+
+  const Entry& Top() const {
+    assert(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Removes and returns the minimum-key entry.
+  Entry Pop() {
+    assert(!heap_.empty());
+    const Entry top = heap_.front();
+    pos_[top.id].slot = kPopped;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      pos_[last.id].slot = 0;
+      SiftDown(0);
+    }
+    return top;
+  }
+
+ private:
+  static constexpr uint32_t kPopped = UINT32_MAX;
+
+  /// Where an id lives in heap_, valid only while version == current_.
+  /// One 8-byte load answers both "is it queued?" and "at which slot?".
+  struct Pos {
+    uint32_t slot;
+    uint32_t version;
+  };
+
+  void SiftUp(uint32_t at) {
+    const Entry e = heap_[at];
+    while (at > 0) {
+      const uint32_t parent = (at - 1) / Arity;
+      if (heap_[parent].key <= e.key) break;
+      heap_[at] = heap_[parent];
+      pos_[heap_[at].id].slot = at;
+      at = parent;
+    }
+    heap_[at] = e;
+    pos_[e.id].slot = at;
+  }
+
+  void SiftDown(uint32_t at) {
+    const Entry e = heap_[at];
+    const uint32_t n = static_cast<uint32_t>(heap_.size());
+    for (;;) {
+      const uint64_t first = uint64_t{at} * Arity + 1;
+      if (first >= n) break;
+      const uint32_t last =
+          static_cast<uint32_t>(first + Arity <= n ? first + Arity : n);
+      uint32_t best = static_cast<uint32_t>(first);
+      for (uint32_t c = best + 1; c < last; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+      if (heap_[best].key >= e.key) break;
+      heap_[at] = heap_[best];
+      pos_[heap_[at].id].slot = at;
+      at = best;
+    }
+    heap_[at] = e;
+    pos_[e.id].slot = at;
+  }
+
+  std::vector<Entry> heap_;  ///< the tree, in array form
+  std::vector<Pos> pos_;     ///< id -> (slot in heap_ or kPopped, version)
+  uint32_t current_ = 1;
+};
+
+/// The arity used by all shortest-path engines in src/net.
+using VertexHeap = DaryHeap<4>;
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_DARY_HEAP_H_

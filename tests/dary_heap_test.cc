@@ -1,0 +1,168 @@
+// The indexed d-ary heap under the spatial hot paths: property-tested
+// against a sorted-multiset oracle, plus the versioned-reset and
+// decrease-key invariants the Dijkstra engines rely on.
+
+#include "util/dary_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+TEST(DaryHeap, BasicPushPopOrder) {
+  DaryHeap<4> heap(8);
+  heap.Push(3, 5.0);
+  heap.Push(1, 2.0);
+  heap.Push(7, 9.0);
+  heap.Push(0, 7.0);
+  EXPECT_EQ(heap.size(), 4u);
+  EXPECT_TRUE(heap.Contains(3));
+  EXPECT_FALSE(heap.Contains(2));
+  EXPECT_DOUBLE_EQ(heap.Top().key, 2.0);
+
+  std::vector<uint32_t> ids;
+  std::vector<double> keys;
+  while (!heap.empty()) {
+    const auto e = heap.Pop();
+    ids.push_back(e.id);
+    keys.push_back(e.key);
+  }
+  EXPECT_EQ(ids, (std::vector<uint32_t>{1, 3, 0, 7}));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(DaryHeap, DecreaseKeyReordersInPlace) {
+  DaryHeap<4> heap(8);
+  for (uint32_t id = 0; id < 6; ++id) heap.Push(id, 10.0 + id);
+  EXPECT_EQ(heap.Top().id, 0u);
+  heap.DecreaseKey(5, 1.0);
+  EXPECT_EQ(heap.size(), 6u) << "decrease must not add an entry";
+  EXPECT_EQ(heap.Top().id, 5u);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(5), 1.0);
+  // Equal-key decrease is a no-op, not a corruption.
+  heap.DecreaseKey(3, 13.0);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(3), 13.0);
+}
+
+TEST(DaryHeap, PushOrDecreaseReportsInsertion) {
+  DaryHeap<4> heap(4);
+  EXPECT_TRUE(heap.PushOrDecrease(2, 4.0));
+  EXPECT_FALSE(heap.PushOrDecrease(2, 3.0));
+  EXPECT_DOUBLE_EQ(heap.KeyOf(2), 3.0);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(DaryHeap, ResetIsO1AndReusable) {
+  DaryHeap<4> heap(16);
+  for (uint32_t id = 0; id < 16; ++id) heap.Push(id, 100.0 - id);
+  heap.Reset();
+  EXPECT_TRUE(heap.empty());
+  for (uint32_t id = 0; id < 16; ++id) {
+    EXPECT_FALSE(heap.Contains(id)) << "id " << id << " survived Reset";
+  }
+  // Stale slots from the pre-Reset generation must not confuse re-pushes.
+  heap.Push(15, 2.0);
+  heap.Push(0, 1.0);
+  EXPECT_EQ(heap.Pop().id, 0u);
+  EXPECT_EQ(heap.Pop().id, 15u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DaryHeap, PoppedIdMayReenter) {
+  DaryHeap<4> heap(4);
+  heap.Push(1, 3.0);
+  EXPECT_EQ(heap.Pop().id, 1u);
+  EXPECT_FALSE(heap.Contains(1));
+  EXPECT_TRUE(heap.PushOrDecrease(1, 7.0));  // re-insert, not decrease
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 7.0);
+}
+
+// Oracle: id -> key map; the heap must pop an id whose key equals the
+// oracle minimum, and agree with the oracle on membership and keys.
+class DaryHeapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DaryHeapPropertyTest, RandomOpsMatchOracle) {
+  const size_t kUniverse = 300;
+  Rng rng(GetParam());
+  DaryHeap<4> heap(kUniverse);
+  std::map<uint32_t, double> oracle;
+
+  for (int round = 0; round < 5; ++round) {
+    for (int op = 0; op < 4000; ++op) {
+      const int kind = static_cast<int>(rng.Uniform(10));
+      if (kind < 5) {  // push a not-queued id
+        const uint32_t id = static_cast<uint32_t>(rng.Uniform(kUniverse));
+        if (oracle.count(id)) continue;
+        const double key = rng.UniformDouble(0.0, 1000.0);
+        EXPECT_TRUE(heap.PushOrDecrease(id, key));
+        oracle[id] = key;
+      } else if (kind < 8) {  // decrease a queued id
+        if (oracle.empty()) continue;
+        auto it = oracle.begin();
+        std::advance(it, rng.Uniform(oracle.size()));
+        const double key = it->second * rng.UniformDouble(0.0, 1.0);
+        EXPECT_FALSE(heap.PushOrDecrease(it->first, key));
+        it->second = key;
+      } else {  // pop the minimum
+        ASSERT_EQ(heap.empty(), oracle.empty());
+        if (oracle.empty()) continue;
+        const auto e = heap.Pop();
+        double min_key = oracle.begin()->second;
+        for (const auto& [id, key] : oracle) min_key = std::min(min_key, key);
+        ASSERT_DOUBLE_EQ(e.key, min_key);
+        const auto it = oracle.find(e.id);
+        ASSERT_NE(it, oracle.end()) << "popped an id the oracle lost";
+        ASSERT_DOUBLE_EQ(it->second, e.key);
+        oracle.erase(it);
+      }
+      ASSERT_EQ(heap.size(), oracle.size());
+    }
+    // Membership and key agreement across the whole universe.
+    for (uint32_t id = 0; id < kUniverse; ++id) {
+      const auto it = oracle.find(id);
+      ASSERT_EQ(heap.Contains(id), it != oracle.end()) << "id " << id;
+      if (it != oracle.end()) {
+        ASSERT_DOUBLE_EQ(heap.KeyOf(id), it->second);
+      }
+    }
+    // Drain: nondecreasing keys, every oracle entry accounted for.
+    double last = -1.0;
+    while (!heap.empty()) {
+      const auto e = heap.Pop();
+      ASSERT_GE(e.key, last);
+      last = e.key;
+      const auto it = oracle.find(e.id);
+      ASSERT_NE(it, oracle.end());
+      ASSERT_DOUBLE_EQ(it->second, e.key);
+      oracle.erase(it);
+    }
+    ASSERT_TRUE(oracle.empty());
+    heap.Reset();  // next round reuses the same instance
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DaryHeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DaryHeap, BinaryArityAlsoWorks) {
+  DaryHeap<2> heap(64);
+  Rng rng(9);
+  for (uint32_t id = 0; id < 64; ++id) {
+    heap.Push(id, rng.UniformDouble(0.0, 10.0));
+  }
+  double last = -1.0;
+  while (!heap.empty()) {
+    const double key = heap.Pop().key;
+    EXPECT_GE(key, last);
+    last = key;
+  }
+}
+
+}  // namespace
+}  // namespace uots

@@ -133,7 +133,10 @@ TEST(Expansion, FirstStepIsSource) {
   EXPECT_DOUBLE_EQ(d, 0.0);
 }
 
-TEST(Expansion, HeapPopsCounted) {
+TEST(Expansion, NoStalePopsAfterFullDrain) {
+  // The indexed frontier heap holds each vertex at most once, so a full
+  // drain pops exactly one entry per settled vertex — the lazy-deletion
+  // regression this guards against popped ~|E|/|V| stale entries each.
   const RoadNetwork g = TestNetwork(45);
   NetworkExpansion ex(g);
   ex.Reset(0);
@@ -141,7 +144,23 @@ TEST(Expansion, HeapPopsCounted) {
   double d;
   while (ex.Step(&v, &d)) {
   }
-  EXPECT_GE(ex.heap_pops(), ex.settled_count());
+  EXPECT_EQ(ex.heap_pops(), ex.settled_count());
+  // Conservation: every insert is eventually popped (the drain is full).
+  EXPECT_EQ(ex.heap_pushes(), ex.heap_pops());
+  // Relaxations that found a shorter path decreased in place instead of
+  // duplicating; on this geometric graph some must have occurred.
+  EXPECT_GT(ex.heap_decreases(), 0);
+}
+
+TEST(Expansion, PartialDrainPopsMatchSettles) {
+  const RoadNetwork g = TestNetwork(46);
+  NetworkExpansion ex(g);
+  ex.Reset(3);
+  VertexId v;
+  double d;
+  for (int i = 0; i < 50 && ex.Step(&v, &d); ++i) {
+  }
+  EXPECT_EQ(ex.heap_pops(), ex.settled_count());
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// The scheduling policy decides which query source expands next — it may
+// change how much work the search does, never what it returns. All three
+// policies (heuristic, round-robin, sequential) must produce identical
+// result sets on a fuzzed workload, in both top-k and threshold modes.
+//
+// Identity is checked as: same size, matching score sequence (to 1e-9 —
+// a trajectory's sum of spatial decays accumulates in scan order, which
+// the policy controls, so the last ulp may legitimately differ), and the
+// same trajectory id at every rank whose score is isolated from its
+// neighbors (ties are legitimately order-dependent at the top-k boundary).
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "core/search.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+#include "util/rng.h"
+
+namespace uots {
+namespace {
+
+constexpr double kScoreTol = 1e-9;  ///< summation-order noise allowance
+constexpr double kTieGap = 1e-6;    ///< isolation required to pin an id
+
+void ExpectSameResults(const SearchResult& a, const SearchResult& b,
+                       const char* what) {
+  ASSERT_EQ(a.items.size(), b.items.size()) << what;
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    ASSERT_NEAR(a.items[i].score, b.items[i].score, kScoreTol)
+        << what << " rank " << i;
+    const bool tied_above =
+        i > 0 && a.items[i - 1].score - a.items[i].score < kTieGap;
+    const bool tied_below = i + 1 < a.items.size() &&
+                            a.items[i].score - a.items[i + 1].score < kTieGap;
+    const bool at_boundary =
+        i + 1 == a.items.size();  // k-th may tie with unreturned items
+    if (!tied_above && !tied_below && !at_boundary) {
+      EXPECT_EQ(a.items[i].id, b.items[i].id) << what << " rank " << i;
+      EXPECT_NEAR(a.items[i].spatial_sim, b.items[i].spatial_sim, kScoreTol)
+          << what << " rank " << i;
+      EXPECT_NEAR(a.items[i].textual_sim, b.items[i].textual_sim, kScoreTol)
+          << what << " rank " << i;
+    }
+  }
+}
+
+class SchedulingPolicyFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulingPolicyFuzzTest, AllPoliciesReturnIdenticalResultSets) {
+  Rng rng(GetParam() * 1013);
+  auto g = MakeRandomGeometricNetwork({
+      .num_vertices = 120 + static_cast<int>(rng.Uniform(160)),
+      .extent_m = 5000.0,
+      .k_nearest = 3,
+      .seed = GetParam() + 500,
+  });
+  ASSERT_TRUE(g.ok());
+  TripGeneratorOptions topts;
+  topts.num_trajectories = 150 + static_cast<int>(rng.Uniform(100));
+  topts.vocabulary_size = 60;
+  topts.seed = GetParam() + 900;
+  auto data = GenerateTrips(*g, topts);
+  ASSERT_TRUE(data.ok());
+  TrajectoryDatabase db(std::move(*g), std::move(data->store),
+                        std::move(data->vocabulary));
+
+  UotsSearchOptions heur, rr, seq;
+  heur.scheduling = SchedulingPolicy::kHeuristic;
+  rr.scheduling = SchedulingPolicy::kRoundRobin;
+  seq.scheduling = SchedulingPolicy::kSequential;
+  // Small batches force many scheduling decisions per query.
+  heur.batch_size = rr.batch_size = seq.batch_size =
+      1 + static_cast<int>(rng.Uniform(16));
+  UotsSearcher s_heur(db, heur), s_rr(db, rr), s_seq(db, seq);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    UotsQuery q;
+    const int m = 1 + static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < m; ++i) {
+      q.locations.push_back(
+          static_cast<VertexId>(rng.Uniform(db.network().NumVertices())));
+    }
+    std::vector<TermId> keys;
+    for (int i = 0; i < static_cast<int>(rng.Uniform(6)); ++i) {
+      keys.push_back(static_cast<TermId>(rng.Uniform(60)));
+    }
+    q.keywords = KeywordSet(std::move(keys));
+    q.lambda = rng.UniformDouble();
+    q.k = 1 + static_cast<int>(rng.Uniform(25));
+
+    auto r_heur = s_heur.Search(q);
+    auto r_rr = s_rr.Search(q);
+    auto r_seq = s_seq.Search(q);
+    ASSERT_TRUE(r_heur.ok() && r_rr.ok() && r_seq.ok());
+    ExpectSameResults(*r_heur, *r_rr, "heuristic vs round-robin");
+    ExpectSameResults(*r_heur, *r_seq, "heuristic vs sequential");
+
+    // Threshold mode: every qualifying trajectory is returned, so the id
+    // sets must agree (up to summation-order noise straddling theta, which
+    // the deterministic seeds below do not produce).
+    const double theta = rng.UniformDouble(0.3, 0.9);
+    auto t_heur = s_heur.SearchThreshold(q, theta);
+    auto t_rr = s_rr.SearchThreshold(q, theta);
+    auto t_seq = s_seq.SearchThreshold(q, theta);
+    ASSERT_TRUE(t_heur.ok() && t_rr.ok() && t_seq.ok());
+    ASSERT_EQ(t_heur->items.size(), t_rr->items.size());
+    ASSERT_EQ(t_heur->items.size(), t_seq->items.size());
+    for (size_t i = 0; i < t_heur->items.size(); ++i) {
+      ASSERT_EQ(t_heur->items[i].id, t_rr->items[i].id) << "rank " << i;
+      ASSERT_NEAR(t_heur->items[i].score, t_rr->items[i].score, kScoreTol)
+          << "rank " << i;
+      ASSERT_EQ(t_heur->items[i].id, t_seq->items[i].id) << "rank " << i;
+      ASSERT_NEAR(t_heur->items[i].score, t_seq->items[i].score, kScoreTol)
+          << "rank " << i;
+    }
+
+    // The no-stale-pops invariant holds for every policy's expansions.
+    for (const auto* r : {&*r_heur, &*r_rr, &*r_seq}) {
+      EXPECT_EQ(r->stats.heap_stale_pops, 0);
+      if (q.lambda > 0.0) {
+        EXPECT_EQ(r->stats.heap_pops, r->stats.settled_vertices);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulingPolicyFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace uots

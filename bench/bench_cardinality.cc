@@ -17,7 +17,7 @@ namespace uots {
 namespace bench {
 namespace {
 
-void RunCity(City city, const std::vector<int>& sizes) {
+void RunCity(City city, const std::vector<int>& sizes, JsonReport* report) {
   Table table({"city", "|T|", "algorithm", "avg ms", "visited", "settled"});
   bool banner = false;
   for (int size : sizes) {
@@ -38,6 +38,11 @@ void RunCity(City city, const std::vector<int>& sizes) {
       table.PrintRow({CityName(city), std::to_string(size), ToString(kind),
                       FormatDouble(m.avg_ms, 2), FormatDouble(m.avg_visited, 0),
                       FormatDouble(m.avg_settled, 0)});
+      auto& row = report->AddRow()
+                      .Set("city", CityName(city))
+                      .Set("size", static_cast<int64_t>(size))
+                      .Set("algorithm", ToString(kind));
+      AddMeasurementFields(row, m);
     }
     table.PrintRule();
   }
@@ -48,7 +53,11 @@ void RunCity(City city, const std::vector<int>& sizes) {
 }  // namespace uots
 
 int main() {
-  uots::bench::RunCity(uots::bench::City::kBRN, {5000, 10000, 15000, 20000});
-  uots::bench::RunCity(uots::bench::City::kNRN, {10000, 20000, 30000, 40000});
+  uots::bench::JsonReport report("F1 effect of |T| (cardinality)");
+  uots::bench::RunCity(uots::bench::City::kBRN, {5000, 10000, 15000, 20000},
+                       &report);
+  uots::bench::RunCity(uots::bench::City::kNRN, {10000, 20000, 30000, 40000},
+                       &report);
+  report.WriteFile("BENCH_cardinality.json");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "common/datasets.h"
 #include "common/report.h"
 #include "core/euclid_baseline.h"
+#include "util/histogram.h"
 #include "util/string_util.h"
 
 namespace uots {
@@ -15,6 +16,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  JsonReport report("A2 Euclidean vs network ranking");
   Table table({"city", "k", "overlap@k", "EU ms", "BF ms"});
   table.PrintHeader();
   for (City city : {City::kBRN, City::kNRN}) {
@@ -31,6 +33,7 @@ void Run() {
       auto bf = CreateAlgorithm(*db, AlgorithmKind::kBruteForce);
       auto eu = CreateAlgorithm(*db, AlgorithmKind::kEuclidean);
       double overlap = 0.0, eu_ms = 0.0, bf_ms = 0.0;
+      LatencyHistogram eu_hist, bf_hist;
       for (const auto& q : queries) {
         auto rb = bf->Search(q);
         auto re = eu->Search(q);
@@ -38,14 +41,29 @@ void Run() {
         overlap += ResultOverlap(rb->items, re->items);
         bf_ms += rb->stats.elapsed_ms;
         eu_ms += re->stats.elapsed_ms;
+        bf_hist.Record(static_cast<int64_t>(rb->stats.elapsed_ms * 1e6));
+        eu_hist.Record(static_cast<int64_t>(re->stats.elapsed_ms * 1e6));
       }
       const double n = static_cast<double>(queries.size());
       table.PrintRow({CityName(city), std::to_string(k),
                       FormatDouble(overlap / n, 3), FormatDouble(eu_ms / n, 2),
                       FormatDouble(bf_ms / n, 2)});
+      report.AddRow()
+          .Set("city", CityName(city))
+          .Set("k", static_cast<int64_t>(k))
+          .Set("overlap", overlap / n)
+          .Set("eu_avg_ms", eu_ms / n)
+          .Set("bf_avg_ms", bf_ms / n)
+          .Set("eu_p50_ms", eu_hist.PercentileMs(50.0))
+          .Set("eu_p95_ms", eu_hist.PercentileMs(95.0))
+          .Set("eu_p99_ms", eu_hist.PercentileMs(99.0))
+          .Set("bf_p50_ms", bf_hist.PercentileMs(50.0))
+          .Set("bf_p95_ms", bf_hist.PercentileMs(95.0))
+          .Set("bf_p99_ms", bf_hist.PercentileMs(99.0));
     }
     table.PrintRule();
   }
+  report.WriteFile("BENCH_euclidean.json");
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  JsonReport report("F3 effect of lambda");
   for (City city : {City::kBRN, City::kNRN}) {
     auto db = LoadCity(city);
     PrintBanner(std::string("F3 effect of lambda, ") + CityName(city), *db);
@@ -33,10 +34,16 @@ void Run() {
         table.PrintRow({CityName(city), FormatDouble(lambda, 1),
                         ToString(kind), FormatDouble(m.avg_ms, 2),
                         FormatDouble(m.avg_visited, 0)});
+        auto& row = report.AddRow()
+                        .Set("city", CityName(city))
+                        .Set("lambda", lambda)
+                        .Set("algorithm", ToString(kind));
+        AddMeasurementFields(row, m);
       }
       table.PrintRule();
     }
   }
+  report.WriteFile("BENCH_lambda.json");
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/datasets.h"
@@ -21,6 +22,7 @@
 #include "net/landmarks.h"
 #include "text/inverted_index.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace uots {
 namespace bench {
@@ -173,6 +175,33 @@ void BM_VertexIndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_VertexIndexLookup);
 
+void BM_UotsQuery(benchmark::State& state) {
+  // Whole-engine benchmark over the instrumented search path; with
+  // UOTS_TRACE_ACTIVE=1 (see main) it doubles as the tracer-overhead
+  // measurement: compare against a run without the variable, and against
+  // a -DUOTS_TRACE=OFF build.
+  const auto& db = Db();
+  static const std::vector<UotsQuery>* queries = [] {
+    WorkloadOptions wopts;
+    wopts.num_queries = 16;
+    wopts.seed = 7;
+    return new std::vector<UotsQuery>(DefaultWorkload(Db(), wopts));
+  }();
+  auto engine = CreateAlgorithm(db, AlgorithmKind::kUots);
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto r = engine->Search((*queries)[qi]);
+    if (!r.ok()) {
+      state.SkipWithError("search failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r->items.data());
+    qi = (qi + 1) % queries->size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UotsQuery)->Unit(benchmark::kMillisecond);
+
 // Forwards every run to the normal console table while capturing it as a
 // JsonReport row, so the binary emits BENCH_micro.json as a side effect.
 class JsonTeeReporter : public benchmark::ConsoleReporter {
@@ -208,10 +237,21 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // UOTS_TRACE_ACTIVE=1 turns span recording on for the whole run, which
+  // makes BM_UotsQuery measure the tracing-enabled cost of the search.
+  const char* trace_env = std::getenv("UOTS_TRACE_ACTIVE");
+  const bool tracing = trace_env != nullptr && trace_env[0] != '0';
+  if (tracing) uots::Trace::Start();
   uots::bench::JsonReport report("M1 substrate micro-benchmarks");
   uots::bench::JsonTeeReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (tracing) {
+    uots::Trace::Stop();
+    std::printf("tracing was active: %zu events captured, %lld dropped\n",
+                uots::Trace::Snapshot().size(),
+                static_cast<long long>(uots::Trace::dropped()));
+  }
   report.WriteFile("BENCH_micro.json");
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "common/report.h"
 #include "core/pairs.h"
 #include "traj/simplify.h"
+#include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -55,12 +57,16 @@ void Run() {
 
   PrintBanner("T2 similar-pairs self join, BRN subset (salted)", db);
   std::printf("planted noisy duplicates: %d\n", dup_count);
+  JsonReport report("T2 similar-pairs self join");
   Table table({"theta", "pairs", "recall", "join s", "searches/s"});
   table.PrintHeader();
   for (double theta : {0.95, 0.90, 0.85, 0.80}) {
     PairJoinOptions opts;
     opts.theta = theta;
     opts.threads = 4;
+    // The join merges its per-search latencies into the global registry;
+    // clearing first makes the snapshot below per-theta.
+    MetricsRegistry::Global().Clear();
     WallTimer timer;
     auto pairs = FindSimilarPairs(db, opts);
     const double secs = timer.ElapsedSeconds();
@@ -77,8 +83,21 @@ void Run() {
                     FormatDouble(static_cast<double>(recovered) / dup_count, 2),
                     FormatDouble(secs, 2),
                     FormatDouble(db.store().size() / secs, 0)});
+    const LatencyHistogram lat =
+        MetricsRegistry::Global().Get("pairs.search_latency");
+    report.AddRow()
+        .Set("theta", theta)
+        .Set("pairs", static_cast<int64_t>(pairs->size()))
+        .Set("recall", static_cast<double>(recovered) / dup_count)
+        .Set("join_seconds", secs)
+        .Set("searches_per_second", db.store().size() / secs)
+        .Set("search_p50_ms", lat.PercentileMs(50.0))
+        .Set("search_p95_ms", lat.PercentileMs(95.0))
+        .Set("search_p99_ms", lat.PercentileMs(99.0))
+        .Set("search_max_ms", static_cast<double>(lat.max_ns()) / 1e6);
   }
   table.PrintRule();
+  report.WriteFile("BENCH_pairs.json");
 }
 
 }  // namespace

@@ -18,6 +18,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  JsonReport report("T1 pruning effectiveness");
   Table table({"city", "algorithm", "cand.ratio", "prune.ratio", "avg ms"});
   table.PrintHeader();
   for (City city : {City::kBRN, City::kNRN}) {
@@ -36,9 +37,15 @@ void Run() {
                       FormatDouble(m.candidate_ratio, 4),
                       FormatDouble(1.0 - m.candidate_ratio, 4),
                       FormatDouble(m.avg_ms, 2)});
+      auto& row = report.AddRow()
+                      .Set("city", CityName(city))
+                      .Set("algorithm", ToString(kind))
+                      .Set("prune_ratio", 1.0 - m.candidate_ratio);
+      AddMeasurementFields(row, m);
     }
     table.PrintRule();
   }
+  report.WriteFile("BENCH_pruning.json");
 }
 
 }  // namespace

@@ -38,16 +38,11 @@ void Run() {
                         FormatDouble(meas.avg_ms, 2),
                         FormatDouble(meas.avg_visited, 0),
                         FormatDouble(meas.avg_settled, 0)});
-        report.AddRow()
-            .Set("city", CityName(city))
-            .Set("m", static_cast<int64_t>(m))
-            .Set("algorithm", ToString(kind))
-            .Set("avg_ms", meas.avg_ms)
-            .Set("avg_visited", meas.avg_visited)
-            .Set("avg_candidates", meas.avg_candidates)
-            .Set("avg_settled", meas.avg_settled)
-            .Set("candidate_ratio", meas.candidate_ratio)
-            .Set("wall_seconds", meas.wall_seconds);
+        auto& row = report.AddRow()
+                        .Set("city", CityName(city))
+                        .Set("m", static_cast<int64_t>(m))
+                        .Set("algorithm", ToString(kind));
+        AddMeasurementFields(row, meas);
       }
       table.PrintRule();
     }

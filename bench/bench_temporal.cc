@@ -11,6 +11,7 @@
 #include "common/datasets.h"
 #include "common/report.h"
 #include "core/temporal.h"
+#include "util/histogram.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -54,21 +55,39 @@ std::vector<TemporalUotsQuery> MakeQueries(const TrajectoryDatabase& db,
   return out;
 }
 
+void AddTemporalRow(JsonReport* report, double wt, const char* algorithm,
+                    const QueryStats& stats, const LatencyHistogram& hist,
+                    double n) {
+  report->AddRow()
+      .Set("weight_temporal", wt)
+      .Set("algorithm", algorithm)
+      .Set("avg_ms", stats.elapsed_ms / n)
+      .Set("avg_visited", stats.visited_trajectories / n)
+      .Set("p50_ms", hist.PercentileMs(50.0))
+      .Set("p95_ms", hist.PercentileMs(95.0))
+      .Set("p99_ms", hist.PercentileMs(99.0))
+      .Set("max_ms", static_cast<double>(hist.max_ns()) / 1e6);
+}
+
 void Run() {
   auto db = LoadCity(City::kBRN);
   PrintBanner("F7 three-domain temporal extension, BRN", *db);
+  JsonReport report("F7 three-domain temporal extension");
   Table table({"wt", "algorithm", "avg ms", "visited"});
   table.PrintHeader();
   TemporalUotsSearcher searcher(*db);
   for (double wt : {0.1, 0.3, 0.5}) {
     const auto queries = MakeQueries(*db, wt, 10);
     QueryStats uots_stats, bf_stats;
+    LatencyHistogram uots_hist, bf_hist;
     for (const auto& q : queries) {
       auto ru = searcher.Search(q);
       auto rb = BruteForceTemporalSearch(*db, q);
       if (!ru.ok() || !rb.ok()) std::abort();
       uots_stats += ru->stats;
       bf_stats += rb->stats;
+      uots_hist.Record(static_cast<int64_t>(ru->stats.elapsed_ms * 1e6));
+      bf_hist.Record(static_cast<int64_t>(rb->stats.elapsed_ms * 1e6));
       // Cross-check while we are here: the bench doubles as a validation.
       for (size_t i = 0; i < rb->items.size(); ++i) {
         if (std::abs(rb->items[i].score - ru->items[i].score) > 1e-9) {
@@ -85,7 +104,10 @@ void Run() {
                     FormatDouble(bf_stats.elapsed_ms / n, 2),
                     FormatDouble(bf_stats.visited_trajectories / n, 0)});
     table.PrintRule();
+    AddTemporalRow(&report, wt, "UOTS-3D", uots_stats, uots_hist, n);
+    AddTemporalRow(&report, wt, "BF-3D", bf_stats, bf_hist, n);
   }
+  report.WriteFile("BENCH_temporal.json");
 }
 
 }  // namespace

@@ -21,21 +21,32 @@ void Run() {
   PrintBanner("F6 batch throughput vs thread count, NRN", *db);
   std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
+  JsonReport report("F6 batch throughput vs thread count");
   WorkloadOptions wopts;
   wopts.num_queries = 48;
   wopts.seed = 782;
   const auto queries = DefaultWorkload(*db, wopts);
-  Table table({"algorithm", "threads", "batch s", "queries/s"});
+  Table table({"algorithm", "threads", "batch s", "queries/s", "p50 ms",
+               "p95 ms", "p99 ms"});
   table.PrintHeader();
   for (AlgorithmKind kind : {AlgorithmKind::kUots, AlgorithmKind::kTextFirst}) {
     for (int threads : {1, 2, 4, 8}) {
       const RunMeasurement m = Measure(*db, queries, kind, threads);
       table.PrintRow({ToString(kind), std::to_string(threads),
                       FormatDouble(m.wall_seconds, 3),
-                      FormatDouble(queries.size() / m.wall_seconds, 1)});
+                      FormatDouble(queries.size() / m.wall_seconds, 1),
+                      FormatDouble(m.p50_ms, 2), FormatDouble(m.p95_ms, 2),
+                      FormatDouble(m.p99_ms, 2)});
+      auto& row = report.AddRow()
+                      .Set("algorithm", ToString(kind))
+                      .Set("threads", static_cast<int64_t>(threads))
+                      .Set("queries_per_second",
+                           queries.size() / m.wall_seconds);
+      AddMeasurementFields(row, m);
     }
     table.PrintRule();
   }
+  report.WriteFile("BENCH_threads.json");
 }
 
 }  // namespace

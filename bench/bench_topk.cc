@@ -14,6 +14,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  JsonReport report("F4 effect of k");
   for (City city : {City::kBRN, City::kNRN}) {
     auto db = LoadCity(city);
     PrintBanner(std::string("F4 effect of k, ") + CityName(city), *db);
@@ -32,10 +33,16 @@ void Run() {
         table.PrintRow({CityName(city), std::to_string(k), ToString(kind),
                         FormatDouble(m.avg_ms, 2),
                         FormatDouble(m.avg_visited, 0)});
+        auto& row = report.AddRow()
+                        .Set("city", CityName(city))
+                        .Set("k", static_cast<int64_t>(k))
+                        .Set("algorithm", ToString(kind));
+        AddMeasurementFields(row, m);
       }
       table.PrintRule();
     }
   }
+  report.WriteFile("BENCH_topk.json");
 }
 
 }  // namespace

@@ -94,7 +94,15 @@ RunMeasurement Measure(const TrajectoryDatabase& db,
   m.wall_seconds = result->wall_seconds;
   m.candidate_ratio =
       m.avg_candidates / static_cast<double>(db.store().size());
+  FillLatencyFields(result->latency, &m);
   return m;
+}
+
+void FillLatencyFields(const LatencyHistogram& h, RunMeasurement* m) {
+  m->p50_ms = h.PercentileMs(50.0);
+  m->p95_ms = h.PercentileMs(95.0);
+  m->p99_ms = h.PercentileMs(99.0);
+  m->max_ms = static_cast<double>(h.max_ns()) / 1e6;
 }
 
 std::vector<UotsQuery> DefaultWorkload(const TrajectoryDatabase& db,
@@ -154,6 +162,20 @@ std::string JsonReport::ToJson() const {
   }
   os << "\n  ]\n}\n";
   return os.str();
+}
+
+JsonReport::Row& AddMeasurementFields(JsonReport::Row& row,
+                                      const RunMeasurement& m) {
+  return row.Set("avg_ms", m.avg_ms)
+      .Set("avg_visited", m.avg_visited)
+      .Set("avg_candidates", m.avg_candidates)
+      .Set("avg_settled", m.avg_settled)
+      .Set("candidate_ratio", m.candidate_ratio)
+      .Set("wall_seconds", m.wall_seconds)
+      .Set("p50_ms", m.p50_ms)
+      .Set("p95_ms", m.p95_ms)
+      .Set("p99_ms", m.p99_ms)
+      .Set("max_ms", m.max_ms);
 }
 
 bool JsonReport::WriteFile(const std::string& path) const {

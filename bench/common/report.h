@@ -35,12 +35,20 @@ struct RunMeasurement {
   double avg_settled = 0.0;      ///< mean settled vertices per query
   double wall_seconds = 0.0;     ///< whole-batch wall time
   double candidate_ratio = 0.0;  ///< avg_candidates / |T|
+  double p50_ms = 0.0;           ///< median per-query latency
+  double p95_ms = 0.0;           ///< 95th-percentile per-query latency
+  double p99_ms = 0.0;           ///< 99th-percentile per-query latency
+  double max_ms = 0.0;           ///< slowest query
 };
 
 /// Runs `queries` with the given algorithm (single thread) and aggregates.
 RunMeasurement Measure(const TrajectoryDatabase& db,
                        const std::vector<UotsQuery>& queries,
                        AlgorithmKind kind, int threads = 1);
+
+/// Summarises a latency histogram into the RunMeasurement percentile
+/// fields (p50/p95/p99/max); the averaged counters are left untouched.
+void FillLatencyFields(const LatencyHistogram& h, RunMeasurement* m);
 
 /// Builds the default experiment workload on `db` with overrides applied.
 std::vector<UotsQuery> DefaultWorkload(const TrajectoryDatabase& db,
@@ -83,6 +91,12 @@ class JsonReport {
   std::string experiment_;
   std::vector<Row> rows_;
 };
+
+/// Appends the standard RunMeasurement fields (averages, wall time, and
+/// the p50/p95/p99/max latency summary) to a JSON row, so every bench
+/// binary reports the same machine-readable schema.
+JsonReport::Row& AddMeasurementFields(JsonReport::Row& row,
+                                      const RunMeasurement& m);
 
 }  // namespace bench
 }  // namespace uots

@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite in
-# Release, then again under ASan+UBSan. Run from the repo root:
+# Release, again under ASan+UBSan, and once more with the span tracer
+# compiled out (-DUOTS_TRACE=OFF). Run from the repo root:
 #
-#   scripts/check.sh            # both presets
+#   scripts/check.sh            # all three presets
 #   scripts/check.sh release    # just the fast one
 #   scripts/check.sh asan       # just the sanitizer pass
+#   scripts/check.sh trace-off  # just the tracer-compiled-out pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
-presets=("${@:-release asan}")
-# Split the default string into two presets when invoked with no args.
-if [[ $# -eq 0 ]]; then presets=(release asan); fi
+presets=("$@")
+if [[ $# -eq 0 ]]; then presets=(release asan trace-off); fi
 
 for preset in "${presets[@]}"; do
   echo "==> preset: ${preset}"

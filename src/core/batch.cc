@@ -1,9 +1,11 @@
 #include "core/batch.h"
 
-#include <mutex>
+#include <string>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace uots {
 
@@ -17,7 +19,8 @@ Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
 
   const size_t shards =
       std::min<size_t>(static_cast<size_t>(opts.threads), queries.size());
-  std::vector<QueryStats> shard_stats(shards);
+  out.shards.resize(shards);
+  std::vector<LatencyHistogram> shard_hist(shards);
   std::vector<Status> shard_status(shards);
 
   WallTimer timer;
@@ -27,18 +30,30 @@ Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
     futures.reserve(shards);
     for (size_t s = 0; s < shards; ++s) {
       futures.push_back(pool.Submit([&, s] {
+        UOTS_TRACE_SCOPE_ID("batch_shard", static_cast<int64_t>(s));
+        ShardStats& shard = out.shards[s];
+        shard.shard = static_cast<int>(s);
+        shard.begin = s * queries.size() / shards;
+        shard.end = (s + 1) * queries.size() / shards;
+        WallTimer shard_timer;
         auto engine = CreateAlgorithm(db, opts.algorithm, opts.uots);
-        const size_t begin = s * queries.size() / shards;
-        const size_t end = (s + 1) * queries.size() / shards;
-        for (size_t i = begin; i < end; ++i) {
+        for (size_t i = shard.begin; i < shard.end; ++i) {
           Result<SearchResult> r = engine->Search(queries[i]);
           if (!r.ok()) {
-            shard_status[s] = r.status();
+            // Report which query failed; shard-local indices are opaque to
+            // the caller, workload indices are not.
+            shard_status[s] =
+                Status(r.status().code(), "query " + std::to_string(i) + ": " +
+                                              r.status().message());
+            shard.wall_seconds = shard_timer.ElapsedSeconds();
             return;
           }
-          shard_stats[s] += r->stats;
+          shard_hist[s].Record(
+              static_cast<int64_t>(r->stats.elapsed_ms * 1e6));
+          shard.stats += r->stats;
           out.answers[i] = std::move(r->items);
         }
+        shard.wall_seconds = shard_timer.ElapsedSeconds();
       }));
     }
     for (auto& f : futures) f.get();
@@ -47,7 +62,11 @@ Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
   for (const auto& st : shard_status) {
     if (!st.ok()) return st;
   }
-  for (const auto& s : shard_stats) out.total += s;
+  for (size_t s = 0; s < shards; ++s) {
+    out.total += out.shards[s].stats;
+    out.latency.Merge(shard_hist[s]);
+  }
+  MetricsRegistry::Global().Merge("batch.query_latency", out.latency);
   return out;
 }
 

@@ -8,9 +8,11 @@
 #ifndef UOTS_CORE_BATCH_H_
 #define UOTS_CORE_BATCH_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "core/algorithm.h"
+#include "util/histogram.h"
 
 namespace uots {
 
@@ -21,12 +23,29 @@ struct BatchOptions {
   int threads = 1;
 };
 
+/// \brief Per-worker breakdown of a batch run.
+struct ShardStats {
+  /// Shard index, dense in [0, shards).
+  int shard = 0;
+  /// Half-open query range [begin, end) this shard executed.
+  size_t begin = 0;
+  size_t end = 0;
+  /// Summed counters for the shard's queries.
+  QueryStats stats;
+  /// Wall time of this shard's loop alone.
+  double wall_seconds = 0.0;
+};
+
 /// \brief Aggregate outcome of a batch run.
 struct BatchResult {
   /// Per-query answers, in workload order.
   std::vector<std::vector<ScoredTrajectory>> answers;
   /// Summed per-query counters.
   QueryStats total;
+  /// Per-worker breakdown, indexed by shard.
+  std::vector<ShardStats> shards;
+  /// Per-query latency distribution (one sample per query).
+  LatencyHistogram latency;
   /// End-to-end wall time of the batch (max over workers, not sum).
   double wall_seconds = 0.0;
 
@@ -35,7 +54,10 @@ struct BatchResult {
   }
 };
 
-/// Runs `queries` against `db`; fails on the first invalid query.
+/// Runs `queries` against `db`; fails on the first invalid query. The
+/// failing query's workload index is prepended to the error message.
+/// Latencies are also merged into MetricsRegistry::Global() under
+/// "batch.query_latency".
 Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
                              const std::vector<UotsQuery>& queries,
                              const BatchOptions& opts);

@@ -11,6 +11,7 @@ namespace uots {
 
 Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
   const auto& store = db_->store();
@@ -20,34 +21,41 @@ Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
   // One full shortest-path tree per query location.
   std::vector<ShortestPathTree> trees;
   trees.reserve(m);
-  for (VertexId o : query.locations) {
-    trees.push_back(ComputeShortestPathTree(db_->network(), o));
-    out.stats.settled_vertices +=
-        static_cast<int64_t>(db_->network().NumVertices());
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kSpatialExpansion);
+    for (VertexId o : query.locations) {
+      trees.push_back(ComputeShortestPathTree(db_->network(), o));
+      out.stats.settled_vertices +=
+          static_cast<int64_t>(db_->network().NumVertices());
+    }
   }
 
   TopK topk(static_cast<size_t>(query.k));
   std::vector<double> dists(m);
-  for (TrajId id = 0; id < store.size(); ++id) {
-    const auto samples = store.SamplesOf(id);
-    for (size_t i = 0; i < m; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      for (const Sample& s : samples) {
-        const double d = trees[i].dist[s.vertex];
-        if (d < best) best = d;
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    for (TrajId id = 0; id < store.size(); ++id) {
+      const auto samples = store.SamplesOf(id);
+      for (size_t i = 0; i < m; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const Sample& s : samples) {
+          const double d = trees[i].dist[s.vertex];
+          if (d < best) best = d;
+        }
+        dists[i] = best;
+        ++out.stats.trajectory_hits;
       }
-      dists[i] = best;
-      ++out.stats.trajectory_hits;
+      const double spatial = model.SpatialSim(dists);
+      const double textual =
+          model.textual().Score(query.keywords, store.KeywordsOf(id));
+      const double score =
+          SimilarityModel::Combine(query.lambda, spatial, textual);
+      topk.Offer(ScoredTrajectory{id, score, spatial, textual});
+      ++out.stats.visited_trajectories;
+      ++out.stats.candidates;
     }
-    const double spatial = model.SpatialSim(dists);
-    const double textual =
-        model.textual().Score(query.keywords, store.KeywordsOf(id));
-    const double score = SimilarityModel::Combine(query.lambda, spatial, textual);
-    topk.Offer(ScoredTrajectory{id, score, spatial, textual});
-    ++out.stats.visited_trajectories;
-    ++out.stats.candidates;
+    out.items = std::move(topk).Finish();
   }
-  out.items = std::move(topk).Finish();
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }

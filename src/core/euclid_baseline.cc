@@ -11,6 +11,7 @@ namespace uots {
 
 Result<SearchResult> EuclideanSearch::Search(const UotsQuery& query) {
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
   const auto& store = db_->store();
@@ -22,29 +23,34 @@ Result<SearchResult> EuclideanSearch::Search(const UotsQuery& query) {
   origins.reserve(m);
   for (VertexId o : query.locations) origins.push_back(g.PositionOf(o));
 
-  TopK topk(static_cast<size_t>(query.k));
-  std::vector<double> dists(m);
-  for (TrajId id = 0; id < store.size(); ++id) {
-    const auto samples = store.SamplesOf(id);
-    for (size_t i = 0; i < m; ++i) {
-      double best = std::numeric_limits<double>::max();
-      for (const Sample& s : samples) {
-        const double d2 = SquaredDistance(origins[i], g.PositionOf(s.vertex));
-        if (d2 < best) best = d2;
+  {
+    // The Euclidean baseline never expands the network: the whole scan is
+    // one exact-scoring sweep, so all its time is refinement.
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    TopK topk(static_cast<size_t>(query.k));
+    std::vector<double> dists(m);
+    for (TrajId id = 0; id < store.size(); ++id) {
+      const auto samples = store.SamplesOf(id);
+      for (size_t i = 0; i < m; ++i) {
+        double best = std::numeric_limits<double>::max();
+        for (const Sample& s : samples) {
+          const double d2 = SquaredDistance(origins[i], g.PositionOf(s.vertex));
+          if (d2 < best) best = d2;
+        }
+        dists[i] = std::sqrt(best);
+        ++out.stats.trajectory_hits;
       }
-      dists[i] = std::sqrt(best);
-      ++out.stats.trajectory_hits;
+      const double spatial = model.SpatialSim(dists);
+      const double textual =
+          model.textual().Score(query.keywords, store.KeywordsOf(id));
+      topk.Offer(ScoredTrajectory{
+          id, SimilarityModel::Combine(query.lambda, spatial, textual), spatial,
+          textual});
+      ++out.stats.visited_trajectories;
     }
-    const double spatial = model.SpatialSim(dists);
-    const double textual =
-        model.textual().Score(query.keywords, store.KeywordsOf(id));
-    topk.Offer(ScoredTrajectory{
-        id, SimilarityModel::Combine(query.lambda, spatial, textual), spatial,
-        textual});
-    ++out.stats.visited_trajectories;
+    out.items = std::move(topk).Finish();
+    out.stats.candidates = static_cast<int64_t>(store.size());
   }
-  out.items = std::move(topk).Finish();
-  out.stats.candidates = static_cast<int64_t>(store.size());
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }

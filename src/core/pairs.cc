@@ -4,7 +4,10 @@
 #include <future>
 
 #include "core/search.h"
+#include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace uots {
 
@@ -51,9 +54,11 @@ Result<std::vector<SimilarPair>> FindSimilarPairs(const TrajectoryDatabase& db,
   {
     const size_t shards = std::min<size_t>(opts.threads, std::max<size_t>(n, 1));
     ThreadPool pool(shards);
+    std::vector<LatencyHistogram> shard_hist(shards);
     std::vector<std::future<Status>> futures;
     for (size_t s = 0; s < shards; ++s) {
       futures.push_back(pool.Submit([&, s]() -> Status {
+        UOTS_TRACE_SCOPE_ID("pairs_shard", static_cast<int64_t>(s));
         UotsSearcher searcher(db);
         const size_t begin = s * n / shards;
         const size_t end = (s + 1) * n / shards;
@@ -62,6 +67,8 @@ Result<std::vector<SimilarPair>> FindSimilarPairs(const TrajectoryDatabase& db,
               MakePairQuery(db, static_cast<TrajId>(i), opts);
           auto r = searcher.SearchThreshold(q, opts.theta);
           if (!r.ok()) return r.status();
+          shard_hist[s].Record(
+              static_cast<int64_t>(r->stats.elapsed_ms * 1e6));
           results[i] = std::move(r->items);
           // Id-sorted for the mutual lookups in the merge phase.
           std::sort(results[i].begin(), results[i].end(),
@@ -76,6 +83,9 @@ Result<std::vector<SimilarPair>> FindSimilarPairs(const TrajectoryDatabase& db,
       Status st = f.get();
       if (!st.ok()) return st;
     }
+    LatencyHistogram merged;
+    for (const auto& h : shard_hist) merged.Merge(h);
+    MetricsRegistry::Global().Merge("pairs.search_latency", merged);
   }
 
   // Phase 2: merge — keep pairs that qualified in both directions.

@@ -58,6 +58,7 @@ UotsSearcher::UotsSearcher(const TrajectoryDatabase& db,
 
 void UotsSearcher::ResolveTextualDomain(const UotsQuery& query,
                                         QueryStats* stats) {
+  ScopedPhase phase(stats, QueryPhase::kTextualFilter);
   const auto doc_keys = [this](DocId d) -> const KeywordSet& {
     return db_->store().KeywordsOf(static_cast<TrajId>(d));
   };
@@ -77,48 +78,55 @@ Result<SearchResult> UotsSearcher::SearchTextOnly(const UotsQuery& query) {
   // lambda == 0: the spatial domain cannot contribute; the textual domain
   // is already exact after the index probe, so the answer is direct.
   SearchResult out;
-  TopK topk(static_cast<size_t>(query.k));
-  for (const ScoredDoc& d : text_docs_) {
-    topk.Offer(
-        ScoredTrajectory{static_cast<TrajId>(d.doc), d.score, 0.0, d.score});
-    ++out.stats.visited_trajectories;
-  }
-  // Fill with SimT = 0 trajectories if k exceeds the candidate count.
-  if (topk.size() < static_cast<size_t>(query.k)) {
-    for (TrajId id = 0;
-         id < db_->store().size() && topk.size() < static_cast<size_t>(query.k);
-         ++id) {
-      if (text_of_.Has(id)) continue;  // already offered
-      topk.Offer(ScoredTrajectory{id, 0.0, 0.0, 0.0});
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    TopK topk(static_cast<size_t>(query.k));
+    for (const ScoredDoc& d : text_docs_) {
+      topk.Offer(
+          ScoredTrajectory{static_cast<TrajId>(d.doc), d.score, 0.0, d.score});
+      ++out.stats.visited_trajectories;
     }
+    // Fill with SimT = 0 trajectories if k exceeds the candidate count.
+    if (topk.size() < static_cast<size_t>(query.k)) {
+      for (TrajId id = 0; id < db_->store().size() &&
+                          topk.size() < static_cast<size_t>(query.k);
+           ++id) {
+        if (text_of_.Has(id)) continue;  // already offered
+        topk.Offer(ScoredTrajectory{id, 0.0, 0.0, 0.0});
+      }
+    }
+    out.items = std::move(topk).Finish();
+    out.stats.candidates = static_cast<int64_t>(out.items.size());
   }
-  out.items = std::move(topk).Finish();
-  out.stats.candidates = static_cast<int64_t>(out.items.size());
   return out;
 }
 
 Result<SearchResult> UotsSearcher::SearchTextOnlyThreshold(
     const UotsQuery& query, double theta) {
   SearchResult out;
-  for (const ScoredDoc& d : text_docs_) {
-    if (d.score < theta) break;  // descending order
-    out.items.push_back(
-        ScoredTrajectory{static_cast<TrajId>(d.doc), d.score, 0.0, d.score});
-    ++out.stats.visited_trajectories;
-  }
-  // theta <= 0 is matched by every trajectory, including keyword-less ones.
-  if (theta <= 0.0) {
-    for (TrajId id = 0; id < db_->store().size(); ++id) {
-      if (text_of_.Has(id)) continue;
-      out.items.push_back(ScoredTrajectory{id, 0.0, 0.0, 0.0});
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    for (const ScoredDoc& d : text_docs_) {
+      if (d.score < theta) break;  // descending order
+      out.items.push_back(
+          ScoredTrajectory{static_cast<TrajId>(d.doc), d.score, 0.0, d.score});
+      ++out.stats.visited_trajectories;
     }
-    std::sort(out.items.begin(), out.items.end(),
-              [](const ScoredTrajectory& a, const ScoredTrajectory& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.id < b.id;
-              });
+    // theta <= 0 is matched by every trajectory, including keyword-less
+    // ones.
+    if (theta <= 0.0) {
+      for (TrajId id = 0; id < db_->store().size(); ++id) {
+        if (text_of_.Has(id)) continue;
+        out.items.push_back(ScoredTrajectory{id, 0.0, 0.0, 0.0});
+      }
+      std::sort(out.items.begin(), out.items.end(),
+                [](const ScoredTrajectory& a, const ScoredTrajectory& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.id < b.id;
+                });
+    }
+    out.stats.candidates = static_cast<int64_t>(out.items.size());
   }
-  out.stats.candidates = static_cast<int64_t>(out.items.size());
   return out;
 }
 
@@ -279,96 +287,110 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
 
     // Expand the current source for one batch. The batch grows with the
     // partly-scanned set so per-round bookkeeping stays amortized.
-    const int batch =
-        std::max<int>(opts_.batch_size, static_cast<int>(partial_count / 4));
-    NetworkExpansion& ex = *expansions_[cur];
-    if (!ex.exhausted()) {
-      for (int step = 0; step < batch; ++step) {
-        VertexId v;
-        double d;
-        if (!ex.Step(&v, &d)) {
-          ++exhausted_count;
-          cur_decay[cur] = 0.0;
-          break;
-        }
-        ++stats->settled_vertices;
-        process_hit(cur, v, d);
-      }
+    {
+      ScopedPhase round(stats, QueryPhase::kSpatialExpansion);
+      const int batch =
+          std::max<int>(opts_.batch_size, static_cast<int>(partial_count / 4));
+      NetworkExpansion& ex = *expansions_[cur];
       if (!ex.exhausted()) {
-        cur_decay[cur] = model.SpatialDecay(ex.radius());
+        for (int step = 0; step < batch; ++step) {
+          VertexId v;
+          double d;
+          if (!ex.Step(&v, &d)) {
+            ++exhausted_count;
+            cur_decay[cur] = 0.0;
+            break;
+          }
+          ++stats->settled_vertices;
+          process_hit(cur, v, d);
+        }
+        if (!ex.exhausted()) {
+          cur_decay[cur] = model.SpatialDecay(ex.radius());
+        }
       }
     }
     ++stats->schedule_steps;
 
     // ---- Termination check against the cached bound. ----
-    total_rs = 0.0;
-    for (size_t i = 0; i < m; ++i) total_rs += cur_decay[i];
+    bool terminated = false;
+    {
+      ScopedPhase round(stats, QueryPhase::kBoundMaintenance);
+      total_rs = 0.0;
+      for (size_t i = 0; i < m; ++i) total_rs += cur_decay[i];
 
-    // Advance past fully scanned textual candidates.
-    while (text_ptr < text_docs_.size()) {
-      const int32_t idx = state_slot_.Get(text_docs_[text_ptr].doc, -1);
-      if (idx >= 0 && states_[idx].known == static_cast<int>(m)) {
-        ++text_ptr;
-      } else {
-        break;
+      // Advance past fully scanned textual candidates.
+      while (text_ptr < text_docs_.size()) {
+        const int32_t idx = state_slot_.Get(text_docs_[text_ptr].doc, -1);
+        if (idx >= 0 && states_[idx].known == static_cast<int>(m)) {
+          ++text_ptr;
+        } else {
+          break;
+        }
+      }
+      const double max_rem_text =
+          text_ptr < text_docs_.size() ? text_docs_[text_ptr].score : 0.0;
+      // Bound on everything the spatial domain has not seen at all.
+      const double base_ub = SimilarityModel::Combine(
+          lambda, total_rs / static_cast<double>(m), max_rem_text);
+      const double threshold = sink->PruneThreshold();
+
+      const auto current_global_ub = [&] {
+        return partial_count > 0 ? std::max(base_ub, cached_max) : base_ub;
+      };
+      if (threshold >= current_global_ub()) {
+        terminated = true;
+      } else if (threshold >= base_ub &&
+                 (touched_since_rebuild || total_rs < total_rs_at_rebuild)) {
+        // Only the (possibly stale) partial max blocks termination and its
+        // inputs have moved: pay for one exact rebuild and re-check.
+        rebuild_bounds();
+        if (threshold >= current_global_ub()) terminated = true;
       }
     }
-    const double max_rem_text =
-        text_ptr < text_docs_.size() ? text_docs_[text_ptr].score : 0.0;
-    // Bound on everything the spatial domain has not seen at all.
-    const double base_ub = SimilarityModel::Combine(
-        lambda, total_rs / static_cast<double>(m), max_rem_text);
-    const double threshold = sink->PruneThreshold();
-
-    const auto current_global_ub = [&] {
-      return partial_count > 0 ? std::max(base_ub, cached_max) : base_ub;
-    };
-    if (threshold >= current_global_ub()) break;
-    if (threshold >= base_ub &&
-        (touched_since_rebuild || total_rs < total_rs_at_rebuild)) {
-      // Only the (possibly stale) partial max blocks termination and its
-      // inputs have moved: pay for one exact rebuild and re-check.
-      rebuild_bounds();
-      if (threshold >= current_global_ub()) break;
-    }
+    if (terminated) break;
 
     // ---- Pick the next query source. ----
-    switch (opts_.scheduling) {
-      case SchedulingPolicy::kHeuristic: {
-        double best = -1.0;
-        size_t best_i = cur;
-        for (size_t i = 0; i < m; ++i) {
-          if (expansions_[i]->exhausted()) continue;
-          // Break label ties by least-settled so fresh sources get started.
-          if (labels[i] > best ||
-              (labels[i] == best && expansions_[i]->settled_count() <
-                                        expansions_[best_i]->settled_count())) {
-            best = labels[i];
-            best_i = i;
+    {
+      ScopedPhase round(stats, QueryPhase::kScheduling);
+      switch (opts_.scheduling) {
+        case SchedulingPolicy::kHeuristic: {
+          double best = -1.0;
+          size_t best_i = cur;
+          for (size_t i = 0; i < m; ++i) {
+            if (expansions_[i]->exhausted()) continue;
+            // Break label ties by least-settled so fresh sources get
+            // started.
+            if (labels[i] > best ||
+                (labels[i] == best &&
+                 expansions_[i]->settled_count() <
+                     expansions_[best_i]->settled_count())) {
+              best = labels[i];
+              best_i = i;
+            }
           }
+          cur = best_i;
+          break;
         }
-        cur = best_i;
-        break;
-      }
-      case SchedulingPolicy::kRoundRobin: {
-        for (size_t step = 1; step <= m; ++step) {
-          const size_t i = (cur + step) % m;
-          if (!expansions_[i]->exhausted()) {
-            cur = i;
-            break;
+        case SchedulingPolicy::kRoundRobin: {
+          for (size_t step = 1; step <= m; ++step) {
+            const size_t i = (cur + step) % m;
+            if (!expansions_[i]->exhausted()) {
+              cur = i;
+              break;
+            }
           }
+          break;
         }
-        break;
-      }
-      case SchedulingPolicy::kSequential: {
-        // Stay on the current source until it exhausts, then move to the
-        // lowest-indexed source that still has work.
-        if (expansions_[cur]->exhausted()) {
-          size_t next = 0;
-          while (next < m && expansions_[next]->exhausted()) ++next;
-          if (next < m) cur = next;
+        case SchedulingPolicy::kSequential: {
+          // Stay on the current source until it exhausts, then move to the
+          // lowest-indexed source that still has work.
+          if (expansions_[cur]->exhausted()) {
+            size_t next = 0;
+            while (next < m && expansions_[next]->exhausted()) ++next;
+            if (next < m) cur = next;
+          }
+          break;
         }
-        break;
       }
     }
     if (expansions_[cur]->exhausted()) break;  // all done
@@ -387,6 +409,7 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
 
 Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
   ResolveTextualDomain(query, &out.stats);
@@ -394,13 +417,18 @@ Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
     Result<SearchResult> r = SearchTextOnly(query);
     if (r.ok()) {
       r->stats.posting_entries = out.stats.posting_entries;
+      r->stats.phase_ns[static_cast<int>(QueryPhase::kTextualFilter)] +=
+          out.stats.PhaseNs(QueryPhase::kTextualFilter);
       r->stats.elapsed_ms = timer.ElapsedMillis();
     }
     return r;
   }
   Sink sink(static_cast<size_t>(query.k));
   RunSearch(query, &sink, &out.stats);
-  out.items = std::move(sink).Finish();
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    out.items = std::move(sink).Finish();
+  }
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }
@@ -408,6 +436,7 @@ Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
 Result<SearchResult> UotsSearcher::SearchThreshold(const UotsQuery& query,
                                                    double theta) {
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  UOTS_TRACE_SCOPE("UOTS-threshold");
   WallTimer timer;
   SearchResult out;
   ResolveTextualDomain(query, &out.stats);
@@ -415,13 +444,18 @@ Result<SearchResult> UotsSearcher::SearchThreshold(const UotsQuery& query,
     Result<SearchResult> r = SearchTextOnlyThreshold(query, theta);
     if (r.ok()) {
       r->stats.posting_entries = out.stats.posting_entries;
+      r->stats.phase_ns[static_cast<int>(QueryPhase::kTextualFilter)] +=
+          out.stats.PhaseNs(QueryPhase::kTextualFilter);
       r->stats.elapsed_ms = timer.ElapsedMillis();
     }
     return r;
   }
   Sink sink(theta);
   RunSearch(query, &sink, &out.stats);
-  out.items = std::move(sink).Finish();
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    out.items = std::move(sink).Finish();
+  }
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }

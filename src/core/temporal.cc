@@ -98,6 +98,7 @@ Status ValidateTemporalQuery(const TemporalUotsQuery& q, size_t num_vertices) {
 Result<TemporalSearchResult> BruteForceTemporalSearch(
     const TrajectoryDatabase& db, const TemporalUotsQuery& query) {
   UOTS_RETURN_NOT_OK(ValidateTemporalQuery(query, db.network().NumVertices()));
+  UOTS_TRACE_SCOPE("BF-3D");
   WallTimer timer;
   TemporalSearchResult out;
   const auto& store = db.store();
@@ -105,44 +106,52 @@ Result<TemporalSearchResult> BruteForceTemporalSearch(
 
   std::vector<ShortestPathTree> trees;
   trees.reserve(query.locations.size());
-  for (VertexId o : query.locations) {
-    trees.push_back(ComputeShortestPathTree(db.network(), o));
-    out.stats.settled_vertices +=
-        static_cast<int64_t>(db.network().NumVertices());
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kSpatialExpansion);
+    for (VertexId o : query.locations) {
+      trees.push_back(ComputeShortestPathTree(db.network(), o));
+      out.stats.settled_vertices +=
+          static_cast<int64_t>(db.network().NumVertices());
+    }
   }
 
-  TemporalTopK topk(static_cast<size_t>(query.k));
-  for (TrajId id = 0; id < store.size(); ++id) {
-    const auto samples = store.SamplesOf(id);
-    double spatial = 0.0;
-    for (const auto& tree : trees) {
-      double best = std::numeric_limits<double>::infinity();
-      for (const Sample& s : samples) best = std::min(best, tree.dist[s.vertex]);
-      spatial += model.SpatialDecay(best);
-    }
-    spatial /= static_cast<double>(trees.size());
-
-    double temporal = 0.0;
-    if (!query.times.empty()) {
-      for (int32_t t : query.times) {
+  {
+    ScopedPhase refine_phase(&out.stats, QueryPhase::kRefinement);
+    TemporalTopK topk(static_cast<size_t>(query.k));
+    for (TrajId id = 0; id < store.size(); ++id) {
+      const auto samples = store.SamplesOf(id);
+      double spatial = 0.0;
+      for (const auto& tree : trees) {
         double best = std::numeric_limits<double>::infinity();
         for (const Sample& s : samples) {
-          best = std::min(best, std::fabs(static_cast<double>(t) - s.time_s));
+          best = std::min(best, tree.dist[s.vertex]);
         }
-        temporal += model.TemporalDecay(best);
+        spatial += model.SpatialDecay(best);
       }
-      temporal /= static_cast<double>(query.times.size());
-    }
+      spatial /= static_cast<double>(trees.size());
 
-    const double textual =
-        model.textual().Score(query.keywords, store.KeywordsOf(id));
-    topk.Offer(TemporalScoredTrajectory{
-        id, Combine3(query, spatial, temporal, textual), spatial, temporal,
-        textual});
-    ++out.stats.visited_trajectories;
-    ++out.stats.candidates;
+      double temporal = 0.0;
+      if (!query.times.empty()) {
+        for (int32_t t : query.times) {
+          double best = std::numeric_limits<double>::infinity();
+          for (const Sample& s : samples) {
+            best = std::min(best, std::fabs(static_cast<double>(t) - s.time_s));
+          }
+          temporal += model.TemporalDecay(best);
+        }
+        temporal /= static_cast<double>(query.times.size());
+      }
+
+      const double textual =
+          model.textual().Score(query.keywords, store.KeywordsOf(id));
+      topk.Offer(TemporalScoredTrajectory{
+          id, Combine3(query, spatial, temporal, textual), spatial, temporal,
+          textual});
+      ++out.stats.visited_trajectories;
+      ++out.stats.candidates;
+    }
+    out.items = std::move(topk).Finish();
   }
-  out.items = std::move(topk).Finish();
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }
@@ -158,6 +167,7 @@ Result<TemporalSearchResult> TemporalUotsSearcher::Search(
     const TemporalUotsQuery& query) {
   UOTS_RETURN_NOT_OK(
       ValidateTemporalQuery(query, db_->network().NumVertices()));
+  UOTS_TRACE_SCOPE("UOTS-3D");
   WallTimer timer;
   TemporalSearchResult out;
   const auto& store = db_->store();
@@ -173,19 +183,22 @@ Result<TemporalSearchResult> TemporalUotsSearcher::Search(
   }
 
   // ---- Textual domain. ----
-  const auto doc_keys = [this](DocId d) -> const KeywordSet& {
-    return db_->store().KeywordsOf(static_cast<TrajId>(d));
-  };
-  db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),
-                                       &text_docs_, &out.stats.posting_entries,
-                                       doc_keys);
-  std::sort(text_docs_.begin(), text_docs_.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  text_of_.Reset();
-  for (const ScoredDoc& d : text_docs_) text_of_.Set(d.doc, d.score);
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kTextualFilter);
+    const auto doc_keys = [this](DocId d) -> const KeywordSet& {
+      return db_->store().KeywordsOf(static_cast<TrajId>(d));
+    };
+    db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),
+                                         &text_docs_,
+                                         &out.stats.posting_entries, doc_keys);
+    std::sort(text_docs_.begin(), text_docs_.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    text_of_.Reset();
+    for (const ScoredDoc& d : text_docs_) text_of_.Set(d.doc, d.score);
+  }
 
   // ---- Expansions: sources [0, ms) spatial, [ms, ms+mt) temporal. ----
   while (spatial_.size() < ms) {
@@ -254,6 +267,7 @@ Result<TemporalSearchResult> TemporalUotsSearcher::Search(
     const int batch =
         std::max<int>(opts_.batch_size, static_cast<int>(partial_.size() / 4));
     if (!exhausted[cur]) {
+      ScopedPhase round(&out.stats, QueryPhase::kSpatialExpansion);
       if (cur < ms) {
         NetworkExpansion& ex = *spatial_[cur];
         for (int step = 0; step < batch; ++step) {
@@ -290,103 +304,115 @@ Result<TemporalSearchResult> TemporalUotsSearcher::Search(
     ++out.stats.schedule_steps;
 
     // ---- Termination check + scheduling sweep. ----
-    double total_rs_spatial = 0.0, total_rs_temporal = 0.0;
-    for (size_t i = 0; i < ms; ++i) total_rs_spatial += cur_decay[i];
-    for (size_t j = 0; j < mt; ++j) total_rs_temporal += cur_decay[ms + j];
+    bool terminated = false;
+    {
+      ScopedPhase bounds_round(&out.stats, QueryPhase::kBoundMaintenance);
+      double total_rs_spatial = 0.0, total_rs_temporal = 0.0;
+      for (size_t i = 0; i < ms; ++i) total_rs_spatial += cur_decay[i];
+      for (size_t j = 0; j < mt; ++j) total_rs_temporal += cur_decay[ms + j];
 
-    while (text_ptr < text_docs_.size()) {
-      const int32_t idx = state_slot_.Get(text_docs_[text_ptr].doc, -1);
-      if (idx >= 0 &&
-          states_[idx].known == static_cast<int>(total_sources)) {
-        ++text_ptr;
-      } else {
-        break;
-      }
-    }
-    const double max_rem_text =
-        text_ptr < text_docs_.size() ? text_docs_[text_ptr].score : 0.0;
-    double global_ub =
-        Combine3(query, total_rs_spatial / static_cast<double>(ms),
-                 mt > 0 ? total_rs_temporal / static_cast<double>(mt) : 0.0,
-                 max_rem_text);
-
-    const bool heuristic = opts_.scheduling == SchedulingPolicy::kHeuristic;
-    if (heuristic) std::fill(labels.begin(), labels.end(), 0.0);
-    size_t w = 0;
-    for (size_t r = 0; r < partial_.size(); ++r) {
-      const TrajState& s = states_[partial_[r]];
-      if (s.known == static_cast<int>(total_sources)) continue;
-      partial_[w++] = partial_[r];
-      double missing_sp = total_rs_spatial;
-      double missing_tp = total_rs_temporal;
-      uint64_t mask = s.mask;
-      while (mask != 0) {
-        const int i = __builtin_ctzll(mask);
-        if (static_cast<size_t>(i) < ms) {
-          missing_sp -= cur_decay[i];
+      while (text_ptr < text_docs_.size()) {
+        const int32_t idx = state_slot_.Get(text_docs_[text_ptr].doc, -1);
+        if (idx >= 0 &&
+            states_[idx].known == static_cast<int>(total_sources)) {
+          ++text_ptr;
         } else {
-          missing_tp -= cur_decay[i];
-        }
-        mask &= mask - 1;
-      }
-      const double ub_sp =
-          (s.sum_spatial + missing_sp) / static_cast<double>(ms);
-      const double ub_tp =
-          mt > 0 ? (s.sum_temporal + missing_tp) / static_cast<double>(mt)
-                 : 0.0;
-      const double ub = Combine3(query, ub_sp, ub_tp, s.text);
-      if (ub > global_ub) global_ub = ub;
-      if (heuristic) {
-        uint64_t unset = ~s.mask & ((total_sources == 64)
-                                        ? ~uint64_t{0}
-                                        : ((uint64_t{1} << total_sources) - 1));
-        while (unset != 0) {
-          const int i = __builtin_ctzll(unset);
-          labels[i] += ub;
-          unset &= unset - 1;
+          break;
         }
       }
-    }
-    partial_.resize(w);
+      const double max_rem_text =
+          text_ptr < text_docs_.size() ? text_docs_[text_ptr].score : 0.0;
+      double global_ub =
+          Combine3(query, total_rs_spatial / static_cast<double>(ms),
+                   mt > 0 ? total_rs_temporal / static_cast<double>(mt) : 0.0,
+                   max_rem_text);
 
-    if (topk.Full() && topk.Threshold() >= global_ub) break;
+      const bool heuristic = opts_.scheduling == SchedulingPolicy::kHeuristic;
+      if (heuristic) std::fill(labels.begin(), labels.end(), 0.0);
+      size_t w = 0;
+      for (size_t r = 0; r < partial_.size(); ++r) {
+        const TrajState& s = states_[partial_[r]];
+        if (s.known == static_cast<int>(total_sources)) continue;
+        partial_[w++] = partial_[r];
+        double missing_sp = total_rs_spatial;
+        double missing_tp = total_rs_temporal;
+        uint64_t mask = s.mask;
+        while (mask != 0) {
+          const int i = __builtin_ctzll(mask);
+          if (static_cast<size_t>(i) < ms) {
+            missing_sp -= cur_decay[i];
+          } else {
+            missing_tp -= cur_decay[i];
+          }
+          mask &= mask - 1;
+        }
+        const double ub_sp =
+            (s.sum_spatial + missing_sp) / static_cast<double>(ms);
+        const double ub_tp =
+            mt > 0 ? (s.sum_temporal + missing_tp) / static_cast<double>(mt)
+                   : 0.0;
+        const double ub = Combine3(query, ub_sp, ub_tp, s.text);
+        if (ub > global_ub) global_ub = ub;
+        if (heuristic) {
+          uint64_t unset =
+              ~s.mask & ((total_sources == 64)
+                             ? ~uint64_t{0}
+                             : ((uint64_t{1} << total_sources) - 1));
+          while (unset != 0) {
+            const int i = __builtin_ctzll(unset);
+            labels[i] += ub;
+            unset &= unset - 1;
+          }
+        }
+      }
+      partial_.resize(w);
+
+      if (topk.Full() && topk.Threshold() >= global_ub) terminated = true;
+    }
+    if (terminated) break;
 
     // ---- Pick the next query source (same policies as two-domain). ----
-    switch (opts_.scheduling) {
-      case SchedulingPolicy::kHeuristic: {
-        double best = -1.0;
-        size_t best_i = cur;
-        for (size_t i = 0; i < total_sources; ++i) {
-          if (exhausted[i]) continue;
-          if (labels[i] > best) {
-            best = labels[i];
-            best_i = i;
+    {
+      ScopedPhase sched_round(&out.stats, QueryPhase::kScheduling);
+      switch (opts_.scheduling) {
+        case SchedulingPolicy::kHeuristic: {
+          double best = -1.0;
+          size_t best_i = cur;
+          for (size_t i = 0; i < total_sources; ++i) {
+            if (exhausted[i]) continue;
+            if (labels[i] > best) {
+              best = labels[i];
+              best_i = i;
+            }
           }
+          cur = best_i;
+          break;
         }
-        cur = best_i;
-        break;
-      }
-      case SchedulingPolicy::kRoundRobin: {
-        for (size_t step = 1; step <= total_sources; ++step) {
-          const size_t i = (cur + step) % total_sources;
-          if (!exhausted[i]) {
+        case SchedulingPolicy::kRoundRobin: {
+          for (size_t step = 1; step <= total_sources; ++step) {
+            const size_t i = (cur + step) % total_sources;
+            if (!exhausted[i]) {
+              cur = i;
+              break;
+            }
+          }
+          break;
+        }
+        case SchedulingPolicy::kSequential: {
+          for (size_t i = 0; i < total_sources && exhausted[cur]; ++i) {
             cur = i;
-            break;
           }
+          break;
         }
-        break;
-      }
-      case SchedulingPolicy::kSequential: {
-        for (size_t i = 0; i < total_sources && exhausted[cur]; ++i) {
-          cur = i;
-        }
-        break;
       }
     }
     if (exhausted[cur]) break;
   }
 
-  out.items = std::move(topk).Finish();
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
+    out.items = std::move(topk).Finish();
+  }
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }

@@ -25,69 +25,82 @@ double TextFirstSearch::ExactSpatial(TrajId id, QueryStats* stats) const {
 
 Result<SearchResult> TextFirstSearch::Search(const UotsQuery& query) {
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
+  UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
   const auto& store = db_->store();
   const auto& model = db_->model();
 
   // Spatial acceleration: one full shortest-path tree per query location.
-  trees_.clear();
-  for (VertexId o : query.locations) {
-    trees_.push_back(ComputeShortestPathTree(db_->network(), o));
-    out.stats.settled_vertices +=
-        static_cast<int64_t>(db_->network().NumVertices());
-  }
-
-  // Textual domain: exact SimT for every keyword-sharing trajectory.
-  const auto doc_keys = [this](DocId d) -> const KeywordSet& {
-    return db_->store().KeywordsOf(static_cast<TrajId>(d));
-  };
-  db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),
-                                       &text_docs_, &out.stats.posting_entries,
-                                       doc_keys);
-  std::sort(text_docs_.begin(), text_docs_.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-
-  TopK topk(static_cast<size_t>(query.k));
-  auto refine = [&](TrajId id, double textual) {
-    const double spatial = ExactSpatial(id, &out.stats);
-    const double score = SimilarityModel::Combine(query.lambda, spatial, textual);
-    topk.Offer(ScoredTrajectory{id, score, spatial, textual});
-    ++out.stats.visited_trajectories;
-    ++out.stats.candidates;
-  };
-
-  // Phase 1: keyword-sharing candidates in descending SimT.
-  size_t scanned = 0;
-  for (const ScoredDoc& d : text_docs_) {
-    const double ub = SimilarityModel::Combine(query.lambda, 1.0, d.score);
-    if (topk.Full() && ub <= topk.Threshold()) break;
-    refine(static_cast<TrajId>(d.doc), d.score);
-    ++scanned;
-  }
-
-  // Phase 2: the SimT = 0 tail, only while a perfect spatial match could
-  // still enter the top-k. (Skipped whenever phase 1 stopped early: the
-  // tail bound lambda*1 is <= every phase-1 bound.)
-  if (scanned == text_docs_.size()) {
-    const double tail_ub = SimilarityModel::Combine(query.lambda, 1.0, 0.0);
-    if (!(topk.Full() && tail_ub <= topk.Threshold())) {
-      std::vector<DocId> cand_ids;
-      cand_ids.reserve(text_docs_.size());
-      for (const auto& d : text_docs_) cand_ids.push_back(d.doc);
-      std::sort(cand_ids.begin(), cand_ids.end());
-      for (TrajId id = 0; id < store.size(); ++id) {
-        if (topk.Full() && tail_ub <= topk.Threshold()) break;
-        if (std::binary_search(cand_ids.begin(), cand_ids.end(), id)) continue;
-        refine(id, 0.0);
-      }
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kSpatialExpansion);
+    trees_.clear();
+    for (VertexId o : query.locations) {
+      trees_.push_back(ComputeShortestPathTree(db_->network(), o));
+      out.stats.settled_vertices +=
+          static_cast<int64_t>(db_->network().NumVertices());
     }
   }
 
-  out.items = std::move(topk).Finish();
+  // Textual domain: exact SimT for every keyword-sharing trajectory.
+  {
+    ScopedPhase phase(&out.stats, QueryPhase::kTextualFilter);
+    const auto doc_keys = [this](DocId d) -> const KeywordSet& {
+      return db_->store().KeywordsOf(static_cast<TrajId>(d));
+    };
+    db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),
+                                         &text_docs_,
+                                         &out.stats.posting_entries, doc_keys);
+    std::sort(text_docs_.begin(), text_docs_.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+  }
+
+  {
+    ScopedPhase refine_phase(&out.stats, QueryPhase::kRefinement);
+    TopK topk(static_cast<size_t>(query.k));
+    auto refine = [&](TrajId id, double textual) {
+      const double spatial = ExactSpatial(id, &out.stats);
+      const double score =
+          SimilarityModel::Combine(query.lambda, spatial, textual);
+      topk.Offer(ScoredTrajectory{id, score, spatial, textual});
+      ++out.stats.visited_trajectories;
+      ++out.stats.candidates;
+    };
+
+    // Phase 1: keyword-sharing candidates in descending SimT.
+    size_t scanned = 0;
+    for (const ScoredDoc& d : text_docs_) {
+      const double ub = SimilarityModel::Combine(query.lambda, 1.0, d.score);
+      if (topk.Full() && ub <= topk.Threshold()) break;
+      refine(static_cast<TrajId>(d.doc), d.score);
+      ++scanned;
+    }
+
+    // Phase 2: the SimT = 0 tail, only while a perfect spatial match could
+    // still enter the top-k. (Skipped whenever phase 1 stopped early: the
+    // tail bound lambda*1 is <= every phase-1 bound.)
+    if (scanned == text_docs_.size()) {
+      const double tail_ub = SimilarityModel::Combine(query.lambda, 1.0, 0.0);
+      if (!(topk.Full() && tail_ub <= topk.Threshold())) {
+        std::vector<DocId> cand_ids;
+        cand_ids.reserve(text_docs_.size());
+        for (const auto& d : text_docs_) cand_ids.push_back(d.doc);
+        std::sort(cand_ids.begin(), cand_ids.end());
+        for (TrajId id = 0; id < store.size(); ++id) {
+          if (topk.Full() && tail_ub <= topk.Threshold()) break;
+          if (std::binary_search(cand_ids.begin(), cand_ids.end(), id)) {
+            continue;
+          }
+          refine(id, 0.0);
+        }
+      }
+    }
+
+    out.items = std::move(topk).Finish();
+  }
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;
 }

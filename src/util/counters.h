@@ -2,7 +2,11 @@
 //
 // "Number of visited trajectories" is the primary data-access metric used by
 // the paper family's evaluations (it is storage-location independent); the
-// remaining counters support the ablation analyses.
+// remaining counters support the ablation analyses. The phase breakdown
+// (phase_ns) says where a query's wall time went — spatial expansion vs
+// textual filtering vs bound maintenance vs scheduling vs refinement — at a
+// granularity every engine shares, so benches and services can report it
+// without knowing which algorithm ran.
 
 #ifndef UOTS_UTIL_COUNTERS_H_
 #define UOTS_UTIL_COUNTERS_H_
@@ -10,7 +14,37 @@
 #include <cstdint>
 #include <string>
 
+#include "util/timer.h"
+#include "util/trace.h"
+
 namespace uots {
+
+/// \brief The fixed set of search phases every engine accounts its time to.
+///
+/// Engines differ in which phases they exercise (brute force never
+/// schedules; the Euclidean baseline never expands), but a phase means the
+/// same thing everywhere, so breakdowns are comparable across algorithms.
+enum class QueryPhase : int {
+  /// Keyword-index probe, posting-list scan, and textual candidate sort.
+  kTextualFilter = 0,
+  /// Network/timeline expansion rounds, including per-hit state updates
+  /// (for UOTS this includes the fused exact scoring of fully-scanned
+  /// trajectories; bulk spatial precomputation like full shortest-path
+  /// trees also counts here).
+  kSpatialExpansion,
+  /// Termination-bound upkeep: radius sums, cached-bound checks, rebuilds.
+  kBoundMaintenance,
+  /// Query-source scheduling decisions (heuristic label argmax etc.).
+  kScheduling,
+  /// Candidate refinement / result materialization: exact scoring sweeps
+  /// in filter-and-refine baselines, final top-k extraction and sort.
+  kRefinement,
+};
+
+inline constexpr int kNumQueryPhases = 5;
+
+/// Stable lower_snake name of a phase ("textual_filter", ...).
+const char* ToString(QueryPhase phase);
 
 /// \brief Counters collected while answering a single query.
 struct QueryStats {
@@ -40,8 +74,25 @@ struct QueryStats {
   /// Full recomputations of the cached global upper bound / label sums
   /// (the incremental bookkeeping's fallback path).
   int64_t bound_rebuilds = 0;
+  /// Wall time accounted to each QueryPhase, in nanoseconds. Phases cover
+  /// the bulk of a query but not 100% of elapsed_ms (validation and
+  /// per-round glue are unattributed).
+  int64_t phase_ns[kNumQueryPhases] = {0, 0, 0, 0, 0};
   /// Wall-clock time spent answering the query.
   double elapsed_ms = 0.0;
+
+  int64_t PhaseNs(QueryPhase phase) const {
+    return phase_ns[static_cast<int>(phase)];
+  }
+  double PhaseMillis(QueryPhase phase) const {
+    return static_cast<double>(PhaseNs(phase)) / 1e6;
+  }
+  /// Sum over all phases (<= elapsed_ms expressed in ns).
+  int64_t TotalPhaseNs() const {
+    int64_t total = 0;
+    for (int i = 0; i < kNumQueryPhases; ++i) total += phase_ns[i];
+    return total;
+  }
 
   QueryStats& operator+=(const QueryStats& o) {
     visited_trajectories += o.visited_trajectories;
@@ -55,11 +106,36 @@ struct QueryStats {
     posting_entries += o.posting_entries;
     schedule_steps += o.schedule_steps;
     bound_rebuilds += o.bound_rebuilds;
+    for (int i = 0; i < kNumQueryPhases; ++i) phase_ns[i] += o.phase_ns[i];
     elapsed_ms += o.elapsed_ms;
     return *this;
   }
 
   std::string ToString() const;
+  /// Flat JSON object; phase times under "phase_ms" keyed by phase name.
+  std::string ToJson() const;
+};
+
+/// \brief RAII phase accounting: adds the scope's wall time to
+/// `stats->phase_ns[phase]` and, when a trace session is active, records a
+/// span named after the phase. Cost when idle: two clock reads plus one
+/// relaxed atomic load — safe inside per-round search loops.
+class ScopedPhase {
+ public:
+  ScopedPhase(QueryStats* stats, QueryPhase phase)
+      : stats_(stats), phase_(phase), span_(ToString(phase)) {}
+  ~ScopedPhase() {
+    stats_->phase_ns[static_cast<int>(phase_)] += timer_.ElapsedNanos();
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  QueryStats* stats_;
+  QueryPhase phase_;
+  TraceScope span_;  // no-op unless a trace session is active / compiled in
+  WallTimer timer_;
 };
 
 }  // namespace uots

@@ -1,0 +1,29 @@
+#include "util/histogram.h"
+
+#include <sstream>
+
+namespace uots {
+
+namespace {
+std::string FormatNsAsMs(int64_t ns) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << static_cast<double>(ns) / 1e6 << "ms";
+  return os.str();
+}
+}  // namespace
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ == 0) return os.str();
+  os.precision(3);
+  os << std::fixed << " mean=" << MeanNs() / 1e6 << "ms"
+     << " p50=" << FormatNsAsMs(PercentileNs(50))
+     << " p95=" << FormatNsAsMs(PercentileNs(95))
+     << " p99=" << FormatNsAsMs(PercentileNs(99))
+     << " max=" << FormatNsAsMs(max_ns_);
+  return os.str();
+}
+
+}  // namespace uots

@@ -1,0 +1,55 @@
+// Process-wide metrics surface: named latency histograms.
+//
+// Hot paths never touch the registry directly — batch workers and engines
+// accumulate into private LatencyHistogram instances and merge them in one
+// mutex-protected call at the end of a run. The registry is the read side:
+// benches, examples, and services snapshot it to report p50/p95/p99 across
+// everything that executed since the last Clear().
+
+#ifndef UOTS_UTIL_METRICS_H_
+#define UOTS_UTIL_METRICS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace uots {
+
+/// \brief Thread-safe name -> LatencyHistogram map.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance (RunBatch merges into it by default).
+  static MetricsRegistry& Global();
+
+  /// Records one latency under `name` (creates the histogram on first use).
+  void Record(const std::string& name, int64_t ns);
+
+  /// Bucket-wise merges `h` into the histogram under `name`.
+  void Merge(const std::string& name, const LatencyHistogram& h);
+
+  /// Copy of the histogram under `name`; empty histogram when absent.
+  LatencyHistogram Get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Consistent copy of every (name, histogram) pair, sorted by name.
+  std::vector<std::pair<std::string, LatencyHistogram>> Snapshot() const;
+
+  /// One "name: n=.. p50=.. ..." line per histogram.
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_METRICS_H_

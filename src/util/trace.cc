@@ -1,0 +1,161 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace uots {
+namespace {
+
+/// Hard cap per thread buffer: a runaway session degrades to counting
+/// dropped spans instead of exhausting memory (40 B/event -> ~40 MB max).
+constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  int32_t depth = 0;  // only touched by the owning thread
+};
+
+struct Registry {
+  std::mutex mu;
+  // shared_ptr keeps buffers of exited threads alive until export.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 0;
+  std::atomic<bool> active{false};
+  std::atomic<int64_t> dropped{0};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry& GlobalRegistry() {
+  // Leaked intentionally: thread buffers may flush during static teardown.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+#if UOTS_TRACE
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+#endif  // UOTS_TRACE
+
+}  // namespace
+
+bool Trace::active() {
+  return GlobalRegistry().active.load(std::memory_order_relaxed);
+}
+
+void Trace::Start() {
+  GlobalRegistry().active.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Stop() {
+  GlobalRegistry().active.store(false, std::memory_order_relaxed);
+}
+
+void Trace::Clear() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+  r.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Trace::Snapshot() {
+  Registry& r = GlobalRegistry();
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  return out;
+}
+
+int64_t Trace::dropped() {
+  return GlobalRegistry().dropped.load(std::memory_order_relaxed);
+}
+
+int64_t Trace::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - GlobalRegistry().epoch)
+      .count();
+}
+
+std::string Trace::ToChromeJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"name\": \"" << e.name
+       << "\", \"cat\": \"uots\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << e.tid << ", \"ts\": " << static_cast<double>(e.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3
+       << ", \"args\": {\"depth\": " << e.depth;
+    if (e.id >= 0) os << ", \"id\": " << e.id;
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Trace::WriteChromeJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "Trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = ToChromeJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "Trace: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+#if UOTS_TRACE
+
+TraceScope::TraceScope(const char* name, int64_t id)
+    : name_(name), id_(id), recording_(Trace::active()) {
+  if (!recording_) return;
+  ThreadBuffer& b = LocalBuffer();
+  depth_ = b.depth++;
+  start_ns_ = Trace::NowNs();
+}
+
+TraceScope::~TraceScope() {
+  if (!recording_) return;
+  const int64_t end_ns = Trace::NowNs();
+  ThreadBuffer& b = LocalBuffer();
+  --b.depth;
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.events.size() >= kMaxEventsPerThread) {
+    GlobalRegistry().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b.events.push_back(
+      TraceEvent{name_, start_ns_, end_ns - start_ns_, id_, b.tid, depth_});
+}
+
+#endif  // UOTS_TRACE
+
+}  // namespace uots

@@ -1,0 +1,120 @@
+// Low-overhead span tracer with Chrome trace_event JSON export.
+//
+// Spans are recorded through the UOTS_TRACE_SCOPE / UOTS_TRACE_SCOPE_ID
+// macros into thread-local buffers (one uncontended mutex acquisition per
+// completed span, no allocation in the common case) and only while a trace
+// session is active (Trace::Start() .. Trace::Stop()); when no session is
+// active a span costs a single relaxed atomic load. Buffers outlive their
+// threads, so spans from batch workers survive pool shutdown and show up in
+// the next Snapshot()/ToChromeJson().
+//
+// Compile-out: building with -DUOTS_TRACE=0 (CMake option UOTS_TRACE=OFF)
+// turns both macros and TraceScope into empty statements — zero code and
+// zero data on every instrumented path. The Trace runtime class keeps its
+// API in that configuration (Start/Stop/Snapshot all work, the trace is
+// simply empty), so callers never need their own #ifdefs.
+//
+// The exported JSON uses the Chrome trace_event "complete" ("ph":"X")
+// format and loads directly in chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef UOTS_UTIL_TRACE_H_
+#define UOTS_UTIL_TRACE_H_
+
+#ifndef UOTS_TRACE
+#define UOTS_TRACE 1  // compiled in unless the build defines UOTS_TRACE=0
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uots {
+
+/// \brief One completed span. `name` must have static storage duration
+/// (phase names, engine names) — the tracer stores the pointer only.
+struct TraceEvent {
+  const char* name = "";
+  int64_t start_ns = 0;  ///< relative to the process trace epoch
+  int64_t dur_ns = 0;
+  int64_t id = -1;       ///< optional correlation id (query/shard index)
+  uint32_t tid = 0;      ///< dense per-thread number (registration order)
+  int32_t depth = 0;     ///< span nesting depth at emission (0 = outermost)
+};
+
+/// \brief Process-wide trace session control and export.
+class Trace {
+ public:
+  /// True while a session is active. Relaxed-atomic read; this is the only
+  /// cost an instrumented path pays when nothing is tracing.
+  static bool active();
+
+  static void Start();
+  static void Stop();
+
+  /// Drops every recorded event (buffers stay registered).
+  static void Clear();
+
+  /// Events recorded so far, across all threads (live and exited). Call
+  /// with the traced workload quiesced; concurrent recorders are excluded
+  /// only per-buffer.
+  static std::vector<TraceEvent> Snapshot();
+
+  /// Number of spans dropped because a thread buffer hit its cap.
+  static int64_t dropped();
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}; ts/dur in us).
+  static std::string ToChromeJson();
+
+  /// Writes ToChromeJson() to `path`. \return false on I/O failure.
+  static bool WriteChromeJson(const std::string& path);
+
+  /// Nanoseconds since the process trace epoch (monotonic).
+  static int64_t NowNs();
+};
+
+#if UOTS_TRACE
+
+/// \brief RAII span: records [construction, destruction) into the calling
+/// thread's buffer when a session was active at construction time.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, int64_t id = -1);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+  int64_t id_;
+  int64_t start_ns_ = 0;
+  int32_t depth_ = 0;
+  bool recording_;
+};
+
+#define UOTS_TRACE_CONCAT_(a, b) a##b
+#define UOTS_TRACE_CONCAT(a, b) UOTS_TRACE_CONCAT_(a, b)
+#define UOTS_TRACE_SCOPE(name) \
+  ::uots::TraceScope UOTS_TRACE_CONCAT(uots_trace_scope_, __LINE__)(name)
+#define UOTS_TRACE_SCOPE_ID(name, id) \
+  ::uots::TraceScope UOTS_TRACE_CONCAT(uots_trace_scope_, __LINE__)(name, (id))
+
+#else  // !UOTS_TRACE — tracer compiled out; spans are empty statements.
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char*, int64_t = -1) {}
+};
+
+#define UOTS_TRACE_SCOPE(name) \
+  do {                         \
+  } while (false)
+#define UOTS_TRACE_SCOPE_ID(name, id) \
+  do {                                \
+  } while (false)
+
+#endif  // UOTS_TRACE
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_TRACE_H_

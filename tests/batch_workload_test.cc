@@ -111,6 +111,76 @@ TEST(Batch, PropagatesQueryErrors) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(Batch, FailureReportsWorkloadQueryIndex) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  auto queries = MakeWorkload(TestDb(), wopts);
+  ASSERT_TRUE(queries.ok());
+  (*queries)[2].locations.clear();  // invalidate exactly one query
+  BatchOptions opts;
+  opts.threads = 1;
+  auto r = RunBatch(TestDb(), *queries, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("query 2:"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Batch, PerShardStatsPartitionTheWorkload) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 11;  // deliberately not divisible by the shard count
+  auto queries = MakeWorkload(TestDb(), wopts);
+  ASSERT_TRUE(queries.ok());
+  BatchOptions opts;
+  opts.threads = 4;
+  auto r = RunBatch(TestDb(), *queries, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->shards.size(), 4u);
+  // Shard ranges tile [0, n) in order, and per-shard counters sum to the
+  // batch total.
+  QueryStats summed;
+  size_t expect_begin = 0;
+  for (size_t s = 0; s < r->shards.size(); ++s) {
+    const ShardStats& shard = r->shards[s];
+    EXPECT_EQ(shard.shard, static_cast<int>(s));
+    EXPECT_EQ(shard.begin, expect_begin);
+    EXPECT_GE(shard.end, shard.begin);
+    EXPECT_GE(shard.wall_seconds, 0.0);
+    expect_begin = shard.end;
+    summed += shard.stats;
+  }
+  EXPECT_EQ(expect_begin, queries->size());
+  EXPECT_EQ(summed.visited_trajectories, r->total.visited_trajectories);
+  EXPECT_EQ(summed.settled_vertices, r->total.settled_vertices);
+  EXPECT_EQ(summed.candidates, r->total.candidates);
+  EXPECT_EQ(summed.TotalPhaseNs(), r->total.TotalPhaseNs());
+}
+
+TEST(Batch, LatencyHistogramCountsEveryQuery) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 9;
+  auto queries = MakeWorkload(TestDb(), wopts);
+  ASSERT_TRUE(queries.ok());
+  BatchOptions opts;
+  opts.threads = 3;
+  auto r = RunBatch(TestDb(), *queries, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->latency.count(), static_cast<int64_t>(queries->size()));
+  EXPECT_LE(r->latency.PercentileNs(50), r->latency.PercentileNs(99));
+  EXPECT_LE(r->latency.min_ns(), r->latency.max_ns());
+  // The engines record a phase breakdown; at least one phase must have
+  // received time across the batch.
+  EXPECT_GT(r->total.TotalPhaseNs(), 0);
+}
+
+TEST(Batch, QueriesPerSecondGuardsZeroWallTime) {
+  BatchResult r;
+  r.answers.resize(10);
+  r.wall_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(r.QueriesPerSecond(), 0.0);
+  r.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(r.QueriesPerSecond(), 5.0);
+}
+
 TEST(Batch, RejectsBadThreadCount) {
   BatchOptions opts;
   opts.threads = 0;

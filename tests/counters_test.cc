@@ -1,0 +1,91 @@
+// QueryStats: phase accounting, aggregation, and rendering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/counters.h"
+
+namespace uots {
+namespace {
+
+TEST(QueryPhase, NamesAreStable) {
+  EXPECT_STREQ(ToString(QueryPhase::kTextualFilter), "textual_filter");
+  EXPECT_STREQ(ToString(QueryPhase::kSpatialExpansion), "spatial_expansion");
+  EXPECT_STREQ(ToString(QueryPhase::kBoundMaintenance), "bound_maintenance");
+  EXPECT_STREQ(ToString(QueryPhase::kScheduling), "scheduling");
+  EXPECT_STREQ(ToString(QueryPhase::kRefinement), "refinement");
+}
+
+TEST(QueryStats, PhaseAccessors) {
+  QueryStats s;
+  EXPECT_EQ(s.TotalPhaseNs(), 0);
+  s.phase_ns[static_cast<int>(QueryPhase::kSpatialExpansion)] = 2'000'000;
+  s.phase_ns[static_cast<int>(QueryPhase::kRefinement)] = 500'000;
+  EXPECT_EQ(s.PhaseNs(QueryPhase::kSpatialExpansion), 2'000'000);
+  EXPECT_DOUBLE_EQ(s.PhaseMillis(QueryPhase::kSpatialExpansion), 2.0);
+  EXPECT_EQ(s.TotalPhaseNs(), 2'500'000);
+}
+
+TEST(QueryStats, ScopedPhaseAccumulates) {
+  QueryStats s;
+  {
+    ScopedPhase phase(&s, QueryPhase::kBoundMaintenance);
+    // Any amount of work; the scope must account a non-negative duration.
+  }
+  {
+    ScopedPhase phase(&s, QueryPhase::kBoundMaintenance);
+  }
+  EXPECT_GE(s.PhaseNs(QueryPhase::kBoundMaintenance), 0);
+  EXPECT_EQ(s.PhaseNs(QueryPhase::kScheduling), 0);
+}
+
+TEST(QueryStats, PlusEqualsSumsEverything) {
+  QueryStats a, b;
+  a.visited_trajectories = 3;
+  a.candidates = 2;
+  a.phase_ns[0] = 100;
+  a.phase_ns[4] = 50;
+  a.elapsed_ms = 1.5;
+  b.visited_trajectories = 7;
+  b.candidates = 1;
+  b.phase_ns[0] = 900;
+  b.phase_ns[2] = 30;
+  b.elapsed_ms = 0.5;
+  a += b;
+  EXPECT_EQ(a.visited_trajectories, 10);
+  EXPECT_EQ(a.candidates, 3);
+  EXPECT_EQ(a.phase_ns[0], 1000);
+  EXPECT_EQ(a.phase_ns[2], 30);
+  EXPECT_EQ(a.phase_ns[4], 50);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+}
+
+TEST(QueryStats, ToStringIncludesCountersAndPhases) {
+  QueryStats s;
+  s.visited_trajectories = 42;
+  s.phase_ns[static_cast<int>(QueryPhase::kTextualFilter)] = 3'000'000;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("visited=42"), std::string::npos);
+  EXPECT_NE(str.find("textual_filter=3ms"), std::string::npos);
+  EXPECT_NE(str.find("phases["), std::string::npos);
+}
+
+TEST(QueryStats, ToJsonIsWellFormed) {
+  QueryStats s;
+  s.visited_trajectories = 5;
+  s.candidates = 4;
+  s.phase_ns[static_cast<int>(QueryPhase::kRefinement)] = 1'500'000;
+  s.elapsed_ms = 2.25;
+  const std::string json = s.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"visited_trajectories\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"phase_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"refinement\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_ms\": 2.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uots

@@ -1,0 +1,162 @@
+// Span tracer: session gating, nesting, thread-local buffer flush, and
+// the Chrome trace_event export. The whole file also compiles and passes
+// with -DUOTS_TRACE=0, where it instead verifies the compiled-out
+// contract (no spans, no cost, API intact).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace uots {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Stop();
+    Trace::Clear();
+  }
+  void TearDown() override {
+    Trace::Stop();
+    Trace::Clear();
+  }
+};
+
+[[maybe_unused]] int CountNamed(const std::vector<TraceEvent>& events,
+                                const std::string& name) {
+  return static_cast<int>(
+      std::count_if(events.begin(), events.end(),
+                    [&](const TraceEvent& e) { return name == e.name; }));
+}
+
+TEST_F(TraceTest, NoRecordingWithoutSession) {
+  EXPECT_FALSE(Trace::active());
+  { UOTS_TRACE_SCOPE("idle_span"); }
+  EXPECT_TRUE(Trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, RecordsWhileActiveOnly) {
+  Trace::Start();
+  EXPECT_TRUE(Trace::active());
+  { UOTS_TRACE_SCOPE("during"); }
+  Trace::Stop();
+  EXPECT_FALSE(Trace::active());
+  { UOTS_TRACE_SCOPE("after"); }
+
+  const auto events = Trace::Snapshot();
+#if UOTS_TRACE
+  EXPECT_EQ(CountNamed(events, "during"), 1);
+  EXPECT_EQ(CountNamed(events, "after"), 0);
+#else
+  EXPECT_TRUE(events.empty());
+#endif
+}
+
+TEST_F(TraceTest, NestedSpansCarryDepthAndContainment) {
+  Trace::Start();
+  {
+    UOTS_TRACE_SCOPE("outer");
+    {
+      UOTS_TRACE_SCOPE("inner");
+    }
+  }
+  Trace::Stop();
+  const auto events = Trace::Snapshot();
+#if UOTS_TRACE
+  ASSERT_EQ(events.size(), 2u);
+  const auto& inner = events[0].depth == 1 ? events[0] : events[1];
+  const auto& outer = events[0].depth == 1 ? events[1] : events[0];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+#else
+  EXPECT_TRUE(events.empty());
+#endif
+}
+
+TEST_F(TraceTest, SpanIdIsExported) {
+  Trace::Start();
+  { UOTS_TRACE_SCOPE_ID("with_id", 42); }
+  Trace::Stop();
+#if UOTS_TRACE
+  const auto events = Trace::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, 42);
+  EXPECT_NE(Trace::ToChromeJson().find("\"id\": 42"), std::string::npos);
+#endif
+}
+
+TEST_F(TraceTest, EventsSurviveThreadExit) {
+  Trace::Start();
+  std::thread worker([] { UOTS_TRACE_SCOPE("worker_span"); });
+  worker.join();
+  std::thread worker2([] { UOTS_TRACE_SCOPE("worker_span"); });
+  worker2.join();
+  Trace::Stop();
+  const auto events = Trace::Snapshot();
+#if UOTS_TRACE
+  // Both spans are visible after their threads exited, on distinct tids.
+  ASSERT_EQ(CountNamed(events, "worker_span"), 2);
+  std::vector<uint32_t> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_NE(tids[0], tids[1]);
+#else
+  EXPECT_TRUE(events.empty());
+#endif
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  Trace::Start();
+  { UOTS_TRACE_SCOPE("json_span"); }
+  Trace::Stop();
+  const std::string json = Trace::ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+#if UOTS_TRACE
+  EXPECT_NE(json.find("\"name\": \"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+#endif
+}
+
+TEST_F(TraceTest, ClearDropsEverything) {
+  Trace::Start();
+  { UOTS_TRACE_SCOPE("cleared"); }
+  Trace::Stop();
+  Trace::Clear();
+  EXPECT_TRUE(Trace::Snapshot().empty());
+  EXPECT_EQ(Trace::dropped(), 0);
+}
+
+TEST_F(TraceTest, CompiledOutScopeIsZeroCost) {
+#if !UOTS_TRACE
+  // The no-op TraceScope must carry no state at all.
+  EXPECT_EQ(sizeof(TraceScope), 1u);  // empty class
+  Trace::Start();
+  { UOTS_TRACE_SCOPE("nothing"); }
+  Trace::Stop();
+  EXPECT_TRUE(Trace::Snapshot().empty());
+#else
+  GTEST_SKIP() << "tracer compiled in";
+#endif
+}
+
+TEST_F(TraceTest, NowNsIsMonotonic) {
+  const int64_t a = Trace::NowNs();
+  const int64_t b = Trace::NowNs();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+}  // namespace
+}  // namespace uots

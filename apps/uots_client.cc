@@ -1,0 +1,369 @@
+// Load generator and correctness checker for uots_server.
+//
+//   $ ./uots_client --port=7670 --connections=8 --requests=2000
+//   $ ./uots_client --port=7670 --rate=500 --duration-s=10   # open loop
+//   $ ./uots_client --port=7670 --verify                     # bit-for-bit
+//
+// Closed loop: each connection keeps exactly one request outstanding;
+// throughput is supply-limited, latency excludes queueing at the client.
+// Open loop: requests are launched on a fixed schedule regardless of
+// completions (the honest way to measure a saturated server — latency then
+// includes the time requests spend waiting for a connection slot).
+//
+// --verify replays the workload through the server AND through the
+// in-process engine and requires identical trajectory ids and score bits —
+// the wire protocol's round-trip double encoding makes this exact.
+//
+// Results print as a table and land in BENCH_server.json.
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "core/batch.h"
+#include "core/workload.h"
+#include "server/client.h"
+#include "util/histogram.h"
+
+namespace {
+
+using uots::bench::City;
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7670;
+  std::string city = "BRN";
+  int trajectories = 0;
+  int connections = 8;
+  int requests = 2000;       // closed-loop total
+  double rate = 0.0;         // open-loop qps; 0 = closed loop
+  double duration_s = 10.0;  // open-loop run length
+  int num_queries = 64;      // distinct workload queries to cycle through
+  int locations = 5;
+  int keywords = 5;
+  double lambda = 0.5;
+  int k = 10;
+  uint64_t seed = 7;
+  std::string algorithm = "UOTS";
+  double deadline_ms = 0.0;
+  bool verify = false;
+  std::string json_out = "BENCH_server.json";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+bool ParseBoolFlag(const char* arg, const char* name) {
+  return std::strcmp(arg, name) == 0;
+}
+
+/// Latencies + error tallies for one worker thread.
+struct WorkerStats {
+  uots::LatencyHistogram latency;
+  int64_t ok = 0;
+  int64_t overloaded = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t other_errors = 0;
+  int64_t transport_errors = 0;
+
+  void Count(const uots::QueryResponse& resp) {
+    switch (resp.status) {
+      case uots::ResponseStatus::kOk:
+        ++ok;
+        break;
+      case uots::ResponseStatus::kOverloaded:
+      case uots::ResponseStatus::kShuttingDown:
+        ++overloaded;
+        break;
+      case uots::ResponseStatus::kDeadlineExceeded:
+        ++deadline_exceeded;
+        break;
+      default:
+        ++other_errors;
+        break;
+    }
+  }
+
+  void Merge(const WorkerStats& o) {
+    latency.Merge(o.latency);
+    ok += o.ok;
+    overloaded += o.overloaded;
+    deadline_exceeded += o.deadline_exceeded;
+    other_errors += o.other_errors;
+    transport_errors += o.transport_errors;
+  }
+};
+
+int RunVerify(const Flags& flags, const uots::TrajectoryDatabase& db,
+              const std::vector<uots::UotsQuery>& queries,
+              uots::AlgorithmKind kind) {
+  uots::BlockingClient client;
+  uots::Status st =
+      client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  uots::QueryOptions local_opts;
+  local_opts.algorithm = kind;
+  int mismatches = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    uots::QueryRequest req;
+    req.id = static_cast<int64_t>(i);
+    req.query = queries[i];
+    req.algorithm = kind;
+    req.has_algorithm = true;
+    auto remote = client.Call(req);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "query %zu: transport: %s\n", i,
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    if (!remote->ok()) {
+      std::fprintf(stderr, "query %zu: server: %s (%s)\n", i,
+                   ToString(remote->status), remote->error.c_str());
+      return 1;
+    }
+    auto local = uots::RunQuery(db, queries[i], local_opts);
+    if (!local.ok()) {
+      std::fprintf(stderr, "query %zu: local: %s\n", i,
+                   local.status().ToString().c_str());
+      return 1;
+    }
+    bool same = remote->results.size() == local->items.size();
+    for (size_t j = 0; same && j < local->items.size(); ++j) {
+      const auto& a = remote->results[j];
+      const auto& b = local->items[j];
+      same = a.id == b.id && a.score == b.score &&
+             a.spatial_sim == b.spatial_sim && a.textual_sim == b.textual_sim;
+    }
+    if (!same) {
+      ++mismatches;
+      std::fprintf(stderr, "query %zu: MISMATCH (%zu vs %zu results)\n", i,
+                   remote->results.size(), local->items.size());
+    }
+  }
+  if (mismatches == 0) {
+    std::printf("verify: %zu/%zu queries bit-for-bit identical\n",
+                queries.size(), queries.size());
+    return 0;
+  }
+  std::printf("verify: %d/%zu MISMATCHED\n", mismatches, queries.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--host", &v)) {
+      flags.host = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      flags.port = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--city", &v)) {
+      flags.city = v;
+    } else if (ParseFlag(argv[i], "--trajectories", &v)) {
+      flags.trajectories = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--connections", &v)) {
+      flags.connections = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--requests", &v)) {
+      flags.requests = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--rate", &v)) {
+      flags.rate = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--duration-s", &v)) {
+      flags.duration_s = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--num-queries", &v)) {
+      flags.num_queries = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--locations", &v)) {
+      flags.locations = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--keywords", &v)) {
+      flags.keywords = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--lambda", &v)) {
+      flags.lambda = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--k", &v)) {
+      flags.k = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(argv[i], "--algorithm", &v)) {
+      flags.algorithm = v;
+    } else if (ParseFlag(argv[i], "--deadline-ms", &v)) {
+      flags.deadline_ms = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--json-out", &v)) {
+      flags.json_out = v;
+    } else if (ParseBoolFlag(argv[i], "--verify")) {
+      flags.verify = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  City city;
+  if (flags.city == "BRN") {
+    city = City::kBRN;
+  } else if (flags.city == "NRN") {
+    city = City::kNRN;
+  } else {
+    std::fprintf(stderr, "unknown city %s\n", flags.city.c_str());
+    return 2;
+  }
+  auto kind_r = uots::ParseAlgorithmKind(flags.algorithm);
+  if (!kind_r.ok()) {
+    std::fprintf(stderr, "unknown algorithm %s\n", flags.algorithm.c_str());
+    return 2;
+  }
+  const uots::AlgorithmKind kind = *kind_r;
+
+  // The same deterministic dataset + workload the server loaded: needed for
+  // --verify, and it gives the load generator realistic queries.
+  std::printf("loading %s workload...\n", flags.city.c_str());
+  std::fflush(stdout);
+  auto db = flags.trajectories > 0
+                ? uots::bench::LoadCity(city, flags.trajectories)
+                : uots::bench::LoadCity(city);
+  uots::WorkloadOptions wopts;
+  wopts.num_queries = flags.num_queries;
+  wopts.num_locations = flags.locations;
+  wopts.num_keywords = flags.keywords;
+  wopts.lambda = flags.lambda;
+  wopts.k = flags.k;
+  wopts.seed = flags.seed;
+  auto queries_r = uots::MakeWorkload(*db, wopts);
+  if (!queries_r.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 queries_r.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uots::UotsQuery> queries = std::move(*queries_r);
+
+  if (flags.verify) {
+    return RunVerify(flags, *db, queries, kind);
+  }
+
+  const bool open_loop = flags.rate > 0.0;
+  const int nconn = std::max(1, flags.connections);
+  std::vector<WorkerStats> stats(static_cast<size_t>(nconn));
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> next_request{0};
+  std::atomic<bool> abort_run{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < nconn; ++t) {
+    threads.emplace_back([&, t] {
+      WorkerStats& my = stats[static_cast<size_t>(t)];
+      uots::BlockingClient client;
+      uots::Status st =
+          client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+      if (!st.ok()) {
+        std::fprintf(stderr, "conn %d: %s\n", t, st.ToString().c_str());
+        ++my.transport_errors;
+        abort_run.store(true);
+        return;
+      }
+      // Open loop: this thread owns every rate/nconn-th tick of the global
+      // schedule; a late tick is sent immediately (no coordinated omission
+      // hiding — the latency clock starts at the *scheduled* time).
+      const double per_thread_interval_ns =
+          open_loop ? 1e9 * nconn / flags.rate : 0.0;
+      const auto deadline_end =
+          t0 + std::chrono::duration<double>(flags.duration_s);
+      int64_t tick = 0;
+      for (;;) {
+        if (abort_run.load(std::memory_order_relaxed)) break;
+        std::chrono::steady_clock::time_point scheduled;
+        if (open_loop) {
+          scheduled =
+              t0 + std::chrono::nanoseconds(static_cast<int64_t>(
+                       (static_cast<double>(tick) + t / double(nconn)) *
+                       per_thread_interval_ns));
+          if (scheduled >= deadline_end) break;
+          std::this_thread::sleep_until(scheduled);
+          ++tick;
+        } else {
+          const int64_t n = next_request.fetch_add(1);
+          if (n >= flags.requests) break;
+          scheduled = std::chrono::steady_clock::now();
+        }
+        const int64_t qi = open_loop
+                               ? (tick + t) % static_cast<int64_t>(
+                                                  queries.size())
+                               : next_request.load() %
+                                     static_cast<int64_t>(queries.size());
+        uots::QueryRequest req;
+        req.id = tick + t * 1000000;
+        req.query = queries[static_cast<size_t>(qi)];
+        req.algorithm = kind;
+        req.has_algorithm = true;
+        req.deadline_ms = flags.deadline_ms;
+        auto resp = client.Call(req);
+        const auto done = std::chrono::steady_clock::now();
+        if (!resp.ok()) {
+          ++my.transport_errors;
+          break;
+        }
+        my.Count(*resp);
+        my.latency.Record(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                                 scheduled)
+                .count());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  WorkerStats total;
+  for (const auto& s : stats) total.Merge(s);
+  const int64_t completed = total.ok + total.overloaded +
+                            total.deadline_exceeded + total.other_errors;
+  const double qps = wall_s > 0 ? static_cast<double>(completed) / wall_s : 0;
+
+  std::printf(
+      "mode=%s connections=%d wall=%.2fs\n"
+      "completed=%" PRId64 " (%.1f qps)  ok=%" PRId64 " overloaded=%" PRId64
+      " deadline=%" PRId64 " errors=%" PRId64 " transport=%" PRId64 "\n"
+      "latency: %s\n",
+      open_loop ? "open" : "closed", nconn, wall_s, completed, qps, total.ok,
+      total.overloaded, total.deadline_exceeded, total.other_errors,
+      total.transport_errors, total.latency.ToString().c_str());
+
+  uots::bench::JsonReport report("server_load");
+  auto& row = report.AddRow();
+  row.Set("mode", std::string(open_loop ? "open" : "closed"))
+      .Set("city", flags.city)
+      .Set("algorithm", flags.algorithm)
+      .Set("connections", static_cast<int64_t>(nconn))
+      .Set("wall_seconds", wall_s)
+      .Set("completed", completed)
+      .Set("qps", qps)
+      .Set("ok", total.ok)
+      .Set("overloaded", total.overloaded)
+      .Set("deadline_exceeded", total.deadline_exceeded)
+      .Set("errors", total.other_errors)
+      .Set("transport_errors", total.transport_errors)
+      .Set("mean_ms", total.latency.MeanNs() / 1e6)
+      .Set("p50_ms", total.latency.PercentileMs(50))
+      .Set("p95_ms", total.latency.PercentileMs(95))
+      .Set("p99_ms", total.latency.PercentileMs(99))
+      .Set("max_ms", static_cast<double>(total.latency.max_ns()) / 1e6);
+  if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
+
+  return total.transport_errors == 0 ? 0 : 1;
+}

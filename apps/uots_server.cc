@@ -1,0 +1,185 @@
+// The UOTS query server binary.
+//
+//   $ ./uots_server --city=BRN --port=7670 --threads=8
+//
+// Loads (or generates+caches) a benchmark city, binds the TCP front-end,
+// and serves length-prefixed JSON queries until SIGINT/SIGTERM, which
+// trigger a graceful drain: the listener closes, in-flight requests finish,
+// buffered responses flush, and the process exits 0 after printing the
+// metrics surface (server.request_latency / server.queue_wait /
+// server.execute percentiles plus the reactor counters).
+
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/datasets.h"
+#include "server/server.h"
+#include "util/metrics.h"
+
+namespace {
+
+using uots::bench::City;
+
+struct Flags {
+  std::string bind = "127.0.0.1";
+  int port = 7670;
+  std::string city = "BRN";
+  int trajectories = 0;  // 0 = city default
+  int threads = 0;       // 0 = hardware concurrency
+  int max_inflight = 256;
+  double default_deadline_ms = 0.0;
+  double idle_timeout_ms = 60000.0;
+  double drain_timeout_ms = 10000.0;
+  int max_connections = 1024;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--bind=ADDR] [--port=N] [--city=BRN|NRN]\n"
+      "          [--trajectories=N] [--threads=N] [--max-inflight=N]\n"
+      "          [--default-deadline-ms=MS] [--idle-timeout-ms=MS]\n"
+      "          [--drain-timeout-ms=MS] [--max-connections=N]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--bind", &v)) {
+      flags.bind = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      flags.port = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--city", &v)) {
+      flags.city = v;
+    } else if (ParseFlag(argv[i], "--trajectories", &v)) {
+      flags.trajectories = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      flags.threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--max-inflight", &v)) {
+      flags.max_inflight = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--default-deadline-ms", &v)) {
+      flags.default_deadline_ms = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--idle-timeout-ms", &v)) {
+      flags.idle_timeout_ms = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--drain-timeout-ms", &v)) {
+      flags.drain_timeout_ms = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--max-connections", &v)) {
+      flags.max_connections = std::atoi(v.c_str());
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  City city;
+  if (flags.city == "BRN") {
+    city = City::kBRN;
+  } else if (flags.city == "NRN") {
+    city = City::kNRN;
+  } else {
+    std::fprintf(stderr, "unknown city %s (use BRN or NRN)\n",
+                 flags.city.c_str());
+    return 2;
+  }
+
+  std::printf("loading %s...\n", flags.city.c_str());
+  std::fflush(stdout);
+  auto db = flags.trajectories > 0
+                ? uots::bench::LoadCity(city, flags.trajectories)
+                : uots::bench::LoadCity(city);
+  std::printf("dataset: %zu vertices, %zu trajectories, %zu terms\n",
+              db->network().NumVertices(), db->store().size(),
+              db->vocabulary().size());
+
+  uots::ServerOptions opts;
+  opts.bind_address = flags.bind;
+  opts.port = static_cast<uint16_t>(flags.port);
+  opts.max_connections = static_cast<size_t>(flags.max_connections);
+  opts.idle_timeout_ms = flags.idle_timeout_ms;
+  opts.drain_timeout_ms = flags.drain_timeout_ms;
+  opts.service.threads = flags.threads;
+  opts.service.max_inflight = static_cast<size_t>(flags.max_inflight);
+  opts.service.default_deadline_ms = flags.default_deadline_ms;
+
+  // SIGINT/SIGTERM ride the event loop via a signalfd so shutdown is just
+  // another loop event — no async-signal-safety gymnastics. Block them
+  // BEFORE the server spawns its worker pool: the signal mask is inherited
+  // at thread creation, and a process-directed signal may be delivered to
+  // any thread that has it unblocked.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigprocmask(SIG_BLOCK, &mask, nullptr);
+
+  uots::UotsServer server(*db, opts);
+  uots::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int sig_fd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  if (sig_fd < 0) {
+    std::fprintf(stderr, "signalfd: %s\n", std::strerror(errno));
+    return 1;
+  }
+  st = server.loop().AddFd(sig_fd, EPOLLIN, [&server, sig_fd](uint32_t) {
+    signalfd_siginfo info;
+    while (read(sig_fd, &info, sizeof(info)) == sizeof(info)) {
+      std::printf("signal %u: draining...\n", info.ssi_signo);
+      std::fflush(stdout);
+      server.RequestShutdown();
+    }
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "signal hookup: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("serving on %s:%u (%zu workers, max %zu in flight)\n",
+              flags.bind.c_str(), server.port(), server.service().num_threads(),
+              opts.service.max_inflight);
+  std::fflush(stdout);
+
+  server.Run();
+  close(sig_fd);
+
+  const uots::ServerCounters& c = server.counters();
+  std::printf(
+      "--- server counters ---\n"
+      "connections accepted=%lld closed=%lld rejected=%lld\n"
+      "requests=%lld ok=%lld overloaded=%lld shutting_down=%lld\n"
+      "deadline_exceeded=%lld parse_errors=%lld oversized=%lld internal=%lld\n",
+      static_cast<long long>(c.connections_accepted),
+      static_cast<long long>(c.connections_closed),
+      static_cast<long long>(c.connections_rejected),
+      static_cast<long long>(c.requests),
+      static_cast<long long>(c.responses_ok),
+      static_cast<long long>(c.rejected_overloaded),
+      static_cast<long long>(c.rejected_shutting_down),
+      static_cast<long long>(c.deadline_exceeded),
+      static_cast<long long>(c.parse_errors),
+      static_cast<long long>(c.oversized_frames),
+      static_cast<long long>(c.errors_internal));
+  std::printf("--- metrics ---\n%s",
+              uots::MetricsRegistry::Global().ToString().c_str());
+  return 0;
+}

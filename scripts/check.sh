@@ -19,5 +19,14 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
+  if [[ "${preset}" == "asan" ]]; then
+    # The loopback server test drives real sockets through the epoll loop,
+    # timer heap, and cross-thread completion path; run it again explicitly
+    # under the sanitizers with full output so a race or leak is attributed
+    # to the serving layer rather than buried in the suite summary.
+    echo "==> asan: loopback server integration"
+    ctest --preset "${preset}" -R uots_server_integration_test \
+      --output-on-failure
+  fi
 done
 echo "==> all checks passed"

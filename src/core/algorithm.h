@@ -8,6 +8,7 @@
 
 #include "core/database.h"
 #include "core/query.h"
+#include "util/cancel.h"
 
 namespace uots {
 
@@ -43,10 +44,26 @@ class SearchAlgorithm {
  public:
   virtual ~SearchAlgorithm() = default;
 
-  /// Answers `query`; invalid queries yield an error.
+  /// Answers `query`; invalid queries yield an error. With a cancel token
+  /// installed, a search that observes ShouldAbort() returns
+  /// kDeadlineExceeded at its next round boundary (engines without round
+  /// structure may ignore the token; UOTS and BF honour it).
   virtual Result<SearchResult> Search(const UotsQuery& query) = 0;
 
+  /// Installs (nullptr clears) the cooperative cancel/deadline token polled
+  /// by subsequent Search calls. The token must outlive its use; a server
+  /// re-arms one token per request before each Search.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
+  const CancelToken* cancel() const { return cancel_; }
+
   virtual const char* name() const = 0;
+
+ protected:
+  /// True when the installed token (if any) requests an abort.
+  bool ShouldAbort() const { return cancel_ != nullptr && cancel_->ShouldAbort(); }
+
+ private:
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// \brief Tuning knobs for the UOTS searcher (see core/search.h).

@@ -9,6 +9,18 @@
 
 namespace uots {
 
+Result<SearchResult> RunQuery(const TrajectoryDatabase& db,
+                              const UotsQuery& query,
+                              const QueryOptions& opts) {
+  auto engine = CreateAlgorithm(db, opts.algorithm, opts.uots);
+  CancelToken token;
+  if (opts.deadline_ms > 0.0) {
+    token.SetDeadlineAfterMs(opts.deadline_ms);
+    engine->set_cancel(&token);
+  }
+  return engine->Search(query);
+}
+
 Result<BatchResult> RunBatch(const TrajectoryDatabase& db,
                              const std::vector<UotsQuery>& queries,
                              const BatchOptions& opts) {

@@ -23,6 +23,24 @@ struct BatchOptions {
   int threads = 1;
 };
 
+/// \brief Configuration for a single RunQuery call.
+struct QueryOptions {
+  AlgorithmKind algorithm = AlgorithmKind::kUots;
+  UotsSearchOptions uots;
+  /// Relative deadline in milliseconds; <= 0 disables it. A query past its
+  /// deadline aborts at the engine's next round boundary with
+  /// kDeadlineExceeded (UOTS and BF poll; see SearchAlgorithm::set_cancel).
+  double deadline_ms = 0.0;
+};
+
+/// Runs one query, constructing a fresh engine for the call. This is the
+/// convenience entry point for services and tools; a server that answers
+/// many queries should cache one engine per worker and install its own
+/// CancelToken instead (engines hold reusable scratch state).
+Result<SearchResult> RunQuery(const TrajectoryDatabase& db,
+                              const UotsQuery& query,
+                              const QueryOptions& opts = {});
+
 /// \brief Per-worker breakdown of a batch run.
 struct ShardStats {
   /// Shard index, dense in [0, shards).

@@ -24,6 +24,10 @@ Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
   {
     ScopedPhase phase(&out.stats, QueryPhase::kSpatialExpansion);
     for (VertexId o : query.locations) {
+      // Each tree is a full Dijkstra; poll the deadline between them.
+      if (ShouldAbort()) {
+        return Status::DeadlineExceeded("BF aborted by deadline/cancel");
+      }
       trees.push_back(ComputeShortestPathTree(db_->network(), o));
       out.stats.settled_vertices +=
           static_cast<int64_t>(db_->network().NumVertices());
@@ -35,6 +39,9 @@ Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
   {
     ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
     for (TrajId id = 0; id < store.size(); ++id) {
+      if ((id & 4095) == 0 && ShouldAbort()) {
+        return Status::DeadlineExceeded("BF aborted by deadline/cancel");
+      }
       const auto samples = store.SamplesOf(id);
       for (size_t i = 0; i < m; ++i) {
         double best = std::numeric_limits<double>::infinity();

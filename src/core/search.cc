@@ -130,8 +130,8 @@ Result<SearchResult> UotsSearcher::SearchTextOnlyThreshold(
   return out;
 }
 
-void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
-                             QueryStats* stats) {
+Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
+                               QueryStats* stats) {
   const auto& store = db_->store();
   const auto& model = db_->model();
   const auto& vindex = db_->vertex_index();
@@ -282,8 +282,15 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     }
   };
 
+  bool aborted = false;
   for (;;) {
     if (exhausted_count == m) break;  // everything is fully scanned
+    // Deadline/cancel poll: once per round, between batches, so an armed
+    // token bounds the reaction time at one expansion batch.
+    if (ShouldAbort()) {
+      aborted = true;
+      break;
+    }
 
     // Expand the current source for one batch. The batch grows with the
     // partly-scanned set so per-round bookkeeping stays amortized.
@@ -405,6 +412,10 @@ void UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     stats->heap_decreases += done.heap_decreases();
     stats->heap_stale_pops += done.heap_pops() - done.settled_count();
   }
+  if (aborted) {
+    return Status::DeadlineExceeded("search aborted by deadline/cancel");
+  }
+  return Status::OK();
 }
 
 Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
@@ -424,7 +435,7 @@ Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
     return r;
   }
   Sink sink(static_cast<size_t>(query.k));
-  RunSearch(query, &sink, &out.stats);
+  UOTS_RETURN_NOT_OK(RunSearch(query, &sink, &out.stats));
   {
     ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
     out.items = std::move(sink).Finish();
@@ -451,7 +462,7 @@ Result<SearchResult> UotsSearcher::SearchThreshold(const UotsQuery& query,
     return r;
   }
   Sink sink(theta);
-  RunSearch(query, &sink, &out.stats);
+  UOTS_RETURN_NOT_OK(RunSearch(query, &sink, &out.stats));
   {
     ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
     out.items = std::move(sink).Finish();

@@ -87,7 +87,9 @@ class UotsSearcher : public SearchAlgorithm {
   class Sink;
 
   /// Runs the two-domain search, feeding exact results into `sink`.
-  void RunSearch(const UotsQuery& query, Sink* sink, QueryStats* stats);
+  /// \return kDeadlineExceeded when the installed cancel token fired
+  /// (checked once per scheduling round); OK otherwise.
+  Status RunSearch(const UotsQuery& query, Sink* sink, QueryStats* stats);
 
   /// Probes the keyword index and fills text_docs_ / text_of_.
   void ResolveTextualDomain(const UotsQuery& query, QueryStats* stats);

@@ -1,0 +1,53 @@
+// Blocking client for the UOTS wire protocol.
+//
+// One connection, synchronous request/response. This is the reference
+// implementation of the protocol from the client side — the load generator
+// (apps/uots_client) and the loopback integration tests both drive it.
+// Pipelining is supported by splitting Call into Send + Receive: queue any
+// number of Sends, then Receive responses in order.
+
+#ifndef UOTS_SERVER_CLIENT_H_
+#define UOTS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Synchronous TCP client speaking the length-prefixed JSON protocol.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects (blocking) to host:port. `host` is a dotted-quad address.
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request frame (blocking until fully written).
+  Status Send(const QueryRequest& req);
+
+  /// Receives the next response frame (blocking).
+  Result<QueryResponse> Receive();
+
+  /// Send + Receive.
+  Result<QueryResponse> Call(const QueryRequest& req);
+
+ private:
+  Status WriteAll(const char* data, size_t n);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_SERVER_CLIENT_H_

@@ -1,0 +1,87 @@
+// Per-connection state: a non-blocking socket with buffered frame I/O.
+//
+// A Connection owns its fd, the incremental FrameDecoder for the inbound
+// byte stream, and the outbound buffer. It performs the raw reads/writes;
+// everything above (frame handling, timers, epoll registration) belongs to
+// the server, which is the only thread that ever touches a Connection.
+
+#ifndef UOTS_SERVER_CONNECTION_H_
+#define UOTS_SERVER_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "server/timer_heap.h"
+
+namespace uots {
+
+/// \brief Lifetime counters for one connection (reported at close/shutdown).
+struct ConnectionStats {
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  int64_t frames_in = 0;
+  int64_t frames_out = 0;
+  int64_t protocol_errors = 0;  ///< malformed JSON / oversized frames
+};
+
+/// \brief One accepted client connection (single-threaded use).
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed on destruction or Close()).
+  Connection(uint64_t id, int fd, size_t max_frame_bytes);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  bool closed() const { return fd_ < 0; }
+
+  enum class IoResult {
+    kOk,     ///< progress made (possibly zero bytes, EAGAIN)
+    kClosed  ///< peer closed or fatal socket error; caller should drop us
+  };
+
+  /// Drains the socket into the frame decoder (until EAGAIN).
+  IoResult ReadAvailable();
+
+  /// The inbound frame stream; Poll after every ReadAvailable.
+  FrameDecoder& decoder() { return decoder_; }
+
+  /// Queues one response frame; call Flush (or wait for writability).
+  void QueueFrame(std::string_view payload);
+
+  /// Writes as much buffered output as the socket accepts.
+  IoResult Flush();
+
+  /// True while buffered output remains (caller keeps EPOLLOUT armed).
+  bool want_write() const { return out_offset_ < out_.size(); }
+  size_t pending_out_bytes() const { return out_.size() - out_offset_; }
+
+  /// Closes the fd early (destructor is a no-op afterwards).
+  void Close();
+
+  ConnectionStats& stats() { return stats_; }
+  const ConnectionStats& stats() const { return stats_; }
+
+  // --- fields owned by the server's orchestration (not by this class) ---
+  TimerHeap::TimerId idle_timer = TimerHeap::kInvalidTimer;
+  int inflight = 0;          ///< requests admitted and not yet responded
+  bool close_after_flush = false;
+
+ private:
+  uint64_t id_;
+  int fd_;
+  FrameDecoder decoder_;
+  std::string out_;
+  size_t out_offset_ = 0;
+  ConnectionStats stats_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_SERVER_CONNECTION_H_

@@ -1,0 +1,381 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+namespace uots {
+
+namespace {
+
+/// Header is a 4-byte big-endian unsigned payload length.
+void PutHeader(uint32_t n, char out[kFrameHeaderBytes]) {
+  out[0] = static_cast<char>((n >> 24) & 0xFF);
+  out[1] = static_cast<char>((n >> 16) & 0xFF);
+  out[2] = static_cast<char>((n >> 8) & 0xFF);
+  out[3] = static_cast<char>(n & 0xFF);
+}
+
+uint32_t GetHeader(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return (uint32_t{u[0]} << 24) | (uint32_t{u[1]} << 16) |
+         (uint32_t{u[2]} << 8) | uint32_t{u[3]};
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reads an integral field; fails on non-numbers and non-integers.
+Status ReadInt(const JsonValue& v, const char* what, int64_t* out) {
+  if (!v.is_number()) {
+    return Status::InvalidArgument(std::string(what) + " must be a number");
+  }
+  const double d = v.number_value();
+  if (std::floor(d) != d || std::abs(d) > 9.007199254740992e15) {
+    return Status::InvalidArgument(std::string(what) + " must be an integer");
+  }
+  *out = static_cast<int64_t>(d);
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  char header[kFrameHeaderBytes];
+  PutHeader(static_cast<uint32_t>(payload.size()), header);
+  out->append(header, kFrameHeaderBytes);
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &out);
+  return out;
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  Compact();
+  buf_.append(data, n);
+}
+
+void FrameDecoder::Compact() {
+  // Reclaim consumed prefix once it dominates the buffer; amortized O(1).
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+FrameDecoder::Next FrameDecoder::Poll(std::string* payload,
+                                      size_t* oversized_bytes) {
+  // Finish discarding an oversized payload before looking for a header.
+  if (skip_remaining_ > 0) {
+    const size_t have = buf_.size() - consumed_;
+    const size_t drop = std::min(skip_remaining_, have);
+    consumed_ += drop;
+    skip_remaining_ -= drop;
+    if (skip_remaining_ > 0) return Next::kNeedMore;
+  }
+  if (buf_.size() - consumed_ < kFrameHeaderBytes) return Next::kNeedMore;
+  const size_t len = GetHeader(buf_.data() + consumed_);
+  if (len > max_frame_bytes_) {
+    consumed_ += kFrameHeaderBytes;
+    const size_t have = buf_.size() - consumed_;
+    const size_t drop = std::min<size_t>(len, have);
+    consumed_ += drop;
+    skip_remaining_ = len - drop;
+    if (oversized_bytes != nullptr) *oversized_bytes = len;
+    return Next::kOversized;
+  }
+  if (buf_.size() - consumed_ < kFrameHeaderBytes + len) return Next::kNeedMore;
+  payload->assign(buf_, consumed_ + kFrameHeaderBytes, len);
+  consumed_ += kFrameHeaderBytes + len;
+  return Next::kFrame;
+}
+
+const char* ToString(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kParseError:
+      return "parse_error";
+    case ResponseStatus::kInvalidArgument:
+      return "invalid_argument";
+    case ResponseStatus::kOverloaded:
+      return "overloaded";
+    case ResponseStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ResponseStatus::kShuttingDown:
+      return "shutting_down";
+    case ResponseStatus::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ResponseStatus ParseResponseStatus(std::string_view name) {
+  for (ResponseStatus s :
+       {ResponseStatus::kOk, ResponseStatus::kParseError,
+        ResponseStatus::kInvalidArgument, ResponseStatus::kOverloaded,
+        ResponseStatus::kDeadlineExceeded, ResponseStatus::kShuttingDown,
+        ResponseStatus::kInternal}) {
+    if (name == ToString(s)) return s;
+  }
+  return ResponseStatus::kInternal;
+}
+
+bool IsRetryable(ResponseStatus s) {
+  return s == ResponseStatus::kOverloaded || s == ResponseStatus::kShuttingDown;
+}
+
+ResponseStatus FromStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk:
+      return ResponseStatus::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return ResponseStatus::kInvalidArgument;
+    case StatusCode::kDeadlineExceeded:
+      return ResponseStatus::kDeadlineExceeded;
+    case StatusCode::kUnavailable:
+      return ResponseStatus::kOverloaded;
+    default:
+      return ResponseStatus::kInternal;
+  }
+}
+
+Result<AlgorithmKind> ParseAlgorithmKind(std::string_view name) {
+  for (AlgorithmKind k :
+       {AlgorithmKind::kBruteForce, AlgorithmKind::kTextFirst,
+        AlgorithmKind::kUots, AlgorithmKind::kUotsNoHeuristic,
+        AlgorithmKind::kUotsSequential, AlgorithmKind::kEuclidean}) {
+    if (EqualsIgnoreCase(name, ToString(k))) return k;
+  }
+  return Status::NotFound("unknown algorithm: " + std::string(name));
+}
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  JsonValue o = JsonValue::Object();
+  o.Set("id", JsonValue::Int(req.id));
+  JsonValue locs = JsonValue::Array();
+  for (VertexId v : req.query.locations) {
+    locs.Append(JsonValue::Int(static_cast<int64_t>(v)));
+  }
+  o.Set("locations", std::move(locs));
+  JsonValue kws = JsonValue::Array();
+  for (TermId t : req.query.keywords.terms()) {
+    kws.Append(JsonValue::Int(static_cast<int64_t>(t)));
+  }
+  o.Set("keywords", std::move(kws));
+  o.Set("lambda", JsonValue::Number(req.query.lambda));
+  o.Set("k", JsonValue::Int(req.query.k));
+  if (req.has_algorithm) {
+    o.Set("algorithm", JsonValue::Str(ToString(req.algorithm)));
+  }
+  if (req.deadline_ms > 0.0) {
+    o.Set("deadline_ms", JsonValue::Number(req.deadline_ms));
+  }
+  return o.Serialize();
+}
+
+Result<QueryRequest> ParseQueryRequest(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& o = *parsed;
+  if (!o.is_object()) return Status::InvalidArgument("request must be an object");
+
+  QueryRequest req;
+  if (const JsonValue* id = o.Find("id")) {
+    UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &req.id));
+  }
+  const JsonValue* locs = o.Find("locations");
+  if (locs == nullptr || !locs->is_array()) {
+    return Status::InvalidArgument("locations must be an array");
+  }
+  if (locs->array_items().empty()) {
+    return Status::InvalidArgument("locations must not be empty");
+  }
+  if (locs->array_items().size() > kMaxQueryLocations) {
+    return Status::InvalidArgument("too many locations (max " +
+                                   std::to_string(kMaxQueryLocations) + ")");
+  }
+  req.query.locations.reserve(locs->array_items().size());
+  for (const JsonValue& v : locs->array_items()) {
+    int64_t id;
+    UOTS_RETURN_NOT_OK(ReadInt(v, "location", &id));
+    if (id < 0 || id > UINT32_MAX) {
+      return Status::InvalidArgument("location out of range");
+    }
+    req.query.locations.push_back(static_cast<VertexId>(id));
+  }
+  std::vector<TermId> terms;
+  if (const JsonValue* kws = o.Find("keywords")) {
+    if (!kws->is_array()) {
+      return Status::InvalidArgument("keywords must be an array");
+    }
+    for (const JsonValue& v : kws->array_items()) {
+      int64_t id;
+      UOTS_RETURN_NOT_OK(ReadInt(v, "keyword", &id));
+      if (id < 0 || id > UINT32_MAX) {
+        return Status::InvalidArgument("keyword out of range");
+      }
+      terms.push_back(static_cast<TermId>(id));
+    }
+  }
+  req.query.keywords = KeywordSet(std::move(terms));
+  if (const JsonValue* lambda = o.Find("lambda")) {
+    if (!lambda->is_number()) {
+      return Status::InvalidArgument("lambda must be a number");
+    }
+    req.query.lambda = lambda->number_value();
+  }
+  if (const JsonValue* k = o.Find("k")) {
+    int64_t kk;
+    UOTS_RETURN_NOT_OK(ReadInt(*k, "k", &kk));
+    if (kk < 0 || kk > INT32_MAX) return Status::InvalidArgument("k out of range");
+    req.query.k = static_cast<int>(kk);
+  }
+  if (const JsonValue* algo = o.Find("algorithm")) {
+    if (!algo->is_string()) {
+      return Status::InvalidArgument("algorithm must be a string");
+    }
+    Result<AlgorithmKind> kind = ParseAlgorithmKind(algo->string_value());
+    if (!kind.ok()) return kind.status();
+    req.algorithm = *kind;
+    req.has_algorithm = true;
+  }
+  if (const JsonValue* dl = o.Find("deadline_ms")) {
+    if (!dl->is_number() || dl->number_value() < 0.0) {
+      return Status::InvalidArgument("deadline_ms must be a number >= 0");
+    }
+    req.deadline_ms = dl->number_value();
+  }
+  return req;
+}
+
+std::string EncodeQueryResponse(const QueryResponse& resp) {
+  JsonValue o = JsonValue::Object();
+  o.Set("id", JsonValue::Int(resp.id));
+  o.Set("status", JsonValue::Str(ToString(resp.status)));
+  if (resp.status != ResponseStatus::kOk) {
+    if (!resp.error.empty()) o.Set("error", JsonValue::Str(resp.error));
+    o.Set("retryable", JsonValue::Bool(resp.retryable()));
+    return o.Serialize();
+  }
+  JsonValue items = JsonValue::Array();
+  for (const ScoredTrajectory& st : resp.results) {
+    JsonValue item = JsonValue::Object();
+    item.Set("traj", JsonValue::Int(static_cast<int64_t>(st.id)));
+    item.Set("score", JsonValue::Number(st.score));
+    item.Set("spatial", JsonValue::Number(st.spatial_sim));
+    item.Set("textual", JsonValue::Number(st.textual_sim));
+    items.Append(std::move(item));
+  }
+  o.Set("results", std::move(items));
+  std::string out;
+  out.reserve(256);
+  // Serialize up to (and excluding) the closing brace, then splice the
+  // already-JSON stats blob and the server block in.
+  std::string head = o.Serialize();
+  head.pop_back();  // '}'
+  out += head;
+  if (resp.has_stats) {
+    out += ",\"stats\":";
+    out += resp.stats.ToJson();
+  }
+  out += ",\"server\":{\"queue_wait_ms\":";
+  JsonAppendDouble(resp.queue_wait_ms, &out);
+  out += ",\"execute_ms\":";
+  JsonAppendDouble(resp.execute_ms, &out);
+  out += "}}";
+  return out;
+}
+
+Result<QueryResponse> ParseQueryResponse(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& o = *parsed;
+  if (!o.is_object()) {
+    return Status::InvalidArgument("response must be an object");
+  }
+  QueryResponse resp;
+  if (const JsonValue* id = o.Find("id")) {
+    UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &resp.id));
+  }
+  const JsonValue* status = o.Find("status");
+  if (status == nullptr || !status->is_string()) {
+    return Status::InvalidArgument("response missing status");
+  }
+  resp.status = ParseResponseStatus(status->string_value());
+  if (const JsonValue* err = o.Find("error")) {
+    resp.error = err->StringOr("");
+  }
+  if (const JsonValue* results = o.Find("results")) {
+    if (!results->is_array()) {
+      return Status::InvalidArgument("results must be an array");
+    }
+    for (const JsonValue& item : results->array_items()) {
+      if (!item.is_object()) {
+        return Status::InvalidArgument("result item must be an object");
+      }
+      ScoredTrajectory st;
+      int64_t traj = -1;
+      if (const JsonValue* t = item.Find("traj")) {
+        UOTS_RETURN_NOT_OK(ReadInt(*t, "traj", &traj));
+      }
+      st.id = static_cast<TrajId>(traj);
+      st.score = item.Find("score") ? item.Find("score")->NumberOr(0) : 0;
+      st.spatial_sim =
+          item.Find("spatial") ? item.Find("spatial")->NumberOr(0) : 0;
+      st.textual_sim =
+          item.Find("textual") ? item.Find("textual")->NumberOr(0) : 0;
+      resp.results.push_back(st);
+    }
+  }
+  if (const JsonValue* stats = o.Find("stats")) {
+    if (stats->is_object()) {
+      resp.has_stats = true;
+      const auto geti = [&](const char* key) -> int64_t {
+        const JsonValue* v = stats->Find(key);
+        return v != nullptr ? static_cast<int64_t>(v->NumberOr(0)) : 0;
+      };
+      resp.stats.visited_trajectories = geti("visited_trajectories");
+      resp.stats.trajectory_hits = geti("trajectory_hits");
+      resp.stats.settled_vertices = geti("settled_vertices");
+      resp.stats.heap_pops = geti("heap_pops");
+      resp.stats.heap_pushes = geti("heap_pushes");
+      resp.stats.heap_decreases = geti("heap_decreases");
+      resp.stats.heap_stale_pops = geti("heap_stale_pops");
+      resp.stats.candidates = geti("candidates");
+      resp.stats.posting_entries = geti("posting_entries");
+      resp.stats.schedule_steps = geti("schedule_steps");
+      resp.stats.bound_rebuilds = geti("bound_rebuilds");
+      if (const JsonValue* ms = stats->Find("elapsed_ms")) {
+        resp.stats.elapsed_ms = ms->NumberOr(0.0);
+      }
+    }
+  }
+  if (const JsonValue* server = o.Find("server")) {
+    if (server->is_object()) {
+      if (const JsonValue* v = server->Find("queue_wait_ms")) {
+        resp.queue_wait_ms = v->NumberOr(0.0);
+      }
+      if (const JsonValue* v = server->Find("execute_ms")) {
+        resp.execute_ms = v->NumberOr(0.0);
+      }
+    }
+  }
+  return resp;
+}
+
+}  // namespace uots

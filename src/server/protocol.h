@@ -1,0 +1,146 @@
+// Length-prefixed JSON wire protocol for UOTS queries.
+//
+// Framing: each message is a 4-byte big-endian unsigned payload length
+// followed by that many bytes of UTF-8 JSON. Length prefixes keep the
+// parser trivial and make pipelining natural (any number of frames may sit
+// in one TCP segment). Frames above the configured maximum are rejected
+// with a clean error response and *skipped* — the declared length still
+// tells the decoder exactly how many bytes to discard, so the connection
+// resynchronizes on the next frame instead of being dropped.
+//
+// Request object (all ids are numbers):
+//   {"id": 7,                      // caller-chosen correlation id
+//    "locations": [12, 904, 77],   // query vertices, 1..64
+//    "keywords": [3, 15],          // term ids
+//    "lambda": 0.5, "k": 10,
+//    "algorithm": "UOTS",          // optional; ToString(AlgorithmKind) name
+//    "deadline_ms": 50}            // optional; 0/absent = server default
+//
+// Response object:
+//   {"id": 7, "status": "ok",      // see ResponseStatus below
+//    "results": [{"traj": 5, "score": 0.93, "spatial": 0.9, "textual": 1.0}],
+//    "stats": {...},               // QueryStats::ToJson schema
+//    "server": {"queue_wait_ms": 0.1, "execute_ms": 2.3}}
+// or on failure:
+//   {"id": 7, "status": "overloaded", "retryable": true, "error": "..."}
+//
+// Scores are serialized with round-trip precision, so a client can compare
+// results bit-for-bit against an in-process RunQuery.
+
+#ifndef UOTS_SERVER_PROTOCOL_H_
+#define UOTS_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/query.h"
+#include "server/json.h"
+#include "util/counters.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// Frames larger than this are rejected (and skipped) by default.
+inline constexpr size_t kDefaultMaxFrameBytes = size_t{1} << 20;  // 1 MiB
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Appends `payload` as one wire frame (header + body) to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+std::string EncodeFrame(std::string_view payload);
+
+/// \brief Incremental frame decoder over a byte stream.
+///
+/// Feed arbitrary chunks with Append, then call Poll until kNeedMore.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, size_t n);
+
+  enum class Next {
+    kFrame,     ///< *payload holds one complete frame body
+    kNeedMore,  ///< no complete frame buffered; feed more bytes
+    kOversized  ///< a frame exceeded the maximum; reported once, then skipped
+  };
+
+  /// Extracts the next event. On kOversized, *oversized_bytes (if non-null)
+  /// receives the declared length; the decoder then discards exactly that
+  /// many payload bytes as they arrive and continues with the next frame.
+  Next Poll(std::string* payload, size_t* oversized_bytes = nullptr);
+
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  void Compact();
+
+  std::string buf_;
+  size_t consumed_ = 0;        ///< prefix of buf_ already handed out
+  size_t skip_remaining_ = 0;  ///< oversized payload bytes left to discard
+  size_t max_frame_bytes_;
+};
+
+/// \brief Machine-readable outcome of one request.
+enum class ResponseStatus {
+  kOk,
+  kParseError,        ///< unparseable frame (malformed JSON / bad fields)
+  kInvalidArgument,   ///< well-formed but semantically invalid query
+  kOverloaded,        ///< admission control rejected; retryable
+  kDeadlineExceeded,  ///< deadline passed before a result was produced
+  kShuttingDown,      ///< server is draining; retryable elsewhere
+  kInternal,
+};
+
+/// Stable lower_snake wire name ("ok", "overloaded", ...).
+const char* ToString(ResponseStatus s);
+/// Inverse of ToString; kInternal when unknown.
+ResponseStatus ParseResponseStatus(std::string_view name);
+/// True for statuses a client should retry (overload, shutdown).
+bool IsRetryable(ResponseStatus s);
+/// Maps an engine/validation Status to the wire status.
+ResponseStatus FromStatus(const Status& st);
+
+/// \brief A decoded query request.
+struct QueryRequest {
+  int64_t id = 0;
+  UotsQuery query;
+  AlgorithmKind algorithm = AlgorithmKind::kUots;
+  bool has_algorithm = false;  ///< request named one explicitly
+  double deadline_ms = 0.0;    ///< 0 = use the server default
+};
+
+std::string EncodeQueryRequest(const QueryRequest& req);
+/// Strict parse: unknown algorithm names, non-numeric ids, or missing
+/// required fields are errors (the server turns them into kParseError).
+Result<QueryRequest> ParseQueryRequest(std::string_view json);
+
+/// \brief A decoded (or to-be-encoded) query response.
+struct QueryResponse {
+  int64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;
+  std::vector<ScoredTrajectory> results;
+  bool has_stats = false;
+  QueryStats stats;           ///< engine counters (subset survives decode)
+  double queue_wait_ms = 0.0; ///< time between admission and worker pickup
+  double execute_ms = 0.0;    ///< engine wall time on the worker
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+  bool retryable() const { return IsRetryable(status); }
+};
+
+std::string EncodeQueryResponse(const QueryResponse& resp);
+Result<QueryResponse> ParseQueryResponse(std::string_view json);
+
+/// Parses a ToString(AlgorithmKind) name ("UOTS", "BF", ...), case-
+/// insensitively. kNotFound for unknown names.
+Result<AlgorithmKind> ParseAlgorithmKind(std::string_view name);
+
+}  // namespace uots
+
+#endif  // UOTS_SERVER_PROTOCOL_H_

@@ -1,0 +1,429 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace uots {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+UotsServer::UotsServer(const TrajectoryDatabase& db, const ServerOptions& opts)
+    : db_(db), opts_(opts) {
+  service_ = std::make_unique<UotsService>(db_, opts_.service);
+}
+
+UotsServer::~UotsServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Status UotsServer::Start() {
+  UOTS_RETURN_NOT_OK(loop_.Init());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + opts_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, opts_.listen_backlog) < 0) {
+    return Status::IOError("listen: " + std::string(std::strerror(errno)));
+  }
+  UOTS_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  // Recover the actual port (meaningful when opts_.port == 0).
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  return loop_.AddFd(listen_fd_, EPOLLIN, [this](uint32_t) {
+    OnAcceptReady();
+  });
+}
+
+void UotsServer::Run() { loop_.Run(); }
+
+void UotsServer::RequestShutdown() {
+  loop_.Post([this] { BeginShutdown(); });
+}
+
+void UotsServer::OnAcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient (EMFILE, ECONNABORTED): retry on next readiness
+    }
+    if (draining_ || conns_.size() >= opts_.max_connections) {
+      ++counters_.connections_rejected;
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(id, fd, opts_.max_frame_bytes);
+    Connection* raw = conn.get();
+    conns_.emplace(id, std::move(conn));
+    ++counters_.connections_accepted;
+
+    Status st = loop_.AddFd(fd, EPOLLIN, [this, id](uint32_t events) {
+      OnConnEvent(id, events);
+    });
+    if (!st.ok()) {
+      conns_.erase(id);  // closes the fd
+      ++counters_.connections_closed;
+      continue;
+    }
+    TouchIdleTimer(raw);
+  }
+}
+
+Connection* UotsServer::FindConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void UotsServer::OnConnEvent(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConnection(conn_id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (conn->Flush() == Connection::IoResult::kClosed) {
+      CloseConnection(conn_id);
+      return;
+    }
+    if (conn->close_after_flush && !conn->want_write() &&
+        conn->inflight == 0) {
+      CloseConnection(conn_id);
+      return;
+    }
+    UpdateWriteInterest(conn);
+  }
+  if (events & EPOLLIN) {
+    const Connection::IoResult r = conn->ReadAvailable();
+    TouchIdleTimer(conn);
+    // Drain every complete frame before deciding whether to close: the
+    // peer may have pipelined requests ahead of its half-close.
+    for (;;) {
+      std::string payload;
+      size_t oversized = 0;
+      const FrameDecoder::Next next =
+          conn->decoder().Poll(&payload, &oversized);
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      if (next == FrameDecoder::Next::kOversized) {
+        ++counters_.oversized_frames;
+        ++conn->stats().protocol_errors;
+        SendError(conn, 0, ResponseStatus::kParseError,
+                  "frame exceeds maximum size (" +
+                      std::to_string(oversized) + " > " +
+                      std::to_string(opts_.max_frame_bytes) + " bytes)");
+        continue;
+      }
+      ++conn->stats().frames_in;
+      HandleFrame(conn, payload);
+      // HandleFrame may have closed the connection (write failure).
+      if (conns_.find(conn_id) == conns_.end()) return;
+    }
+    if (r == Connection::IoResult::kClosed) {
+      if (conn->inflight > 0 || conn->want_write()) {
+        // Let in-flight responses finish writing, then drop.
+        conn->close_after_flush = true;
+      } else {
+        CloseConnection(conn_id);
+      }
+      return;
+    }
+  }
+}
+
+void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
+  Result<QueryRequest> parsed = [&payload] {
+    UOTS_TRACE_SCOPE("server_parse");
+    return ParseQueryRequest(payload);
+  }();
+  if (!parsed.ok()) {
+    ++counters_.parse_errors;
+    ++conn->stats().protocol_errors;
+    SendError(conn, 0, ResponseStatus::kParseError,
+              parsed.status().message());
+    return;
+  }
+  QueryRequest req = std::move(*parsed);
+  ++counters_.requests;
+
+  if (draining_) {
+    ++counters_.rejected_shutting_down;
+    SendError(conn, req.id, ResponseStatus::kShuttingDown,
+              "server is shutting down");
+    return;
+  }
+
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->conn_id = conn->id();
+  ctx->request_id = req.id;
+  ctx->arrival_ns = EventLoop::NowNs();
+  ctx->deadline_ms = req.deadline_ms > 0.0
+                         ? req.deadline_ms
+                         : opts_.service.default_deadline_ms;
+  if (ctx->deadline_ms > 0.0) {
+    ctx->token.SetDeadlineAfterMs(ctx->deadline_ms);
+  }
+
+  const AlgorithmKind kind =
+      req.has_algorithm ? req.algorithm : AlgorithmKind::kUots;
+  const bool admitted = service_->TryExecute(
+      req.query, kind, &ctx->token, [this, ctx](ExecutionResult r) {
+        // Worker thread: hop back to the loop that owns the connection.
+        loop_.Post([this, ctx, r = std::move(r)]() mutable {
+          OnComplete(ctx, std::move(r));
+        });
+      });
+  if (!admitted) {
+    if (service_->shutting_down()) {
+      ++counters_.rejected_shutting_down;
+      SendError(conn, req.id, ResponseStatus::kShuttingDown,
+                "server is shutting down");
+    } else {
+      ++counters_.rejected_overloaded;
+      SendError(conn, req.id, ResponseStatus::kOverloaded,
+                "server at capacity (" +
+                    std::to_string(opts_.service.max_inflight) +
+                    " requests in flight)");
+    }
+    return;
+  }
+
+  ++conn->inflight;
+  ++loop_inflight_;
+  if (ctx->deadline_ms > 0.0) {
+    ctx->deadline_timer =
+        loop_.AddTimerAfterMs(ctx->deadline_ms, [this, ctx] {
+          OnDeadline(ctx);
+        });
+  }
+}
+
+void UotsServer::OnDeadline(const std::shared_ptr<RequestCtx>& ctx) {
+  if (ctx->responded) return;
+  ctx->responded = true;
+  ctx->deadline_timer = TimerHeap::kInvalidTimer;
+  // Tell the engine to stop; the worker's eventual completion is discarded.
+  ctx->token.Cancel();
+  ++counters_.deadline_exceeded;
+
+  Connection* conn = FindConn(ctx->conn_id);
+  if (conn != nullptr) {
+    SendError(conn, ctx->request_id, ResponseStatus::kDeadlineExceeded,
+              "deadline of " + std::to_string(ctx->deadline_ms) +
+                  " ms exceeded");
+  }
+  // conn->inflight / loop_inflight_ stay up until the worker actually
+  // finishes — the capacity it occupies is real until then.
+}
+
+void UotsServer::OnComplete(const std::shared_ptr<RequestCtx>& ctx,
+                            ExecutionResult r) {
+  // Runs on the loop thread (posted). The request's admission slot is
+  // already released by the service; release the loop-side accounting.
+  --loop_inflight_;
+
+  Connection* conn = FindConn(ctx->conn_id);
+  if (conn != nullptr) {
+    --conn->inflight;
+  }
+
+  const bool already_responded = ctx->responded;
+  ctx->responded = true;
+  if (ctx->deadline_timer != TimerHeap::kInvalidTimer) {
+    loop_.CancelTimer(ctx->deadline_timer);
+    ctx->deadline_timer = TimerHeap::kInvalidTimer;
+  }
+
+  if (conn != nullptr && !already_responded) {
+    if (r.status.ok()) {
+      QueryResponse resp;
+      resp.id = ctx->request_id;
+      resp.status = ResponseStatus::kOk;
+      resp.results = std::move(r.result.items);
+      resp.has_stats = true;
+      resp.stats = r.result.stats;
+      resp.queue_wait_ms = r.queue_wait_ms;
+      resp.execute_ms = r.execute_ms;
+      ++counters_.responses_ok;
+      SendResponse(conn, resp);
+    } else {
+      const ResponseStatus ws = FromStatus(r.status);
+      if (ws == ResponseStatus::kDeadlineExceeded) {
+        ++counters_.deadline_exceeded;
+      } else {
+        ++counters_.errors_internal;
+      }
+      SendError(conn, ctx->request_id, ws, r.status.message());
+    }
+    MetricsRegistry::Global().Record(
+        "server.request_latency", EventLoop::NowNs() - ctx->arrival_ns);
+  }
+
+  if (conn != nullptr && conn->close_after_flush && conn->inflight == 0 &&
+      !conn->want_write()) {
+    CloseConnection(ctx->conn_id);
+  }
+  MaybeFinishShutdown();
+}
+
+void UotsServer::SendResponse(Connection* conn, const QueryResponse& resp) {
+  std::string body;
+  {
+    UOTS_TRACE_SCOPE("server_serialize");
+    body = EncodeQueryResponse(resp);
+  }
+  conn->QueueFrame(body);
+  if (conn->Flush() == Connection::IoResult::kClosed) {
+    CloseConnection(conn->id());
+    return;
+  }
+  UpdateWriteInterest(conn);
+}
+
+void UotsServer::SendError(Connection* conn, int64_t request_id,
+                           ResponseStatus status, const std::string& error) {
+  QueryResponse resp;
+  resp.id = request_id;
+  resp.status = status;
+  resp.error = error;
+  SendResponse(conn, resp);
+}
+
+void UotsServer::UpdateWriteInterest(Connection* conn) {
+  if (conn->closed()) return;
+  const uint32_t events =
+      conn->want_write() ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  (void)loop_.SetEvents(conn->fd(), events);  // best effort
+}
+
+void UotsServer::TouchIdleTimer(Connection* conn) {
+  if (opts_.idle_timeout_ms <= 0.0) return;
+  if (conn->idle_timer != TimerHeap::kInvalidTimer) {
+    if (loop_.RescheduleTimerAfterMs(conn->idle_timer,
+                                     opts_.idle_timeout_ms)) {
+      return;
+    }
+    conn->idle_timer = TimerHeap::kInvalidTimer;
+  }
+  const uint64_t id = conn->id();
+  conn->idle_timer =
+      loop_.AddTimerAfterMs(opts_.idle_timeout_ms, [this, id] {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) return;
+        it->second->idle_timer = TimerHeap::kInvalidTimer;
+        // Keep connections with work in flight alive; re-arm instead.
+        if (it->second->inflight > 0) {
+          TouchIdleTimer(it->second.get());
+          return;
+        }
+        CloseConnection(id);
+      });
+}
+
+void UotsServer::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->idle_timer != TimerHeap::kInvalidTimer) {
+    loop_.CancelTimer(conn->idle_timer);
+    conn->idle_timer = TimerHeap::kInvalidTimer;
+  }
+  if (!conn->closed()) {
+    loop_.RemoveFd(conn->fd());
+  }
+  ++counters_.connections_closed;
+  conns_.erase(it);  // Connection destructor closes the fd
+  MaybeFinishShutdown();
+}
+
+void UotsServer::BeginShutdown() {
+  if (draining_) return;
+  draining_ = true;
+  // Stop accepting: new connections get ECONNREFUSED once the backlog
+  // drains; already-read frames get "shutting_down" responses.
+  if (listen_fd_ >= 0) {
+    loop_.RemoveFd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  service_->BeginShutdown();
+  if (opts_.drain_timeout_ms > 0.0) {
+    drain_fuse_ = loop_.AddTimerAfterMs(opts_.drain_timeout_ms, [this] {
+      drain_fuse_ = TimerHeap::kInvalidTimer;
+      stop_requested_ = true;
+      loop_.Stop();
+    });
+  }
+  MaybeFinishShutdown();
+}
+
+void UotsServer::MaybeFinishShutdown() {
+  if (!draining_ || stop_requested_) return;
+  if (loop_inflight_ > 0) return;
+  // All admitted work is done; wait only for unflushed bytes.
+  for (auto& [id, conn] : conns_) {
+    if (conn->want_write()) return;
+  }
+  stop_requested_ = true;
+  if (drain_fuse_ != TimerHeap::kInvalidTimer) {
+    loop_.CancelTimer(drain_fuse_);
+    drain_fuse_ = TimerHeap::kInvalidTimer;
+  }
+  loop_.Stop();
+}
+
+}  // namespace uots

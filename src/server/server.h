@@ -1,0 +1,141 @@
+// The UOTS network query server: accept loop, request lifecycle, shutdown.
+//
+// One reactor thread (EventLoop) owns the listener, every Connection, and
+// all timers; the UotsService executes queries on its thread pool and
+// posts completions back. Request lifecycle:
+//
+//   read -> parse -> admit -> queue -> execute -> serialize -> write
+//             |        |                  |
+//             |        +-- full: "overloaded" (retryable) immediately
+//             |        +-- draining: "shutting_down" (retryable)
+//             +-- malformed/oversized: error response, connection survives
+//
+// A per-request deadline timer fires on the reactor: the client gets its
+// "deadline_exceeded" response at the deadline (the connection is never
+// blocked behind a slow query), the request's CancelToken is cancelled so
+// the engine aborts at its next round boundary, and the eventual worker
+// completion is discarded. Graceful shutdown (BeginShutdown, typically from
+// SIGINT/SIGTERM) closes the listener, answers new requests with
+// "shutting_down", waits for in-flight requests to complete and flush, and
+// then stops the loop — a drain fuse force-stops if a peer refuses to read.
+
+#ifndef UOTS_SERVER_SERVER_H_
+#define UOTS_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "server/connection.h"
+#include "server/event_loop.h"
+#include "server/protocol.h"
+#include "server/service.h"
+
+namespace uots {
+
+/// \brief Server configuration.
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral (read the bound port from port())
+  int listen_backlog = 128;
+  size_t max_connections = 1024;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Connections idle (no bytes read) this long are closed; 0 disables.
+  double idle_timeout_ms = 60000.0;
+  /// How long BeginShutdown waits for in-flight work before force-stopping.
+  double drain_timeout_ms = 10000.0;
+  /// Execution / admission knobs.
+  ServiceOptions service;
+};
+
+/// \brief Reactor-facing counters, readable after Run() returns (or from
+/// the loop thread).
+struct ServerCounters {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t connections_rejected = 0;  ///< max_connections hit
+  int64_t requests = 0;              ///< parsed frames that named a query
+  int64_t responses_ok = 0;
+  int64_t rejected_overloaded = 0;
+  int64_t rejected_shutting_down = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t parse_errors = 0;  ///< malformed JSON or invalid fields
+  int64_t oversized_frames = 0;
+  int64_t errors_internal = 0;
+};
+
+/// \brief TCP front-end over a TrajectoryDatabase.
+class UotsServer {
+ public:
+  UotsServer(const TrajectoryDatabase& db, const ServerOptions& opts);
+  ~UotsServer();
+
+  UotsServer(const UotsServer&) = delete;
+  UotsServer& operator=(const UotsServer&) = delete;
+
+  /// Binds and listens; after OK, port() is the actual port.
+  Status Start();
+
+  /// Runs the reactor until shutdown completes. Call from the thread that
+  /// owns the server (blocks).
+  void Run();
+
+  /// Begins graceful shutdown; safe from any thread (posts to the loop).
+  void RequestShutdown();
+
+  uint16_t port() const { return port_; }
+  const ServerCounters& counters() const { return counters_; }
+  size_t open_connections() const { return conns_.size(); }
+  EventLoop& loop() { return loop_; }
+  UotsService& service() { return *service_; }
+
+ private:
+  /// Loop-owned per-request state, shared with the deadline timer and the
+  /// completion closure.
+  struct RequestCtx {
+    uint64_t conn_id = 0;
+    int64_t request_id = 0;
+    int64_t arrival_ns = 0;
+    double deadline_ms = 0.0;
+    CancelToken token;
+    bool responded = false;
+    TimerHeap::TimerId deadline_timer = TimerHeap::kInvalidTimer;
+  };
+
+  void OnAcceptReady();
+  void OnConnEvent(uint64_t conn_id, uint32_t events);
+  void HandleFrame(Connection* conn, std::string_view payload);
+  void OnDeadline(const std::shared_ptr<RequestCtx>& ctx);
+  void OnComplete(const std::shared_ptr<RequestCtx>& ctx, ExecutionResult r);
+
+  Connection* FindConn(uint64_t conn_id);
+  void SendResponse(Connection* conn, const QueryResponse& resp);
+  void SendError(Connection* conn, int64_t request_id, ResponseStatus status,
+                 const std::string& error);
+  void UpdateWriteInterest(Connection* conn);
+  void TouchIdleTimer(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void BeginShutdown();
+  void MaybeFinishShutdown();
+
+  const TrajectoryDatabase& db_;
+  ServerOptions opts_;
+  EventLoop loop_;
+  std::unique_ptr<UotsService> service_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  size_t loop_inflight_ = 0;  ///< requests admitted, response not yet queued
+  bool draining_ = false;
+  bool stop_requested_ = false;
+  TimerHeap::TimerId drain_fuse_ = TimerHeap::kInvalidTimer;
+  ServerCounters counters_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_SERVER_SERVER_H_

@@ -1,0 +1,120 @@
+#include "server/service.h"
+
+#include <thread>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace uots {
+
+UotsService::UotsService(const TrajectoryDatabase& db,
+                         const ServiceOptions& opts)
+    : db_(db), opts_(opts) {
+  int threads = opts_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 2;
+  }
+  opts_.threads = threads;
+  // The pool queue never exceeds max_inflight thanks to the admission
+  // counter, but a matching bound documents (and enforces) the invariant.
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads),
+                                       opts_.max_inflight);
+}
+
+UotsService::~UotsService() {
+  BeginShutdown();
+  Drain();
+}
+
+void UotsService::BeginShutdown() {
+  shutting_down_.store(true, std::memory_order_relaxed);
+}
+
+void UotsService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::unique_ptr<SearchAlgorithm> UotsService::AcquireEngine(
+    AlgorithmKind kind) {
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    for (size_t i = 0; i < free_engines_.size(); ++i) {
+      if (free_engines_[i].kind == kind) {
+        auto engine = std::move(free_engines_[i].engine);
+        free_engines_.erase(free_engines_.begin() +
+                            static_cast<ptrdiff_t>(i));
+        return engine;
+      }
+    }
+  }
+  return CreateAlgorithm(db_, kind, opts_.uots);
+}
+
+void UotsService::ReleaseEngine(AlgorithmKind kind,
+                                std::unique_ptr<SearchAlgorithm> engine) {
+  engine->set_cancel(nullptr);  // never let a dead request's token linger
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  free_engines_.push_back(PooledEngine{kind, std::move(engine)});
+}
+
+bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
+                             const CancelToken* cancel,
+                             std::function<void(ExecutionResult)> done) {
+  if (shutting_down_.load(std::memory_order_relaxed)) return false;
+  // Reserve an admission slot; undo on any rejection path.
+  const size_t prev = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= opts_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  const int64_t admitted_ns = CancelToken::NowNs();
+  auto task = [this, query, kind, cancel, done = std::move(done),
+               admitted_ns]() mutable {
+    UOTS_TRACE_SCOPE("server_execute");
+    ExecutionResult out;
+    out.queue_wait_ms =
+        static_cast<double>(CancelToken::NowNs() - admitted_ns) / 1e6;
+    WallTimer exec_timer;
+    if (cancel != nullptr && cancel->ShouldAbort()) {
+      // Deadline passed while queued: skip the engine entirely.
+      out.status = Status::DeadlineExceeded("deadline exceeded in queue");
+    } else {
+      auto engine = AcquireEngine(kind);
+      engine->set_cancel(cancel);
+      Result<SearchResult> r = engine->Search(query);
+      ReleaseEngine(kind, std::move(engine));
+      if (r.ok()) {
+        out.result = std::move(*r);
+      } else {
+        out.status = r.status();
+      }
+    }
+    out.execute_ms = exec_timer.ElapsedMillis();
+    MetricsRegistry::Global().Record(
+        "server.queue_wait", static_cast<int64_t>(out.queue_wait_ms * 1e6));
+    MetricsRegistry::Global().Record(
+        "server.execute", static_cast<int64_t>(out.execute_ms * 1e6));
+    done(std::move(out));
+    // Publish completion last so Drain() cannot return while `done` runs.
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
+  };
+  auto fut = pool_->TrySubmit(std::move(task));
+  if (!fut.has_value()) {
+    // Pool already shutting down (or its queue bound raced); either way
+    // this request was never scheduled.
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace uots

@@ -1,0 +1,117 @@
+// Query execution service: admission control + thread-pool dispatch.
+//
+// The service is the bridge between the single-threaded reactor and the
+// compute pool. Admission is a hard bound on in-flight requests (queued +
+// executing): once full, TryExecute refuses immediately and the server
+// answers "overloaded" — a saturating burst costs attackers a rejection
+// frame each, never unbounded queue memory or latency collapse for the
+// requests already admitted. Engines (which hold per-thread scratch state)
+// are pooled per algorithm kind and re-armed with the request's CancelToken
+// before every search, so a fired deadline aborts the engine at its next
+// round boundary instead of holding a worker hostage.
+
+#ifndef UOTS_SERVER_SERVICE_H_
+#define UOTS_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/database.h"
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+
+namespace uots {
+
+/// \brief Tuning for UotsService.
+struct ServiceOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+  /// Hard bound on in-flight requests (queued + executing). Admission
+  /// beyond this returns "overloaded".
+  size_t max_inflight = 256;
+  /// Deadline applied to requests that do not carry one; 0 disables.
+  double default_deadline_ms = 0.0;
+  /// Engine knobs shared by every pooled UOTS engine.
+  UotsSearchOptions uots;
+};
+
+/// \brief Outcome of one executed request, delivered to the completion
+/// callback on a worker thread.
+struct ExecutionResult {
+  Status status;          ///< engine status (OK, kDeadlineExceeded, ...)
+  SearchResult result;    ///< valid when status.ok()
+  double queue_wait_ms = 0.0;  ///< admission -> worker pickup
+  double execute_ms = 0.0;     ///< engine wall time
+};
+
+/// \brief Thread-pool-backed query executor with bounded admission.
+///
+/// TryExecute may be called from any thread; completions run on pool
+/// workers (wrap them with EventLoop::Post to get back to a reactor).
+class UotsService {
+ public:
+  UotsService(const TrajectoryDatabase& db, const ServiceOptions& opts);
+  ~UotsService();
+
+  UotsService(const UotsService&) = delete;
+  UotsService& operator=(const UotsService&) = delete;
+
+  /// Admits and dispatches one query. `cancel` (may be nullptr) must stay
+  /// valid until `done` runs; `done` is invoked exactly once on a worker
+  /// thread when admission succeeds. \return false when the service is at
+  /// capacity or shutting down — `done` is NOT invoked in that case.
+  bool TryExecute(const UotsQuery& query, AlgorithmKind kind,
+                  const CancelToken* cancel,
+                  std::function<void(ExecutionResult)> done);
+
+  /// Requests currently admitted (queued + executing).
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops admission; queued work still completes (their callbacks run).
+  void BeginShutdown();
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until every admitted request has completed.
+  void Drain();
+
+  const ServiceOptions& options() const { return opts_; }
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  /// A pooled engine; created lazily, one per concurrently-running request
+  /// of its kind (bounded by the worker count).
+  struct PooledEngine {
+    AlgorithmKind kind;
+    std::unique_ptr<SearchAlgorithm> engine;
+  };
+
+  std::unique_ptr<SearchAlgorithm> AcquireEngine(AlgorithmKind kind);
+  void ReleaseEngine(AlgorithmKind kind,
+                     std::unique_ptr<SearchAlgorithm> engine);
+
+  const TrajectoryDatabase& db_;
+  ServiceOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex engines_mu_;
+  std::vector<PooledEngine> free_engines_;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_SERVER_SERVICE_H_

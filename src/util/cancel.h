@@ -1,0 +1,66 @@
+// Cooperative cancellation / deadline token for long-running searches.
+//
+// Engines poll ShouldAbort() at their natural round boundaries (every
+// scheduling round for UOTS, every few thousand trajectories for the brute
+// force scan), so an armed token turns an admitted-but-slow query into a
+// prompt kDeadlineExceeded instead of a worker held hostage. The token is
+// written by one controller (a server's timer subsystem, or the deadline
+// set up by RunQuery) and read by one worker; all accesses are relaxed
+// atomics — a cancellation observed one round late is fine by design.
+
+#ifndef UOTS_UTIL_CANCEL_H_
+#define UOTS_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace uots {
+
+/// \brief One-shot cancel flag plus optional absolute deadline.
+class CancelToken {
+ public:
+  /// Steady-clock now in nanoseconds (the time base deadlines use).
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Re-arms the token for a new request: clears the flag and deadline.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Requests cancellation (safe from any thread, e.g. a timer callback).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Sets an absolute steady-clock deadline; 0 means "no deadline".
+  void SetDeadlineNs(int64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `ms` milliseconds from now (<= 0 clears it).
+  void SetDeadlineAfterMs(double ms) {
+    SetDeadlineNs(ms > 0.0 ? NowNs() + static_cast<int64_t>(ms * 1e6) : 0);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline. Costs one atomic load when
+  /// no deadline is armed, plus a clock read when one is.
+  bool ShouldAbort() const {
+    if (cancelled()) return true;
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && NowNs() >= d;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_CANCEL_H_

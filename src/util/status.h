@@ -23,6 +23,8 @@ enum class StatusCode {
   kOutOfRange,
   kAlreadyExists,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Lightweight status object: either OK or a code plus message.
@@ -52,6 +54,13 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Transient inability to serve (overload, shutdown); callers may retry.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

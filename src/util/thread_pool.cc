@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 
 namespace uots {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   assert(num_threads >= 1);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -14,12 +16,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  Shutdown();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -58,7 +65,18 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       }
     }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every chunk before rethrowing: the lambdas above capture
+  // next_chunk and fn by reference, so unwinding this frame while any
+  // worker still runs one would be use-after-scope.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace uots

@@ -1,4 +1,4 @@
-// Fixed-size worker pool used by the batch query executor.
+// Fixed-size worker pool used by the batch query executor and the server.
 
 #ifndef UOTS_UTIL_THREAD_POOL_H_
 #define UOTS_UTIL_THREAD_POOL_H_
@@ -11,6 +11,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -22,16 +24,26 @@ namespace uots {
 /// Deliberately simple: no work stealing, no priorities. Query-level
 /// parallelism in the batch executor is embarrassingly parallel, so a single
 /// shared queue is sufficient and keeps behaviour easy to reason about.
+///
+/// Serving additions: Shutdown() stops admission while workers drain what
+/// was already queued (a task accepted is a task run), Submit after
+/// shutdown throws instead of enqueueing work that would never execute,
+/// and TrySubmit applies the optional queue capacity so a server can turn
+/// saturation into an "overloaded" rejection instead of unbounded memory.
 class ThreadPool {
  public:
-  /// Creates a pool with `num_threads` workers (>= 1).
-  explicit ThreadPool(size_t num_threads);
+  /// Creates a pool with `num_threads` workers (>= 1). `max_queue` bounds
+  /// the number of not-yet-started tasks TrySubmit may have outstanding;
+  /// 0 means unbounded.
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Schedules `fn` and returns a future for its result.
+  /// Schedules `fn` and returns a future for its result. Ignores the queue
+  /// capacity (trusted internal callers like ParallelFor must not deadlock
+  /// on their own bound); throws std::runtime_error once shutdown began.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -39,6 +51,27 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) throw std::runtime_error("ThreadPool::Submit after Shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Bounded admission: schedules `fn` unless the pool is shutting down or
+  /// the pending queue is at capacity. \return nullopt on rejection — the
+  /// caller decides whether that means "overloaded" or "shutting down"
+  /// (see shutting_down()).
+  template <typename Fn>
+  auto TrySubmit(Fn&& fn)
+      -> std::optional<std::future<std::invoke_result_t<Fn>>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return std::nullopt;
+      if (max_queue_ != 0 && queue_.size() >= max_queue_) return std::nullopt;
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -46,17 +79,38 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// If any invocation throws, every other chunk still runs to completion
+  /// and the first exception (in chunk order) is rethrown to the caller.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Stops admission: subsequent Submit throws and TrySubmit rejects.
+  /// Already-queued tasks still run; workers exit once the queue drains.
+  /// Idempotent and safe from any thread; does not join (destructor does).
+  void Shutdown();
+
+  /// True once Shutdown() was called (or destruction began).
+  bool shutting_down() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_;
+  }
+
+  /// Tasks accepted but not yet picked up by a worker.
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   size_t num_threads() const { return workers_.size(); }
+  size_t max_queue() const { return max_queue_; }
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  size_t max_queue_ = 0;
   bool stop_ = false;
 };
 

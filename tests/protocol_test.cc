@@ -1,0 +1,253 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/json.h"
+
+namespace uots {
+namespace {
+
+// --- framing ---------------------------------------------------------------
+
+TEST(FrameDecoderTest, RoundTripsOneFrame) {
+  FrameDecoder dec;
+  const std::string frame = EncodeFrame("hello");
+  dec.Append(frame.data(), frame.size());
+  std::string payload;
+  ASSERT_EQ(dec.Poll(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(payload, "hello");
+  EXPECT_EQ(dec.Poll(&payload), FrameDecoder::Next::kNeedMore);
+}
+
+TEST(FrameDecoderTest, TruncatedFrameNeedsMoreByteAtATime) {
+  FrameDecoder dec;
+  const std::string frame = EncodeFrame("payload body");
+  std::string payload;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    dec.Append(frame.data() + i, 1);
+    EXPECT_EQ(dec.Poll(&payload), FrameDecoder::Next::kNeedMore)
+        << "complete frame reported after only " << i + 1 << " bytes";
+  }
+  dec.Append(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(dec.Poll(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(payload, "payload body");
+}
+
+TEST(FrameDecoderTest, PipelinedFramesDecodeInOrder) {
+  FrameDecoder dec;
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    AppendFrame("frame " + std::to_string(i), &wire);
+  }
+  dec.Append(wire.data(), wire.size());
+  std::string payload;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(dec.Poll(&payload), FrameDecoder::Next::kFrame);
+    EXPECT_EQ(payload, "frame " + std::to_string(i));
+  }
+  EXPECT_EQ(dec.Poll(&payload), FrameDecoder::Next::kNeedMore);
+}
+
+TEST(FrameDecoderTest, EmptyPayloadFrameIsValid) {
+  FrameDecoder dec;
+  const std::string frame = EncodeFrame("");
+  dec.Append(frame.data(), frame.size());
+  std::string payload = "junk";
+  ASSERT_EQ(dec.Poll(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(FrameDecoderTest, OversizedFrameIsSkippedAndResyncs) {
+  FrameDecoder dec(/*max_frame_bytes=*/16);
+  std::string wire;
+  AppendFrame(std::string(100, 'x'), &wire);  // too big
+  AppendFrame("small", &wire);                // must still decode
+  // Feed in small chunks so the skip spans multiple Appends.
+  std::string payload;
+  size_t oversized = 0;
+  bool saw_oversized = false;
+  for (size_t off = 0; off < wire.size(); off += 7) {
+    const size_t n = std::min<size_t>(7, wire.size() - off);
+    dec.Append(wire.data() + off, n);
+    for (;;) {
+      const FrameDecoder::Next next = dec.Poll(&payload, &oversized);
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      if (next == FrameDecoder::Next::kOversized) {
+        EXPECT_FALSE(saw_oversized) << "oversized frame reported twice";
+        saw_oversized = true;
+        EXPECT_EQ(oversized, 100u);
+        continue;
+      }
+      EXPECT_EQ(payload, "small");
+    }
+  }
+  EXPECT_TRUE(saw_oversized);
+  EXPECT_EQ(payload, "small") << "decoder failed to resync after skip";
+}
+
+TEST(FrameDecoderTest, FrameAtExactLimitIsAccepted) {
+  FrameDecoder dec(/*max_frame_bytes=*/8);
+  const std::string frame = EncodeFrame(std::string(8, 'y'));
+  dec.Append(frame.data(), frame.size());
+  std::string payload;
+  EXPECT_EQ(dec.Poll(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(payload.size(), 8u);
+}
+
+// --- request / response codecs --------------------------------------------
+
+QueryRequest MakeRequest() {
+  QueryRequest req;
+  req.id = 42;
+  req.query.locations = {7, 19, 3};
+  req.query.keywords = KeywordSet({5, 2, 9});
+  req.query.lambda = 0.375;
+  req.query.k = 10;
+  req.algorithm = AlgorithmKind::kBruteForce;
+  req.has_algorithm = true;
+  req.deadline_ms = 25.5;
+  return req;
+}
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  const QueryRequest req = MakeRequest();
+  auto parsed = ParseQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, 42);
+  EXPECT_EQ(parsed->query.locations, req.query.locations);
+  EXPECT_EQ(parsed->query.keywords, req.query.keywords);
+  EXPECT_EQ(parsed->query.lambda, 0.375);
+  EXPECT_EQ(parsed->query.k, 10);
+  EXPECT_TRUE(parsed->has_algorithm);
+  EXPECT_EQ(parsed->algorithm, AlgorithmKind::kBruteForce);
+  EXPECT_EQ(parsed->deadline_ms, 25.5);
+}
+
+TEST(ProtocolTest, MalformedJsonIsRejected) {
+  for (const char* bad : {
+           "",                        // empty
+           "{",                       // truncated
+           "[1,2,3]",                 // not an object
+           "{\"id\": 1,}",            // trailing comma
+           "{\"id\": 1} extra",       // trailing garbage
+           "{\"id\": \"seven\"}",     // non-numeric id
+           "not json at all",
+       }) {
+    EXPECT_FALSE(ParseQueryRequest(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(ProtocolTest, SemanticallyInvalidRequestsAreRejected) {
+  const QueryRequest base = MakeRequest();
+  {
+    QueryRequest r = base;  // no locations
+    r.query.locations.clear();
+    EXPECT_FALSE(ParseQueryRequest(EncodeQueryRequest(r)).ok());
+  }
+  {
+    std::string json = EncodeQueryRequest(base);
+    // Unknown algorithm names must be an error, not a silent default.
+    const size_t pos = json.find("\"BF\"");
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, 4, "\"XX\"");
+    EXPECT_FALSE(ParseQueryRequest(json).ok());
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTripsExactDoubles) {
+  QueryResponse resp;
+  resp.id = 7;
+  resp.status = ResponseStatus::kOk;
+  // Scores chosen to require full round-trip precision.
+  resp.results.push_back(ScoredTrajectory{3, 0.1 + 0.2, 1.0 / 3.0, 0.7});
+  resp.results.push_back(ScoredTrajectory{11, 5e-324, 0.0, 1.0});
+  resp.has_stats = true;
+  resp.stats.visited_trajectories = 123;
+  resp.queue_wait_ms = 0.25;
+  resp.execute_ms = 3.75;
+
+  auto parsed = ParseQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, 7);
+  EXPECT_TRUE(parsed->ok());
+  ASSERT_EQ(parsed->results.size(), 2u);
+  EXPECT_EQ(parsed->results[0].id, 3u);
+  EXPECT_EQ(parsed->results[0].score, 0.1 + 0.2) << "score bits changed";
+  EXPECT_EQ(parsed->results[0].spatial_sim, 1.0 / 3.0);
+  EXPECT_EQ(parsed->results[1].score, 5e-324) << "denormal bits changed";
+  EXPECT_EQ(parsed->queue_wait_ms, 0.25);
+  EXPECT_EQ(parsed->execute_ms, 3.75);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrips) {
+  QueryResponse resp;
+  resp.id = 9;
+  resp.status = ResponseStatus::kOverloaded;
+  resp.error = "server at capacity";
+  auto parsed = ParseQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status, ResponseStatus::kOverloaded);
+  EXPECT_TRUE(parsed->retryable());
+  EXPECT_EQ(parsed->error, "server at capacity");
+}
+
+TEST(ProtocolTest, StatusNamesRoundTrip) {
+  for (ResponseStatus s : {
+           ResponseStatus::kOk, ResponseStatus::kParseError,
+           ResponseStatus::kInvalidArgument, ResponseStatus::kOverloaded,
+           ResponseStatus::kDeadlineExceeded, ResponseStatus::kShuttingDown,
+           ResponseStatus::kInternal,
+       }) {
+    EXPECT_EQ(ParseResponseStatus(ToString(s)), s);
+  }
+  EXPECT_TRUE(IsRetryable(ResponseStatus::kOverloaded));
+  EXPECT_TRUE(IsRetryable(ResponseStatus::kShuttingDown));
+  EXPECT_FALSE(IsRetryable(ResponseStatus::kOk));
+  EXPECT_FALSE(IsRetryable(ResponseStatus::kDeadlineExceeded));
+}
+
+TEST(ProtocolTest, AlgorithmNamesParseCaseInsensitively) {
+  auto a = ParseAlgorithmKind("uots");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, AlgorithmKind::kUots);
+  auto b = ParseAlgorithmKind("BF");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, AlgorithmKind::kBruteForce);
+  EXPECT_FALSE(ParseAlgorithmKind("nope").ok());
+}
+
+// --- JSON primitives used by the codecs ------------------------------------
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto v = ParseJson(R"({"a": [1, 2.5, "x", true, null], "b": {"c": -3}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array_items().size(), 5u);
+  EXPECT_EQ(a->array_items()[1].number_value(), 2.5);
+  const JsonValue* b = v->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_EQ(b->Find("c")->number_value(), -3.0);
+}
+
+TEST(JsonTest, EscapesRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("s", JsonValue::Str("quote\" slash\\ tab\t newline\n unicode\x01"));
+  auto parsed = ParseJson(obj.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->string_value(),
+            "quote\" slash\\ tab\t newline\n unicode\x01");
+}
+
+TEST(JsonTest, RejectsDeeplyNestedInput) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok()) << "depth cap missing";
+}
+
+}  // namespace
+}  // namespace uots

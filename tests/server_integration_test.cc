@@ -1,0 +1,424 @@
+// Loopback integration tests: a real UotsServer on an ephemeral port, real
+// BlockingClients over TCP. Covers the acceptance criteria end to end:
+// bit-for-bit equivalence with in-process RunQuery, concurrent clients,
+// admission-control overload, per-request deadlines, protocol robustness
+// against malformed/oversized frames, and graceful shutdown.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+std::unique_ptr<TrajectoryDatabase> MakeTestDb() {
+  GridNetworkOptions net_opts;
+  net_opts.rows = 18;
+  net_opts.cols = 18;
+  net_opts.seed = 21;
+  auto network = MakeGridNetwork(net_opts);
+  EXPECT_TRUE(network.ok());
+  TripGeneratorOptions trip_opts;
+  trip_opts.num_trajectories = 250;
+  trip_opts.vocabulary_size = 120;
+  trip_opts.seed = 22;
+  auto trips = GenerateTrips(*network, trip_opts);
+  EXPECT_TRUE(trips.ok());
+  return std::make_unique<TrajectoryDatabase>(std::move(*network),
+                                              std::move(trips->store),
+                                              std::move(trips->vocabulary));
+}
+
+/// Server + loop thread with RAII shutdown, bound to an ephemeral port.
+class ServerFixture {
+ public:
+  explicit ServerFixture(const TrajectoryDatabase& db,
+                         ServerOptions opts = {}) {
+    opts.port = 0;  // ephemeral: tests must never collide on a fixed port
+    server_ = std::make_unique<UotsServer>(db, opts);
+    Status st = server_->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    thread_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~ServerFixture() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      server_->RequestShutdown();
+      thread_.join();
+    }
+  }
+
+  uint16_t port() const { return server_->port(); }
+  UotsServer& server() { return *server_; }
+
+ private:
+  std::unique_ptr<UotsServer> server_;
+  std::thread thread_;
+};
+
+std::vector<UotsQuery> MakeQueries(const TrajectoryDatabase& db, int n) {
+  WorkloadOptions wopts;
+  wopts.num_queries = n;
+  wopts.num_locations = 4;
+  wopts.k = 5;
+  wopts.seed = 33;
+  auto queries = MakeWorkload(db, wopts);
+  EXPECT_TRUE(queries.ok());
+  return std::move(*queries);
+}
+
+TEST(ServerIntegrationTest, ResultsMatchInProcessBitForBit) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db);
+  const auto queries = MakeQueries(*db, 12);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kUots, AlgorithmKind::kBruteForce,
+        AlgorithmKind::kTextFirst}) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryRequest req;
+      req.id = static_cast<int64_t>(i);
+      req.query = queries[i];
+      req.algorithm = kind;
+      req.has_algorithm = true;
+      auto remote = client.Call(req);
+      ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+      ASSERT_TRUE(remote->ok()) << remote->error;
+      EXPECT_EQ(remote->id, static_cast<int64_t>(i));
+
+      QueryOptions local_opts;
+      local_opts.algorithm = kind;
+      auto local = RunQuery(*db, queries[i], local_opts);
+      ASSERT_TRUE(local.ok());
+
+      ASSERT_EQ(remote->results.size(), local->items.size())
+          << ToString(kind) << " query " << i;
+      for (size_t j = 0; j < local->items.size(); ++j) {
+        EXPECT_EQ(remote->results[j].id, local->items[j].id);
+        // Bitwise equality, not near-equality: the wire protocol's doubles
+        // must survive the round trip exactly.
+        EXPECT_EQ(remote->results[j].score, local->items[j].score);
+        EXPECT_EQ(remote->results[j].spatial_sim, local->items[j].spatial_sim);
+        EXPECT_EQ(remote->results[j].textual_sim, local->items[j].textual_sim);
+      }
+      EXPECT_TRUE(remote->has_stats);
+    }
+  }
+}
+
+TEST(ServerIntegrationTest, ConcurrentClientsAllGetCorrectAnswers) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  opts.service.threads = 4;
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 8);
+
+  // Precompute expected answers in-process.
+  std::vector<std::vector<ScoredTrajectory>> expected;
+  for (const auto& q : queries) {
+    auto local = RunQuery(*db, q);
+    ASSERT_TRUE(local.ok());
+    expected.push_back(local->items);
+  }
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      BlockingClient client;
+      if (!client.Connect("127.0.0.1", fx.port()).ok()) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const size_t qi = static_cast<size_t>(t + r) % queries.size();
+        QueryRequest req;
+        req.id = t * 1000 + r;
+        req.query = queries[qi];
+        auto resp = client.Call(req);
+        if (!resp.ok() || !resp->ok() || resp->id != t * 1000 + r ||
+            resp->results.size() != expected[qi].size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t j = 0; j < expected[qi].size(); ++j) {
+          if (resp->results[j].id != expected[qi][j].id ||
+              resp->results[j].score != expected[qi][j].score) {
+            ++failures;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServerIntegrationTest, PipelinedRequestsAnswerInOrder) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db);
+  const auto queries = MakeQueries(*db, 5);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  // Queue every request before reading a single response.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryRequest req;
+    req.id = static_cast<int64_t>(100 + i);
+    req.query = queries[i];
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->id, static_cast<int64_t>(100 + i))
+        << "responses out of order";
+    EXPECT_TRUE(resp->ok());
+  }
+}
+
+TEST(ServerIntegrationTest, MalformedFrameGetsErrorAndConnectionSurvives) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db);
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  QueryRequest good;
+  good.id = 1;
+  good.query = queries[0];
+
+  // BlockingClient only sends well-formed requests, so drive the malformed
+  // frame through a raw socket.
+  struct RawConn {
+    int fd = -1;
+    ~RawConn() {
+      if (fd >= 0) ::close(fd);
+    }
+  };
+  RawConn raw;
+  raw.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw.fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(raw.fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string bad_frame = EncodeFrame("{not json");
+  ASSERT_EQ(::send(raw.fd, bad_frame.data(), bad_frame.size(), 0),
+            static_cast<ssize_t>(bad_frame.size()));
+  // Read the error response frame off the raw socket.
+  FrameDecoder dec;
+  std::string payload;
+  char buf[4096];
+  for (;;) {
+    if (dec.Poll(&payload) == FrameDecoder::Next::kFrame) break;
+    const ssize_t n = ::recv(raw.fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server dropped the connection on malformed JSON";
+    dec.Append(buf, static_cast<size_t>(n));
+  }
+  auto err = ParseQueryResponse(payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->status, ResponseStatus::kParseError);
+
+  // Same raw connection: a valid request must still be served.
+  const std::string good_frame = EncodeFrame(EncodeQueryRequest(good));
+  ASSERT_EQ(::send(raw.fd, good_frame.data(), good_frame.size(), 0),
+            static_cast<ssize_t>(good_frame.size()));
+  for (;;) {
+    if (dec.Poll(&payload) == FrameDecoder::Next::kFrame) break;
+    const ssize_t n = ::recv(raw.fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection did not survive the malformed frame";
+    dec.Append(buf, static_cast<size_t>(n));
+  }
+  auto ok_resp = ParseQueryResponse(payload);
+  ASSERT_TRUE(ok_resp.ok());
+  EXPECT_TRUE(ok_resp->ok()) << ok_resp->error;
+
+  // And the unrelated client was never disturbed.
+  auto main_resp = client.Call(good);
+  ASSERT_TRUE(main_resp.ok());
+  EXPECT_TRUE(main_resp->ok());
+}
+
+TEST(ServerIntegrationTest, OversizedFrameGetsErrorAndConnectionSurvives) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  opts.max_frame_bytes = 256;
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  // A request whose JSON blows past 256 bytes: pad the keyword list.
+  QueryRequest big;
+  big.id = 5;
+  big.query = queries[0];
+  std::vector<TermId> many;
+  for (TermId t = 0; t < 300; ++t) many.push_back(t);
+  big.query.keywords = KeywordSet(std::move(many));
+  ASSERT_GT(EncodeQueryRequest(big).size(), 256u);
+
+  ASSERT_TRUE(client.Send(big).ok());
+  auto err = client.Receive();
+  ASSERT_TRUE(err.ok()) << "server dropped the connection on oversize";
+  EXPECT_EQ(err->status, ResponseStatus::kParseError);
+
+  // The connection resynchronized: a small request still succeeds.
+  QueryRequest good;
+  good.id = 6;
+  good.query = queries[0];
+  auto resp = client.Call(good);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok()) << resp->error;
+  EXPECT_EQ(resp->id, 6);
+}
+
+TEST(ServerIntegrationTest, OverloadRejectsWithRetryableStatus) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  opts.service.threads = 1;
+  opts.service.max_inflight = 1;  // one admitted request at a time
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 4);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  // Burst: pipeline far more than the server may admit. With capacity 1,
+  // at least one request must be rejected as overloaded, and every frame
+  // still gets exactly one response (nothing is silently dropped).
+  constexpr int kBurst = 24;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest req;
+    req.id = i;
+    req.query = queries[static_cast<size_t>(i) % queries.size()];
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    if (resp->ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp->status, ResponseStatus::kOverloaded);
+      EXPECT_TRUE(resp->retryable());
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_GE(ok, 1) << "admission rejected everything";
+  EXPECT_GE(overloaded, 1) << "burst of 24 at capacity 1 never overloaded";
+}
+
+TEST(ServerIntegrationTest, DeadlineExceededReturnsTimeoutNotHang) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  opts.service.threads = 1;
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 2);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  // An absurdly small deadline: the response must be a prompt timeout.
+  QueryRequest req;
+  req.id = 77;
+  req.query = queries[0];
+  req.algorithm = AlgorithmKind::kBruteForce;  // slowest engine
+  req.has_algorithm = true;
+  req.deadline_ms = 0.01;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, ResponseStatus::kDeadlineExceeded);
+  EXPECT_EQ(resp->id, 77);
+
+  // The connection is still usable for a normal request afterwards.
+  QueryRequest good;
+  good.id = 78;
+  good.query = queries[1];
+  auto resp2 = client.Call(good);
+  ASSERT_TRUE(resp2.ok());
+  EXPECT_TRUE(resp2->ok()) << resp2->error;
+}
+
+TEST(ServerIntegrationTest, GracefulShutdownDrainsAndStops) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db);
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  QueryRequest req;
+  req.id = 1;
+  req.query = queries[0];
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->ok());
+
+  fx.Stop();  // RequestShutdown + join: must terminate, not hang
+
+  // New connections are refused after shutdown.
+  BlockingClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", fx.port()).ok());
+  EXPECT_EQ(fx.server().counters().responses_ok, 1);
+}
+
+TEST(ServerIntegrationTest, RequestsDuringDrainGetShuttingDown) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db);
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  // Make sure the connection is established server-side first.
+  QueryRequest warm;
+  warm.id = 0;
+  warm.query = queries[0];
+  ASSERT_TRUE(client.Call(warm).ok());
+
+  // Race a request against shutdown: the server may answer ok (if it ran
+  // before the drain flag), answer shutting_down, or close the connection
+  // (if drain finished first) — but it must never hang.
+  QueryRequest req;
+  req.id = 1;
+  req.query = queries[0];
+  ASSERT_TRUE(client.Send(req).ok());
+  fx.server().RequestShutdown();
+  auto resp = client.Receive();
+  if (resp.ok()) {
+    EXPECT_TRUE(resp->ok() || resp->status == ResponseStatus::kShuttingDown)
+        << ToString(resp->status);
+  }
+  fx.Stop();
+}
+
+}  // namespace
+}  // namespace uots

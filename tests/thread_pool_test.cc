@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace uots {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedWork) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_TRUE(pool.shutting_down());
+  EXPECT_THROW(pool.Submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] {
+        ++ran;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      });
+    }
+    pool.Shutdown();  // must wait for all 16, not abandon the queue
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenShutDown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  auto fut = pool.TrySubmit([] { return 1; });
+  EXPECT_FALSE(fut.has_value());
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  EXPECT_EQ(pool.max_queue(), 2u);
+
+  // Block the single worker so queued tasks pile up deterministically.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocker = pool.TrySubmit([opened] { opened.wait(); });
+  ASSERT_TRUE(blocker.has_value());
+  // Give the worker a moment to dequeue the blocker; then the queue (not
+  // the worker) must absorb exactly max_queue more tasks.
+  while (pool.QueueDepth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<std::future<void>> accepted;
+  for (int i = 0; i < 2; ++i) {
+    auto f = pool.TrySubmit([] {});
+    ASSERT_TRUE(f.has_value()) << "queue rejected below its bound (i=" << i
+                               << ")";
+    accepted.push_back(std::move(*f));
+  }
+  auto rejected = pool.TrySubmit([] {});
+  EXPECT_FALSE(rejected.has_value()) << "queue accepted beyond its bound";
+
+  gate.set_value();
+  blocker->get();
+  for (auto& f : accepted) f.get();
+  // With the queue drained, TrySubmit admits again.
+  auto retry = pool.TrySubmit([] { return; });
+  EXPECT_TRUE(retry.has_value());
+  retry->get();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(64, [&](size_t i) {
+      ++ran;
+      if (i == 13) throw std::runtime_error("boom at 13");
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 13");
+  }
+  // The pool must survive the exception and keep serving.
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
+}
+
+}  // namespace
+}  // namespace uots

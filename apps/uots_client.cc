@@ -32,6 +32,7 @@
 #include "core/batch.h"
 #include "core/workload.h"
 #include "server/client.h"
+#include "storage/resolver.h"
 #include "util/histogram.h"
 
 namespace {
@@ -42,6 +43,7 @@ struct Flags {
   std::string host = "127.0.0.1";
   int port = 7670;
   std::string city = "BRN";
+  std::string dataset;  // snapshot or text path; overrides --city
   int trajectories = 0;
   int connections = 8;
   int requests = 2000;       // closed-loop total
@@ -177,6 +179,8 @@ int main(int argc, char** argv) {
       flags.port = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--city", &v)) {
       flags.city = v;
+    } else if (ParseFlag(argv[i], "--dataset", &v)) {
+      flags.dataset = v;
     } else if (ParseFlag(argv[i], "--trajectories", &v)) {
       flags.trajectories = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--connections", &v)) {
@@ -213,15 +217,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  City city;
-  if (flags.city == "BRN") {
-    city = City::kBRN;
-  } else if (flags.city == "NRN") {
-    city = City::kNRN;
-  } else {
-    std::fprintf(stderr, "unknown city %s\n", flags.city.c_str());
-    return 2;
-  }
   auto kind_r = uots::ParseAlgorithmKind(flags.algorithm);
   if (!kind_r.ok()) {
     std::fprintf(stderr, "unknown algorithm %s\n", flags.algorithm.c_str());
@@ -231,11 +226,33 @@ int main(int argc, char** argv) {
 
   // The same deterministic dataset + workload the server loaded: needed for
   // --verify, and it gives the load generator realistic queries.
-  std::printf("loading %s workload...\n", flags.city.c_str());
-  std::fflush(stdout);
-  auto db = flags.trajectories > 0
-                ? uots::bench::LoadCity(city, flags.trajectories)
-                : uots::bench::LoadCity(city);
+  std::unique_ptr<uots::TrajectoryDatabase> db;
+  if (!flags.dataset.empty()) {
+    std::printf("loading %s workload...\n", flags.dataset.c_str());
+    std::fflush(stdout);
+    auto loaded = uots::storage::LoadDatabaseFromPath(flags.dataset);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "dataset: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded->db);
+  } else {
+    City city;
+    if (flags.city == "BRN") {
+      city = City::kBRN;
+    } else if (flags.city == "NRN") {
+      city = City::kNRN;
+    } else {
+      std::fprintf(stderr, "unknown city %s\n", flags.city.c_str());
+      return 2;
+    }
+    std::printf("loading %s workload...\n", flags.city.c_str());
+    std::fflush(stdout);
+    db = flags.trajectories > 0
+             ? uots::bench::LoadCity(city, flags.trajectories)
+             : uots::bench::LoadCity(city);
+  }
   uots::WorkloadOptions wopts;
   wopts.num_queries = flags.num_queries;
   wopts.num_locations = flags.locations;

@@ -1,8 +1,10 @@
 // The UOTS query server binary.
 //
 //   $ ./uots_server --city=BRN --port=7670 --threads=8
+//   $ ./uots_server --dataset=/path/to/brn.snap     # snapshot or text file
 //
-// Loads (or generates+caches) a benchmark city, binds the TCP front-end,
+// Loads (or generates+caches) a benchmark city — or, with --dataset, any
+// snapshot/text dataset path — binds the TCP front-end,
 // and serves length-prefixed JSON queries until SIGINT/SIGTERM, which
 // trigger a graceful drain: the listener closes, in-flight requests finish,
 // buffered responses flush, and the process exits 0 after printing the
@@ -19,8 +21,11 @@
 #include <cstring>
 #include <string>
 
+#include <chrono>
+
 #include "common/datasets.h"
 #include "server/server.h"
+#include "storage/resolver.h"
 #include "util/metrics.h"
 
 namespace {
@@ -31,6 +36,7 @@ struct Flags {
   std::string bind = "127.0.0.1";
   int port = 7670;
   std::string city = "BRN";
+  std::string dataset;   // snapshot or text path; overrides --city
   int trajectories = 0;  // 0 = city default
   int threads = 0;       // 0 = hardware concurrency
   int max_inflight = 256;
@@ -51,6 +57,7 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--bind=ADDR] [--port=N] [--city=BRN|NRN]\n"
+      "          [--dataset=PATH (.snap or .network/.trajectories)]\n"
       "          [--trajectories=N] [--threads=N] [--max-inflight=N]\n"
       "          [--default-deadline-ms=MS] [--idle-timeout-ms=MS]\n"
       "          [--drain-timeout-ms=MS] [--max-connections=N]\n",
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
       flags.port = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--city", &v)) {
       flags.city = v;
+    } else if (ParseFlag(argv[i], "--dataset", &v)) {
+      flags.dataset = v;
     } else if (ParseFlag(argv[i], "--trajectories", &v)) {
       flags.trajectories = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--threads", &v)) {
@@ -89,25 +98,50 @@ int main(int argc, char** argv) {
     }
   }
 
-  City city;
-  if (flags.city == "BRN") {
-    city = City::kBRN;
-  } else if (flags.city == "NRN") {
-    city = City::kNRN;
+  std::unique_ptr<uots::TrajectoryDatabase> db;
+  double load_seconds = 0.0;
+  const char* source = "generated/cached";
+  if (!flags.dataset.empty()) {
+    std::printf("loading %s...\n", flags.dataset.c_str());
+    std::fflush(stdout);
+    auto loaded = uots::storage::LoadDatabaseFromPath(flags.dataset);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "dataset: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded->db);
+    load_seconds = loaded->load_seconds;
+    source = uots::storage::ToString(loaded->source);
   } else {
-    std::fprintf(stderr, "unknown city %s (use BRN or NRN)\n",
-                 flags.city.c_str());
-    return 2;
+    City city;
+    if (flags.city == "BRN") {
+      city = City::kBRN;
+    } else if (flags.city == "NRN") {
+      city = City::kNRN;
+    } else {
+      std::fprintf(stderr, "unknown city %s (use BRN or NRN)\n",
+                   flags.city.c_str());
+      return 2;
+    }
+    std::printf("loading %s...\n", flags.city.c_str());
+    std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
+    db = flags.trajectories > 0
+             ? uots::bench::LoadCity(city, flags.trajectories)
+             : uots::bench::LoadCity(city);
+    load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
-
-  std::printf("loading %s...\n", flags.city.c_str());
-  std::fflush(stdout);
-  auto db = flags.trajectories > 0
-                ? uots::bench::LoadCity(city, flags.trajectories)
-                : uots::bench::LoadCity(city);
-  std::printf("dataset: %zu vertices, %zu trajectories, %zu terms\n",
-              db->network().NumVertices(), db->store().size(),
-              db->vocabulary().size());
+  const uots::MemoryBreakdown mem = db->Memory();
+  std::printf(
+      "dataset: %zu vertices, %zu trajectories, %zu terms (%s, %.3fs)\n"
+      "memory: %.1f MB heap + %.1f MB snapshot-mapped\n",
+      db->network().NumVertices(), db->store().size(),
+      db->vocabulary().size(), source, load_seconds,
+      static_cast<double>(mem.heap_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(mem.mmap_bytes) / (1024.0 * 1024.0));
 
   uots::ServerOptions opts;
   opts.bind_address = flags.bind;

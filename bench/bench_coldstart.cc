@@ -1,0 +1,304 @@
+// Cold-start experiment: text parse-and-index vs snapshot mmap load.
+//
+//   $ ./bench/bench_coldstart [--city=BRN] [--trajectories=N] [--reps=3]
+//
+// For one (city, cardinality) dataset the harness materializes both
+// artifact forms — the text pair (.network/.trajectories) and a binary
+// snapshot (.snap) — then measures, in a FRESH PROCESS per repetition
+// (fork/exec of this binary with --child=MODE), how long each load path
+// takes and how much memory it peaks at (/proc/self/status VmHWM). Modes:
+//
+//   none       process starts and loads nothing (overhead baseline)
+//   text       LoadDatabaseFromPath on the .network file: parse + index
+//   snap       LoadSnapshot with checksum sweep (the default load path)
+//   snap-nocrc LoadSnapshot without the checksum sweep
+//
+// Every child also answers the same 4-query workload and prints a result
+// checksum; the parent requires all modes to agree — a snapshot that loads
+// fast but answers differently is a failure, not a win. Results land in
+// BENCH_coldstart.json.
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "core/batch.h"
+#include "core/workload.h"
+#include "net/io.h"
+#include "storage/resolver.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+#include "traj/io.h"
+#include "util/timer.h"
+
+namespace {
+
+using uots::bench::City;
+
+struct Flags {
+  std::string city = "BRN";
+  int trajectories = 0;  // 0 = city default
+  int reps = 3;
+  std::string json_out = "BENCH_coldstart.json";
+  std::string child;  // set in child processes: none|text|snap|snap-nocrc
+  std::string path;   // dataset path for the child
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+/// Peak resident set of this process so far, from /proc/self/status.
+long ReadPeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Order-sensitive checksum over the canary workload's answers.
+uint64_t ResultChecksum(const uots::TrajectoryDatabase& db) {
+  uots::WorkloadOptions wopts;
+  wopts.num_queries = 4;
+  wopts.seed = 99;
+  auto queries = uots::MakeWorkload(db, wopts);
+  if (!queries.ok()) return 0;
+  uint64_t sum = 0xcbf29ce484222325ull;
+  for (const auto& q : *queries) {
+    auto r = uots::RunQuery(db, q, {});
+    if (!r.ok()) return 0;
+    for (const auto& item : r->items) {
+      uint64_t bits;
+      std::memcpy(&bits, &item.score, sizeof(bits));
+      sum = (sum ^ (item.id + bits)) * 0x100000001b3ull;
+    }
+  }
+  return sum;
+}
+
+/// Child body: load per `mode`, answer the canary workload, report one
+/// machine-readable line, exit.
+int RunChild(const std::string& mode, const std::string& path) {
+  double load_seconds = 0.0;
+  uint64_t checksum = 0;
+  double heap_mb = 0.0, mmap_mb = 0.0;
+  size_t trajectories = 0;
+  if (mode != "none") {
+    std::unique_ptr<uots::TrajectoryDatabase> db;
+    uots::WallTimer timer;
+    if (mode == "text") {
+      auto loaded = uots::storage::LoadDatabaseFromPath(path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "child: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(loaded->db);
+    } else {
+      uots::storage::LoadOptions opts;
+      opts.verify_checksums = mode != "snap-nocrc";
+      auto loaded = uots::storage::LoadSnapshot(path, opts);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "child: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(*loaded);
+    }
+    load_seconds = timer.ElapsedSeconds();
+    const uots::MemoryBreakdown mem = db->Memory();
+    heap_mb = static_cast<double>(mem.heap_bytes) / (1024.0 * 1024.0);
+    mmap_mb = static_cast<double>(mem.mmap_bytes) / (1024.0 * 1024.0);
+    trajectories = db->store().size();
+    checksum = ResultChecksum(*db);
+  }
+  std::printf("COLDSTART load_s=%.6f peak_rss_kb=%ld heap_mb=%.2f "
+              "mmap_mb=%.2f trajs=%zu checksum=%" PRIu64 "\n",
+              load_seconds, ReadPeakRssKb(), heap_mb, mmap_mb, trajectories,
+              checksum);
+  return 0;
+}
+
+struct ChildResult {
+  double load_s = 0.0;
+  long peak_rss_kb = 0;
+  double heap_mb = 0.0;
+  double mmap_mb = 0.0;
+  size_t trajs = 0;
+  uint64_t checksum = 0;
+};
+
+/// Absolute path of this binary (/proc/self/exe resolved in THIS process —
+/// the literal link must not reach popen's shell, which would resolve it
+/// to the shell itself).
+std::string SelfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return buf;
+}
+
+bool SpawnChild(const std::string& mode, const std::string& path,
+                ChildResult* out) {
+  const std::string cmd = SelfExePath() + " --child=" + mode +
+                          " --path=" + path;
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char line[512];
+  bool parsed = false;
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    if (std::sscanf(line,
+                    "COLDSTART load_s=%lf peak_rss_kb=%ld heap_mb=%lf "
+                    "mmap_mb=%lf trajs=%zu checksum=%" SCNu64,
+                    &out->load_s, &out->peak_rss_kb, &out->heap_mb,
+                    &out->mmap_mb, &out->trajs, &out->checksum) == 6) {
+      parsed = true;
+    }
+  }
+  return ::pclose(pipe) == 0 && parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--city", &v)) {
+      flags.city = v;
+    } else if (ParseFlag(argv[i], "--trajectories", &v)) {
+      flags.trajectories = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--reps", &v)) {
+      flags.reps = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--json-out", &v)) {
+      flags.json_out = v;
+    } else if (ParseFlag(argv[i], "--child", &v)) {
+      flags.child = v;
+    } else if (ParseFlag(argv[i], "--path", &v)) {
+      flags.path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!flags.child.empty()) return RunChild(flags.child, flags.path);
+
+  const City city = flags.city == "NRN" ? City::kNRN : City::kBRN;
+  const int n = flags.trajectories > 0
+                    ? flags.trajectories
+                    : (city == City::kBRN ? uots::bench::kDefaultTrajectoriesBRN
+                                          : uots::bench::kDefaultTrajectoriesNRN);
+
+  // Materialize both artifact forms of the same dataset.
+  std::printf("preparing %s n=%d artifacts...\n", flags.city.c_str(), n);
+  std::fflush(stdout);
+  auto db = uots::bench::LoadCity(city, n);
+  const std::string stem = uots::bench::EnsureCacheDir() + "/coldstart." +
+                           uots::bench::CityName(city) + "." +
+                           std::to_string(n);
+  const std::string net_path = stem + ".network";
+  const std::string traj_path = stem + ".trajectories";
+  const std::string snap_path = stem + ".snap";
+  if (!uots::SaveNetwork(db->network(), net_path).ok() ||
+      !uots::SaveTrajectories(db->store(), traj_path).ok() ||
+      !uots::storage::WriteSnapshot(*db, snap_path).ok()) {
+    std::fprintf(stderr, "artifact write failed under %s\n", stem.c_str());
+    return 1;
+  }
+  db.reset();
+
+  const struct {
+    const char* mode;
+    const std::string* path;
+  } modes[] = {{"none", &net_path},
+               {"text", &net_path},
+               {"snap", &snap_path},
+               {"snap-nocrc", &snap_path}};
+
+  uots::bench::Table table({"mode", "load_s", "peak_rss_mb", "heap_mb",
+                            "mmap_mb"});
+  table.PrintHeader();
+  uots::bench::JsonReport report("coldstart");
+  double text_mean = 0.0, snap_mean = 0.0;
+  long baseline_rss_kb = 0;
+  uint64_t want_checksum = 0;
+  bool checksums_agree = true;
+  for (const auto& m : modes) {
+    double sum_s = 0.0, min_s = 1e300;
+    long sum_rss = 0;
+    ChildResult last;
+    for (int rep = 0; rep < std::max(1, flags.reps); ++rep) {
+      if (!SpawnChild(m.mode, *m.path, &last)) {
+        std::fprintf(stderr, "child %s failed\n", m.mode);
+        return 1;
+      }
+      sum_s += last.load_s;
+      min_s = std::min(min_s, last.load_s);
+      sum_rss += last.peak_rss_kb;
+    }
+    const int reps = std::max(1, flags.reps);
+    const double mean_s = sum_s / reps;
+    const double mean_rss_mb = static_cast<double>(sum_rss) / reps / 1024.0;
+    if (std::strcmp(m.mode, "none") == 0) {
+      baseline_rss_kb = sum_rss / reps;
+    } else if (std::strcmp(m.mode, "text") == 0) {
+      text_mean = mean_s;
+      want_checksum = last.checksum;
+    } else {
+      if (std::strcmp(m.mode, "snap") == 0) snap_mean = mean_s;
+      if (last.checksum != want_checksum) checksums_agree = false;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", mean_s);
+    std::string load_cell = buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", mean_rss_mb);
+    std::string rss_cell = buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", last.heap_mb);
+    std::string heap_cell = buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", last.mmap_mb);
+    std::string mmap_cell = buf;
+    table.PrintRow({m.mode, load_cell, rss_cell, heap_cell, mmap_cell});
+
+    auto& row = report.AddRow();
+    row.Set("city", flags.city)
+        .Set("trajectories", static_cast<int64_t>(n))
+        .Set("mode", std::string(m.mode))
+        .Set("reps", static_cast<int64_t>(reps))
+        .Set("load_seconds_mean", mean_s)
+        .Set("load_seconds_min", min_s)
+        .Set("peak_rss_mb_mean", mean_rss_mb)
+        .Set("peak_rss_over_baseline_mb",
+             static_cast<double>(sum_rss / reps - baseline_rss_kb) / 1024.0)
+        .Set("heap_mb", last.heap_mb)
+        .Set("mmap_mb", last.mmap_mb)
+        .Set("result_checksum", static_cast<int64_t>(last.checksum));
+  }
+
+  if (!checksums_agree) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot-loaded results differ from text-loaded\n");
+    return 1;
+  }
+  if (snap_mean > 0.0 && text_mean > 0.0) {
+    std::printf("\nresults identical across modes; snapshot speedup: %.1fx\n",
+                text_mean / snap_mean);
+  }
+  if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
+  return 0;
+}

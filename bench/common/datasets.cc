@@ -6,6 +6,8 @@
 
 #include "net/generators.h"
 #include "net/io.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 #include "traj/generator.h"
 #include "traj/io.h"
 
@@ -86,11 +88,44 @@ TrajectoryStore Slice(const TrajectoryStore& full, int n) {
 
 }  // namespace
 
-std::unique_ptr<TrajectoryDatabase> LoadCity(City city, int num_trajectories) {
+std::string EnsureCacheDir() {
   const std::string dir = CacheDir();
   ::mkdir(dir.c_str(), 0755);
-  const std::string net_path = dir + "/" + CityName(city) + ".network";
-  const std::string traj_path = dir + "/" + CityName(city) + ".trajectories";
+  return dir;
+}
+
+std::string CachedNetworkPath(City city) {
+  return CacheDir() + "/" + CityName(city) + ".network";
+}
+
+std::string CachedTrajectoriesPath(City city) {
+  return CacheDir() + "/" + CityName(city) + ".trajectories";
+}
+
+std::string CachedSnapshotPath(City city, int num_trajectories) {
+  return CacheDir() + "/" + CityName(city) + "." +
+         std::to_string(num_trajectories) + ".snap";
+}
+
+bool SnapshotCacheEnabled() {
+  const char* env = std::getenv("UOTS_SNAPSHOT_CACHE");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::unique_ptr<TrajectoryDatabase> LoadCity(City city, int num_trajectories) {
+  EnsureCacheDir();
+  const std::string net_path = CachedNetworkPath(city);
+  const std::string traj_path = CachedTrajectoriesPath(city);
+
+  // Fast path: a previously persisted snapshot of this exact (city,
+  // cardinality) pair loads zero-copy, skipping parse and index builds.
+  const std::string snap_path = CachedSnapshotPath(city, num_trajectories);
+  if (SnapshotCacheEnabled() && FileExists(snap_path)) {
+    auto snap = storage::LoadSnapshot(snap_path);
+    if (snap.ok()) return std::move(*snap);
+    std::fprintf(stderr, "snapshot cache load failed (%s); rebuilding\n",
+                 snap.status().ToString().c_str());
+  }
 
   RoadNetwork network = [&] {
     if (FileExists(net_path)) {
@@ -126,8 +161,16 @@ std::unique_ptr<TrajectoryDatabase> LoadCity(City city, int num_trajectories) {
       num_trajectories >= static_cast<int>(full.size())
           ? std::move(full)
           : Slice(full, num_trajectories);
-  return std::make_unique<TrajectoryDatabase>(
+  auto db = std::make_unique<TrajectoryDatabase>(
       std::move(network), std::move(store), Vocabulary::Synthetic(1000));
+  if (SnapshotCacheEnabled()) {
+    const Status st = storage::WriteSnapshot(*db, snap_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: cannot write snapshot cache %s: %s\n",
+                   snap_path.c_str(), st.ToString().c_str());
+    }
+  }
+  return db;
 }
 
 std::unique_ptr<TrajectoryDatabase> LoadCity(City city) {

@@ -10,7 +10,12 @@
 //
 // Datasets are generated deterministically and cached as text files under
 // $UOTS_BENCH_CACHE_DIR (default /tmp/uots_bench_cache) so the suite of
-// bench binaries only pays generation once.
+// bench binaries only pays generation once. On top of the text cache sits a
+// per-cardinality binary snapshot cache (<CITY>.<n>.snap, src/storage/):
+// after the first build of a given (city, cardinality) the database is
+// persisted and later LoadCity calls mmap it back in without parsing or
+// index building. Set UOTS_SNAPSHOT_CACHE=0 to bypass the snapshot layer
+// (benches that measure the build path itself need the slow route).
 
 #ifndef UOTS_BENCH_COMMON_DATASETS_H_
 #define UOTS_BENCH_COMMON_DATASETS_H_
@@ -42,6 +47,20 @@ std::unique_ptr<TrajectoryDatabase> LoadCity(City city, int num_trajectories);
 
 /// Convenience: default-size database for the city.
 std::unique_ptr<TrajectoryDatabase> LoadCity(City city);
+
+/// The benchmark cache directory ($UOTS_BENCH_CACHE_DIR or the default),
+/// created if missing.
+std::string EnsureCacheDir();
+
+/// Text-cache paths for a city (may not exist yet; LoadCity fills them).
+std::string CachedNetworkPath(City city);
+std::string CachedTrajectoriesPath(City city);
+
+/// Snapshot-cache path for one (city, cardinality) pair.
+std::string CachedSnapshotPath(City city, int num_trajectories);
+
+/// False when UOTS_SNAPSHOT_CACHE=0 disables the snapshot layer.
+bool SnapshotCacheEnabled();
 
 }  // namespace bench
 }  // namespace uots

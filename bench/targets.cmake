@@ -8,7 +8,7 @@ add_library(uots_bench_common
   ${UOTS_BENCH_DIR}/common/datasets.cc
   ${UOTS_BENCH_DIR}/common/report.cc
 )
-target_link_libraries(uots_bench_common PUBLIC uots_core)
+target_link_libraries(uots_bench_common PUBLIC uots_core uots_storage)
 target_include_directories(uots_bench_common PUBLIC ${UOTS_BENCH_DIR})
 
 function(uots_add_bench name)
@@ -28,3 +28,4 @@ uots_add_bench(bench_euclidean)        # A2
 uots_add_bench(bench_micro)            # M1
 uots_add_bench(bench_pairs)            # T2
 uots_add_bench(bench_temporal)         # F7
+uots_add_bench(bench_coldstart)        # S1 (snapshot load vs text build)

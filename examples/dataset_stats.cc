@@ -1,16 +1,19 @@
 // Dataset inspection: verify a generated (or imported) trajectory set has
 // the properties the search algorithms assume before indexing it.
 //
+//   $ ./dataset_stats [dataset.snap | dataset.network]
 //   $ ./dataset_stats [trajectories.txt network.txt]
 //
-// Without arguments, generates the default demo dataset. With arguments,
-// loads your own files (formats: traj/io.h, net/io.h).
+// Without arguments, generates the default demo dataset. One argument is
+// resolved by storage/resolver.h (binary snapshot or text dataset); two
+// arguments load an explicit text pair (formats: traj/io.h, net/io.h).
 
 #include <cstdio>
 #include <optional>
 
 #include "net/generators.h"
 #include "net/io.h"
+#include "storage/resolver.h"
 #include "traj/generator.h"
 #include "traj/io.h"
 #include "traj/stats.h"
@@ -20,7 +23,31 @@ int main(int argc, char** argv) {
 
   std::optional<RoadNetwork> network;
   TrajectoryStore store;
-  if (argc == 3) {
+  if (argc == 2) {
+    auto loaded = storage::LoadDatabaseFromPath(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("source: %s (loaded in %.3fs)\n",
+                storage::ToString(loaded->source), loaded->load_seconds);
+    // Stats need owning copies; a snapshot-backed database views its file.
+    const TrajectoryStore& s = loaded->db->store();
+    GraphBuilder gb;
+    for (const Point& p : loaded->db->network().positions()) gb.AddVertex(p);
+    for (VertexId v = 0; v < loaded->db->network().NumVertices(); ++v) {
+      for (const AdjacencyEntry& e : loaded->db->network().Neighbors(v)) {
+        if (e.to > v) gb.AddEdge(v, e.to, e.weight);
+      }
+    }
+    auto g = std::move(gb).Finalize(false);
+    if (!g.ok()) return 1;
+    network = std::move(*g);
+    for (TrajId id = 0; id < s.size(); ++id) {
+      if (!store.Add(s.Materialize(id)).ok()) return 1;
+    }
+  } else if (argc == 3) {
     auto g = LoadNetwork(argv[2]);
     auto s = LoadTrajectories(argv[1]);
     if (!g.ok() || !s.ok()) {

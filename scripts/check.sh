@@ -14,6 +14,8 @@ jobs=$(nproc 2>/dev/null || echo 2)
 presets=("$@")
 if [[ $# -eq 0 ]]; then presets=(release asan trace-off); fi
 
+declare -A builddir=([release]=build [asan]=build-asan [trace-off]=build-trace-off)
+
 for preset in "${presets[@]}"; do
   echo "==> preset: ${preset}"
   cmake --preset "${preset}"
@@ -27,6 +29,19 @@ for preset in "${presets[@]}"; do
     echo "==> asan: loopback server integration"
     ctest --preset "${preset}" -R uots_server_integration_test \
       --output-on-failure
+  fi
+  if [[ "${preset}" == "release" || "${preset}" == "asan" ]]; then
+    # Snapshot drill: end-to-end through the real tool — build a small
+    # snapshot, check it verifies, and run the corruption/round-trip suite
+    # with full output. Under asan this sweeps the mmap'd validation paths
+    # for out-of-bounds reads on crafted input.
+    echo "==> ${preset}: snapshot build + verify drill"
+    snap="${builddir[${preset}]}/check-drill.snap"
+    "${builddir[${preset}]}/apps/uots_snapshot" build --out="${snap}" \
+      --gen-rows=20 --gen-cols=20 --gen-trips=400
+    "${builddir[${preset}]}/apps/uots_snapshot" verify "${snap}"
+    rm -f "${snap}"
+    ctest --preset "${preset}" -R uots_snapshot_test --output-on-failure
   fi
 done
 echo "==> all checks passed"

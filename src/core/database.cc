@@ -18,6 +18,23 @@ TrajectoryDatabase::TrajectoryDatabase(RoadNetwork network,
   }
   keyword_index_->Finalize();
   time_index_ = std::make_unique<TimeIndex>(store_);
+  ApplyModelWiring(opts);
+}
+
+TrajectoryDatabase::TrajectoryDatabase(Parts parts,
+                                       const SimilarityOptions& opts)
+    : network_(std::move(parts.network)),
+      store_(std::move(parts.store)),
+      vocabulary_(std::move(parts.vocabulary)),
+      model_(opts),
+      vertex_index_(std::move(parts.vertex_index)),
+      keyword_index_(std::move(parts.keyword_index)),
+      time_index_(std::move(parts.time_index)),
+      backing_(std::move(parts.backing)) {
+  ApplyModelWiring(opts);
+}
+
+void TrajectoryDatabase::ApplyModelWiring(const SimilarityOptions& opts) {
   if (opts.measure == TextualMeasure::kWeighted) {
     model_.textual().SetDocumentFrequencies(
         keyword_index_->DocumentFrequencies(),
@@ -25,10 +42,14 @@ TrajectoryDatabase::TrajectoryDatabase(RoadNetwork network,
   }
 }
 
-size_t TrajectoryDatabase::MemoryUsage() const {
-  return network_.MemoryUsage() + store_.MemoryUsage() +
-         vertex_index_->MemoryUsage() + keyword_index_->MemoryUsage() +
-         time_index_->MemoryUsage();
+MemoryBreakdown TrajectoryDatabase::Memory() const {
+  MemoryBreakdown m;
+  m += network_.Memory();
+  m += store_.Memory();
+  m += vertex_index_->Memory();
+  m += keyword_index_->Memory();
+  m += time_index_->Memory();
+  return m;
 }
 
 }  // namespace uots

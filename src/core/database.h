@@ -5,6 +5,11 @@
 // for the textual domain) and the similarity model. All search algorithms
 // operate on a const database, so one database serves any number of
 // concurrent queries.
+//
+// A database is built one of two ways: the indexing constructor rebuilds
+// every index from the raw store (text ingest, generators), or FromParts
+// assembles prebuilt containers — typically zero-copy views over an mmap'd
+// snapshot (src/storage/) — and skips all index construction.
 
 #ifndef UOTS_CORE_DATABASE_H_
 #define UOTS_CORE_DATABASE_H_
@@ -19,6 +24,7 @@
 #include "traj/store.h"
 #include "traj/time_index.h"
 #include "traj/vertex_index.h"
+#include "util/column_vec.h"
 
 namespace uots {
 
@@ -30,6 +36,25 @@ class TrajectoryDatabase {
                      Vocabulary vocabulary = {},
                      const SimilarityOptions& opts = {});
 
+  /// \brief Prebuilt pieces for the no-rebuild assembly path.
+  ///
+  /// `backing` pins whatever memory the containers view (the mmap'd
+  /// snapshot file); it is held for the lifetime of the database.
+  struct Parts {
+    RoadNetwork network;
+    TrajectoryStore store;
+    Vocabulary vocabulary;
+    std::unique_ptr<VertexTrajectoryIndex> vertex_index;
+    std::unique_ptr<InvertedKeywordIndex> keyword_index;
+    std::unique_ptr<TimeIndex> time_index;
+    std::shared_ptr<const void> backing;
+  };
+
+  /// Assembles a database from prebuilt parts without rebuilding any index.
+  /// All parts must describe the same dataset (the snapshot loader
+  /// validates this before calling).
+  TrajectoryDatabase(Parts parts, const SimilarityOptions& opts = {});
+
   const RoadNetwork& network() const { return network_; }
   const TrajectoryStore& store() const { return store_; }
   const Vocabulary& vocabulary() const { return vocabulary_; }
@@ -39,9 +64,16 @@ class TrajectoryDatabase {
   const SimilarityModel& model() const { return model_; }
 
   /// Total bytes across network, store, and indexes (approximate).
-  size_t MemoryUsage() const;
+  size_t MemoryUsage() const { return Memory().total(); }
+
+  /// Same, split into process-heap bytes vs snapshot-mapped bytes. A
+  /// text-built database is all heap; a snapshot-backed one keeps the bulk
+  /// columns in the mapping (clean, shareable pages).
+  MemoryBreakdown Memory() const;
 
  private:
+  void ApplyModelWiring(const SimilarityOptions& opts);
+
   RoadNetwork network_;
   TrajectoryStore store_;
   Vocabulary vocabulary_;
@@ -49,6 +81,9 @@ class TrajectoryDatabase {
   std::unique_ptr<VertexTrajectoryIndex> vertex_index_;
   std::unique_ptr<InvertedKeywordIndex> keyword_index_;
   std::unique_ptr<TimeIndex> time_index_;
+  /// Keeps view-backing memory (mmap'd snapshot) alive; null for heap-built
+  /// databases.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace uots

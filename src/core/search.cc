@@ -59,7 +59,7 @@ UotsSearcher::UotsSearcher(const TrajectoryDatabase& db,
 void UotsSearcher::ResolveTextualDomain(const UotsQuery& query,
                                         QueryStats* stats) {
   ScopedPhase phase(stats, QueryPhase::kTextualFilter);
-  const auto doc_keys = [this](DocId d) -> const KeywordSet& {
+  const auto doc_keys = [this](DocId d) {
     return db_->store().KeywordsOf(static_cast<TrajId>(d));
   };
   db_->keyword_index().ScoreCandidates(query.keywords, db_->model().textual(),

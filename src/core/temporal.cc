@@ -185,7 +185,7 @@ Result<TemporalSearchResult> TemporalUotsSearcher::Search(
   // ---- Textual domain. ----
   {
     ScopedPhase phase(&out.stats, QueryPhase::kTextualFilter);
-    const auto doc_keys = [this](DocId d) -> const KeywordSet& {
+    const auto doc_keys = [this](DocId d) {
       return db_->store().KeywordsOf(static_cast<TrajId>(d));
     };
     db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),

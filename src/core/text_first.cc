@@ -45,7 +45,7 @@ Result<SearchResult> TextFirstSearch::Search(const UotsQuery& query) {
   // Textual domain: exact SimT for every keyword-sharing trajectory.
   {
     ScopedPhase phase(&out.stats, QueryPhase::kTextualFilter);
-    const auto doc_keys = [this](DocId d) -> const KeywordSet& {
+    const auto doc_keys = [this](DocId d) {
       return db_->store().KeywordsOf(static_cast<TrajId>(d));
     };
     db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),

@@ -9,6 +9,15 @@ namespace uots {
 
 GridIndex::GridIndex(std::vector<Point> points, double target_per_cell)
     : points_(std::move(points)) {
+  Build(target_per_cell);
+}
+
+GridIndex::GridIndex(std::span<const Point> points, double target_per_cell)
+    : points_(points.begin(), points.end()) {
+  Build(target_per_cell);
+}
+
+void GridIndex::Build(double target_per_cell) {
   bounds_ = BBox::Empty();
   for (const auto& p : points_) bounds_.Extend(p);
   if (points_.empty()) {

@@ -9,6 +9,7 @@
 #define UOTS_GEO_GRID_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geo/point.h"
@@ -20,6 +21,9 @@ class GridIndex {
  public:
   /// Builds a grid over `points` with roughly `target_per_cell` points/cell.
   GridIndex(std::vector<Point> points, double target_per_cell = 8.0);
+  /// Same, copying out of a borrowed span (e.g. RoadNetwork::positions()).
+  explicit GridIndex(std::span<const Point> points,
+                     double target_per_cell = 8.0);
 
   /// Returns the index of the point nearest to `q` (exact), or -1 if empty.
   int64_t Nearest(const Point& q) const;
@@ -33,6 +37,7 @@ class GridIndex {
   double cell_size() const { return cell_size_; }
 
  private:
+  void Build(double target_per_cell);
   int CellX(double x) const;
   int CellY(double y) const;
   const std::vector<int64_t>& Cell(int cx, int cy) const;

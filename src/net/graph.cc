@@ -21,10 +21,22 @@ double RoadNetwork::TotalEdgeLength() const {
   return total / 2.0;  // each undirected edge stored twice
 }
 
-size_t RoadNetwork::MemoryUsage() const {
-  return positions_.capacity() * sizeof(Point) +
-         offsets_.capacity() * sizeof(uint64_t) +
-         adjacency_.capacity() * sizeof(AdjacencyEntry);
+MemoryBreakdown RoadNetwork::Memory() const {
+  MemoryBreakdown m;
+  m += positions_.Memory();
+  m += offsets_.Memory();
+  m += adjacency_.Memory();
+  return m;
+}
+
+RoadNetwork RoadNetwork::FromColumns(ColumnVec<Point> positions,
+                                     ColumnVec<uint64_t> offsets,
+                                     ColumnVec<AdjacencyEntry> adjacency) {
+  RoadNetwork g;
+  g.positions_ = std::move(positions);
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
 }
 
 VertexId GraphBuilder::AddVertex(const Point& p) {
@@ -63,20 +75,22 @@ Result<RoadNetwork> GraphBuilder::Finalize(bool require_connected) && {
     }
   }
 
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets[e.a + 1];
+    ++offsets[e.b + 1];
+  }
+  for (size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<AdjacencyEntry> adjacency(edges_.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& e : edges_) {
+    adjacency[cursor[e.a]++] = AdjacencyEntry{e.b, e.weight};
+    adjacency[cursor[e.b]++] = AdjacencyEntry{e.a, e.weight};
+  }
   RoadNetwork g;
   g.positions_ = std::move(positions_);
-  g.offsets_.assign(n + 1, 0);
-  for (const auto& e : edges_) {
-    ++g.offsets_[e.a + 1];
-    ++g.offsets_[e.b + 1];
-  }
-  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
-  g.adjacency_.resize(edges_.size() * 2);
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& e : edges_) {
-    g.adjacency_[cursor[e.a]++] = AdjacencyEntry{e.b, e.weight};
-    g.adjacency_[cursor[e.b]++] = AdjacencyEntry{e.a, e.weight};
-  }
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
 
   if (require_connected && !IsConnected(g)) {
     return Status::InvalidArgument("graph is not connected");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geo/point.h"
+#include "util/column_vec.h"
 #include "util/status.h"
 
 namespace uots {
@@ -42,7 +43,7 @@ class RoadNetwork {
 
   /// Planar position of vertex v (meters).
   const Point& PositionOf(VertexId v) const { return positions_[v]; }
-  const std::vector<Point>& positions() const { return positions_; }
+  std::span<const Point> positions() const { return positions_.span(); }
 
   /// Outgoing adjacency of v (both directions of each undirected edge appear).
   std::span<const AdjacencyEntry> Neighbors(VertexId v) const {
@@ -52,6 +53,19 @@ class RoadNetwork {
 
   size_t DegreeOf(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
 
+  /// Raw CSR arrays (snapshot persistence; see src/storage/).
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const AdjacencyEntry> adjacency() const {
+    return adjacency_.span();
+  }
+
+  /// \brief Reassembles a network from prebuilt CSR columns (e.g. views over
+  /// a validated snapshot section) without re-running GraphBuilder checks.
+  /// The caller guarantees structural validity and backing-byte lifetime.
+  static RoadNetwork FromColumns(ColumnVec<Point> positions,
+                                 ColumnVec<uint64_t> offsets,
+                                 ColumnVec<AdjacencyEntry> adjacency);
+
   /// Bounding box of all vertex positions.
   BBox Bounds() const;
 
@@ -59,15 +73,17 @@ class RoadNetwork {
   double TotalEdgeLength() const;
 
   /// Approximate resident memory of the CSR structures, in bytes.
-  size_t MemoryUsage() const;
+  size_t MemoryUsage() const { return Memory().total(); }
+  /// Same, split into heap vs snapshot-mapped bytes.
+  MemoryBreakdown Memory() const;
 
  private:
   friend class GraphBuilder;
   RoadNetwork() = default;
 
-  std::vector<Point> positions_;
-  std::vector<uint64_t> offsets_;  // size NumVertices()+1
-  std::vector<AdjacencyEntry> adjacency_;
+  ColumnVec<Point> positions_;
+  ColumnVec<uint64_t> offsets_;  // size NumVertices()+1
+  ColumnVec<AdjacencyEntry> adjacency_;
 };
 
 /// \brief Accumulates vertices/edges, then finalizes into a RoadNetwork.

@@ -1,0 +1,69 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace uots {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+/// 8 tables x 256 entries: table[0] is the classic byte-at-a-time table,
+/// table[k][b] = crc of byte b followed by k zero bytes. Built at compile
+/// time so there is no init-order or threading concern.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int k = 1; k < 8; ++k) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
+}
+
+constexpr auto kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Align to 8 bytes so the slicing loop can load words.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  while (n >= 8) {
+    // Little-endian word fold; the format is little-endian only (the
+    // superblock carries an endianness tag the loader rejects on mismatch).
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    word ^= crc;
+    crc = kTables[7][word & 0xFFu] ^ kTables[6][(word >> 8) & 0xFFu] ^
+          kTables[5][(word >> 16) & 0xFFu] ^ kTables[4][(word >> 24) & 0xFFu] ^
+          kTables[3][(word >> 32) & 0xFFu] ^ kTables[2][(word >> 40) & 0xFFu] ^
+          kTables[1][(word >> 48) & 0xFFu] ^ kTables[0][(word >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace storage
+}  // namespace uots

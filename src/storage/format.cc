@@ -1,0 +1,29 @@
+#include "storage/format.h"
+
+namespace uots {
+namespace storage {
+
+const char* SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kMeta: return "meta";
+    case SectionId::kNetPositions: return "net.positions";
+    case SectionId::kNetOffsets: return "net.offsets";
+    case SectionId::kNetAdjacency: return "net.adjacency";
+    case SectionId::kTrajOffsets: return "traj.offsets";
+    case SectionId::kTrajSamples: return "traj.samples";
+    case SectionId::kTrajKeywordOffsets: return "traj.keyword_offsets";
+    case SectionId::kTrajKeywordTerms: return "traj.keyword_terms";
+    case SectionId::kVocabOffsets: return "vocab.offsets";
+    case SectionId::kVocabBlob: return "vocab.blob";
+    case SectionId::kVertexIndexOffsets: return "vertex_index.offsets";
+    case SectionId::kVertexIndexEntries: return "vertex_index.entries";
+    case SectionId::kKeywordIndexOffsets: return "keyword_index.offsets";
+    case SectionId::kKeywordIndexPostings: return "keyword_index.postings";
+    case SectionId::kKeywordIndexDocSizes: return "keyword_index.doc_sizes";
+    case SectionId::kTimeIndexEntries: return "time_index.entries";
+  }
+  return "unknown";
+}
+
+}  // namespace storage
+}  // namespace uots

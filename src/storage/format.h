@@ -1,0 +1,138 @@
+// On-disk snapshot layout (format version 1).
+//
+// A snapshot is one file:
+//
+//   [Superblock : 128 bytes]
+//   [SectionEntry x kSectionCount : 40 bytes each]
+//   [zero padding to 64-byte boundary]
+//   [section 0 payload] [pad] [section 1 payload] [pad] ...
+//
+// Every section payload starts on a 64-byte boundary (cache-line aligned,
+// and far stricter than any element's alignof), is a raw little-endian
+// array of trivially-copyable elements, and carries its own CRC32C. The
+// loader therefore never parses records: after validation each section is
+// either viewed in place from the mmap or (vocabulary strings only)
+// re-interned in one pass.
+//
+// Integrity is layered: magic/version/endian-tag gate the decode at all,
+// the superblock CRC covers the header fields, the table CRC covers the
+// section directory, each section CRC covers its payload, and a dataset
+// fingerprint (CRC over all (id, count, crc) triples) names the dataset so
+// tools can tell two snapshots apart without hashing gigabytes twice.
+// Bounds/alignment/monotonicity checks are separate from the CRCs so a
+// truncated file fails fast with a precise error instead of a checksum
+// mismatch after reading past EOF.
+
+#ifndef UOTS_STORAGE_FORMAT_H_
+#define UOTS_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace uots {
+namespace storage {
+
+/// First 8 bytes of every snapshot (not NUL-terminated on disk).
+inline constexpr char kMagic[8] = {'U', 'O', 'T', 'S', 'S', 'N', 'A', 'P'};
+
+/// Bumped on any incompatible layout change; readers reject mismatches.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Written as the literal 0x01020304 on a little-endian machine; a reader
+/// on the wrong endianness sees 0x04030201 and rejects the file instead of
+/// silently byte-swapping garbage into indexes.
+inline constexpr uint32_t kEndianTag = 0x01020304u;
+
+/// Every section payload starts on this boundary.
+inline constexpr uint64_t kSectionAlignment = 64;
+
+/// Section identifiers. Sections appear in the file in exactly this order,
+/// and entry[i].id must equal i — the directory doubles as a schema check.
+enum class SectionId : uint32_t {
+  kMeta = 0,                ///< one SnapshotMeta (cross-validation counts)
+  kNetPositions = 1,        ///< Point per vertex
+  kNetOffsets = 2,          ///< uint64_t, num_vertices + 1
+  kNetAdjacency = 3,        ///< AdjacencyEntry (both directions per edge)
+  kTrajOffsets = 4,         ///< uint64_t, num_trajectories + 1
+  kTrajSamples = 5,         ///< Sample, all trajectories concatenated
+  kTrajKeywordOffsets = 6,  ///< uint64_t, num_trajectories + 1
+  kTrajKeywordTerms = 7,    ///< TermId, sorted slices per trajectory
+  kVocabOffsets = 8,        ///< uint64_t, vocab size + 1, into kVocabBlob
+  kVocabBlob = 9,           ///< char, all term strings concatenated
+  kVertexIndexOffsets = 10,   ///< uint64_t, num_vertices + 1
+  kVertexIndexEntries = 11,   ///< TrajId postings per vertex
+  kKeywordIndexOffsets = 12,  ///< uint64_t, num_index_terms + 1
+  kKeywordIndexPostings = 13, ///< DocId postings per term
+  kKeywordIndexDocSizes = 14, ///< uint32_t, |keywords| per doc
+  kTimeIndexEntries = 15,     ///< TimeIndex::Entry sorted by (time, traj)
+};
+
+inline constexpr uint32_t kSectionCount = 16;
+
+/// Human-readable section name ("unknown" for out-of-range ids).
+const char* SectionName(SectionId id);
+
+/// \brief Fixed 128-byte file header.
+struct Superblock {
+  char magic[8];            ///< kMagic
+  uint32_t format_version;  ///< kFormatVersion
+  uint32_t endian_tag;      ///< kEndianTag
+  uint32_t section_count;   ///< kSectionCount for version 1
+  uint32_t superblock_crc;  ///< CRC32C of this struct with this field = 0
+  uint64_t file_size;       ///< total snapshot size in bytes
+  int64_t created_unix_s;   ///< build wall-clock time
+  uint32_t dataset_fingerprint;  ///< CRC32C over all (id, count, crc) triples
+  uint32_t section_table_crc;    ///< CRC32C of the SectionEntry array
+  char tool[28];            ///< NUL-padded builder name, e.g. "uots_snapshot"
+  uint8_t reserved[52];     ///< zero; room for future fields without a bump
+};
+static_assert(sizeof(Superblock) == 128, "superblock layout drifted");
+static_assert(std::is_trivially_copyable_v<Superblock>);
+
+/// \brief One directory entry; the table follows the superblock directly.
+struct SectionEntry {
+  uint32_t id;         ///< SectionId, equals its index in the table
+  uint32_t elem_size;  ///< sizeof one element (1 for the string blob)
+  uint64_t offset;     ///< payload start, from file start; 64-byte aligned
+  uint64_t size_bytes; ///< payload bytes; == count * elem_size
+  uint64_t count;      ///< number of elements
+  uint32_t crc32c;     ///< CRC32C of the payload bytes
+  uint32_t reserved;   ///< zero
+};
+static_assert(sizeof(SectionEntry) == 40, "section entry layout drifted");
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+
+/// \brief Payload of SectionId::kMeta: element counts restated so the
+/// loader can cross-check the directory against itself (a directory whose
+/// CRCs validate but whose sections disagree about num_trajectories is
+/// still rejected).
+struct SnapshotMeta {
+  uint64_t num_vertices;
+  uint64_t num_directed_edges;  ///< adjacency entries (2x undirected edges)
+  uint64_t num_trajectories;
+  uint64_t num_samples;
+  uint64_t num_keyword_terms;  ///< total terms across all trajectories
+  uint64_t num_vocab_terms;
+  uint64_t num_index_terms;     ///< distinct terms in the inverted index
+  uint64_t num_index_postings;
+  uint64_t num_vertex_postings;
+  uint64_t num_time_entries;
+};
+static_assert(sizeof(SnapshotMeta) == 80, "meta layout drifted");
+static_assert(std::is_trivially_copyable_v<SnapshotMeta>);
+
+/// Rounds `n` up to the next multiple of kSectionAlignment.
+inline constexpr uint64_t AlignUp(uint64_t n) {
+  return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+/// Byte offset where the first section payload begins.
+inline constexpr uint64_t HeaderBytes() {
+  return AlignUp(sizeof(Superblock) + kSectionCount * sizeof(SectionEntry));
+}
+
+}  // namespace storage
+}  // namespace uots
+
+#endif  // UOTS_STORAGE_FORMAT_H_

@@ -1,0 +1,48 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace uots {
+namespace storage {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(path + " is not a regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("mmap " + path + ": " + std::strerror(err));
+    }
+  }
+  ::close(fd);  // the mapping keeps the inode alive
+  return std::shared_ptr<MappedFile>(new MappedFile(addr, size));
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace storage
+}  // namespace uots

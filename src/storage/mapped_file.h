@@ -1,0 +1,44 @@
+// Read-only mmap wrapper.
+//
+// A MappedFile owns one PROT_READ mapping of a whole file. Snapshot-backed
+// databases hold it through a shared_ptr<const void> (TrajectoryDatabase::
+// Parts::backing), so the mapping outlives every container view into it.
+
+#ifndef UOTS_STORAGE_MAPPED_FILE_H_
+#define UOTS_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace uots {
+namespace storage {
+
+/// \brief One read-only mapping of one file; unmapped on destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. An empty file yields a valid object with
+  /// data() == nullptr and size() == 0 (nothing to map).
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_;
+  size_t size_;
+};
+
+}  // namespace storage
+}  // namespace uots
+
+#endif  // UOTS_STORAGE_MAPPED_FILE_H_

@@ -1,0 +1,120 @@
+#include "storage/resolver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "net/io.h"
+#include "storage/snapshot_reader.h"
+#include "traj/io.h"
+
+namespace uots {
+namespace storage {
+
+namespace {
+
+/// Replaces a trailing `from` with `to`; empty if `path` lacks the suffix.
+std::string SwapSuffix(const std::string& path, const std::string& from,
+                       const std::string& to) {
+  if (path.size() <= from.size() ||
+      path.compare(path.size() - from.size(), from.size(), from) != 0) {
+    return {};
+  }
+  return path.substr(0, path.size() - from.size()) + to;
+}
+
+/// Reads the first whitespace-delimited token ("uots-network", ...).
+std::string FirstToken(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::string head(buf, n);
+  const size_t end = head.find_first_of(" \t\r\n");
+  return end == std::string::npos ? head : head.substr(0, end);
+}
+
+}  // namespace
+
+Result<LoadedDatabase> LoadTextDataset(const std::string& net_path,
+                                       const std::string& traj_path,
+                                       const ResolveOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  auto network = LoadNetwork(net_path);
+  if (!network.ok()) return network.status();
+  auto store = LoadTrajectories(traj_path);
+  if (!store.ok()) return store.status();
+
+  // Text files carry term ids, not strings; synthesize a dictionary big
+  // enough that every referenced id resolves.
+  TermId max_term = 0;
+  bool any_term = false;
+  for (const TermId t : store->keyword_terms()) {
+    max_term = std::max(max_term, t);
+    any_term = true;
+  }
+  Vocabulary vocab = Vocabulary::Synthetic(any_term ? max_term + 1 : 0);
+
+  LoadedDatabase out;
+  out.db = std::make_unique<TrajectoryDatabase>(
+      std::move(*network), std::move(*store), std::move(vocab),
+      opts.similarity);
+  out.source = DatasetSource::kText;
+  out.load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+const char* ToString(DatasetSource source) {
+  switch (source) {
+    case DatasetSource::kSnapshot: return "snapshot";
+    case DatasetSource::kText: return "text";
+  }
+  return "unknown";
+}
+
+Result<LoadedDatabase> LoadDatabaseFromPath(const std::string& path,
+                                            const ResolveOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<LoadedDatabase> result = [&]() -> Result<LoadedDatabase> {
+    if (SniffSnapshotMagic(path)) {
+      LoadOptions load_opts;
+      load_opts.similarity = opts.similarity;
+      load_opts.verify_checksums = opts.verify_checksums;
+      auto db = LoadSnapshot(path, load_opts);
+      if (!db.ok()) return db.status();
+      LoadedDatabase out;
+      out.db = std::move(*db);
+      out.source = DatasetSource::kSnapshot;
+      return out;
+    }
+
+    // Either half of a text dataset names the pair.
+    std::string net_path = SwapSuffix(path, ".trajectories", ".network");
+    std::string traj_path = SwapSuffix(path, ".network", ".trajectories");
+    if (!net_path.empty()) return LoadTextDataset(net_path, path, opts);
+    if (!traj_path.empty()) return LoadTextDataset(path, traj_path, opts);
+
+    const std::string token = FirstToken(path);
+    if (token == "uots-network" || token == "uots-trajectories") {
+      return Status::InvalidArgument(
+          path + " is a text dataset but lacks the .network/.trajectories "
+                 "extension needed to locate its sibling file");
+    }
+    return Status::InvalidArgument(
+        path + ": not a snapshot (bad magic) and not a recognized text "
+               "dataset");
+  }();
+  if (!result.ok()) return result;
+
+  result->load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace storage
+}  // namespace uots

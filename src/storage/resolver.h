@@ -1,0 +1,56 @@
+// One path in, one database out.
+//
+// Every tool that takes a dataset (server, client --verify, benches,
+// examples) accepts a single path and routes through LoadDatabaseFromPath,
+// which sniffs the first bytes: the snapshot magic goes to the zero-copy
+// loader, a "uots-network"/"uots-trajectories" text header goes to the
+// parse-and-index path (deriving the sibling file by swapping the
+// .network/.trajectories extension and synthesizing a vocabulary that
+// covers every referenced term id).
+
+#ifndef UOTS_STORAGE_RESOLVER_H_
+#define UOTS_STORAGE_RESOLVER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace uots {
+namespace storage {
+
+enum class DatasetSource {
+  kSnapshot,  ///< binary snapshot, mmap'd zero-copy
+  kText,      ///< text files, parsed and fully re-indexed
+};
+
+const char* ToString(DatasetSource source);
+
+/// \brief A database plus where it came from and what loading cost.
+struct LoadedDatabase {
+  std::unique_ptr<TrajectoryDatabase> db;
+  DatasetSource source = DatasetSource::kText;
+  double load_seconds = 0.0;
+};
+
+struct ResolveOptions {
+  SimilarityOptions similarity;
+  /// Forwarded to LoadSnapshot for snapshot paths; ignored for text.
+  bool verify_checksums = true;
+};
+
+/// Loads the dataset at `path`, whatever its format.
+Result<LoadedDatabase> LoadDatabaseFromPath(const std::string& path,
+                                            const ResolveOptions& opts = {});
+
+/// Loads an explicitly named text pair (parse + full re-index), for tools
+/// whose files do not follow the extension convention.
+Result<LoadedDatabase> LoadTextDataset(const std::string& network_path,
+                                       const std::string& trajectories_path,
+                                       const ResolveOptions& opts = {});
+
+}  // namespace storage
+}  // namespace uots
+
+#endif  // UOTS_STORAGE_RESOLVER_H_

@@ -1,0 +1,344 @@
+#include "storage/snapshot_reader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "storage/crc32c.h"
+#include "storage/mapped_file.h"
+#include "traj/time_index.h"
+
+namespace uots {
+namespace storage {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("corrupt snapshot: " + what);
+}
+
+/// Expected element size per section (schema for format version 1).
+uint32_t ExpectedElemSize(SectionId id) {
+  switch (id) {
+    case SectionId::kMeta: return sizeof(SnapshotMeta);
+    case SectionId::kNetPositions: return sizeof(Point);
+    case SectionId::kNetAdjacency: return sizeof(AdjacencyEntry);
+    case SectionId::kTrajSamples: return sizeof(Sample);
+    case SectionId::kTrajKeywordTerms: return sizeof(TermId);
+    case SectionId::kVocabBlob: return 1;
+    case SectionId::kVertexIndexEntries: return sizeof(TrajId);
+    case SectionId::kKeywordIndexPostings: return sizeof(DocId);
+    case SectionId::kKeywordIndexDocSizes: return sizeof(uint32_t);
+    case SectionId::kTimeIndexEntries: return sizeof(TimeIndex::Entry);
+    case SectionId::kNetOffsets:
+    case SectionId::kTrajOffsets:
+    case SectionId::kTrajKeywordOffsets:
+    case SectionId::kVocabOffsets:
+    case SectionId::kVertexIndexOffsets:
+    case SectionId::kKeywordIndexOffsets: return sizeof(uint64_t);
+  }
+  return 0;
+}
+
+/// Typed view of a validated section payload.
+template <typename T>
+std::span<const T> SectionSpan(const MappedFile& f, const SectionEntry& e) {
+  return {reinterpret_cast<const T*>(f.data() + e.offset),
+          static_cast<size_t>(e.count)};
+}
+
+/// Decodes superblock + directory + meta and checks everything that does
+/// not require touching payloads other than kMeta.
+Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
+  if (f.size() < sizeof(Superblock)) {
+    return Corrupt("file smaller than the superblock (" +
+                   std::to_string(f.size()) + " bytes)");
+  }
+  Superblock sb;
+  std::memcpy(&sb, f.data(), sizeof(sb));
+  if (std::memcmp(sb.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a uots snapshot)");
+  }
+  if (sb.endian_tag != kEndianTag) {
+    return Corrupt("endianness mismatch (snapshot written on a " +
+                   std::string(sb.endian_tag == 0x04030201u ? "big" : "unknown") +
+                   "-endian machine)");
+  }
+  if (sb.format_version != kFormatVersion) {
+    return Corrupt("unsupported format version " +
+                   std::to_string(sb.format_version) + " (reader supports " +
+                   std::to_string(kFormatVersion) + ")");
+  }
+  Superblock crc_copy = sb;
+  crc_copy.superblock_crc = 0;
+  if (Crc32c(&crc_copy, sizeof(crc_copy)) != sb.superblock_crc) {
+    return Corrupt("superblock checksum mismatch");
+  }
+  if (sb.section_count != kSectionCount) {
+    return Corrupt("section count " + std::to_string(sb.section_count) +
+                   " != " + std::to_string(kSectionCount));
+  }
+  if (sb.file_size != f.size()) {
+    return Corrupt("file size mismatch: superblock says " +
+                   std::to_string(sb.file_size) + ", file has " +
+                   std::to_string(f.size()) + " (truncated?)");
+  }
+  const uint64_t table_bytes = kSectionCount * sizeof(SectionEntry);
+  if (sizeof(Superblock) + table_bytes > f.size()) {
+    return Corrupt("section table extends past end of file");
+  }
+  const uint8_t* table_raw = f.data() + sizeof(Superblock);
+  if (Crc32c(table_raw, table_bytes) != sb.section_table_crc) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  std::vector<SectionEntry> sections(kSectionCount);
+  std::memcpy(sections.data(), table_raw, table_bytes);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const SectionEntry& e = sections[i];
+    const std::string name = SectionName(static_cast<SectionId>(i));
+    if (e.id != i) {
+      return Corrupt("section " + std::to_string(i) + " has id " +
+                     std::to_string(e.id));
+    }
+    if (e.offset % kSectionAlignment != 0) {
+      return Corrupt("section " + name + " is misaligned");
+    }
+    if (e.offset > f.size() || e.size_bytes > f.size() - e.offset) {
+      return Corrupt("section " + name + " extends past end of file");
+    }
+    const uint32_t want = ExpectedElemSize(static_cast<SectionId>(i));
+    if (e.elem_size != want) {
+      return Corrupt("section " + name + " element size " +
+                     std::to_string(e.elem_size) + " != " +
+                     std::to_string(want));
+    }
+    if (e.count * e.elem_size != e.size_bytes) {
+      return Corrupt("section " + name + " count/size disagree");
+    }
+  }
+
+  const SectionEntry& meta_entry = sections[0];
+  if (meta_entry.count != 1) {
+    return Corrupt("meta section must hold exactly one record");
+  }
+  SnapshotMeta meta;
+  std::memcpy(&meta, f.data() + meta_entry.offset, sizeof(meta));
+
+  // Cross-check every section's count against the meta record.
+  const struct {
+    SectionId id;
+    uint64_t want;
+  } counts[] = {
+      {SectionId::kNetPositions, meta.num_vertices},
+      {SectionId::kNetOffsets, meta.num_vertices + 1},
+      {SectionId::kNetAdjacency, meta.num_directed_edges},
+      {SectionId::kTrajOffsets, meta.num_trajectories + 1},
+      {SectionId::kTrajSamples, meta.num_samples},
+      {SectionId::kTrajKeywordOffsets, meta.num_trajectories + 1},
+      {SectionId::kTrajKeywordTerms, meta.num_keyword_terms},
+      {SectionId::kVocabOffsets, meta.num_vocab_terms + 1},
+      {SectionId::kVertexIndexOffsets, meta.num_vertices + 1},
+      {SectionId::kVertexIndexEntries, meta.num_vertex_postings},
+      {SectionId::kKeywordIndexOffsets, meta.num_index_terms + 1},
+      {SectionId::kKeywordIndexPostings, meta.num_index_postings},
+      {SectionId::kKeywordIndexDocSizes, meta.num_trajectories},
+      {SectionId::kTimeIndexEntries, meta.num_time_entries},
+  };
+  for (const auto& c : counts) {
+    const SectionEntry& e = sections[static_cast<uint32_t>(c.id)];
+    if (e.count != c.want) {
+      return Corrupt(std::string("section ") + SectionName(c.id) +
+                     " count " + std::to_string(e.count) +
+                     " contradicts meta (" + std::to_string(c.want) + ")");
+    }
+  }
+
+  info->superblock = sb;
+  info->sections = std::move(sections);
+  info->meta = meta;
+  info->file_size = f.size();
+  return Status::OK();
+}
+
+Status VerifyPayloadChecksums(const MappedFile& f, const SnapshotInfo& info) {
+  for (const SectionEntry& e : info.sections) {
+    if (Crc32c(f.data() + e.offset, static_cast<size_t>(e.size_bytes)) !=
+        e.crc32c) {
+      return Corrupt(std::string("section ") +
+                     SectionName(static_cast<SectionId>(e.id)) +
+                     " checksum mismatch (bit rot or tampering)");
+    }
+  }
+  return Status::OK();
+}
+
+/// A CSR offsets array must start at 0, end at the entry count of the
+/// array it indexes, and never decrease — otherwise container accessors
+/// would read out of bounds regardless of what the checksums say.
+Status CheckOffsets(const char* name, std::span<const uint64_t> offsets,
+                    uint64_t total) {
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != total) {
+    return Corrupt(std::string(name) + " offsets do not span their payload");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Corrupt(std::string(name) + " offsets decrease at index " +
+                     std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+/// Every stored id must stay below its domain size; one linear pass per
+/// id-bearing section keeps even checksum-rewritten files memory-safe.
+Status ValidateRanges(const MappedFile& f, const SnapshotInfo& info) {
+  const SnapshotMeta& m = info.meta;
+  const auto& sec = info.sections;
+  const auto entry = [&](SectionId id) -> const SectionEntry& {
+    return sec[static_cast<uint32_t>(id)];
+  };
+
+  UOTS_RETURN_NOT_OK(CheckOffsets(
+      "network", SectionSpan<uint64_t>(f, entry(SectionId::kNetOffsets)),
+      m.num_directed_edges));
+  UOTS_RETURN_NOT_OK(CheckOffsets(
+      "trajectory", SectionSpan<uint64_t>(f, entry(SectionId::kTrajOffsets)),
+      m.num_samples));
+  UOTS_RETURN_NOT_OK(CheckOffsets(
+      "keyword",
+      SectionSpan<uint64_t>(f, entry(SectionId::kTrajKeywordOffsets)),
+      m.num_keyword_terms));
+  UOTS_RETURN_NOT_OK(CheckOffsets(
+      "vocabulary", SectionSpan<uint64_t>(f, entry(SectionId::kVocabOffsets)),
+      entry(SectionId::kVocabBlob).count));
+  UOTS_RETURN_NOT_OK(CheckOffsets(
+      "vertex-index",
+      SectionSpan<uint64_t>(f, entry(SectionId::kVertexIndexOffsets)),
+      m.num_vertex_postings));
+  UOTS_RETURN_NOT_OK(CheckOffsets(
+      "keyword-index",
+      SectionSpan<uint64_t>(f, entry(SectionId::kKeywordIndexOffsets)),
+      m.num_index_postings));
+
+  for (const AdjacencyEntry& a :
+       SectionSpan<AdjacencyEntry>(f, entry(SectionId::kNetAdjacency))) {
+    if (a.to >= m.num_vertices) {
+      return Corrupt("adjacency entry points at nonexistent vertex");
+    }
+  }
+  for (const Sample& s :
+       SectionSpan<Sample>(f, entry(SectionId::kTrajSamples))) {
+    if (s.vertex >= m.num_vertices) {
+      return Corrupt("sample references nonexistent vertex");
+    }
+  }
+  for (const TrajId t :
+       SectionSpan<TrajId>(f, entry(SectionId::kVertexIndexEntries))) {
+    if (t >= m.num_trajectories) {
+      return Corrupt("vertex-index posting references nonexistent trajectory");
+    }
+  }
+  for (const DocId d :
+       SectionSpan<DocId>(f, entry(SectionId::kKeywordIndexPostings))) {
+    if (d >= m.num_trajectories) {
+      return Corrupt("keyword-index posting references nonexistent document");
+    }
+  }
+  for (const TimeIndex::Entry& e :
+       SectionSpan<TimeIndex::Entry>(f, entry(SectionId::kTimeIndexEntries))) {
+    if (e.traj >= m.num_trajectories) {
+      return Corrupt("time-index entry references nonexistent trajectory");
+    }
+  }
+  return Status::OK();
+}
+
+template <typename T>
+ColumnVec<T> ViewOf(const MappedFile& f, const SnapshotInfo& info,
+                    SectionId id) {
+  const SectionEntry& e = info.sections[static_cast<uint32_t>(id)];
+  return ColumnVec<T>::View(reinterpret_cast<const T*>(f.data() + e.offset),
+                            static_cast<size_t>(e.count));
+}
+
+}  // namespace
+
+Result<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  SnapshotInfo info;
+  UOTS_RETURN_NOT_OK(ValidateStructure(**file, &info));
+  return info;
+}
+
+Status VerifySnapshot(const std::string& path) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  SnapshotInfo info;
+  UOTS_RETURN_NOT_OK(ValidateStructure(**file, &info));
+  UOTS_RETURN_NOT_OK(VerifyPayloadChecksums(**file, info));
+  return ValidateRanges(**file, info);
+}
+
+Result<std::unique_ptr<TrajectoryDatabase>> LoadSnapshot(
+    const std::string& path, const LoadOptions& opts) {
+  auto file_or = MappedFile::Open(path);
+  if (!file_or.ok()) return file_or.status();
+  std::shared_ptr<MappedFile> file = std::move(*file_or);
+
+  SnapshotInfo info;
+  UOTS_RETURN_NOT_OK(ValidateStructure(*file, &info));
+  if (opts.verify_checksums) {
+    UOTS_RETURN_NOT_OK(VerifyPayloadChecksums(*file, info));
+  }
+  UOTS_RETURN_NOT_OK(ValidateRanges(*file, info));
+
+  // Vocabulary strings are the one owned piece; everything else is a view.
+  auto vocab = Vocabulary::FromFlat(
+      SectionSpan<uint64_t>(*file, info.sections[static_cast<uint32_t>(
+                                       SectionId::kVocabOffsets)]),
+      SectionSpan<char>(*file, info.sections[static_cast<uint32_t>(
+                                   SectionId::kVocabBlob)]));
+  if (!vocab.ok()) return vocab.status();
+
+  TrajectoryDatabase::Parts parts{
+      RoadNetwork::FromColumns(
+          ViewOf<Point>(*file, info, SectionId::kNetPositions),
+          ViewOf<uint64_t>(*file, info, SectionId::kNetOffsets),
+          ViewOf<AdjacencyEntry>(*file, info, SectionId::kNetAdjacency)),
+      TrajectoryStore::FromColumns(
+          ViewOf<uint64_t>(*file, info, SectionId::kTrajOffsets),
+          ViewOf<Sample>(*file, info, SectionId::kTrajSamples),
+          ViewOf<uint64_t>(*file, info, SectionId::kTrajKeywordOffsets),
+          ViewOf<TermId>(*file, info, SectionId::kTrajKeywordTerms)),
+      std::move(*vocab),
+      std::make_unique<VertexTrajectoryIndex>(
+          VertexTrajectoryIndex::FromColumns(
+              ViewOf<uint64_t>(*file, info, SectionId::kVertexIndexOffsets),
+              ViewOf<TrajId>(*file, info, SectionId::kVertexIndexEntries))),
+      std::make_unique<InvertedKeywordIndex>(InvertedKeywordIndex::FromColumns(
+          ViewOf<uint64_t>(*file, info, SectionId::kKeywordIndexOffsets),
+          ViewOf<DocId>(*file, info, SectionId::kKeywordIndexPostings),
+          ViewOf<uint32_t>(*file, info, SectionId::kKeywordIndexDocSizes))),
+      std::make_unique<TimeIndex>(TimeIndex::FromColumns(
+          ViewOf<TimeIndex::Entry>(*file, info, SectionId::kTimeIndexEntries))),
+      std::shared_ptr<const void>(file, file->data())};
+
+  return std::make_unique<TrajectoryDatabase>(std::move(parts),
+                                              opts.similarity);
+}
+
+bool SniffSnapshotMagic(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char head[sizeof(kMagic)];
+  const bool ok = std::fread(head, 1, sizeof(head), f) == sizeof(head) &&
+                  std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace storage
+}  // namespace uots

@@ -1,0 +1,67 @@
+// Snapshot loading: validation, inspection, and zero-copy assembly.
+//
+// LoadSnapshot mmaps the file read-only, validates it (see below), and
+// assembles a TrajectoryDatabase whose containers are views into the
+// mapping — no per-record parsing, no index rebuilding; the mapping is
+// pinned by the database for its lifetime. Cold-start cost is therefore
+// page-in plus one pass to re-intern vocabulary strings (the only owned
+// piece) plus the optional checksum sweep.
+//
+// Validation layers, all returning a precise Status (never UB on bad
+// input): magic/version/endianness, superblock CRC, directory CRC and
+// per-section bounds/alignment/element-size checks against the real file
+// size (catches truncation before any payload read), meta cross-checks
+// (every section's element count restated and compared), CSR offset-array
+// monotonicity and id-range scans (so even a file with deliberately
+// rewritten checksums cannot make a container index out of bounds), and —
+// on by default — a CRC32C sweep of every payload (catches bit flips).
+
+#ifndef UOTS_STORAGE_SNAPSHOT_READER_H_
+#define UOTS_STORAGE_SNAPSHOT_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "storage/format.h"
+#include "util/status.h"
+
+namespace uots {
+namespace storage {
+
+/// \brief Decoded header of a structurally valid snapshot.
+struct SnapshotInfo {
+  Superblock superblock;
+  std::vector<SectionEntry> sections;
+  SnapshotMeta meta;
+  uint64_t file_size = 0;
+};
+
+/// Decodes and structurally validates the snapshot at `path` (no payload
+/// checksum sweep — use VerifySnapshot for that).
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Full integrity check: structural validation plus every payload CRC.
+/// The error message names the first failing section.
+Status VerifySnapshot(const std::string& path);
+
+struct LoadOptions {
+  SimilarityOptions similarity;
+  /// Sweep every section's CRC32C before trusting the payloads. Costs one
+  /// sequential read of the file; disable only for trusted local caches.
+  bool verify_checksums = true;
+};
+
+/// Maps and assembles the snapshot at `path` into a ready database.
+Result<std::unique_ptr<TrajectoryDatabase>> LoadSnapshot(
+    const std::string& path, const LoadOptions& opts = {});
+
+/// True if `path` starts with the snapshot magic (cheap 8-byte sniff; false
+/// for unreadable or short files).
+bool SniffSnapshotMagic(const std::string& path);
+
+}  // namespace storage
+}  // namespace uots
+
+#endif  // UOTS_STORAGE_SNAPSHOT_READER_H_

@@ -1,0 +1,178 @@
+#include "storage/snapshot_writer.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+#include "storage/crc32c.h"
+#include "storage/format.h"
+
+namespace uots {
+namespace storage {
+
+namespace {
+
+/// One section staged for writing: directory fields plus the source bytes.
+struct PendingSection {
+  SectionId id;
+  uint32_t elem_size;
+  const void* data;
+  uint64_t size_bytes;
+  uint64_t count;
+};
+
+template <typename T>
+PendingSection Stage(SectionId id, std::span<const T> column) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {id, static_cast<uint32_t>(sizeof(T)), column.data(),
+          column.size_bytes(), column.size()};
+}
+
+/// RAII stdio handle so every error path closes the temp file.
+struct File {
+  std::FILE* f = nullptr;
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+Status WriteBlock(std::FILE* f, const void* data, size_t n,
+                  const std::string& what) {
+  if (n == 0) return Status::OK();
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("short write (" + what + ")");
+  }
+  return Status::OK();
+}
+
+Status WritePadding(std::FILE* f, uint64_t n) {
+  static const char kZeros[kSectionAlignment] = {};
+  while (n > 0) {
+    const size_t chunk = static_cast<size_t>(
+        n < kSectionAlignment ? n : kSectionAlignment);
+    UOTS_RETURN_NOT_OK(WriteBlock(f, kZeros, chunk, "padding"));
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const TrajectoryDatabase& db, const std::string& path,
+                     const WriteOptions& opts) {
+  // Flatten the one non-columnar piece (term strings) up front.
+  std::string vocab_blob;
+  std::vector<uint64_t> vocab_offsets;
+  db.vocabulary().Flatten(&vocab_blob, &vocab_offsets);
+
+  const RoadNetwork& net = db.network();
+  const TrajectoryStore& store = db.store();
+  const VertexTrajectoryIndex& vidx = db.vertex_index();
+  const InvertedKeywordIndex& kidx = db.keyword_index();
+  const TimeIndex& tidx = db.time_index();
+
+  SnapshotMeta meta = {};
+  meta.num_vertices = net.NumVertices();
+  meta.num_directed_edges = net.adjacency().size();
+  meta.num_trajectories = store.size();
+  meta.num_samples = store.TotalSamples();
+  meta.num_keyword_terms = store.TotalKeywordTerms();
+  meta.num_vocab_terms = db.vocabulary().size();
+  meta.num_index_terms = kidx.num_terms();
+  meta.num_index_postings = kidx.postings().size();
+  meta.num_vertex_postings = vidx.TotalEntries();
+  meta.num_time_entries = tidx.size();
+
+  // Sections in SectionId order; the directory index IS the id.
+  const PendingSection sections[kSectionCount] = {
+      {SectionId::kMeta, sizeof(SnapshotMeta), &meta, sizeof(SnapshotMeta), 1},
+      Stage(SectionId::kNetPositions, net.positions()),
+      Stage(SectionId::kNetOffsets, net.offsets()),
+      Stage(SectionId::kNetAdjacency, net.adjacency()),
+      Stage(SectionId::kTrajOffsets, store.offsets()),
+      Stage(SectionId::kTrajSamples, store.samples()),
+      Stage(SectionId::kTrajKeywordOffsets, store.keyword_offsets()),
+      Stage(SectionId::kTrajKeywordTerms, store.keyword_terms()),
+      Stage(SectionId::kVocabOffsets,
+            std::span<const uint64_t>(vocab_offsets)),
+      Stage(SectionId::kVocabBlob,
+            std::span<const char>(vocab_blob.data(), vocab_blob.size())),
+      Stage(SectionId::kVertexIndexOffsets, vidx.offsets()),
+      Stage(SectionId::kVertexIndexEntries, vidx.entries()),
+      Stage(SectionId::kKeywordIndexOffsets, kidx.offsets()),
+      Stage(SectionId::kKeywordIndexPostings, kidx.postings()),
+      Stage(SectionId::kKeywordIndexDocSizes, kidx.doc_sizes()),
+      Stage(SectionId::kTimeIndexEntries, tidx.entries()),
+  };
+
+  // Lay out offsets and checksum every payload.
+  SectionEntry table[kSectionCount] = {};
+  uint64_t cursor = HeaderBytes();
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const PendingSection& s = sections[i];
+    SectionEntry& e = table[i];
+    e.id = static_cast<uint32_t>(s.id);
+    e.elem_size = s.elem_size;
+    e.offset = cursor;
+    e.size_bytes = s.size_bytes;
+    e.count = s.count;
+    e.crc32c = Crc32c(s.data, static_cast<size_t>(s.size_bytes));
+    cursor = AlignUp(cursor + s.size_bytes);
+  }
+
+  uint32_t fingerprint = 0;
+  for (const SectionEntry& e : table) {
+    const uint32_t triple[3] = {e.id, static_cast<uint32_t>(e.count), e.crc32c};
+    fingerprint = Crc32cExtend(fingerprint, triple, sizeof(triple));
+  }
+
+  Superblock sb = {};
+  std::memcpy(sb.magic, kMagic, sizeof(kMagic));
+  sb.format_version = kFormatVersion;
+  sb.endian_tag = kEndianTag;
+  sb.section_count = kSectionCount;
+  sb.file_size = cursor;
+  sb.created_unix_s =
+      opts.created_unix_s != 0 ? opts.created_unix_s : std::time(nullptr);
+  sb.dataset_fingerprint = fingerprint;
+  sb.section_table_crc = Crc32c(table, sizeof(table));
+  std::strncpy(sb.tool, opts.tool.c_str(), sizeof(sb.tool) - 1);
+  sb.superblock_crc = 0;
+  sb.superblock_crc = Crc32c(&sb, sizeof(sb));
+
+  const std::string tmp = path + ".tmp";
+  File out;
+  out.f = std::fopen(tmp.c_str(), "wb");
+  if (out.f == nullptr) {
+    return Status::IOError("create " + tmp + ": " + std::strerror(errno));
+  }
+  UOTS_RETURN_NOT_OK(WriteBlock(out.f, &sb, sizeof(sb), "superblock"));
+  UOTS_RETURN_NOT_OK(WriteBlock(out.f, table, sizeof(table), "section table"));
+  uint64_t written = sizeof(sb) + sizeof(table);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    UOTS_RETURN_NOT_OK(WritePadding(out.f, table[i].offset - written));
+    UOTS_RETURN_NOT_OK(WriteBlock(out.f, sections[i].data,
+                                  static_cast<size_t>(table[i].size_bytes),
+                                  SectionName(sections[i].id)));
+    written = table[i].offset + table[i].size_bytes;
+  }
+  UOTS_RETURN_NOT_OK(WritePadding(out.f, cursor - written));
+
+  if (std::fflush(out.f) != 0 || ::fsync(::fileno(out.f)) != 0) {
+    return Status::IOError("flush " + tmp + ": " + std::strerror(errno));
+  }
+  std::fclose(out.f);
+  out.f = nullptr;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace uots

@@ -8,33 +8,59 @@ namespace uots {
 
 void InvertedKeywordIndex::AddDocument(DocId doc, const KeywordSet& keys) {
   assert(!finalized_);
-  if (doc >= doc_sizes_.size()) doc_sizes_.resize(doc + 1, 0);
-  doc_sizes_[doc] = static_cast<uint32_t>(keys.size());
+  auto& doc_sizes = doc_sizes_.mutable_vec();
+  if (doc >= doc_sizes.size()) doc_sizes.resize(doc + 1, 0);
+  doc_sizes[doc] = static_cast<uint32_t>(keys.size());
   for (TermId t : keys.terms()) {
-    if (t >= postings_.size()) postings_.resize(t + 1);
-    postings_[t].push_back(doc);
+    if (t >= building_.size()) building_.resize(t + 1);
+    building_[t].push_back(doc);
   }
 }
 
 void InvertedKeywordIndex::Finalize() {
-  for (auto& p : postings_) {
+  size_t total = 0;
+  for (auto& p : building_) {
     std::sort(p.begin(), p.end());
     p.erase(std::unique(p.begin(), p.end()), p.end());
-    p.shrink_to_fit();
+    total += p.size();
   }
+  std::vector<uint64_t> offsets;
+  offsets.reserve(building_.size() + 1);
+  offsets.push_back(0);
+  std::vector<DocId> postings;
+  postings.reserve(total);
+  for (const auto& p : building_) {
+    postings.insert(postings.end(), p.begin(), p.end());
+    offsets.push_back(postings.size());
+  }
+  building_.clear();
+  building_.shrink_to_fit();
+  offsets_ = std::move(offsets);
+  postings_ = std::move(postings);
   finalized_ = true;
+}
+
+InvertedKeywordIndex InvertedKeywordIndex::FromColumns(
+    ColumnVec<uint64_t> offsets, ColumnVec<DocId> postings,
+    ColumnVec<uint32_t> doc_sizes) {
+  InvertedKeywordIndex idx;
+  idx.offsets_ = std::move(offsets);
+  idx.postings_ = std::move(postings);
+  idx.doc_sizes_ = std::move(doc_sizes);
+  idx.finalized_ = true;
+  return idx;
 }
 
 std::span<const DocId> InvertedKeywordIndex::Postings(TermId t) const {
   assert(finalized_);
-  if (t >= postings_.size()) return {};
-  return {postings_[t].data(), postings_[t].size()};
+  if (t >= num_terms()) return {};
+  return {postings_.data() + offsets_[t], postings_.data() + offsets_[t + 1]};
 }
 
 void InvertedKeywordIndex::ScoreCandidates(
     const KeywordSet& query, const TextualSimilarity& sim,
     std::vector<ScoredDoc>* out, int64_t* posting_entries,
-    const std::function<const KeywordSet&(DocId)>& doc_keys) const {
+    const std::function<KeywordSet(DocId)>& doc_keys) const {
   assert(finalized_);
   out->clear();
   if (query.empty()) return;
@@ -89,19 +115,24 @@ void InvertedKeywordIndex::ScoreCandidates(
 }
 
 std::vector<int64_t> InvertedKeywordIndex::DocumentFrequencies() const {
-  std::vector<int64_t> df(postings_.size());
-  for (size_t t = 0; t < postings_.size(); ++t) {
-    df[t] = static_cast<int64_t>(postings_[t].size());
+  assert(finalized_);
+  const size_t n = num_terms();
+  std::vector<int64_t> df(n);
+  for (size_t t = 0; t < n; ++t) {
+    df[t] = static_cast<int64_t>(offsets_[t + 1] - offsets_[t]);
   }
   return df;
 }
 
-size_t InvertedKeywordIndex::MemoryUsage() const {
-  size_t bytes = doc_sizes_.capacity() * sizeof(uint32_t) +
-                 count_.capacity() * sizeof(uint32_t) +
-                 count_version_.capacity() * sizeof(uint32_t);
-  for (const auto& p : postings_) bytes += p.capacity() * sizeof(DocId);
-  return bytes;
+MemoryBreakdown InvertedKeywordIndex::Memory() const {
+  MemoryBreakdown m;
+  m += offsets_.Memory();
+  m += postings_.Memory();
+  m += doc_sizes_.Memory();
+  m.heap_bytes += count_.capacity() * sizeof(uint32_t) +
+                  count_version_.capacity() * sizeof(uint32_t);
+  for (const auto& p : building_) m.heap_bytes += p.capacity() * sizeof(DocId);
+  return m;
 }
 
 }  // namespace uots

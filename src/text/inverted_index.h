@@ -7,6 +7,11 @@
 // domain is explored incrementally, while the textual domain is resolved
 // up-front at posting-list cost, giving the search exact SimT values to
 // fold into its upper bounds.
+//
+// Finalize() flattens the per-term posting lists into CSR columns
+// (offsets + one contiguous posting array), which both halves the pointer
+// chasing of a vector-of-vectors and lets snapshots persist the index
+// byte-for-byte and load it back as a zero-copy view (src/storage/).
 
 #ifndef UOTS_TEXT_INVERTED_INDEX_H_
 #define UOTS_TEXT_INVERTED_INDEX_H_
@@ -19,6 +24,7 @@
 
 #include "text/keyword_set.h"
 #include "text/similarity.h"
+#include "util/column_vec.h"
 
 namespace uots {
 
@@ -37,8 +43,14 @@ class InvertedKeywordIndex {
   /// Registers a document; ids must be dense-ish (max id bounds memory).
   void AddDocument(DocId doc, const KeywordSet& keys);
 
-  /// Sorts posting lists and freezes the index.
+  /// Flattens posting lists into the CSR columns and freezes the index.
   void Finalize();
+
+  /// \brief Reassembles a finalized index from prebuilt CSR columns (e.g.
+  /// views over validated snapshot sections); skips AddDocument/Finalize.
+  static InvertedKeywordIndex FromColumns(ColumnVec<uint64_t> offsets,
+                                          ColumnVec<DocId> postings,
+                                          ColumnVec<uint32_t> doc_sizes);
 
   /// Posting list (ascending doc ids) for term `t`; empty if unseen.
   std::span<const DocId> Postings(TermId t) const;
@@ -52,19 +64,31 @@ class InvertedKeywordIndex {
   void ScoreCandidates(
       const KeywordSet& query, const TextualSimilarity& sim,
       std::vector<ScoredDoc>* out, int64_t* posting_entries = nullptr,
-      const std::function<const KeywordSet&(DocId)>& doc_keys = nullptr) const;
+      const std::function<KeywordSet(DocId)>& doc_keys = nullptr) const;
 
   /// Document frequency per term (posting-list lengths), for idf weighting.
   std::vector<int64_t> DocumentFrequencies() const;
 
   size_t num_documents() const { return doc_sizes_.size(); }
-  size_t num_terms() const { return postings_.size(); }
-  size_t MemoryUsage() const;
+  size_t num_terms() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Raw columns (snapshot persistence; see src/storage/).
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const DocId> postings() const { return postings_.span(); }
+  std::span<const uint32_t> doc_sizes() const { return doc_sizes_.span(); }
+
+  size_t MemoryUsage() const { return Memory().total(); }
+  MemoryBreakdown Memory() const;
 
  private:
   bool finalized_ = false;
-  std::vector<std::vector<DocId>> postings_;
-  std::vector<uint32_t> doc_sizes_;  ///< |keys| per doc id
+  /// Accumulates per-term lists until Finalize flattens them; empty after.
+  std::vector<std::vector<DocId>> building_;
+  ColumnVec<uint64_t> offsets_;  ///< num_terms + 1 (empty before Finalize)
+  ColumnVec<DocId> postings_;    ///< ascending within each term slice
+  ColumnVec<uint32_t> doc_sizes_;  ///< |keys| per doc id
   // Scratch for ScoreCandidates: per-doc intersection counters with O(1)
   // reset (version tags), sized lazily to num_documents().
   mutable std::vector<uint32_t> count_;

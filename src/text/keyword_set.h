@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "text/vocabulary.h"
@@ -15,34 +16,80 @@ namespace uots {
 /// \brief An immutable-after-build sorted set of TermIds.
 ///
 /// Trajectory keyword sets are small (typically 3-15 terms), so a sorted
-/// vector with merge-style intersection beats hash sets on both memory and
-/// speed.
+/// array with merge-style intersection beats hash sets on both memory and
+/// speed. A set either owns its terms (built from user input, normalized)
+/// or views a slice of a columnar/snapshot-backed array (zero-copy; the
+/// backing store guarantees order, uniqueness, and lifetime). Copying an
+/// owning set deep-copies; copying a view copies the view.
 class KeywordSet {
  public:
   KeywordSet() = default;
-  explicit KeywordSet(std::vector<TermId> terms) : terms_(std::move(terms)) {
+  explicit KeywordSet(std::vector<TermId> terms) : owned_(std::move(terms)) {
     Normalize();
   }
-  KeywordSet(std::initializer_list<TermId> terms)
-      : terms_(terms) {
+  KeywordSet(std::initializer_list<TermId> terms) : owned_(terms) {
     Normalize();
   }
 
-  size_t size() const { return terms_.size(); }
-  bool empty() const { return terms_.empty(); }
-  const std::vector<TermId>& terms() const { return terms_; }
+  /// A non-owning view over an ascending, deduplicated term slice (e.g. the
+  /// columnar trajectory store). The caller guarantees both properties and
+  /// that the bytes outlive every copy of the returned set.
+  static KeywordSet View(std::span<const TermId> sorted_unique_terms) {
+    KeywordSet k;
+    k.view_ = sorted_unique_terms;
+    return k;
+  }
+
+  KeywordSet(const KeywordSet& o) : owned_(o.owned_) {
+    view_ = o.owns() ? std::span<const TermId>(owned_) : o.view_;
+  }
+  KeywordSet& operator=(const KeywordSet& o) {
+    if (this != &o) {
+      owned_ = o.owned_;
+      view_ = o.owns() ? std::span<const TermId>(owned_) : o.view_;
+    }
+    return *this;
+  }
+  KeywordSet(KeywordSet&& o) noexcept {
+    const bool owned = o.owns();
+    owned_ = std::move(o.owned_);
+    view_ = owned ? std::span<const TermId>(owned_) : o.view_;
+    o.owned_.clear();
+    o.view_ = {};
+  }
+  KeywordSet& operator=(KeywordSet&& o) noexcept {
+    if (this != &o) {
+      const bool owned = o.owns();
+      owned_ = std::move(o.owned_);
+      view_ = owned ? std::span<const TermId>(owned_) : o.view_;
+      o.owned_.clear();
+      o.view_ = {};
+    }
+    return *this;
+  }
+
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  std::span<const TermId> terms() const { return view_; }
+
+  /// Deep copy of the terms (row-form materialization, tests).
+  std::vector<TermId> ToVector() const {
+    return std::vector<TermId>(view_.begin(), view_.end());
+  }
 
   bool Contains(TermId t) const {
-    return std::binary_search(terms_.begin(), terms_.end(), t);
+    return std::binary_search(view_.begin(), view_.end(), t);
   }
 
   /// |this ∩ other| via linear merge.
   size_t IntersectionSize(const KeywordSet& other) const {
     size_t i = 0, j = 0, count = 0;
-    while (i < terms_.size() && j < other.terms_.size()) {
-      if (terms_[i] < other.terms_[j]) {
+    const auto a = view_;
+    const auto b = other.view_;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
         ++i;
-      } else if (terms_[i] > other.terms_[j]) {
+      } else if (a[i] > b[j]) {
         ++j;
       } else {
         ++count;
@@ -59,16 +106,21 @@ class KeywordSet {
   }
 
   friend bool operator==(const KeywordSet& a, const KeywordSet& b) {
-    return a.terms_ == b.terms_;
+    return std::equal(a.view_.begin(), a.view_.end(), b.view_.begin(),
+                      b.view_.end());
   }
 
  private:
+  bool owns() const { return !owned_.empty(); }
+
   void Normalize() {
-    std::sort(terms_.begin(), terms_.end());
-    terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+    std::sort(owned_.begin(), owned_.end());
+    owned_.erase(std::unique(owned_.begin(), owned_.end()), owned_.end());
+    view_ = owned_;
   }
 
-  std::vector<TermId> terms_;
+  std::vector<TermId> owned_;
+  std::span<const TermId> view_;  // points into owned_ or external memory
 };
 
 }  // namespace uots

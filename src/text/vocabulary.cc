@@ -35,4 +35,42 @@ Vocabulary Vocabulary::Synthetic(size_t n) {
   return v;
 }
 
+void Vocabulary::Flatten(std::string* blob,
+                         std::vector<uint64_t>* offsets) const {
+  blob->clear();
+  offsets->clear();
+  offsets->reserve(terms_.size() + 1);
+  offsets->push_back(0);
+  for (const auto& t : terms_) {
+    blob->append(t);
+    offsets->push_back(blob->size());
+  }
+}
+
+Result<Vocabulary> Vocabulary::FromFlat(std::span<const uint64_t> offsets,
+                                        std::span<const char> blob) {
+  if (offsets.empty()) {
+    return Status::InvalidArgument("vocabulary offsets section is empty");
+  }
+  if (offsets.front() != 0 || offsets.back() != blob.size()) {
+    return Status::InvalidArgument(
+        "vocabulary offsets do not cover the term blob");
+  }
+  Vocabulary v;
+  v.terms_.reserve(offsets.size() - 1);
+  v.index_.reserve(offsets.size() - 1);
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument("vocabulary offsets are not monotonic");
+    }
+    const TermId id = static_cast<TermId>(v.terms_.size());
+    v.terms_.emplace_back(blob.data() + offsets[i],
+                          offsets[i + 1] - offsets[i]);
+    if (!v.index_.emplace(v.terms_.back(), id).second) {
+      return Status::InvalidArgument("vocabulary contains a duplicate term");
+    }
+  }
+  return v;
+}
+
 }  // namespace uots

@@ -4,10 +4,13 @@
 #define UOTS_TEXT_VOCABULARY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/status.h"
 
 namespace uots {
 
@@ -34,6 +37,17 @@ class Vocabulary {
   /// ("poi_0".."poi_{n-1}" prefixed with a category hint). Used by the data
   /// generators when no real tag corpus is supplied.
   static Vocabulary Synthetic(size_t n);
+
+  /// \brief Flattens all terms into `blob` with `offsets[i]..offsets[i+1]`
+  /// delimiting term i (snapshot persistence; see src/storage/).
+  void Flatten(std::string* blob, std::vector<uint64_t>* offsets) const;
+
+  /// \brief Rebuilds a vocabulary from a flattened blob. Strings and the
+  /// lookup map are owned (heap); the dictionary is the one part of a
+  /// snapshot that cannot be a zero-copy view, but it is also by far the
+  /// smallest. Fails on non-monotonic or out-of-bounds offsets.
+  static Result<Vocabulary> FromFlat(std::span<const uint64_t> offsets,
+                                     std::span<const char> blob);
 
  private:
   std::vector<std::string> terms_;

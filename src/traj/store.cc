@@ -8,10 +8,28 @@ Result<TrajId> TrajectoryStore::Add(const Trajectory& traj) {
         "trajectory must be non-empty with nondecreasing in-range timestamps");
   }
   const TrajId id = static_cast<TrajId>(size());
-  samples_.insert(samples_.end(), traj.samples.begin(), traj.samples.end());
-  offsets_.push_back(samples_.size());
-  keywords_.push_back(traj.keywords);
+  auto& samples = samples_.mutable_vec();
+  samples.insert(samples.end(), traj.samples.begin(), traj.samples.end());
+  offsets_.mutable_vec().push_back(samples.size());
+  // KeywordSet is sorted and deduplicated by construction, so the flat slice
+  // keeps the invariant KeywordsOf relies on.
+  auto& terms = keyword_terms_.mutable_vec();
+  const auto keys = traj.keywords.terms();
+  terms.insert(terms.end(), keys.begin(), keys.end());
+  keyword_offsets_.mutable_vec().push_back(terms.size());
   return id;
+}
+
+TrajectoryStore TrajectoryStore::FromColumns(ColumnVec<uint64_t> offsets,
+                                             ColumnVec<Sample> samples,
+                                             ColumnVec<uint64_t> keyword_offsets,
+                                             ColumnVec<TermId> keyword_terms) {
+  TrajectoryStore s;
+  s.offsets_ = std::move(offsets);
+  s.samples_ = std::move(samples);
+  s.keyword_offsets_ = std::move(keyword_offsets);
+  s.keyword_terms_ = std::move(keyword_terms);
+  return s;
 }
 
 double TrajectoryStore::AverageLength() const {
@@ -19,19 +37,20 @@ double TrajectoryStore::AverageLength() const {
   return static_cast<double>(samples_.size()) / static_cast<double>(size());
 }
 
-size_t TrajectoryStore::MemoryUsage() const {
-  size_t bytes = offsets_.capacity() * sizeof(uint64_t) +
-                 samples_.capacity() * sizeof(Sample) +
-                 keywords_.capacity() * sizeof(KeywordSet);
-  for (const auto& k : keywords_) bytes += k.terms().capacity() * sizeof(TermId);
-  return bytes;
+MemoryBreakdown TrajectoryStore::Memory() const {
+  MemoryBreakdown m;
+  m += offsets_.Memory();
+  m += samples_.Memory();
+  m += keyword_offsets_.Memory();
+  m += keyword_terms_.Memory();
+  return m;
 }
 
 Trajectory TrajectoryStore::Materialize(TrajId id) const {
   Trajectory t;
   const auto s = SamplesOf(id);
   t.samples.assign(s.begin(), s.end());
-  t.keywords = KeywordsOf(id);
+  t.keywords = KeywordSet(KeywordsOf(id).ToVector());
   return t;
 }
 

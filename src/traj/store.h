@@ -4,6 +4,9 @@
 // through per-trajectory offsets (CSR layout), which keeps scans cache
 // friendly and makes the memory footprint predictable — the paper family
 // holds trajectory sets memory-resident during join/search processing.
+// Keyword sets use the same layout (flat sorted term slices + offsets), so
+// every column can be persisted byte-for-byte in a snapshot and loaded back
+// as a zero-copy view (src/storage/).
 
 #ifndef UOTS_TRAJ_STORE_H_
 #define UOTS_TRAJ_STORE_H_
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "traj/trajectory.h"
+#include "util/column_vec.h"
 #include "util/status.h"
 
 namespace uots {
@@ -21,10 +25,21 @@ namespace uots {
 /// \brief Append-only columnar container of trajectories.
 class TrajectoryStore {
  public:
-  TrajectoryStore() { offsets_.push_back(0); }
+  TrajectoryStore() {
+    offsets_.mutable_vec().push_back(0);
+    keyword_offsets_.mutable_vec().push_back(0);
+  }
 
   /// Appends a trajectory; returns its id or an error if invalid.
   Result<TrajId> Add(const Trajectory& traj);
+
+  /// \brief Reassembles a store from prebuilt columns (e.g. views over
+  /// validated snapshot sections) without per-record work. The caller
+  /// guarantees CSR validity and backing-byte lifetime.
+  static TrajectoryStore FromColumns(ColumnVec<uint64_t> offsets,
+                                     ColumnVec<Sample> samples,
+                                     ColumnVec<uint64_t> keyword_offsets,
+                                     ColumnVec<TermId> keyword_terms);
 
   size_t size() const { return offsets_.size() - 1; }
   bool empty() const { return size() == 0; }
@@ -38,8 +53,11 @@ class TrajectoryStore {
   /// Number of samples of trajectory `id`.
   size_t LengthOf(TrajId id) const { return offsets_[id + 1] - offsets_[id]; }
 
-  /// Keyword set of trajectory `id`.
-  const KeywordSet& KeywordsOf(TrajId id) const { return keywords_[id]; }
+  /// Keyword set of trajectory `id` (a zero-copy view into the store).
+  KeywordSet KeywordsOf(TrajId id) const {
+    return KeywordSet::View({keyword_terms_.data() + keyword_offsets_[id],
+                             keyword_terms_.data() + keyword_offsets_[id + 1]});
+  }
 
   /// Temporal range [first sample time, last sample time] of `id`.
   std::pair<int32_t, int32_t> TimeRangeOf(TrajId id) const {
@@ -53,15 +71,31 @@ class TrajectoryStore {
   /// Total sample count across all trajectories.
   size_t TotalSamples() const { return samples_.size(); }
 
-  size_t MemoryUsage() const;
+  /// Total keyword terms across all trajectories.
+  size_t TotalKeywordTerms() const { return keyword_terms_.size(); }
 
-  /// Materializes trajectory `id` back to row form (tests, IO).
+  /// Raw columns (snapshot persistence; see src/storage/).
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const Sample> samples() const { return samples_.span(); }
+  std::span<const uint64_t> keyword_offsets() const {
+    return keyword_offsets_.span();
+  }
+  std::span<const TermId> keyword_terms() const {
+    return keyword_terms_.span();
+  }
+
+  size_t MemoryUsage() const { return Memory().total(); }
+  MemoryBreakdown Memory() const;
+
+  /// Materializes trajectory `id` back to row form (tests, IO). The returned
+  /// trajectory owns its data and is independent of the store's lifetime.
   Trajectory Materialize(TrajId id) const;
 
  private:
-  std::vector<uint64_t> offsets_;  // size() + 1
-  std::vector<Sample> samples_;
-  std::vector<KeywordSet> keywords_;
+  ColumnVec<uint64_t> offsets_;  // size() + 1
+  ColumnVec<Sample> samples_;
+  ColumnVec<uint64_t> keyword_offsets_;  // size() + 1
+  ColumnVec<TermId> keyword_terms_;      // per-trajectory sorted slices
 };
 
 }  // namespace uots

@@ -7,17 +7,25 @@
 namespace uots {
 
 TimeIndex::TimeIndex(const TrajectoryStore& store) {
-  entries_.reserve(store.TotalSamples());
+  std::vector<Entry> entries;
+  entries.reserve(store.TotalSamples());
   for (TrajId id = 0; id < store.size(); ++id) {
     for (const Sample& s : store.SamplesOf(id)) {
-      entries_.push_back(Entry{s.time_s, id});
+      entries.push_back(Entry{s.time_s, id});
     }
   }
-  std::sort(entries_.begin(), entries_.end(),
+  std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) {
               if (a.time_s != b.time_s) return a.time_s < b.time_s;
               return a.traj < b.traj;
             });
+  entries_ = std::move(entries);
+}
+
+TimeIndex TimeIndex::FromColumns(ColumnVec<Entry> entries) {
+  TimeIndex idx;
+  idx.entries_ = std::move(entries);
+  return idx;
 }
 
 size_t TimeIndex::LowerBound(int32_t t) const {

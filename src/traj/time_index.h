@@ -14,9 +14,11 @@
 #define UOTS_TRAJ_TIME_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "traj/store.h"
+#include "util/column_vec.h"
 
 namespace uots {
 
@@ -31,16 +33,23 @@ class TimeIndex {
     TrajId traj;
   };
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  /// \brief Reassembles the index from a prebuilt sorted column (e.g. a view
+  /// over a validated snapshot section); skips the sort entirely.
+  static TimeIndex FromColumns(ColumnVec<Entry> entries);
+
+  std::span<const Entry> entries() const { return entries_.span(); }
   size_t size() const { return entries_.size(); }
 
   /// Index of the first entry with time >= t (size() if none).
   size_t LowerBound(int32_t t) const;
 
-  size_t MemoryUsage() const { return entries_.capacity() * sizeof(Entry); }
+  size_t MemoryUsage() const { return Memory().total(); }
+  MemoryBreakdown Memory() const { return entries_.Memory(); }
 
  private:
-  std::vector<Entry> entries_;  // sorted by (time_s, traj)
+  TimeIndex() = default;
+
+  ColumnVec<Entry> entries_;  // sorted by (time_s, traj)
 };
 
 /// \brief Resumable outward walk from a query timestamp.

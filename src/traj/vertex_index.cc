@@ -20,11 +20,21 @@ VertexTrajectoryIndex::VertexTrajectoryIndex(const TrajectoryStore& store,
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
 
-  offsets_.assign(num_vertices + 1, 0);
-  for (const auto& [v, id] : pairs) ++offsets_[v + 1];
-  for (size_t v = 0; v < num_vertices; ++v) offsets_[v + 1] += offsets_[v];
-  entries_.resize(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) entries_[i] = pairs[i].second;
+  std::vector<uint64_t> offsets(num_vertices + 1, 0);
+  for (const auto& [v, id] : pairs) ++offsets[v + 1];
+  for (size_t v = 0; v < num_vertices; ++v) offsets[v + 1] += offsets[v];
+  std::vector<TrajId> entries(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) entries[i] = pairs[i].second;
+  offsets_ = std::move(offsets);
+  entries_ = std::move(entries);
+}
+
+VertexTrajectoryIndex VertexTrajectoryIndex::FromColumns(
+    ColumnVec<uint64_t> offsets, ColumnVec<TrajId> entries) {
+  VertexTrajectoryIndex idx;
+  idx.offsets_ = std::move(offsets);
+  idx.entries_ = std::move(entries);
+  return idx;
 }
 
 }  // namespace uots

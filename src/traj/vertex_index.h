@@ -15,6 +15,7 @@
 
 #include "net/graph.h"
 #include "traj/store.h"
+#include "util/column_vec.h"
 
 namespace uots {
 
@@ -24,6 +25,11 @@ class VertexTrajectoryIndex {
   /// Builds the index for `store` on a network with `num_vertices` vertices.
   VertexTrajectoryIndex(const TrajectoryStore& store, size_t num_vertices);
 
+  /// \brief Reassembles the index from prebuilt CSR columns (e.g. views over
+  /// validated snapshot sections); skips the counting sort entirely.
+  static VertexTrajectoryIndex FromColumns(ColumnVec<uint64_t> offsets,
+                                           ColumnVec<TrajId> entries);
+
   /// Ids of trajectories with a sample at `v` (ascending, deduplicated).
   std::span<const TrajId> TrajectoriesAt(VertexId v) const {
     return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
@@ -32,14 +38,23 @@ class VertexTrajectoryIndex {
   /// Number of (vertex, trajectory) postings.
   size_t TotalEntries() const { return entries_.size(); }
 
-  size_t MemoryUsage() const {
-    return offsets_.capacity() * sizeof(uint64_t) +
-           entries_.capacity() * sizeof(TrajId);
+  /// Raw columns (snapshot persistence; see src/storage/).
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const TrajId> entries() const { return entries_.span(); }
+
+  size_t MemoryUsage() const { return Memory().total(); }
+  MemoryBreakdown Memory() const {
+    MemoryBreakdown m;
+    m += offsets_.Memory();
+    m += entries_.Memory();
+    return m;
   }
 
  private:
-  std::vector<uint64_t> offsets_;  // num_vertices + 1
-  std::vector<TrajId> entries_;
+  VertexTrajectoryIndex() = default;
+
+  ColumnVec<uint64_t> offsets_;  // num_vertices + 1
+  ColumnVec<TrajId> entries_;
 };
 
 }  // namespace uots

@@ -1,0 +1,106 @@
+// Owning-or-view contiguous columns.
+//
+// Every large array in the database (CSR offsets, samples, postings, ...)
+// is either built in memory (owning a std::vector) or mapped straight out
+// of a snapshot file (viewing foreign bytes, zero-copy). ColumnVec is the
+// one container expressing both: the read API is identical in either mode,
+// builders mutate through mutable_vec() (owning mode only), and the
+// snapshot loader constructs views over validated mmap'd sections. Whoever
+// creates a view is responsible for keeping the backing bytes alive
+// (TrajectoryDatabase pins the mapped file for exactly this reason).
+
+#ifndef UOTS_UTIL_COLUMN_VEC_H_
+#define UOTS_UTIL_COLUMN_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace uots {
+
+/// \brief Bytes resident on the process heap vs. viewed from a mapping.
+///
+/// Heap bytes are private dirty memory; mmap'd snapshot bytes are shared,
+/// clean, and reclaimable by the kernel — a server reports them separately.
+struct MemoryBreakdown {
+  size_t heap_bytes = 0;
+  size_t mmap_bytes = 0;
+
+  size_t total() const { return heap_bytes + mmap_bytes; }
+
+  MemoryBreakdown& operator+=(const MemoryBreakdown& o) {
+    heap_bytes += o.heap_bytes;
+    mmap_bytes += o.mmap_bytes;
+    return *this;
+  }
+};
+
+/// \brief A contiguous immutable-through-this-API column of trivially
+/// copyable elements that either owns its storage or views external memory.
+template <typename T>
+class ColumnVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ColumnVec elements must be trivially copyable (they are "
+                "persisted byte-for-byte in snapshots)");
+
+ public:
+  ColumnVec() = default;
+  /*implicit*/ ColumnVec(std::vector<T> v)  // NOLINT(runtime/explicit)
+      : owned_(std::move(v)) {}
+
+  /// A non-owning view over `[data, data + count)`. The caller guarantees
+  /// the bytes outlive every copy of the returned column.
+  static ColumnVec View(const T* data, size_t count) {
+    ColumnVec c;
+    c.view_data_ = data;
+    c.view_size_ = count;
+    c.is_view_ = true;
+    return c;
+  }
+
+  // Copying an owning column deep-copies; copying a view copies the view.
+  ColumnVec(const ColumnVec&) = default;
+  ColumnVec& operator=(const ColumnVec&) = default;
+  ColumnVec(ColumnVec&&) noexcept = default;
+  ColumnVec& operator=(ColumnVec&&) noexcept = default;
+
+  bool is_view() const { return is_view_; }
+  const T* data() const { return is_view_ ? view_data_ : owned_.data(); }
+  size_t size() const { return is_view_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<const T> span() const { return {data(), size()}; }
+
+  /// Builder access; only meaningful while owning. Growing the vector is
+  /// fine — readers always go through data()/size().
+  std::vector<T>& mutable_vec() {
+    assert(!is_view_ && "cannot mutate a view-mode column");
+    return owned_;
+  }
+
+  MemoryBreakdown Memory() const {
+    MemoryBreakdown m;
+    if (is_view_) {
+      m.mmap_bytes = view_size_ * sizeof(T);
+    } else {
+      m.heap_bytes = owned_.capacity() * sizeof(T);
+    }
+    return m;
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_data_ = nullptr;
+  size_t view_size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_UTIL_COLUMN_VEC_H_

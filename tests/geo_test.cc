@@ -88,7 +88,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexRandomTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
 TEST(GridIndex, EmptyIndexReturnsMinusOne) {
-  GridIndex index({});
+  GridIndex index(std::vector<Point>{});
   EXPECT_EQ(index.Nearest(Point{0, 0}), -1);
   std::vector<int64_t> out;
   index.WithinRadius(Point{0, 0}, 10, &out);

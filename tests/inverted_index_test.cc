@@ -68,9 +68,7 @@ TEST_P(IndexScoringTest, ScoreCandidatesMatchesDirectEvaluation) {
     sim.SetDocumentFrequencies(index.DocumentFrequencies(),
                                static_cast<int64_t>(docs.size()));
   }
-  const auto accessor = [&docs](DocId d) -> const KeywordSet& {
-    return docs[d];
-  };
+  const auto accessor = [&docs](DocId d) { return docs[d]; };
 
   for (int trial = 0; trial < 30; ++trial) {
     std::vector<TermId> qterms;

@@ -1,0 +1,426 @@
+// Snapshot storage engine: CRC vectors, round-trip equivalence, and
+// corruption rejection.
+//
+// The round-trip property is the one that matters: a database built from
+// scratch and the same database loaded back from a snapshot must answer
+// every query bit-for-bit identically, for every algorithm. The corruption
+// tests then flip/truncate every part of the file and require a clean
+// Status (these run under asan in CI — an out-of-bounds read here is a
+// test failure, not just a wrong answer).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "net/io.h"
+#include "storage/crc32c.h"
+#include "storage/format.h"
+#include "storage/resolver.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+#include "traj/generator.h"
+#include "traj/io.h"
+
+namespace uots {
+namespace {
+
+using storage::Crc32c;
+using storage::Crc32cExtend;
+using storage::InspectSnapshot;
+using storage::LoadSnapshot;
+using storage::SectionId;
+using storage::VerifySnapshot;
+using storage::WriteSnapshot;
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC32C check value (iSCSI/RFC 3720 test vector).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<uint8_t> ffs(32, 0xFF);
+  EXPECT_EQ(Crc32c(ffs.data(), ffs.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, UnalignedStartMatches) {
+  // The slicing loop has an alignment prologue; it must not change results.
+  std::vector<uint8_t> buf(64);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i * 7);
+  for (size_t shift = 0; shift < 8; ++shift) {
+    std::vector<uint8_t> shifted(buf.size() + shift);
+    std::memcpy(shifted.data() + shift, buf.data(), buf.size());
+    EXPECT_EQ(Crc32c(shifted.data() + shift, buf.size()),
+              Crc32c(buf.data(), buf.size()));
+  }
+}
+
+/// A small but fully featured database (keywords, times, connected net).
+std::unique_ptr<TrajectoryDatabase> MakeDatabase(uint64_t seed = 7) {
+  GridNetworkOptions net_opts;
+  net_opts.rows = 18;
+  net_opts.cols = 18;
+  net_opts.seed = seed;
+  auto g = MakeGridNetwork(net_opts);
+  EXPECT_TRUE(g.ok());
+  TripGeneratorOptions trip_opts;
+  trip_opts.num_trajectories = 300;
+  trip_opts.vocabulary_size = 120;
+  trip_opts.seed = seed + 1;
+  auto trips = GenerateTrips(*g, trip_opts);
+  EXPECT_TRUE(trips.ok());
+  return std::make_unique<TrajectoryDatabase>(
+      std::move(*g), std::move(trips->store), std::move(trips->vocabulary));
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class SnapshotRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeDatabase();
+    path_ = TempPath("roundtrip.snap");
+    ASSERT_TRUE(WriteSnapshot(*db_, path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::unique_ptr<TrajectoryDatabase> db_;
+  std::string path_;
+};
+
+TEST_F(SnapshotRoundTrip, VerifiesClean) {
+  const Status st = VerifySnapshot(path_);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SnapshotRoundTrip, ContentsSurviveByteForByte) {
+  auto loaded_r = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+  const TrajectoryDatabase& loaded = **loaded_r;
+
+  ASSERT_EQ(loaded.network().NumVertices(), db_->network().NumVertices());
+  ASSERT_EQ(loaded.network().NumEdges(), db_->network().NumEdges());
+  for (VertexId v = 0; v < db_->network().NumVertices(); ++v) {
+    EXPECT_EQ(loaded.network().PositionOf(v).x, db_->network().PositionOf(v).x);
+    const auto a = loaded.network().Neighbors(v);
+    const auto b = db_->network().Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+  ASSERT_EQ(loaded.store().size(), db_->store().size());
+  for (TrajId id = 0; id < db_->store().size(); ++id) {
+    const Trajectory a = loaded.store().Materialize(id);
+    const Trajectory b = db_->store().Materialize(id);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.keywords, b.keywords);
+  }
+  // Vocabulary strings round-trip through the flattened blob.
+  ASSERT_EQ(loaded.vocabulary().size(), db_->vocabulary().size());
+  for (TermId t = 0; t < db_->vocabulary().size(); ++t) {
+    EXPECT_EQ(loaded.vocabulary().TermOf(t), db_->vocabulary().TermOf(t));
+    EXPECT_EQ(loaded.vocabulary().Lookup(db_->vocabulary().TermOf(t)), t);
+  }
+}
+
+TEST_F(SnapshotRoundTrip, QueriesBitIdenticalAcrossAllEngines) {
+  auto loaded_r = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+  const TrajectoryDatabase& loaded = **loaded_r;
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 12;
+  wopts.seed = 13;
+  auto queries = MakeWorkload(*db_, wopts);
+  ASSERT_TRUE(queries.ok());
+
+  const AlgorithmKind kinds[] = {
+      AlgorithmKind::kBruteForce,     AlgorithmKind::kTextFirst,
+      AlgorithmKind::kUots,           AlgorithmKind::kUotsNoHeuristic,
+      AlgorithmKind::kUotsSequential, AlgorithmKind::kEuclidean};
+  for (const AlgorithmKind kind : kinds) {
+    QueryOptions qopts;
+    qopts.algorithm = kind;
+    for (size_t i = 0; i < queries->size(); ++i) {
+      auto a = RunQuery(*db_, (*queries)[i], qopts);
+      auto b = RunQuery(loaded, (*queries)[i], qopts);
+      ASSERT_TRUE(a.ok() && b.ok()) << ToString(kind) << " query " << i;
+      ASSERT_EQ(a->items.size(), b->items.size())
+          << ToString(kind) << " query " << i;
+      for (size_t j = 0; j < a->items.size(); ++j) {
+        EXPECT_EQ(a->items[j].id, b->items[j].id);
+        EXPECT_EQ(a->items[j].score, b->items[j].score);
+        EXPECT_EQ(a->items[j].spatial_sim, b->items[j].spatial_sim);
+        EXPECT_EQ(a->items[j].textual_sim, b->items[j].textual_sim);
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotRoundTrip, LoadedDatabaseIsMostlyMapped) {
+  auto loaded_r = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded_r.ok());
+  const MemoryBreakdown built = db_->Memory();
+  const MemoryBreakdown mapped = (*loaded_r)->Memory();
+  EXPECT_EQ(built.mmap_bytes, 0u);
+  EXPECT_GT(built.heap_bytes, 0u);
+  EXPECT_GT(mapped.mmap_bytes, 0u);
+  // The bulk columns live in the mapping; only scratch + vocabulary own
+  // heap memory.
+  EXPECT_LT(mapped.heap_bytes, built.heap_bytes / 2);
+}
+
+TEST_F(SnapshotRoundTrip, FingerprintIsStableAndDatasetSensitive) {
+  auto a = InspectSnapshot(path_);
+  ASSERT_TRUE(a.ok());
+  // Rewriting the same database yields the same fingerprint...
+  const std::string again = TempPath("roundtrip2.snap");
+  ASSERT_TRUE(WriteSnapshot(*db_, again).ok());
+  auto b = InspectSnapshot(again);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->superblock.dataset_fingerprint,
+            b->superblock.dataset_fingerprint);
+  std::remove(again.c_str());
+  // ...and a different dataset yields a different one.
+  auto other_db = MakeDatabase(/*seed=*/1234);
+  const std::string other = TempPath("other.snap");
+  ASSERT_TRUE(WriteSnapshot(*other_db, other).ok());
+  auto c = InspectSnapshot(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->superblock.dataset_fingerprint,
+            c->superblock.dataset_fingerprint);
+  std::remove(other.c_str());
+}
+
+// --- corruption ---------------------------------------------------------
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SnapshotCorruption : public SnapshotRoundTrip {
+ protected:
+  /// Writes a mutated copy and checks every consumer fails cleanly.
+  void ExpectRejected(const std::vector<char>& bytes, const char* what) {
+    const std::string bad = TempPath("corrupt.snap");
+    WriteAll(bad, bytes);
+    EXPECT_FALSE(VerifySnapshot(bad).ok()) << what;
+    auto loaded = LoadSnapshot(bad);
+    EXPECT_FALSE(loaded.ok()) << what;
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << what;
+    }
+    std::remove(bad.c_str());
+  }
+};
+
+TEST_F(SnapshotCorruption, FlippedByteInEverySectionIsRejected) {
+  const std::vector<char> good = ReadAll(path_);
+  auto info = InspectSnapshot(path_);
+  ASSERT_TRUE(info.ok());
+  for (const auto& e : info->sections) {
+    if (e.size_bytes == 0) continue;
+    std::vector<char> bad = good;
+    bad[e.offset + e.size_bytes / 2] ^= 0x40;
+    ExpectRejected(
+        bad, storage::SectionName(static_cast<SectionId>(e.id)));
+  }
+}
+
+TEST_F(SnapshotCorruption, TruncationsAreRejected) {
+  const std::vector<char> good = ReadAll(path_);
+  for (const size_t keep :
+       {size_t{0}, size_t{4}, sizeof(storage::Superblock) - 1,
+        sizeof(storage::Superblock), good.size() / 2, good.size() - 1}) {
+    std::vector<char> bad(good.begin(),
+                          good.begin() + static_cast<ptrdiff_t>(keep));
+    ExpectRejected(bad, ("truncated to " + std::to_string(keep)).c_str());
+  }
+}
+
+TEST_F(SnapshotCorruption, BadMagicVersionEndiannessRejected) {
+  const std::vector<char> good = ReadAll(path_);
+  {
+    std::vector<char> bad = good;
+    bad[0] = 'X';
+    ExpectRejected(bad, "magic");
+  }
+  {
+    // format_version sits right after the 8-byte magic; the superblock CRC
+    // is recomputed so only the version check can catch it.
+    std::vector<char> bad = good;
+    storage::Superblock sb;
+    std::memcpy(&sb, bad.data(), sizeof(sb));
+    sb.format_version = 99;
+    sb.superblock_crc = 0;
+    sb.superblock_crc = Crc32c(&sb, sizeof(sb));
+    std::memcpy(bad.data(), &sb, sizeof(sb));
+    ExpectRejected(bad, "version");
+  }
+  {
+    std::vector<char> bad = good;
+    storage::Superblock sb;
+    std::memcpy(&sb, bad.data(), sizeof(sb));
+    sb.endian_tag = 0x04030201u;
+    sb.superblock_crc = 0;
+    sb.superblock_crc = Crc32c(&sb, sizeof(sb));
+    std::memcpy(bad.data(), &sb, sizeof(sb));
+    ExpectRejected(bad, "endianness");
+  }
+}
+
+TEST_F(SnapshotCorruption, RewrittenChecksumsCannotSmuggleBadOffsets) {
+  // Corrupt a CSR offsets array AND fix up every checksum, simulating
+  // deliberate tampering; the monotonicity/bounds scan must still reject.
+  std::vector<char> bad = ReadAll(path_);
+  auto info = InspectSnapshot(path_);
+  ASSERT_TRUE(info.ok());
+  const auto& e =
+      info->sections[static_cast<uint32_t>(SectionId::kTrajOffsets)];
+  uint64_t huge = static_cast<uint64_t>(1) << 40;
+  std::memcpy(bad.data() + e.offset + 8, &huge, sizeof(huge));
+
+  std::vector<storage::SectionEntry> table(storage::kSectionCount);
+  std::memcpy(table.data(), bad.data() + sizeof(storage::Superblock),
+              storage::kSectionCount * sizeof(storage::SectionEntry));
+  for (auto& entry : table) {
+    entry.crc32c = Crc32c(bad.data() + entry.offset,
+                          static_cast<size_t>(entry.size_bytes));
+  }
+  std::memcpy(bad.data() + sizeof(storage::Superblock), table.data(),
+              storage::kSectionCount * sizeof(storage::SectionEntry));
+
+  storage::Superblock sb;
+  std::memcpy(&sb, bad.data(), sizeof(sb));
+  uint32_t fingerprint = 0;
+  for (const auto& entry : table) {
+    const uint32_t triple[3] = {entry.id, static_cast<uint32_t>(entry.count),
+                                entry.crc32c};
+    fingerprint = Crc32cExtend(fingerprint, triple, sizeof(triple));
+  }
+  sb.dataset_fingerprint = fingerprint;
+  sb.section_table_crc =
+      Crc32c(table.data(), storage::kSectionCount * sizeof(storage::SectionEntry));
+  sb.superblock_crc = 0;
+  sb.superblock_crc = Crc32c(&sb, sizeof(sb));
+  std::memcpy(bad.data(), &sb, sizeof(sb));
+
+  ExpectRejected(bad, "tampered offsets");
+}
+
+TEST_F(SnapshotCorruption, StructuralChecksRunEvenWithoutChecksumSweep) {
+  std::vector<char> good = ReadAll(path_);
+  good.resize(good.size() / 2);
+  const std::string bad = TempPath("truncated.snap");
+  WriteAll(bad, good);
+  storage::LoadOptions opts;
+  opts.verify_checksums = false;
+  auto loaded = LoadSnapshot(bad, opts);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(bad.c_str());
+}
+
+TEST(Snapshot, MissingAndNonSnapshotFilesFailCleanly) {
+  EXPECT_FALSE(VerifySnapshot("/no/such/file.snap").ok());
+  EXPECT_FALSE(LoadSnapshot("/no/such/file.snap").ok());
+  const std::string not_snap = TempPath("not_a_snapshot.txt");
+  std::ofstream(not_snap) << "uots-network 1\n0 0\n";
+  EXPECT_FALSE(storage::SniffSnapshotMagic(not_snap));
+  EXPECT_FALSE(LoadSnapshot(not_snap).ok());
+  std::remove(not_snap.c_str());
+}
+
+// --- resolver -----------------------------------------------------------
+
+TEST(Resolver, RoutesSnapshotAndTextByContent) {
+  auto built = MakeDatabase();
+  const std::string snap = TempPath("resolver.snap");
+  const std::string net = TempPath("resolver.network");
+  const std::string traj = TempPath("resolver.trajectories");
+  ASSERT_TRUE(SaveNetwork(built->network(), net).ok());
+  ASSERT_TRUE(SaveTrajectories(built->store(), traj).ok());
+  // The text format rounds coordinates (%.3f), so the bit-exactness claim
+  // is stated against the text-loaded database: snapshotting it and loading
+  // the snapshot back must change nothing.
+  auto text_loaded = storage::LoadDatabaseFromPath(net);
+  ASSERT_TRUE(text_loaded.ok()) << text_loaded.status().ToString();
+  const TrajectoryDatabase* db = text_loaded->db.get();
+  ASSERT_TRUE(WriteSnapshot(*db, snap).ok());
+  EXPECT_TRUE(storage::SniffSnapshotMagic(snap));
+
+  auto from_snap = storage::LoadDatabaseFromPath(snap);
+  ASSERT_TRUE(from_snap.ok()) << from_snap.status().ToString();
+  EXPECT_EQ(from_snap->source, storage::DatasetSource::kSnapshot);
+  EXPECT_GT(from_snap->db->Memory().mmap_bytes, 0u);
+
+  // Either half of the text pair resolves to the same database.
+  for (const std::string& entry : {net, traj}) {
+    auto from_text = storage::LoadDatabaseFromPath(entry);
+    ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+    EXPECT_EQ(from_text->source, storage::DatasetSource::kText);
+    EXPECT_EQ(from_text->db->store().size(), db->store().size());
+    EXPECT_EQ(from_text->db->network().NumVertices(),
+              db->network().NumVertices());
+  }
+
+  // Snapshot-loaded and text-loaded answers agree.
+  WorkloadOptions wopts;
+  wopts.num_queries = 6;
+  auto queries = MakeWorkload(*db, wopts);
+  ASSERT_TRUE(queries.ok());
+  auto text_db = storage::LoadDatabaseFromPath(net);
+  ASSERT_TRUE(text_db.ok());
+  for (const auto& q : *queries) {
+    auto a = RunQuery(*from_snap->db, q, {});
+    auto b = RunQuery(*text_db->db, q, {});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->items.size(), b->items.size());
+    for (size_t j = 0; j < a->items.size(); ++j) {
+      EXPECT_EQ(a->items[j].id, b->items[j].id);
+      EXPECT_EQ(a->items[j].score, b->items[j].score);
+    }
+  }
+
+  std::remove(snap.c_str());
+  std::remove(net.c_str());
+  std::remove(traj.c_str());
+}
+
+TEST(Resolver, RejectsUnrecognizedInput) {
+  const std::string junk = TempPath("junk.bin");
+  std::ofstream(junk) << "definitely not a dataset";
+  auto r = storage::LoadDatabaseFromPath(junk);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(junk.c_str());
+  EXPECT_FALSE(storage::LoadDatabaseFromPath("/no/such/path").ok());
+}
+
+}  // namespace
+}  // namespace uots

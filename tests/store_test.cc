@@ -40,7 +40,7 @@ TEST(TrajectoryStore, AddAndRead) {
   EXPECT_EQ(store.LengthOf(0), 2u);
   EXPECT_EQ(store.LengthOf(1), 1u);
   EXPECT_EQ(store.SamplesOf(0)[1], (Sample{4, 200}));
-  EXPECT_EQ(store.KeywordsOf(0).terms(), (std::vector<TermId>{5, 7}));
+  EXPECT_EQ(store.KeywordsOf(0).ToVector(), (std::vector<TermId>{5, 7}));
   EXPECT_TRUE(store.KeywordsOf(1).empty());
   EXPECT_EQ(store.TimeRangeOf(0), (std::pair<int32_t, int32_t>{100, 200}));
   EXPECT_DOUBLE_EQ(store.AverageLength(), 1.5);

@@ -39,7 +39,7 @@ TEST(Vocabulary, SyntheticHasDistinctTerms) {
 TEST(KeywordSet, NormalizesSortedUnique) {
   const KeywordSet k({5, 1, 5, 3, 1});
   ASSERT_EQ(k.size(), 3u);
-  EXPECT_EQ(k.terms(), (std::vector<TermId>{1, 3, 5}));
+  EXPECT_EQ(k.ToVector(), (std::vector<TermId>{1, 3, 5}));
   EXPECT_TRUE(k.Contains(3));
   EXPECT_FALSE(k.Contains(2));
 }

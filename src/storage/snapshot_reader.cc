@@ -114,7 +114,12 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
                      std::to_string(e.elem_size) + " != " +
                      std::to_string(want));
     }
-    if (e.count * e.elem_size != e.size_bytes) {
+    // Divide rather than multiply: `count * elem_size` wraps mod 2^64, so a
+    // crafted count of ~2^61 with elem_size 8 would otherwise pass and make
+    // SectionSpan hand out views far past the mapping. elem_size is nonzero
+    // here (the ExpectedElemSize check above rejected 0).
+    if (e.size_bytes % e.elem_size != 0 ||
+        e.count != e.size_bytes / e.elem_size) {
       return Corrupt("section " + name + " count/size disagree");
     }
   }
@@ -191,8 +196,31 @@ Status CheckOffsets(const char* name, std::span<const uint64_t> offsets,
   return Status::OK();
 }
 
+/// Per-slice order check for CSR payloads whose query-time consumers
+/// assume sorted + deduplicated data: KeywordSet::View's merge
+/// intersection, VertexTrajectoryIndex::TrajectoriesAt, and the inverted
+/// index's posting merges all binary-search or two-pointer over these
+/// slices, so an out-of-order snapshot would return silently wrong results
+/// rather than crash. Call only with offsets that already passed
+/// CheckOffsets (indexing into `values` is then in bounds by construction).
+template <typename T>
+Status CheckAscendingSlices(const char* name,
+                            std::span<const uint64_t> offsets,
+                            std::span<const T> values) {
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    for (uint64_t i = offsets[s] + 1; i < offsets[s + 1]; ++i) {
+      if (values[i] <= values[i - 1]) {
+        return Corrupt(std::string(name) + " slice " + std::to_string(s) +
+                       " is not strictly ascending");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 /// Every stored id must stay below its domain size; one linear pass per
 /// id-bearing section keeps even checksum-rewritten files memory-safe.
+/// The same pass enforces the sort orders the query path depends on.
 Status ValidateRanges(const MappedFile& f, const SnapshotInfo& info) {
   const SnapshotMeta& m = info.meta;
   const auto& sec = info.sections;
@@ -234,6 +262,12 @@ Status ValidateRanges(const MappedFile& f, const SnapshotInfo& info) {
       return Corrupt("sample references nonexistent vertex");
     }
   }
+  for (const TermId t :
+       SectionSpan<TermId>(f, entry(SectionId::kTrajKeywordTerms))) {
+    if (t >= m.num_vocab_terms) {
+      return Corrupt("trajectory keyword references nonexistent vocab term");
+    }
+  }
   for (const TrajId t :
        SectionSpan<TrajId>(f, entry(SectionId::kVertexIndexEntries))) {
     if (t >= m.num_trajectories) {
@@ -246,10 +280,34 @@ Status ValidateRanges(const MappedFile& f, const SnapshotInfo& info) {
       return Corrupt("keyword-index posting references nonexistent document");
     }
   }
-  for (const TimeIndex::Entry& e :
-       SectionSpan<TimeIndex::Entry>(f, entry(SectionId::kTimeIndexEntries))) {
-    if (e.traj >= m.num_trajectories) {
+
+  // Order invariants. Trajectory keyword slices and both index posting
+  // arrays must be strictly ascending within each slice; the timeline must
+  // be sorted by (time_s, traj) for LowerBound's binary search (equal
+  // entries are legal: one trajectory can revisit a timestamp).
+  UOTS_RETURN_NOT_OK(CheckAscendingSlices(
+      "trajectory keyword",
+      SectionSpan<uint64_t>(f, entry(SectionId::kTrajKeywordOffsets)),
+      SectionSpan<TermId>(f, entry(SectionId::kTrajKeywordTerms))));
+  UOTS_RETURN_NOT_OK(CheckAscendingSlices(
+      "vertex-index",
+      SectionSpan<uint64_t>(f, entry(SectionId::kVertexIndexOffsets)),
+      SectionSpan<TrajId>(f, entry(SectionId::kVertexIndexEntries))));
+  UOTS_RETURN_NOT_OK(CheckAscendingSlices(
+      "keyword-index",
+      SectionSpan<uint64_t>(f, entry(SectionId::kKeywordIndexOffsets)),
+      SectionSpan<DocId>(f, entry(SectionId::kKeywordIndexPostings))));
+
+  const auto timeline =
+      SectionSpan<TimeIndex::Entry>(f, entry(SectionId::kTimeIndexEntries));
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    if (timeline[i].traj >= m.num_trajectories) {
       return Corrupt("time-index entry references nonexistent trajectory");
+    }
+    if (i > 0 && (timeline[i].time_s < timeline[i - 1].time_s ||
+                  (timeline[i].time_s == timeline[i - 1].time_s &&
+                   timeline[i].traj < timeline[i - 1].traj))) {
+      return Corrupt("time-index entries are not sorted by (time, traj)");
     }
   }
   return Status::OK();

@@ -1,7 +1,9 @@
 #include "storage/snapshot_writer.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -32,11 +34,15 @@ PendingSection Stage(SectionId id, std::span<const T> column) {
           column.size_bytes(), column.size()};
 }
 
-/// RAII stdio handle so every error path closes the temp file.
-struct File {
+/// RAII temp-file handle: every error path closes the stream AND unlinks
+/// the temp file, so a failed write never leaves a stray `.tmp.*` behind.
+struct TmpFile {
   std::FILE* f = nullptr;
-  ~File() {
+  std::string path;
+  bool committed = false;
+  ~TmpFile() {
     if (f != nullptr) std::fclose(f);
+    if (!committed && !path.empty()) std::remove(path.c_str());
   }
 };
 
@@ -56,6 +62,28 @@ Status WritePadding(std::FILE* f, uint64_t n) {
         n < kSectionAlignment ? n : kSectionAlignment);
     UOTS_RETURN_NOT_OK(WriteBlock(f, kZeros, chunk, "padding"));
     n -= chunk;
+  }
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so the rename itself is durable
+/// (without this a crash after rename can roll the directory entry back).
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + dir + " for fsync: " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + dir + ": " +
+                           std::strerror(saved_errno));
   }
   return Status::OK();
 }
@@ -144,8 +172,16 @@ Status WriteSnapshot(const TrajectoryDatabase& db, const std::string& path,
   sb.superblock_crc = 0;
   sb.superblock_crc = Crc32c(&sb, sizeof(sb));
 
-  const std::string tmp = path + ".tmp";
-  File out;
+  // Unique per process and per call: concurrent writers of the same target
+  // (e.g. parallel bench processes sharing a snapshot cache) must not
+  // interleave into one shared tmp file and rename a corrupt mix into
+  // place. Each writes its own tmp; the renames then race atomically and
+  // whichever lands last wins with a complete file.
+  static std::atomic<uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(1));
+  TmpFile out;
+  out.path = tmp;
   out.f = std::fopen(tmp.c_str(), "wb");
   if (out.f == nullptr) {
     return Status::IOError("create " + tmp + ": " + std::strerror(errno));
@@ -171,7 +207,8 @@ Status WriteSnapshot(const TrajectoryDatabase& db, const std::string& path,
     return Status::IOError("rename " + tmp + " -> " + path + ": " +
                            std::strerror(errno));
   }
-  return Status::OK();
+  out.committed = true;
+  return SyncParentDir(path);
 }
 
 }  // namespace storage

@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "storage/snapshot_writer.h"
 #include "traj/generator.h"
 #include "traj/io.h"
+#include "traj/time_index.h"
 
 namespace uots {
 namespace {
@@ -224,19 +227,67 @@ void WriteAll(const std::string& path, const std::vector<char>& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
+/// Recomputes every payload CRC, the dataset fingerprint, the table CRC,
+/// and the superblock CRC over (possibly mutated) snapshot bytes —
+/// simulating the self-consistent tamperer in this format's threat model,
+/// for whom only the structural/order validation stands.
+void FixUpAllChecksums(std::vector<char>* bytes) {
+  std::vector<storage::SectionEntry> table(storage::kSectionCount);
+  std::memcpy(table.data(), bytes->data() + sizeof(storage::Superblock),
+              storage::kSectionCount * sizeof(storage::SectionEntry));
+  for (auto& entry : table) {
+    entry.crc32c = Crc32c(bytes->data() + entry.offset,
+                          static_cast<size_t>(entry.size_bytes));
+  }
+  std::memcpy(bytes->data() + sizeof(storage::Superblock), table.data(),
+              storage::kSectionCount * sizeof(storage::SectionEntry));
+
+  storage::Superblock sb;
+  std::memcpy(&sb, bytes->data(), sizeof(sb));
+  uint32_t fingerprint = 0;
+  for (const auto& entry : table) {
+    const uint32_t triple[3] = {entry.id, static_cast<uint32_t>(entry.count),
+                                entry.crc32c};
+    fingerprint = Crc32cExtend(fingerprint, triple, sizeof(triple));
+  }
+  sb.dataset_fingerprint = fingerprint;
+  sb.section_table_crc = Crc32c(
+      table.data(), storage::kSectionCount * sizeof(storage::SectionEntry));
+  sb.superblock_crc = 0;
+  sb.superblock_crc = Crc32c(&sb, sizeof(sb));
+  std::memcpy(bytes->data(), &sb, sizeof(sb));
+}
+
 class SnapshotCorruption : public SnapshotRoundTrip {
  protected:
   /// Writes a mutated copy and checks every consumer fails cleanly.
   void ExpectRejected(const std::vector<char>& bytes, const char* what) {
     const std::string bad = TempPath("corrupt.snap");
     WriteAll(bad, bytes);
-    EXPECT_FALSE(VerifySnapshot(bad).ok()) << what;
+    const Status vst = VerifySnapshot(bad);
+    EXPECT_FALSE(vst.ok()) << what;
     auto loaded = LoadSnapshot(bad);
     EXPECT_FALSE(loaded.ok()) << what;
     if (!loaded.ok()) {
       EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << what;
     }
     std::remove(bad.c_str());
+  }
+
+  /// Applies `mutate` to the section's payload bytes, rewrites every
+  /// checksum so only structural validation can object, and expects
+  /// rejection.
+  void MutateSectionAndExpectRejected(
+      SectionId id, const char* what,
+      const std::function<void(char* payload, const storage::SectionEntry&)>&
+          mutate) {
+    std::vector<char> bad = ReadAll(path_);
+    auto info = InspectSnapshot(path_);
+    ASSERT_TRUE(info.ok());
+    const auto& e = info->sections[static_cast<uint32_t>(id)];
+    mutate(bad.data() + e.offset, e);
+    FixUpAllChecksums(&bad);
+    ExpectRejected(bad, what);
   }
 };
 
@@ -298,40 +349,138 @@ TEST_F(SnapshotCorruption, BadMagicVersionEndiannessRejected) {
 TEST_F(SnapshotCorruption, RewrittenChecksumsCannotSmuggleBadOffsets) {
   // Corrupt a CSR offsets array AND fix up every checksum, simulating
   // deliberate tampering; the monotonicity/bounds scan must still reject.
+  MutateSectionAndExpectRejected(
+      SectionId::kTrajOffsets, "tampered offsets",
+      [](char* payload, const storage::SectionEntry&) {
+        const uint64_t huge = static_cast<uint64_t>(1) << 40;
+        std::memcpy(payload + 8, &huge, sizeof(huge));
+      });
+}
+
+TEST_F(SnapshotCorruption, OverflowingSectionCountIsRejected) {
+  // count * elem_size is computed mod 2^64: with 8-byte elements, a count
+  // inflated by 2^61 multiplies back to the true size_bytes. Inflate the
+  // time-index count in BOTH the directory and the meta record (so the
+  // cross-check agrees) and rewrite every CRC; the count/size validation
+  // must reject without ever building a ~2^61-element span.
+  static_assert(sizeof(TimeIndex::Entry) == 8);
+  const uint64_t kInflation = static_cast<uint64_t>(1) << 61;
+
   std::vector<char> bad = ReadAll(path_);
   auto info = InspectSnapshot(path_);
   ASSERT_TRUE(info.ok());
-  const auto& e =
-      info->sections[static_cast<uint32_t>(SectionId::kTrajOffsets)];
-  uint64_t huge = static_cast<uint64_t>(1) << 40;
-  std::memcpy(bad.data() + e.offset + 8, &huge, sizeof(huge));
 
   std::vector<storage::SectionEntry> table(storage::kSectionCount);
   std::memcpy(table.data(), bad.data() + sizeof(storage::Superblock),
               storage::kSectionCount * sizeof(storage::SectionEntry));
-  for (auto& entry : table) {
-    entry.crc32c = Crc32c(bad.data() + entry.offset,
-                          static_cast<size_t>(entry.size_bytes));
-  }
+  auto& entry =
+      table[static_cast<uint32_t>(SectionId::kTimeIndexEntries)];
+  entry.count += kInflation;
+  ASSERT_EQ(entry.count * entry.elem_size, entry.size_bytes)
+      << "inflation must wrap back to the true byte size for this test "
+         "to exercise the overflow path";
   std::memcpy(bad.data() + sizeof(storage::Superblock), table.data(),
               storage::kSectionCount * sizeof(storage::SectionEntry));
 
-  storage::Superblock sb;
-  std::memcpy(&sb, bad.data(), sizeof(sb));
-  uint32_t fingerprint = 0;
-  for (const auto& entry : table) {
-    const uint32_t triple[3] = {entry.id, static_cast<uint32_t>(entry.count),
-                                entry.crc32c};
-    fingerprint = Crc32cExtend(fingerprint, triple, sizeof(triple));
-  }
-  sb.dataset_fingerprint = fingerprint;
-  sb.section_table_crc =
-      Crc32c(table.data(), storage::kSectionCount * sizeof(storage::SectionEntry));
-  sb.superblock_crc = 0;
-  sb.superblock_crc = Crc32c(&sb, sizeof(sb));
-  std::memcpy(bad.data(), &sb, sizeof(sb));
+  const auto& meta_entry =
+      info->sections[static_cast<uint32_t>(SectionId::kMeta)];
+  storage::SnapshotMeta meta;
+  std::memcpy(&meta, bad.data() + meta_entry.offset, sizeof(meta));
+  meta.num_time_entries += kInflation;
+  std::memcpy(bad.data() + meta_entry.offset, &meta, sizeof(meta));
 
-  ExpectRejected(bad, "tampered offsets");
+  FixUpAllChecksums(&bad);
+  ExpectRejected(bad, "overflowing section count");
+}
+
+TEST_F(SnapshotCorruption, OutOfOrderSlicesAreRejected) {
+  // The query path binary-searches / merge-intersects these arrays; an
+  // out-of-order snapshot would answer silently wrong, so the order scan
+  // must catch what the checksums (deliberately rewritten here) cannot.
+  auto info = InspectSnapshot(path_);
+  ASSERT_TRUE(info.ok());
+
+  // Swapping the first two entries of a >= 2-element slice breaks strict
+  // ascent; `offsets_id` locates such a slice within the value array.
+  const auto swap_in_first_fat_slice = [&](SectionId offsets_id,
+                                           SectionId values_id,
+                                           const char* what) {
+    const auto& oe = info->sections[static_cast<uint32_t>(offsets_id)];
+    const std::vector<char> good = ReadAll(path_);
+    const uint64_t* offsets =
+        reinterpret_cast<const uint64_t*>(good.data() + oe.offset);
+    uint64_t pos = 0;
+    bool found = false;
+    for (uint64_t s = 0; s + 1 < oe.count; ++s) {
+      if (offsets[s + 1] - offsets[s] >= 2) {
+        pos = offsets[s];
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << what << ": generated dataset has no fat slice";
+    MutateSectionAndExpectRejected(
+        values_id, what, [pos](char* payload, const storage::SectionEntry&) {
+          uint32_t a, b;  // TrajId/DocId/TermId are all uint32_t
+          std::memcpy(&a, payload + pos * 4, 4);
+          std::memcpy(&b, payload + (pos + 1) * 4, 4);
+          std::memcpy(payload + pos * 4, &b, 4);
+          std::memcpy(payload + (pos + 1) * 4, &a, 4);
+        });
+  };
+  swap_in_first_fat_slice(SectionId::kVertexIndexOffsets,
+                          SectionId::kVertexIndexEntries,
+                          "unsorted vertex-index slice");
+  swap_in_first_fat_slice(SectionId::kKeywordIndexOffsets,
+                          SectionId::kKeywordIndexPostings,
+                          "unsorted posting list");
+  swap_in_first_fat_slice(SectionId::kTrajKeywordOffsets,
+                          SectionId::kTrajKeywordTerms,
+                          "unsorted keyword slice");
+
+  // A duplicated keyword violates the deduplication half of the invariant
+  // (KeywordSet::View requires sorted AND unique).
+  {
+    const auto& oe = info->sections[static_cast<uint32_t>(
+        SectionId::kTrajKeywordOffsets)];
+    const std::vector<char> good = ReadAll(path_);
+    const uint64_t* offsets =
+        reinterpret_cast<const uint64_t*>(good.data() + oe.offset);
+    uint64_t pos = 0;
+    bool found = false;
+    for (uint64_t s = 0; s + 1 < oe.count; ++s) {
+      if (offsets[s + 1] - offsets[s] >= 2) {
+        pos = offsets[s];
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+    MutateSectionAndExpectRejected(
+        SectionId::kTrajKeywordTerms, "duplicated keyword term",
+        [pos](char* payload, const storage::SectionEntry&) {
+          std::memcpy(payload + (pos + 1) * 4, payload + pos * 4, 4);
+        });
+  }
+}
+
+TEST_F(SnapshotCorruption, UnsortedTimeIndexIsRejected) {
+  MutateSectionAndExpectRejected(
+      SectionId::kTimeIndexEntries, "unsorted time index",
+      [](char* payload, const storage::SectionEntry& e) {
+        ASSERT_GE(e.count, 2u);
+        // First and last entries differ in any nonempty sorted timeline
+        // with > 1 distinct (time, traj) pair; swapping them puts the
+        // maximum first.
+        TimeIndex::Entry first, last;
+        std::memcpy(&first, payload, sizeof(first));
+        std::memcpy(&last, payload + (e.count - 1) * sizeof(last),
+                    sizeof(last));
+        ASSERT_TRUE(first.time_s != last.time_s || first.traj != last.traj);
+        std::memcpy(payload, &last, sizeof(last));
+        std::memcpy(payload + (e.count - 1) * sizeof(first), &first,
+                    sizeof(first));
+      });
 }
 
 TEST_F(SnapshotCorruption, StructuralChecksRunEvenWithoutChecksumSweep) {
@@ -344,6 +493,29 @@ TEST_F(SnapshotCorruption, StructuralChecksRunEvenWithoutChecksumSweep) {
   auto loaded = LoadSnapshot(bad, opts);
   EXPECT_FALSE(loaded.ok());
   std::remove(bad.c_str());
+}
+
+TEST(Snapshot, FailedWriteLeavesNoTempFile) {
+  // Renaming onto an existing directory fails after the tmp file has been
+  // fully written; the writer must clean its (uniquely named) tmp file up
+  // so failed builds don't litter the snapshot cache.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "snap_write_fail";
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  const fs::path target = dir / "out.snap";
+  ASSERT_TRUE(fs::create_directory(target));
+
+  auto db = MakeDatabase();
+  const Status st = WriteSnapshot(*db, target.string());
+  EXPECT_FALSE(st.ok());
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path(), target) << "stray file: " << e.path();
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
 }
 
 TEST(Snapshot, MissingAndNonSnapshotFilesFailCleanly) {

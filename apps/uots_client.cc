@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -33,7 +34,9 @@
 #include "core/workload.h"
 #include "server/client.h"
 #include "storage/resolver.h"
+#include "text/zipf.h"
 #include "util/histogram.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -58,6 +61,14 @@ struct Flags {
   std::string algorithm = "UOTS";
   double deadline_ms = 0.0;
   bool verify = false;
+  /// Zipf exponent for query selection; 0 = uniform rotation. Skewed picks
+  /// model real trip-recommendation traffic (popular POI combos repeat)
+  /// and are what make the server's result cache earn hits.
+  double zipf = 0.0;
+  std::string cache = "default";  // or "bypass"
+  /// Fail (exit 1) when the observed cache hit rate is below this; < 0
+  /// disables the assertion.
+  double min_hit_rate = -1.0;
   std::string json_out = "BENCH_server.json";
 };
 
@@ -72,19 +83,31 @@ bool ParseBoolFlag(const char* arg, const char* name) {
   return std::strcmp(arg, name) == 0;
 }
 
-/// Latencies + error tallies for one worker thread.
+/// Latencies + error tallies for one worker thread. Hit/miss latencies are
+/// kept separately — a cache hit and a computed answer are different
+/// service classes, and averaging them hides both.
 struct WorkerStats {
   uots::LatencyHistogram latency;
+  uots::LatencyHistogram hit_latency;
+  uots::LatencyHistogram miss_latency;
   int64_t ok = 0;
+  int64_t cache_hits = 0;
   int64_t overloaded = 0;
   int64_t deadline_exceeded = 0;
   int64_t other_errors = 0;
   int64_t transport_errors = 0;
 
-  void Count(const uots::QueryResponse& resp) {
+  void Count(const uots::QueryResponse& resp, int64_t latency_ns) {
+    latency.Record(latency_ns);
     switch (resp.status) {
       case uots::ResponseStatus::kOk:
         ++ok;
+        if (resp.cached) {
+          ++cache_hits;
+          hit_latency.Record(latency_ns);
+        } else {
+          miss_latency.Record(latency_ns);
+        }
         break;
       case uots::ResponseStatus::kOverloaded:
       case uots::ResponseStatus::kShuttingDown:
@@ -101,7 +124,10 @@ struct WorkerStats {
 
   void Merge(const WorkerStats& o) {
     latency.Merge(o.latency);
+    hit_latency.Merge(o.hit_latency);
+    miss_latency.Merge(o.miss_latency);
     ok += o.ok;
+    cache_hits += o.cache_hits;
     overloaded += o.overloaded;
     deadline_exceeded += o.deadline_exceeded;
     other_errors += o.other_errors;
@@ -122,48 +148,66 @@ int RunVerify(const Flags& flags, const uots::TrajectoryDatabase& db,
   uots::QueryOptions local_opts;
   local_opts.algorithm = kind;
   int mismatches = 0;
+  int64_t hits_observed = 0;
+  // Three passes per query: cache-default (miss or hit), cache-default
+  // again (a hit if the server caches), and cache-bypass (always computed).
+  // Every pass must match the in-process engine bit for bit — this is the
+  // "caching changes no output bit" check, exercised over the real wire.
+  static constexpr const char* kPassName[] = {"default", "default-again",
+                                              "bypass"};
   for (size_t i = 0; i < queries.size(); ++i) {
-    uots::QueryRequest req;
-    req.id = static_cast<int64_t>(i);
-    req.query = queries[i];
-    req.algorithm = kind;
-    req.has_algorithm = true;
-    auto remote = client.Call(req);
-    if (!remote.ok()) {
-      std::fprintf(stderr, "query %zu: transport: %s\n", i,
-                   remote.status().ToString().c_str());
-      return 1;
-    }
-    if (!remote->ok()) {
-      std::fprintf(stderr, "query %zu: server: %s (%s)\n", i,
-                   ToString(remote->status), remote->error.c_str());
-      return 1;
-    }
     auto local = uots::RunQuery(db, queries[i], local_opts);
     if (!local.ok()) {
       std::fprintf(stderr, "query %zu: local: %s\n", i,
                    local.status().ToString().c_str());
       return 1;
     }
-    bool same = remote->results.size() == local->items.size();
-    for (size_t j = 0; same && j < local->items.size(); ++j) {
-      const auto& a = remote->results[j];
-      const auto& b = local->items[j];
-      same = a.id == b.id && a.score == b.score &&
-             a.spatial_sim == b.spatial_sim && a.textual_sim == b.textual_sim;
-    }
-    if (!same) {
-      ++mismatches;
-      std::fprintf(stderr, "query %zu: MISMATCH (%zu vs %zu results)\n", i,
-                   remote->results.size(), local->items.size());
+    for (int pass = 0; pass < 3; ++pass) {
+      uots::QueryRequest req;
+      req.id = static_cast<int64_t>(i) * 4 + pass;
+      req.query = queries[i];
+      req.algorithm = kind;
+      req.has_algorithm = true;
+      req.cache = pass == 2 ? uots::CacheMode::kBypass
+                            : uots::CacheMode::kDefault;
+      auto remote = client.Call(req);
+      if (!remote.ok()) {
+        std::fprintf(stderr, "query %zu (%s): transport: %s\n", i,
+                     kPassName[pass], remote.status().ToString().c_str());
+        return 1;
+      }
+      if (!remote->ok()) {
+        std::fprintf(stderr, "query %zu (%s): server: %s (%s)\n", i,
+                     kPassName[pass], ToString(remote->status),
+                     remote->error.c_str());
+        return 1;
+      }
+      if (remote->cached) ++hits_observed;
+      bool same = remote->results.size() == local->items.size();
+      for (size_t j = 0; same && j < local->items.size(); ++j) {
+        const auto& a = remote->results[j];
+        const auto& b = local->items[j];
+        same = a.id == b.id && a.score == b.score &&
+               a.spatial_sim == b.spatial_sim &&
+               a.textual_sim == b.textual_sim;
+      }
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "query %zu (%s): MISMATCH (%zu vs %zu results)\n",
+                     i, kPassName[pass], remote->results.size(),
+                     local->items.size());
+      }
     }
   }
   if (mismatches == 0) {
-    std::printf("verify: %zu/%zu queries bit-for-bit identical\n",
-                queries.size(), queries.size());
+    std::printf(
+        "verify: %zu/%zu queries bit-for-bit identical across "
+        "default/repeat/bypass (%" PRId64 " cache hits observed)\n",
+        queries.size(), queries.size(), hits_observed);
     return 0;
   }
-  std::printf("verify: %d/%zu MISMATCHED\n", mismatches, queries.size());
+  std::printf("verify: %d mismatches over %zu queries\n", mismatches,
+              queries.size());
   return 1;
 }
 
@@ -207,6 +251,12 @@ int main(int argc, char** argv) {
       flags.algorithm = v;
     } else if (ParseFlag(argv[i], "--deadline-ms", &v)) {
       flags.deadline_ms = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--zipf", &v)) {
+      flags.zipf = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--cache", &v)) {
+      flags.cache = v;
+    } else if (ParseFlag(argv[i], "--min-hit-rate", &v)) {
+      flags.min_hit_rate = std::atof(v.c_str());
     } else if (ParseFlag(argv[i], "--json-out", &v)) {
       flags.json_out = v;
     } else if (ParseBoolFlag(argv[i], "--verify")) {
@@ -223,6 +273,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   const uots::AlgorithmKind kind = *kind_r;
+  if (flags.cache != "default" && flags.cache != "bypass") {
+    std::fprintf(stderr, "--cache must be default or bypass\n");
+    return 2;
+  }
+  const uots::CacheMode cache_mode = flags.cache == "bypass"
+                                         ? uots::CacheMode::kBypass
+                                         : uots::CacheMode::kDefault;
 
   // The same deterministic dataset + workload the server loaded: needed for
   // --verify, and it gives the load generator realistic queries.
@@ -300,6 +357,14 @@ int main(int argc, char** argv) {
       const auto deadline_end =
           t0 + std::chrono::duration<double>(flags.duration_s);
       int64_t tick = 0;
+      // Skewed query selection: per-thread sampler + RNG (seeded per
+      // thread) so threads don't serialize on a shared generator.
+      std::unique_ptr<uots::ZipfSampler> zipf_sampler;
+      if (flags.zipf > 0.0) {
+        zipf_sampler =
+            std::make_unique<uots::ZipfSampler>(queries.size(), flags.zipf);
+      }
+      uots::Rng rng(flags.seed + static_cast<uint64_t>(t) * 0x9e3779b9ULL);
       for (;;) {
         if (abort_run.load(std::memory_order_relaxed)) break;
         std::chrono::steady_clock::time_point scheduled;
@@ -316,28 +381,31 @@ int main(int argc, char** argv) {
           if (n >= flags.requests) break;
           scheduled = std::chrono::steady_clock::now();
         }
-        const int64_t qi = open_loop
-                               ? (tick + t) % static_cast<int64_t>(
-                                                  queries.size())
-                               : next_request.load() %
-                                     static_cast<int64_t>(queries.size());
+        int64_t qi;
+        if (zipf_sampler != nullptr) {
+          qi = static_cast<int64_t>(zipf_sampler->Sample(rng));
+        } else if (open_loop) {
+          qi = (tick + t) % static_cast<int64_t>(queries.size());
+        } else {
+          qi = next_request.load() % static_cast<int64_t>(queries.size());
+        }
         uots::QueryRequest req;
         req.id = tick + t * 1000000;
         req.query = queries[static_cast<size_t>(qi)];
         req.algorithm = kind;
         req.has_algorithm = true;
         req.deadline_ms = flags.deadline_ms;
+        req.cache = cache_mode;
         auto resp = client.Call(req);
         const auto done = std::chrono::steady_clock::now();
         if (!resp.ok()) {
           ++my.transport_errors;
           break;
         }
-        my.Count(*resp);
-        my.latency.Record(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(done -
-                                                                 scheduled)
-                .count());
+        my.Count(*resp,
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     done - scheduled)
+                     .count());
       }
     });
   }
@@ -352,14 +420,22 @@ int main(int argc, char** argv) {
                             total.deadline_exceeded + total.other_errors;
   const double qps = wall_s > 0 ? static_cast<double>(completed) / wall_s : 0;
 
+  const double hit_rate =
+      total.ok > 0 ? static_cast<double>(total.cache_hits) / total.ok : 0.0;
   std::printf(
-      "mode=%s connections=%d wall=%.2fs\n"
+      "mode=%s connections=%d wall=%.2fs zipf=%.2f cache=%s\n"
       "completed=%" PRId64 " (%.1f qps)  ok=%" PRId64 " overloaded=%" PRId64
       " deadline=%" PRId64 " errors=%" PRId64 " transport=%" PRId64 "\n"
       "latency: %s\n",
-      open_loop ? "open" : "closed", nconn, wall_s, completed, qps, total.ok,
-      total.overloaded, total.deadline_exceeded, total.other_errors,
-      total.transport_errors, total.latency.ToString().c_str());
+      open_loop ? "open" : "closed", nconn, wall_s, flags.zipf,
+      flags.cache.c_str(), completed, qps, total.ok, total.overloaded,
+      total.deadline_exceeded, total.other_errors, total.transport_errors,
+      total.latency.ToString().c_str());
+  std::printf("cache: hits=%" PRId64 "/%" PRId64 " (%.1f%%)  hit p50=%.3f ms"
+              "  miss p50=%.3f ms\n",
+              total.cache_hits, total.ok, 100.0 * hit_rate,
+              total.hit_latency.PercentileMs(50),
+              total.miss_latency.PercentileMs(50));
 
   uots::bench::JsonReport report("server_load");
   auto& row = report.AddRow();
@@ -379,8 +455,21 @@ int main(int argc, char** argv) {
       .Set("p50_ms", total.latency.PercentileMs(50))
       .Set("p95_ms", total.latency.PercentileMs(95))
       .Set("p99_ms", total.latency.PercentileMs(99))
-      .Set("max_ms", static_cast<double>(total.latency.max_ns()) / 1e6);
+      .Set("max_ms", static_cast<double>(total.latency.max_ns()) / 1e6)
+      .Set("zipf", flags.zipf)
+      .Set("cache_mode", flags.cache)
+      .Set("cache_hits", total.cache_hits)
+      .Set("hit_rate", hit_rate)
+      .Set("hit_p50_ms", total.hit_latency.PercentileMs(50))
+      .Set("hit_p99_ms", total.hit_latency.PercentileMs(99))
+      .Set("miss_p50_ms", total.miss_latency.PercentileMs(50))
+      .Set("miss_p99_ms", total.miss_latency.PercentileMs(99));
   if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
 
+  if (flags.min_hit_rate >= 0.0 && hit_rate < flags.min_hit_rate) {
+    std::fprintf(stderr, "hit rate %.3f below required %.3f\n", hit_rate,
+                 flags.min_hit_rate);
+    return 1;
+  }
   return total.transport_errors == 0 ? 0 : 1;
 }

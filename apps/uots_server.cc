@@ -23,6 +23,7 @@
 
 #include <chrono>
 
+#include "cache/distance_field_cache.h"
 #include "common/datasets.h"
 #include "server/server.h"
 #include "storage/resolver.h"
@@ -44,6 +45,10 @@ struct Flags {
   double idle_timeout_ms = 60000.0;
   double drain_timeout_ms = 10000.0;
   int max_connections = 1024;
+  int cache_max_entries = 0;  // 0 = result cache off
+  double cache_ttl_ms = 0.0;
+  int cache_shards = 8;
+  int distance_cache_mb = 0;  // 0 = tier-2 expansion cache off
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -60,7 +65,9 @@ void Usage(const char* argv0) {
       "          [--dataset=PATH (.snap or .network/.trajectories)]\n"
       "          [--trajectories=N] [--threads=N] [--max-inflight=N]\n"
       "          [--default-deadline-ms=MS] [--idle-timeout-ms=MS]\n"
-      "          [--drain-timeout-ms=MS] [--max-connections=N]\n",
+      "          [--drain-timeout-ms=MS] [--max-connections=N]\n"
+      "          [--cache-max-entries=N] [--cache-ttl-ms=MS]\n"
+      "          [--cache-shards=N] [--distance-cache-mb=N]\n",
       argv0);
 }
 
@@ -92,6 +99,14 @@ int main(int argc, char** argv) {
       flags.drain_timeout_ms = std::atof(v.c_str());
     } else if (ParseFlag(argv[i], "--max-connections", &v)) {
       flags.max_connections = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--cache-max-entries", &v)) {
+      flags.cache_max_entries = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--cache-ttl-ms", &v)) {
+      flags.cache_ttl_ms = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--cache-shards", &v)) {
+      flags.cache_shards = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--distance-cache-mb", &v)) {
+      flags.distance_cache_mb = std::atoi(v.c_str());
     } else {
       Usage(argv[0]);
       return 2;
@@ -152,6 +167,20 @@ int main(int argc, char** argv) {
   opts.service.threads = flags.threads;
   opts.service.max_inflight = static_cast<size_t>(flags.max_inflight);
   opts.service.default_deadline_ms = flags.default_deadline_ms;
+  if (flags.cache_max_entries > 0) {
+    opts.service.cache_max_entries =
+        static_cast<size_t>(flags.cache_max_entries);
+    opts.service.cache_ttl_ms = flags.cache_ttl_ms;
+    opts.service.cache_shards = static_cast<size_t>(
+        flags.cache_shards > 0 ? flags.cache_shards : 8);
+  }
+  std::shared_ptr<uots::DistanceFieldCache> dcache;
+  if (flags.distance_cache_mb > 0) {
+    uots::DistanceFieldCache::Options dopts;
+    dopts.max_bytes = static_cast<size_t>(flags.distance_cache_mb) << 20;
+    dcache = std::make_shared<uots::DistanceFieldCache>(dopts);
+    opts.service.uots.distance_cache = dcache;
+  }
 
   // SIGINT/SIGTERM ride the event loop via a signalfd so shutdown is just
   // another loop event — no async-signal-safety gymnastics. Block them
@@ -191,6 +220,14 @@ int main(int argc, char** argv) {
   std::printf("serving on %s:%u (%zu workers, max %zu in flight)\n",
               flags.bind.c_str(), server.port(), server.service().num_threads(),
               opts.service.max_inflight);
+  if (opts.service.cache_max_entries > 0) {
+    std::printf("result cache: %zu entries, ttl %.0f ms, %zu shards\n",
+                opts.service.cache_max_entries, opts.service.cache_ttl_ms,
+                opts.service.cache_shards);
+  }
+  if (dcache != nullptr) {
+    std::printf("distance cache: %d MB\n", flags.distance_cache_mb);
+  }
   std::fflush(stdout);
 
   server.Run();
@@ -213,6 +250,27 @@ int main(int argc, char** argv) {
       static_cast<long long>(c.parse_errors),
       static_cast<long long>(c.oversized_frames),
       static_cast<long long>(c.errors_internal));
+  if (const uots::ResultCache* rc = server.service().result_cache()) {
+    const uots::ResultCache::Stats s = rc->stats();
+    std::printf(
+        "result cache: hits=%lld misses=%lld (served %lld) evictions=%lld "
+        "expired=%lld entries=%lld bytes=%lld\n",
+        static_cast<long long>(s.hits), static_cast<long long>(s.misses),
+        static_cast<long long>(c.cache_hits),
+        static_cast<long long>(s.evictions), static_cast<long long>(s.expired),
+        static_cast<long long>(s.entries), static_cast<long long>(s.bytes));
+  }
+  if (dcache != nullptr) {
+    const uots::DistanceFieldCache::Stats s = dcache->stats();
+    std::printf(
+        "distance cache: hits=%lld misses=%lld publishes=%lld rejected=%lld "
+        "evictions=%lld entries=%lld bytes=%lld\n",
+        static_cast<long long>(s.hits), static_cast<long long>(s.misses),
+        static_cast<long long>(s.publishes), static_cast<long long>(s.rejected),
+        static_cast<long long>(s.evictions), static_cast<long long>(s.entries),
+        static_cast<long long>(s.bytes));
+  }
+  server.service().PublishCacheMetrics();
   std::printf("--- metrics ---\n%s",
               uots::MetricsRegistry::Global().ToString().c_str());
   return 0;

@@ -1,0 +1,98 @@
+#include "cache/distance_field_cache.h"
+
+namespace uots {
+
+DistanceFieldCache::DistanceFieldCache(const Options& opts)
+    : max_bytes_(opts.max_bytes),
+      max_events_per_source_(opts.max_events_per_source) {}
+
+int64_t DistanceFieldCache::ApproxBytes(const ExpansionPrefix& prefix) {
+  return static_cast<int64_t>(
+      sizeof(ExpansionPrefix) +
+      prefix.size() * (sizeof(VertexId) + sizeof(double)));
+}
+
+std::shared_ptr<const ExpansionPrefix> DistanceFieldCache::Acquire(
+    VertexId source, uint64_t* version_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version_out != nullptr) *version_out = version_;
+  auto it = index_.find(source);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->prefix;
+}
+
+bool DistanceFieldCache::Publish(
+    std::shared_ptr<const ExpansionPrefix> prefix, uint64_t version) {
+  if (prefix == nullptr || prefix->size() == 0) return false;
+  const int64_t bytes = ApproxBytes(*prefix);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version != version_ || bytes > static_cast<int64_t>(max_bytes_)) {
+    ++stats_.rejected;
+    return false;
+  }
+  auto it = index_.find(prefix->source);
+  if (it != index_.end()) {
+    const ExpansionPrefix& existing = *it->second->prefix;
+    // Only replace for strictly more information: a longer prefix, or the
+    // same-length prefix gaining the `complete` bit.
+    const bool improves =
+        prefix->size() > existing.size() ||
+        (prefix->size() == existing.size() && prefix->complete &&
+         !existing.complete);
+    if (!improves) {
+      ++stats_.rejected;
+      return false;
+    }
+    bytes_ -= it->second->bytes;
+    --stats_.entries;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{prefix->source, std::move(prefix), bytes});
+  index_.emplace(lru_.front().source, lru_.begin());
+  bytes_ += bytes;
+  ++stats_.entries;
+  ++stats_.publishes;
+  EvictLocked();
+  return true;
+}
+
+void DistanceFieldCache::EvictLocked() {
+  while (bytes_ > static_cast<int64_t>(max_bytes_) && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    index_.erase(victim.source);
+    lru_.pop_back();
+  }
+}
+
+void DistanceFieldCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++version_;
+  ++stats_.invalidations;
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  stats_.entries = 0;
+}
+
+uint64_t DistanceFieldCache::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+DistanceFieldCache::Stats DistanceFieldCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace uots

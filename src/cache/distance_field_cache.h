@@ -1,0 +1,116 @@
+// Cross-query cache of network-expansion prefixes (tier 2).
+//
+// A UOTS search runs one resumable Dijkstra per query location. Distinct
+// queries frequently share locations (popular POIs), and a fresh expansion
+// from the same source settles exactly the same vertex/distance sequence
+// every time — so the settle-sequence prefix one query produced can be
+// *replayed* by the next query from that source instead of re-running the
+// heap. This store holds those prefixes, bounded by bytes with LRU
+// eviction, and versioned so Invalidate() atomically orphans every
+// outstanding prefix (publishers carry the version they acquired under).
+//
+// Correctness rests on determinism: a prefix is a verbatim recording of the
+// first N Step() events of a real run, and replaying it then fast-forwarding
+// a live expansion past N events reproduces the identical event stream (see
+// cache/expansion_cursor.h). The cache itself never inspects the graph.
+
+#ifndef UOTS_CACHE_DISTANCE_FIELD_CACHE_H_
+#define UOTS_CACHE_DISTANCE_FIELD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace uots {
+
+/// \brief A recorded settle-sequence prefix of one expansion source.
+///
+/// `vertices[i]` was the i-th vertex settled at distance `dists[i]`
+/// (nondecreasing). `complete` means the expansion exhausted the component,
+/// so a replayer never needs to go live.
+struct ExpansionPrefix {
+  VertexId source = 0;
+  std::vector<VertexId> vertices;
+  std::vector<double> dists;
+  bool complete = false;
+
+  size_t size() const { return vertices.size(); }
+};
+
+/// \brief Bounded, versioned, thread-safe store of expansion prefixes.
+class DistanceFieldCache {
+ public:
+  struct Options {
+    /// Approximate payload budget; LRU-evicted past this.
+    size_t max_bytes = 64 << 20;
+    /// Per-source recording cap, in settle events. Prefixes are truncated
+    /// here (and marked incomplete) so one huge expansion cannot own the
+    /// whole budget.
+    size_t max_events_per_source = 1 << 20;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t publishes = 0;  ///< accepted publications
+    int64_t rejected = 0;   ///< stale-version or not-an-improvement
+    int64_t evictions = 0;
+    int64_t invalidations = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+
+  DistanceFieldCache() : DistanceFieldCache(Options{}) {}
+  explicit DistanceFieldCache(const Options& opts);
+
+  /// Returns the best known prefix for `source` (null on miss) and the
+  /// current cache version, which must accompany any later Publish derived
+  /// from this acquisition.
+  std::shared_ptr<const ExpansionPrefix> Acquire(VertexId source,
+                                                 uint64_t* version_out);
+
+  /// Offers a prefix recorded under `version`. Rejected (returns false) if
+  /// the cache was invalidated since, if an equal-or-longer prefix is
+  /// already stored (unless this one is newly complete), or if the prefix
+  /// alone exceeds the byte budget.
+  bool Publish(std::shared_ptr<const ExpansionPrefix> prefix,
+               uint64_t version);
+
+  /// Drops everything and bumps the version; outstanding publishes under
+  /// older versions will be rejected. Call whenever the dataset changes.
+  void Invalidate();
+
+  uint64_t version() const;
+  size_t max_events_per_source() const { return max_events_per_source_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    VertexId source;
+    std::shared_ptr<const ExpansionPrefix> prefix;
+    int64_t bytes;
+  };
+
+  static int64_t ApproxBytes(const ExpansionPrefix& prefix);
+  void EvictLocked();
+
+  const size_t max_bytes_;
+  const size_t max_events_per_source_;
+
+  mutable std::mutex mu_;
+  uint64_t version_ = 1;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<VertexId, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CACHE_DISTANCE_FIELD_CACHE_H_

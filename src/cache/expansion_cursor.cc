@@ -1,0 +1,109 @@
+#include "cache/expansion_cursor.h"
+
+#include <cassert>
+
+namespace uots {
+
+void ExpansionCursor::Begin(VertexId source, DistanceFieldCache* cache) {
+  source_ = source;
+  cache_ = cache;
+  version_ = 0;
+  prefix_.reset();
+  adopted_ = false;
+  exhausted_ = false;
+  replay_pos_ = 0;
+  replay_radius_ = 0.0;
+  logical_settled_ = 0;
+  replayed_ = 0;
+  record_ = false;
+  record_truncated_ = false;
+  rec_v_.clear();
+  rec_d_.clear();
+
+  if (cache_ != nullptr) {
+    record_ = true;
+    prefix_ = cache_->Acquire(source, &version_);
+    if (prefix_ != nullptr && prefix_->source == source) {
+      adopted_ = true;
+      live_ = false;  // GoLive() positions the real expansion if needed
+      return;
+    }
+    prefix_.reset();
+  }
+  live_ = true;
+  ex_.Reset(source);
+}
+
+bool ExpansionCursor::Step(VertexId* v, double* dist) {
+  if (exhausted_) return false;
+  if (!live_) {
+    if (replay_pos_ < prefix_->size()) {
+      *v = prefix_->vertices[replay_pos_];
+      *dist = prefix_->dists[replay_pos_];
+      ++replay_pos_;
+      ++logical_settled_;
+      ++replayed_;
+      replay_radius_ = *dist;
+      return true;
+    }
+    if (prefix_->complete) {
+      exhausted_ = true;
+      return false;
+    }
+    GoLive();
+  }
+  if (!ex_.Step(v, dist)) {
+    exhausted_ = true;
+    return false;
+  }
+  ++logical_settled_;
+  if (record_) {
+    if (!record_truncated_ &&
+        replay_pos_ + rec_v_.size() < cache_->max_events_per_source()) {
+      rec_v_.push_back(*v);
+      rec_d_.push_back(*dist);
+    } else {
+      record_truncated_ = true;
+    }
+  }
+  return true;
+}
+
+void ExpansionCursor::GoLive() {
+  // The search outran the (incomplete) prefix: re-run the real expansion
+  // and discard exactly the events we replayed. Determinism of a fresh
+  // expansion makes the discarded events identical to the replayed ones,
+  // so the emitted stream is seamless.
+  ex_.Reset(source_);
+  for (size_t i = 0; i < replay_pos_; ++i) {
+    VertexId fv = kInvalidVertex;
+    double fd = 0.0;
+    const bool ok = ex_.Step(&fv, &fd);
+    (void)ok;
+    assert(ok && "cached prefix longer than the component");
+    assert(fv == prefix_->vertices[i] && fd == prefix_->dists[i] &&
+           "cached prefix diverged from a fresh expansion");
+  }
+  live_ = true;
+}
+
+bool ExpansionCursor::Publish() {
+  // rec_v_ non-empty implies we went live, which implies the whole adopted
+  // prefix (if any) was consumed — so prefix + recording is contiguous.
+  if (cache_ == nullptr || rec_v_.empty()) return false;
+  auto out = std::make_shared<ExpansionPrefix>();
+  out->source = source_;
+  const size_t head = prefix_ != nullptr ? prefix_->size() : 0;
+  out->vertices.reserve(head + rec_v_.size());
+  out->dists.reserve(head + rec_d_.size());
+  if (prefix_ != nullptr) {
+    out->vertices.assign(prefix_->vertices.begin(), prefix_->vertices.end());
+    out->dists.assign(prefix_->dists.begin(), prefix_->dists.end());
+  }
+  out->vertices.insert(out->vertices.end(), rec_v_.begin(), rec_v_.end());
+  out->dists.insert(out->dists.end(), rec_d_.begin(), rec_d_.end());
+  out->complete = exhausted_ && !record_truncated_;
+  return cache_->Publish(std::move(out), version_);
+}
+
+}  // namespace uots

@@ -1,0 +1,100 @@
+// ExpansionCursor — a NetworkExpansion front-end that replays cached
+// settle-sequence prefixes and records fresh ones (tier-2 caching).
+//
+// Drop-in for the searcher's direct NetworkExpansion use: Begin() instead
+// of Reset(), then the same Step()/radius()/exhausted()/settled_count()
+// surface. With no cache attached the cursor is a thin pass-through.
+//
+// With a cache: Begin() tries to adopt a stored prefix for the source. While
+// one is adopted, Step() emits the recorded events verbatim — no heap work.
+// If the search outruns the prefix (and the prefix is not complete), the
+// cursor *fast-forwards*: it resets the real expansion and discards exactly
+// as many live Step() events as were replayed. Because a fresh expansion's
+// settle sequence is deterministic, the discarded events are identical to
+// the replayed ones (debug builds assert this), so the overall event stream
+// — and therefore every downstream score bit — matches a cache-off run.
+// Fast-forward re-pays the heap cost of the prefix; the win is that most
+// searches terminate inside the prefix and never go live at all.
+//
+// Step() events are recorded up to the cache's per-source cap; Publish()
+// (call after the search settles its last event) offers prefix + recording
+// back to the cache so later queries benefit from the deepest run so far.
+
+#ifndef UOTS_CACHE_EXPANSION_CURSOR_H_
+#define UOTS_CACHE_EXPANSION_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cache/distance_field_cache.h"
+#include "net/expansion.h"
+#include "net/graph.h"
+
+namespace uots {
+
+/// \brief Replaying/recording cursor over one expansion source.
+class ExpansionCursor {
+ public:
+  explicit ExpansionCursor(const RoadNetwork& g) : ex_(g) {}
+
+  /// (Re)starts from `source`. `cache` may be null (pass-through mode).
+  void Begin(VertexId source, DistanceFieldCache* cache);
+
+  /// Same contract as NetworkExpansion::Step — settles (or replays) the
+  /// next-nearest vertex; false once the component is exhausted.
+  bool Step(VertexId* v, double* dist);
+
+  /// Exact distance of the last emitted event (replayed or live); lower
+  /// bound for everything not yet emitted. 0 before the first Step().
+  double radius() const { return live_ ? ex_.radius() : replay_radius_; }
+
+  bool exhausted() const { return exhausted_; }
+  VertexId source() const { return source_; }
+
+  /// Logical events emitted (replayed + live) — what scheduling heuristics
+  /// must see so cache-on decisions match cache-off ones.
+  int64_t settled_count() const { return logical_settled_; }
+
+  /// Heap work actually performed this run (0 while replaying). During
+  /// fast-forward the discarded events' heap work IS counted — it really
+  /// happened.
+  int64_t heap_pops() const { return live_ ? ex_.heap_pops() : 0; }
+  int64_t heap_pushes() const { return live_ ? ex_.heap_pushes() : 0; }
+  int64_t heap_decreases() const { return live_ ? ex_.heap_decreases() : 0; }
+  /// Live settles (= heap_pops() here; the expansion has no stale pops).
+  int64_t live_settled_count() const { return live_ ? ex_.settled_count() : 0; }
+
+  bool from_cache() const { return adopted_; }
+  int64_t replayed_count() const { return replayed_; }
+
+  /// Offers this run's events to the cache (adopted prefix + anything
+  /// recorded past it). Returns true if the cache accepted — i.e. this run
+  /// deepened (or completed) the stored prefix.
+  bool Publish();
+
+ private:
+  void GoLive();
+
+  NetworkExpansion ex_;
+  DistanceFieldCache* cache_ = nullptr;
+  uint64_t version_ = 0;
+  std::shared_ptr<const ExpansionPrefix> prefix_;
+
+  VertexId source_ = kInvalidVertex;
+  bool adopted_ = false;    ///< a prefix was adopted at Begin()
+  bool live_ = true;        ///< real expansion is positioned past replay
+  bool exhausted_ = false;
+  size_t replay_pos_ = 0;   ///< next prefix event to emit
+  double replay_radius_ = 0.0;
+  int64_t logical_settled_ = 0;
+  int64_t replayed_ = 0;
+
+  bool record_ = false;
+  bool record_truncated_ = false;
+  std::vector<VertexId> rec_v_;
+  std::vector<double> rec_d_;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CACHE_EXPANSION_CURSOR_H_

@@ -1,0 +1,64 @@
+#include "cache/query_key.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace uots {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  std::memcpy(b, &v, sizeof(b));
+  out->append(b, sizeof(b));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char b[8];
+  std::memcpy(b, &v, sizeof(b));
+  out->append(b, sizeof(b));
+}
+
+}  // namespace
+
+std::string EncodeResultCacheKey(const UotsQuery& query, AlgorithmKind kind,
+                                 const UotsSearchOptions& opts,
+                                 uint64_t fingerprint) {
+  std::string out;
+  out.reserve(32 + 4 * query.locations.size() +
+              4 * query.keywords.terms().size());
+  out.push_back('\x01');  // key schema version
+  PutU64(fingerprint, &out);
+  out.push_back(static_cast<char>(kind));
+  out.push_back(static_cast<char>(opts.scheduling));
+  PutU32(static_cast<uint32_t>(opts.batch_size), &out);
+  uint64_t lambda_bits;
+  static_assert(sizeof(lambda_bits) == sizeof(query.lambda));
+  std::memcpy(&lambda_bits, &query.lambda, sizeof(lambda_bits));
+  PutU64(lambda_bits, &out);
+  PutU32(static_cast<uint32_t>(query.k), &out);
+
+  // The score is permutation-invariant in the query locations, so sort
+  // them; duplicates are kept (m and the per-source decay sum both see
+  // them). Keywords are canonical already (KeywordSet sorts + dedups).
+  std::vector<VertexId> locations = query.locations;
+  std::sort(locations.begin(), locations.end());
+  PutU32(static_cast<uint32_t>(locations.size()), &out);
+  for (VertexId v : locations) PutU32(static_cast<uint32_t>(v), &out);
+  const auto terms = query.keywords.terms();
+  PutU32(static_cast<uint32_t>(terms.size()), &out);
+  for (TermId t : terms) PutU32(static_cast<uint32_t>(t), &out);
+  return out;
+}
+
+uint64_t HashCacheKey(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace uots

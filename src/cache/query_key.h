@@ -1,0 +1,36 @@
+// Canonical result-cache keys for UOTS queries.
+//
+// Two requests that must produce bit-identical answers must map to the same
+// key; two requests that may differ in any output bit must not. The key is
+// therefore the full canonicalized query *value*, binary-encoded — not a
+// hash — so equal keys imply equal queries with no collision risk; hashing
+// happens only for shard selection. Canonicalization sorts the query
+// locations (the UOTS score is permutation-invariant in them) and relies on
+// KeywordSet already being sorted + deduplicated. The dataset fingerprint
+// salts every key so a cache can never serve answers computed against a
+// different dataset build (see TrajectoryDatabase::fingerprint()).
+
+#ifndef UOTS_CACHE_QUERY_KEY_H_
+#define UOTS_CACHE_QUERY_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/algorithm.h"
+#include "core/query.h"
+
+namespace uots {
+
+/// Binary key: schema version, fingerprint, algorithm kind, the
+/// UotsSearchOptions knobs that steer the search (scheduling, batch size),
+/// lambda bits, k, sorted locations, sorted keyword terms.
+std::string EncodeResultCacheKey(const UotsQuery& query, AlgorithmKind kind,
+                                 const UotsSearchOptions& opts,
+                                 uint64_t fingerprint);
+
+/// 64-bit FNV-1a over the key bytes (shard selection, not identity).
+uint64_t HashCacheKey(const std::string& key);
+
+}  // namespace uots
+
+#endif  // UOTS_CACHE_QUERY_KEY_H_

@@ -1,0 +1,127 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cache/query_key.h"
+
+namespace uots {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& opts) {
+  const size_t nshards =
+      RoundUpPow2(std::clamp<size_t>(opts.shards, 1, 256));
+  per_shard_capacity_ = std::max<size_t>(1, opts.max_entries / nshards);
+  ttl_ns_ = opts.ttl_ms > 0.0
+                ? static_cast<int64_t>(opts.ttl_ms * 1e6)
+                : 0;
+  shards_.reserve(nshards);
+  for (size_t i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[HashCacheKey(key) & (shards_.size() - 1)];
+}
+
+int64_t ResultCache::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ResultCache::ApproxBytes(const CachedResult& value) {
+  return static_cast<int64_t>(sizeof(CachedResult) +
+                              value.items.size() * sizeof(ScoredTrajectory));
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second->expires_ns != 0 && NowNs() >= it->second->expires_ns) {
+    bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const CachedResult> value) {
+  if (value == nullptr) return;
+  Entry entry;
+  entry.key = key;
+  entry.bytes = ApproxBytes(*value);
+  entry.expires_ns = ttl_ns_ > 0 ? NowNs() + ttl_ns_ : 0;
+  entry.value = std::move(value);
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    bytes_.fetch_add(entry.bytes - it->second->bytes,
+                     std::memory_order_relaxed);
+    *it->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(shard.lru.front().bytes, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) {
+      bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace uots

@@ -1,0 +1,105 @@
+// Sharded, capacity-bounded LRU cache of finished query answers.
+//
+// The serving tier in front of the search engines: a hit returns the full
+// scored top-k plus the QueryStats of the run that produced it, without
+// touching the thread pool. Keys come from EncodeResultCacheKey (which
+// already folds in the dataset fingerprint), values are immutable and
+// shared, so a hit costs one shard mutex plus a shared_ptr copy and the
+// entry can be evicted while readers still hold it.
+
+#ifndef UOTS_CACHE_RESULT_CACHE_H_
+#define UOTS_CACHE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace uots {
+
+/// \brief A cached answer: the items a fresh run would return, bit for bit,
+/// plus the stats of the run that computed them.
+struct CachedResult {
+  std::vector<ScoredTrajectory> items;
+  QueryStats stats;
+};
+
+/// \brief Thread-safe sharded LRU with optional TTL.
+class ResultCache {
+ public:
+  struct Options {
+    /// Total entry budget across all shards (each shard gets an equal cut,
+    /// at least 1). 0 entries would make every Insert a no-op; callers
+    /// disable caching by not constructing a cache instead.
+    size_t max_entries = 4096;
+    /// Entry lifetime; 0 = never expires.
+    double ttl_ms = 0.0;
+    /// Rounded up to a power of two, clamped to [1, 256].
+    size_t shards = 8;
+  };
+
+  /// Monotonic totals since construction (Clear() resets entries/bytes
+  /// but not the event counters).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;  ///< capacity evictions only
+    int64_t expired = 0;    ///< TTL drops (counted in misses too)
+    int64_t entries = 0;
+    int64_t bytes = 0;  ///< approximate payload bytes of live entries
+  };
+
+  ResultCache() : ResultCache(Options{}) {}
+  explicit ResultCache(const Options& opts);
+
+  /// Returns the cached value or null; a TTL-expired entry is erased and
+  /// counted as a miss.
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) `value` under `key` and evicts LRU entries past
+  /// the shard capacity.
+  void Insert(const std::string& key, std::shared_ptr<const CachedResult> value);
+
+  /// Drops every entry (event counters keep their totals).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedResult> value;
+    int64_t expires_ns = 0;  ///< 0 = never
+    int64_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  static int64_t NowNs();
+  static int64_t ApproxBytes(const CachedResult& value);
+
+  size_t per_shard_capacity_;
+  int64_t ttl_ns_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> entries_{0};
+  std::atomic<int64_t> bytes_{0};
+};
+
+}  // namespace uots
+
+#endif  // UOTS_CACHE_RESULT_CACHE_H_

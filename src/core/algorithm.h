@@ -66,6 +66,8 @@ class SearchAlgorithm {
   const CancelToken* cancel_ = nullptr;
 };
 
+class DistanceFieldCache;  // cache/distance_field_cache.h
+
 /// \brief Tuning knobs for the UOTS searcher (see core/search.h).
 struct UotsSearchOptions {
   /// Query-source scheduling policy.
@@ -73,6 +75,11 @@ struct UotsSearchOptions {
   /// Minimum expansion steps between scheduling / termination checks (the
   /// effective batch adapts upward with the partly-scanned set size).
   int batch_size = 64;
+  /// Optional cross-query expansion-prefix cache shared between engines
+  /// (thread-safe; see cache/distance_field_cache.h). Null = off. Results
+  /// are bit-identical either way; only heap work is saved. Excluded from
+  /// result-cache keys for the same reason.
+  std::shared_ptr<DistanceFieldCache> distance_cache;
 };
 
 /// Creates a fresh engine of the given kind over `db`.

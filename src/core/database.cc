@@ -1,6 +1,17 @@
 #include "core/database.h"
 
+#include <algorithm>
+
 namespace uots {
+
+namespace {
+
+uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
 
 TrajectoryDatabase::TrajectoryDatabase(RoadNetwork network,
                                        TrajectoryStore store,
@@ -19,6 +30,7 @@ TrajectoryDatabase::TrajectoryDatabase(RoadNetwork network,
   keyword_index_->Finalize();
   time_index_ = std::make_unique<TimeIndex>(store_);
   ApplyModelWiring(opts);
+  fingerprint_ = ComputeStructuralFingerprint();
 }
 
 TrajectoryDatabase::TrajectoryDatabase(Parts parts,
@@ -32,6 +44,33 @@ TrajectoryDatabase::TrajectoryDatabase(Parts parts,
       time_index_(std::move(parts.time_index)),
       backing_(std::move(parts.backing)) {
   ApplyModelWiring(opts);
+  fingerprint_ = parts.fingerprint != 0 ? parts.fingerprint
+                                        : ComputeStructuralFingerprint();
+}
+
+uint64_t TrajectoryDatabase::ComputeStructuralFingerprint() const {
+  uint64_t h = 0x75f17d6b3588f843ULL;
+  h = MixFingerprint(h, network_.NumVertices());
+  h = MixFingerprint(h, network_.NumEdges());
+  h = MixFingerprint(h, store_.size());
+  h = MixFingerprint(h, store_.TotalSamples());
+  h = MixFingerprint(h, store_.TotalKeywordTerms());
+  h = MixFingerprint(h, vocabulary_.size());
+  // Sample up to 64 trajectories' shape so same-size datasets with
+  // different contents still diverge.
+  const size_t n = store_.size();
+  const size_t stride = std::max<size_t>(1, n / 64);
+  for (TrajId id = 0; static_cast<size_t>(id) < n;
+       id += static_cast<TrajId>(stride)) {
+    const auto samples = store_.SamplesOf(id);
+    h = MixFingerprint(h, samples.size());
+    if (!samples.empty()) {
+      h = MixFingerprint(h, samples.front().vertex);
+      h = MixFingerprint(h, samples.back().vertex);
+    }
+    h = MixFingerprint(h, store_.KeywordsOf(id).size());
+  }
+  return h != 0 ? h : 1;  // 0 is reserved for "unknown"
 }
 
 void TrajectoryDatabase::ApplyModelWiring(const SimilarityOptions& opts) {

@@ -48,6 +48,9 @@ class TrajectoryDatabase {
     std::unique_ptr<InvertedKeywordIndex> keyword_index;
     std::unique_ptr<TimeIndex> time_index;
     std::shared_ptr<const void> backing;
+    /// Dataset identity (the snapshot superblock's dataset_fingerprint).
+    /// 0 = unknown; the database then computes a structural fingerprint.
+    uint64_t fingerprint = 0;
   };
 
   /// Assembles a database from prebuilt parts without rebuilding any index.
@@ -63,6 +66,15 @@ class TrajectoryDatabase {
   const TimeIndex& time_index() const { return *time_index_; }
   const SimilarityModel& model() const { return model_; }
 
+  /// \brief Nonzero identity of this dataset build, for salting caches.
+  ///
+  /// Snapshot-loaded databases carry the superblock's dataset fingerprint;
+  /// text-built databases get a structural hash (sizes plus sampled
+  /// trajectory shape). The two load paths fingerprint the same data
+  /// differently — acceptable for cache salting, where a false mismatch
+  /// only costs a recompute while a false match would serve wrong answers.
+  uint64_t fingerprint() const { return fingerprint_; }
+
   /// Total bytes across network, store, and indexes (approximate).
   size_t MemoryUsage() const { return Memory().total(); }
 
@@ -73,6 +85,7 @@ class TrajectoryDatabase {
 
  private:
   void ApplyModelWiring(const SimilarityOptions& opts);
+  uint64_t ComputeStructuralFingerprint() const;
 
   RoadNetwork network_;
   TrajectoryStore store_;
@@ -84,6 +97,7 @@ class TrajectoryDatabase {
   /// Keeps view-backing memory (mmap'd snapshot) alive; null for heap-built
   /// databases.
   std::shared_ptr<const void> backing_;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace uots

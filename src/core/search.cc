@@ -145,11 +145,11 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
 
   // ---- Spatial domain: one expansion per query location. ----
   while (expansions_.size() < m) {
-    expansions_.push_back(std::make_unique<NetworkExpansion>(db_->network()));
+    expansions_.push_back(std::make_unique<ExpansionCursor>(db_->network()));
   }
   std::vector<double> cur_decay(m);  // e^(-radius_i/sigma); 0 once exhausted
   for (size_t i = 0; i < m; ++i) {
-    expansions_[i]->Reset(query.locations[i]);
+    expansions_[i]->Begin(query.locations[i], opts_.distance_cache.get());
     cur_decay[i] = 1.0;
   }
   size_t exhausted_count = 0;
@@ -298,7 +298,7 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
       ScopedPhase round(stats, QueryPhase::kSpatialExpansion);
       const int batch =
           std::max<int>(opts_.batch_size, static_cast<int>(partial_count / 4));
-      NetworkExpansion& ex = *expansions_[cur];
+      ExpansionCursor& ex = *expansions_[cur];
       if (!ex.exhausted()) {
         for (int step = 0; step < batch; ++step) {
           VertexId v;
@@ -404,13 +404,20 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
   }
 
   // Expose the heap behavior of this query's expansions: with the indexed
-  // frontier heap, pops == settles (stale pops would show up here).
+  // frontier heap, pops == settles (stale pops would show up here). Heap
+  // counters are live work only — replayed events did no heap work, which
+  // is exactly the tier-2 saving — so settles are compared against the
+  // cursor's live count, not its logical one. Prefixes are published even
+  // from aborted searches: any recorded prefix is a valid recording.
   for (size_t i = 0; i < m; ++i) {
-    const NetworkExpansion& done = *expansions_[i];
+    ExpansionCursor& done = *expansions_[i];
     stats->heap_pops += done.heap_pops();
     stats->heap_pushes += done.heap_pushes();
     stats->heap_decreases += done.heap_decreases();
-    stats->heap_stale_pops += done.heap_pops() - done.settled_count();
+    stats->heap_stale_pops += done.heap_pops() - done.live_settled_count();
+    if (done.from_cache()) ++stats->dcache_hits;
+    stats->dcache_replayed += done.replayed_count();
+    if (done.Publish()) ++stats->dcache_published;
   }
   if (aborted) {
     return Status::DeadlineExceeded("search aborted by deadline/cancel");

@@ -36,8 +36,8 @@
 #include <memory>
 #include <vector>
 
+#include "cache/expansion_cursor.h"
 #include "core/algorithm.h"
-#include "net/expansion.h"
 #include "util/versioned.h"
 
 namespace uots {
@@ -100,7 +100,9 @@ class UotsSearcher : public SearchAlgorithm {
 
   const TrajectoryDatabase* db_;
   UotsSearchOptions opts_;
-  std::vector<std::unique_ptr<NetworkExpansion>> expansions_;
+  /// Expansion cursors: plain resumable Dijkstras without a distance cache,
+  /// replay/record front-ends with one (opts_.distance_cache).
+  std::vector<std::unique_ptr<ExpansionCursor>> expansions_;
   VersionedArray<int32_t> state_slot_;  ///< traj id -> index into states_
   VersionedArray<double> text_of_;      ///< traj id -> exact SimT
   std::vector<TrajState> states_;

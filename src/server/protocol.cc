@@ -185,6 +185,9 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   if (req.deadline_ms > 0.0) {
     o.Set("deadline_ms", JsonValue::Number(req.deadline_ms));
   }
+  if (req.cache == CacheMode::kBypass) {
+    o.Set("cache", JsonValue::Str("bypass"));
+  }
   return o.Serialize();
 }
 
@@ -260,6 +263,17 @@ Result<QueryRequest> ParseQueryRequest(std::string_view json) {
     }
     req.deadline_ms = dl->number_value();
   }
+  if (const JsonValue* cache = o.Find("cache")) {
+    if (!cache->is_string()) {
+      return Status::InvalidArgument("cache must be a string");
+    }
+    const std::string_view mode = cache->string_value();
+    if (mode == "bypass") {
+      req.cache = CacheMode::kBypass;
+    } else if (mode != "default") {
+      return Status::InvalidArgument("cache must be \"default\" or \"bypass\"");
+    }
+  }
   return req;
 }
 
@@ -282,6 +296,7 @@ std::string EncodeQueryResponse(const QueryResponse& resp) {
     items.Append(std::move(item));
   }
   o.Set("results", std::move(items));
+  if (resp.cached) o.Set("cached", JsonValue::Bool(true));
   std::string out;
   out.reserve(256);
   // Serialize up to (and excluding) the closing brace, then splice the
@@ -342,6 +357,9 @@ Result<QueryResponse> ParseQueryResponse(std::string_view json) {
       resp.results.push_back(st);
     }
   }
+  if (const JsonValue* cached = o.Find("cached")) {
+    resp.cached = cached->BoolOr(false);
+  }
   if (const JsonValue* stats = o.Find("stats")) {
     if (stats->is_object()) {
       resp.has_stats = true;
@@ -360,6 +378,9 @@ Result<QueryResponse> ParseQueryResponse(std::string_view json) {
       resp.stats.posting_entries = geti("posting_entries");
       resp.stats.schedule_steps = geti("schedule_steps");
       resp.stats.bound_rebuilds = geti("bound_rebuilds");
+      resp.stats.dcache_hits = geti("dcache_hits");
+      resp.stats.dcache_replayed = geti("dcache_replayed");
+      resp.stats.dcache_published = geti("dcache_published");
       if (const JsonValue* ms = stats->Find("elapsed_ms")) {
         resp.stats.elapsed_ms = ms->NumberOr(0.0);
       }

@@ -105,6 +105,12 @@ bool IsRetryable(ResponseStatus s);
 /// Maps an engine/validation Status to the wire status.
 ResponseStatus FromStatus(const Status& st);
 
+/// \brief Per-request result-cache policy.
+enum class CacheMode {
+  kDefault,  ///< use the server's result cache when it has one
+  kBypass,   ///< always compute; do not read or populate the cache
+};
+
 /// \brief A decoded query request.
 struct QueryRequest {
   int64_t id = 0;
@@ -112,6 +118,8 @@ struct QueryRequest {
   AlgorithmKind algorithm = AlgorithmKind::kUots;
   bool has_algorithm = false;  ///< request named one explicitly
   double deadline_ms = 0.0;    ///< 0 = use the server default
+  /// Wire field "cache": "default" (omitted) or "bypass".
+  CacheMode cache = CacheMode::kDefault;
 };
 
 std::string EncodeQueryRequest(const QueryRequest& req);
@@ -127,6 +135,9 @@ struct QueryResponse {
   std::vector<ScoredTrajectory> results;
   bool has_stats = false;
   QueryStats stats;           ///< engine counters (subset survives decode)
+  /// True when the answer came from the server's result cache (the stats
+  /// are then those of the run that populated the entry).
+  bool cached = false;
   double queue_wait_ms = 0.0; ///< time between admission and worker pickup
   double execute_ms = 0.0;    ///< engine wall time on the worker
 

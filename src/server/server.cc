@@ -199,6 +199,7 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
   }
   QueryRequest req = std::move(*parsed);
   ++counters_.requests;
+  const int64_t arrival_ns = EventLoop::NowNs();
 
   if (draining_) {
     ++counters_.rejected_shutting_down;
@@ -207,10 +208,35 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
     return;
   }
 
+  const AlgorithmKind kind =
+      req.has_algorithm ? req.algorithm : AlgorithmKind::kUots;
+
+  // Result-cache probe, on the reactor thread: a hit answers immediately
+  // without touching admission or the thread pool. On a miss the canonical
+  // key rides along so the worker populates the cache.
+  std::string cache_key;
+  if (req.cache != CacheMode::kBypass) {
+    if (auto hit = service_->CacheLookup(req.query, kind, &cache_key)) {
+      ++counters_.cache_hits;
+      ++counters_.responses_ok;
+      QueryResponse resp;
+      resp.id = req.id;
+      resp.status = ResponseStatus::kOk;
+      resp.results = hit->items;
+      resp.has_stats = true;
+      resp.stats = hit->stats;
+      resp.cached = true;
+      SendResponse(conn, resp);
+      MetricsRegistry::Global().Record("server.request_latency",
+                                       EventLoop::NowNs() - arrival_ns);
+      return;
+    }
+  }
+
   auto ctx = std::make_shared<RequestCtx>();
   ctx->conn_id = conn->id();
   ctx->request_id = req.id;
-  ctx->arrival_ns = EventLoop::NowNs();
+  ctx->arrival_ns = arrival_ns;
   ctx->deadline_ms = req.deadline_ms > 0.0
                          ? req.deadline_ms
                          : opts_.service.default_deadline_ms;
@@ -218,15 +244,15 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
     ctx->token.SetDeadlineAfterMs(ctx->deadline_ms);
   }
 
-  const AlgorithmKind kind =
-      req.has_algorithm ? req.algorithm : AlgorithmKind::kUots;
   const bool admitted = service_->TryExecute(
-      req.query, kind, &ctx->token, [this, ctx](ExecutionResult r) {
+      req.query, kind, &ctx->token,
+      [this, ctx](ExecutionResult r) {
         // Worker thread: hop back to the loop that owns the connection.
         loop_.Post([this, ctx, r = std::move(r)]() mutable {
           OnComplete(ctx, std::move(r));
         });
-      });
+      },
+      std::move(cache_key));
   if (!admitted) {
     if (service_->shutting_down()) {
       ++counters_.rejected_shutting_down;

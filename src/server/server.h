@@ -58,6 +58,7 @@ struct ServerCounters {
   int64_t connections_rejected = 0;  ///< max_connections hit
   int64_t requests = 0;              ///< parsed frames that named a query
   int64_t responses_ok = 0;
+  int64_t cache_hits = 0;  ///< ok responses served from the result cache
   int64_t rejected_overloaded = 0;
   int64_t rejected_shutting_down = 0;
   int64_t deadline_exceeded = 0;

@@ -3,6 +3,7 @@
 #include <thread>
 #include <utility>
 
+#include "cache/query_key.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -22,6 +23,14 @@ UotsService::UotsService(const TrajectoryDatabase& db,
   // counter, but a matching bound documents (and enforces) the invariant.
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads),
                                        opts_.max_inflight);
+  if (opts_.cache_max_entries > 0) {
+    ResultCache::Options copts;
+    copts.max_entries = opts_.cache_max_entries;
+    copts.ttl_ms = opts_.cache_ttl_ms;
+    copts.shards = opts_.cache_shards;
+    result_cache_ = std::make_unique<ResultCache>(copts);
+    cache_salt_ = db_.fingerprint();
+  }
 }
 
 UotsService::~UotsService() {
@@ -60,12 +69,60 @@ void UotsService::ReleaseEngine(AlgorithmKind kind,
                                 std::unique_ptr<SearchAlgorithm> engine) {
   engine->set_cancel(nullptr);  // never let a dead request's token linger
   std::lock_guard<std::mutex> lock(engines_mu_);
+  // Cap the pool at one idle engine per worker and per kind: at most
+  // `threads` requests of a kind run concurrently, so extras could only
+  // accumulate (e.g. after a burst that mixed algorithms) and pin scratch
+  // memory forever. Beyond the cap the engine is simply destroyed.
+  size_t same_kind = 0;
+  for (const PooledEngine& p : free_engines_) {
+    if (p.kind == kind) ++same_kind;
+  }
+  if (same_kind >= static_cast<size_t>(opts_.threads)) return;
   free_engines_.push_back(PooledEngine{kind, std::move(engine)});
+}
+
+size_t UotsService::pooled_engines(AlgorithmKind kind) const {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  size_t n = 0;
+  for (const PooledEngine& p : free_engines_) {
+    if (p.kind == kind) ++n;
+  }
+  return n;
+}
+
+size_t UotsService::pooled_engines() const {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  return free_engines_.size();
+}
+
+std::shared_ptr<const CachedResult> UotsService::CacheLookup(
+    const UotsQuery& query, AlgorithmKind kind, std::string* key_out) {
+  if (result_cache_ == nullptr) {
+    key_out->clear();
+    return nullptr;
+  }
+  WallTimer timer;
+  *key_out = EncodeResultCacheKey(query, kind, opts_.uots, cache_salt_);
+  auto hit = result_cache_->Lookup(*key_out);
+  MetricsRegistry::Global().Record(
+      "server.cache.lookup", static_cast<int64_t>(timer.ElapsedMillis() * 1e6));
+  return hit;
+}
+
+void UotsService::PublishCacheMetrics() const {
+  if (result_cache_ == nullptr) return;
+  const ResultCache::Stats s = result_cache_->stats();
+  auto& reg = MetricsRegistry::Global();
+  reg.SetCounter("server.cache.hits", s.hits);
+  reg.SetCounter("server.cache.misses", s.misses);
+  reg.SetCounter("server.cache.evictions", s.evictions + s.expired);
+  reg.SetCounter("server.cache.bytes", s.bytes);
 }
 
 bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
                              const CancelToken* cancel,
-                             std::function<void(ExecutionResult)> done) {
+                             std::function<void(ExecutionResult)> done,
+                             std::string cache_key) {
   if (shutting_down_.load(std::memory_order_relaxed)) return false;
   // Reserve an admission slot; undo on any rejection path.
   const size_t prev = inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -75,7 +132,7 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
   }
   const int64_t admitted_ns = CancelToken::NowNs();
   auto task = [this, query, kind, cancel, done = std::move(done),
-               admitted_ns]() mutable {
+               cache_key = std::move(cache_key), admitted_ns]() mutable {
     UOTS_TRACE_SCOPE("server_execute");
     ExecutionResult out;
     out.queue_wait_ms =
@@ -91,6 +148,12 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
       ReleaseEngine(kind, std::move(engine));
       if (r.ok()) {
         out.result = std::move(*r);
+        if (result_cache_ != nullptr && !cache_key.empty()) {
+          auto cached = std::make_shared<CachedResult>();
+          cached->items = out.result.items;
+          cached->stats = out.result.stats;
+          result_cache_->Insert(cache_key, std::move(cached));
+        }
       } else {
         out.status = r.status();
       }

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "core/algorithm.h"
 #include "core/database.h"
 #include "util/cancel.h"
@@ -36,6 +37,12 @@ struct ServiceOptions {
   size_t max_inflight = 256;
   /// Deadline applied to requests that do not carry one; 0 disables.
   double default_deadline_ms = 0.0;
+  /// Result-cache entry budget; 0 disables the result cache entirely.
+  size_t cache_max_entries = 0;
+  /// Result-cache entry TTL in milliseconds; 0 = never expires.
+  double cache_ttl_ms = 0.0;
+  /// Result-cache shard count (rounded to a power of two).
+  size_t cache_shards = 8;
   /// Engine knobs shared by every pooled UOTS engine.
   UotsSearchOptions uots;
 };
@@ -65,9 +72,30 @@ class UotsService {
   /// valid until `done` runs; `done` is invoked exactly once on a worker
   /// thread when admission succeeds. \return false when the service is at
   /// capacity or shutting down — `done` is NOT invoked in that case.
+  /// A non-empty `cache_key` (from CacheLookup's miss path) makes a
+  /// successful result populate the result cache on the worker thread.
   bool TryExecute(const UotsQuery& query, AlgorithmKind kind,
                   const CancelToken* cancel,
-                  std::function<void(ExecutionResult)> done);
+                  std::function<void(ExecutionResult)> done,
+                  std::string cache_key = {});
+
+  /// \brief Result-cache probe, cheap enough for the reactor thread.
+  ///
+  /// Returns the cached answer on a hit. On a miss, `key_out` receives the
+  /// canonical key to pass to TryExecute so the computed result gets
+  /// cached; with caching disabled (or for bypassed requests — don't call)
+  /// `key_out` is cleared and the return is null. Lookup time lands in the
+  /// "server.cache.lookup" histogram.
+  std::shared_ptr<const CachedResult> CacheLookup(const UotsQuery& query,
+                                                  AlgorithmKind kind,
+                                                  std::string* key_out);
+
+  /// The result cache, or null when ServiceOptions disabled it.
+  ResultCache* result_cache() { return result_cache_.get(); }
+
+  /// Copies cache counters into MetricsRegistry::Global() under
+  /// server.cache.{hits,misses,evictions,bytes}. Call before scraping.
+  void PublishCacheMetrics() const;
 
   /// Requests currently admitted (queued + executing).
   size_t inflight() const {
@@ -86,6 +114,11 @@ class UotsService {
   const ServiceOptions& options() const { return opts_; }
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// Idle pooled engines of `kind` (bounded by the worker count).
+  size_t pooled_engines(AlgorithmKind kind) const;
+  /// Idle pooled engines across all kinds.
+  size_t pooled_engines() const;
+
  private:
   /// A pooled engine; created lazily, one per concurrently-running request
   /// of its kind (bounded by the worker count).
@@ -101,8 +134,11 @@ class UotsService {
   const TrajectoryDatabase& db_;
   ServiceOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ResultCache> result_cache_;
+  /// Dataset identity folded into every cache key (see db.fingerprint()).
+  uint64_t cache_salt_ = 0;
 
-  std::mutex engines_mu_;
+  mutable std::mutex engines_mu_;
   std::vector<PooledEngine> free_engines_;
 
   std::atomic<size_t> inflight_{0};

@@ -382,7 +382,8 @@ Result<std::unique_ptr<TrajectoryDatabase>> LoadSnapshot(
           ViewOf<uint32_t>(*file, info, SectionId::kKeywordIndexDocSizes))),
       std::make_unique<TimeIndex>(TimeIndex::FromColumns(
           ViewOf<TimeIndex::Entry>(*file, info, SectionId::kTimeIndexEntries))),
-      std::shared_ptr<const void>(file, file->data())};
+      std::shared_ptr<const void>(file, file->data()),
+      info.superblock.dataset_fingerprint};
 
   return std::make_unique<TrajectoryDatabase>(std::move(parts),
                                               opts.similarity);

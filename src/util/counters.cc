@@ -27,7 +27,9 @@ std::string QueryStats::ToString() const {
      << " pushes=" << heap_pushes << " decreases=" << heap_decreases
      << " stale=" << heap_stale_pops << " candidates=" << candidates
      << " postings=" << posting_entries << " steps=" << schedule_steps
-     << " rebuilds=" << bound_rebuilds << " ms=" << elapsed_ms;
+     << " rebuilds=" << bound_rebuilds << " dcache_hits=" << dcache_hits
+     << " dcache_replayed=" << dcache_replayed
+     << " dcache_published=" << dcache_published << " ms=" << elapsed_ms;
   os << " phases[";
   for (int i = 0; i < kNumQueryPhases; ++i) {
     if (i != 0) os << " ";
@@ -51,6 +53,9 @@ std::string QueryStats::ToJson() const {
      << ", \"posting_entries\": " << posting_entries
      << ", \"schedule_steps\": " << schedule_steps
      << ", \"bound_rebuilds\": " << bound_rebuilds
+     << ", \"dcache_hits\": " << dcache_hits
+     << ", \"dcache_replayed\": " << dcache_replayed
+     << ", \"dcache_published\": " << dcache_published
      << ", \"elapsed_ms\": " << elapsed_ms << ", \"phase_ms\": {";
   for (int i = 0; i < kNumQueryPhases; ++i) {
     if (i != 0) os << ", ";

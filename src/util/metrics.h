@@ -1,10 +1,12 @@
-// Process-wide metrics surface: named latency histograms.
+// Process-wide metrics surface: named latency histograms plus counters.
 //
 // Hot paths never touch the registry directly — batch workers and engines
 // accumulate into private LatencyHistogram instances and merge them in one
 // mutex-protected call at the end of a run. The registry is the read side:
 // benches, examples, and services snapshot it to report p50/p95/p99 across
-// everything that executed since the last Clear().
+// everything that executed since the last Clear(). Counters cover the
+// monotonic side (cache hits, evictions, bytes): subsystems that already
+// keep their own atomics publish them with SetCounter at report points.
 
 #ifndef UOTS_UTIL_METRICS_H_
 #define UOTS_UTIL_METRICS_H_
@@ -40,7 +42,21 @@ class MetricsRegistry {
   /// Consistent copy of every (name, histogram) pair, sorted by name.
   std::vector<std::pair<std::string, LatencyHistogram>> Snapshot() const;
 
-  /// One "name: n=.. p50=.. ..." line per histogram.
+  /// Adds `delta` to the counter under `name` (created at 0 on first use).
+  void AddCounter(const std::string& name, int64_t delta);
+
+  /// Overwrites the counter under `name` — the publish-at-report-point API
+  /// for subsystems that maintain their own atomics.
+  void SetCounter(const std::string& name, int64_t value);
+
+  /// Current counter value; 0 when absent.
+  int64_t GetCounter(const std::string& name) const;
+
+  /// Consistent copy of every (name, value) counter pair, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
+
+  /// One "name: n=.. p50=.. ..." line per histogram, then one
+  /// "name: value" line per counter.
   std::string ToString() const;
 
   void Clear();
@@ -48,6 +64,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, int64_t> counters_;
 };
 
 }  // namespace uots

@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kUnavailable,
+  kCancelled,
 };
 
 /// \brief Lightweight status object: either OK or a code plus message.
@@ -61,6 +62,11 @@ class Status {
   /// Transient inability to serve (overload, shutdown); callers may retry.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Work stopped because its outcome no longer matters (e.g. a sibling
+  /// shard already failed the batch) — not an error in the work itself.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,175 @@
+// Batch abort semantics: a failing query cancels sibling shards, a batch
+// deadline stops every shard, and partial work (counts, stats, latencies)
+// is reported either way instead of being dropped.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "traj/generator.h"
+
+namespace uots {
+namespace {
+
+const TrajectoryDatabase& TestDb() {
+  static auto* db = [] {
+    GridNetworkOptions gopts;
+    gopts.rows = 20;
+    gopts.cols = 20;
+    gopts.seed = 31;
+    auto g = MakeGridNetwork(gopts);
+    TripGeneratorOptions topts;
+    topts.num_trajectories = 400;
+    topts.vocabulary_size = 150;
+    topts.seed = 32;
+    auto data = GenerateTrips(*g, topts);
+    return new TrajectoryDatabase(std::move(*g), std::move(data->store),
+                                  std::move(data->vocabulary));
+  }();
+  return *db;
+}
+
+// Heavy enough that a shard takes tens of milliseconds — the failing shard
+// dies in microseconds, so siblings reliably observe the cancel mid-range.
+std::vector<UotsQuery> HeavyWorkload(int n) {
+  WorkloadOptions wopts;
+  wopts.num_queries = n;
+  wopts.num_locations = 4;
+  wopts.k = 10;
+  auto q = MakeWorkload(TestDb(), wopts);
+  EXPECT_TRUE(q.ok());
+  return *q;
+}
+
+size_t SumShardCompleted(const BatchResult& r) {
+  size_t sum = 0;
+  for (const ShardStats& s : r.shards) sum += s.completed;
+  return sum;
+}
+
+TEST(BatchAbort, FailingQueryCancelsSiblingShards) {
+  std::vector<UotsQuery> queries = HeavyWorkload(360);
+  // Invalidate shard 0's first query (vertex id out of range) so shard 0
+  // fails immediately while shard 1 is still deep inside its range.
+  queries[0].locations[0] =
+      static_cast<VertexId>(TestDb().network().NumVertices() + 7);
+
+  BatchOptions opts;
+  opts.threads = 2;
+  const BatchResult r = RunBatchDetailed(TestDb(), queries, opts);
+
+  ASSERT_EQ(r.shards.size(), 2u);
+  const ShardStats& s0 = r.shards[0];
+  const ShardStats& s1 = r.shards[1];
+
+  // The failing shard reports the query's own error, tagged with the
+  // workload index, and completed nothing before it.
+  EXPECT_EQ(s0.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s0.status.message().find("query 0:"), std::string::npos)
+      << s0.status.ToString();
+  EXPECT_EQ(s0.completed, 0u);
+
+  // THE regression assertion: without the shared-token broadcast, shard 1
+  // never hears about the failure and runs its whole range to completion.
+  EXPECT_LT(s1.completed, s1.end - s1.begin)
+      << "sibling shard was not aborted";
+  EXPECT_EQ(s1.status.code(), StatusCode::kCancelled)
+      << s1.status.ToString();
+
+  // The overall status is the real error, never the sibling's kCancelled.
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status.message().find("query 0:"), std::string::npos);
+
+  // Partial work is reported, not dropped: completed counts line up and
+  // every completed query contributed one latency sample.
+  EXPECT_EQ(r.completed, SumShardCompleted(r));
+  EXPECT_EQ(r.latency.count(), static_cast<int64_t>(r.completed));
+
+  // Answers exist exactly for the queries that ran (shards execute their
+  // range in order from `begin`).
+  ASSERT_EQ(r.answers.size(), queries.size());
+  for (size_t i = s1.begin + s1.completed; i < s1.end; ++i) {
+    EXPECT_TRUE(r.answers[i].empty()) << "query " << i << " never executed";
+  }
+}
+
+TEST(BatchAbort, SiblingShardStatsAreMergedOnFailure) {
+  std::vector<UotsQuery> queries = HeavyWorkload(360);
+  // Fail mid-range: shard 0 completes queries [0, 90) before hitting the
+  // bad one, so partial work deterministically exists.
+  queries[90].locations.clear();  // invalid: no locations
+  BatchOptions opts;
+  opts.threads = 2;
+  const BatchResult r = RunBatchDetailed(TestDb(), queries, opts);
+  ASSERT_FALSE(r.status.ok());
+
+  // Per-shard counters for completed queries sum to the batch total even
+  // though the batch failed.
+  QueryStats summed;
+  for (const ShardStats& s : r.shards) summed += s.stats;
+  EXPECT_EQ(summed.visited_trajectories, r.total.visited_trajectories);
+  EXPECT_EQ(summed.settled_vertices, r.total.settled_vertices);
+  EXPECT_EQ(summed.TotalPhaseNs(), r.total.TotalPhaseNs());
+  // Some sibling-shard work completed and was kept.
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.total.TotalPhaseNs(), 0);
+}
+
+TEST(BatchAbort, DeadlineExpiryReportsPartialCompletion) {
+  std::vector<UotsQuery> queries = HeavyWorkload(600);
+  BatchOptions opts;
+  opts.threads = 2;
+  opts.deadline_ms = 2.0;  // far less than ~600 heavy queries need
+  const BatchResult r = RunBatchDetailed(TestDb(), queries, opts);
+
+  ASSERT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+      << r.status.ToString();
+  // The message reports progress ("N of M queries").
+  EXPECT_NE(r.status.message().find(" of "), std::string::npos)
+      << r.status.ToString();
+  EXPECT_LT(r.completed, queries.size());
+  EXPECT_EQ(r.completed, SumShardCompleted(r));
+  EXPECT_EQ(r.latency.count(), static_cast<int64_t>(r.completed));
+
+  // Deadline expiry is attributed as kDeadlineExceeded on the shards that
+  // stopped early — never as kCancelled (nobody failed).
+  bool saw_deadline = false;
+  for (const ShardStats& s : r.shards) {
+    EXPECT_NE(s.status.code(), StatusCode::kCancelled) << s.status.ToString();
+    if (s.status.code() == StatusCode::kDeadlineExceeded) saw_deadline = true;
+  }
+  EXPECT_TRUE(saw_deadline);
+}
+
+TEST(BatchAbort, OkRunReportsFullCompletion) {
+  std::vector<UotsQuery> queries = HeavyWorkload(24);
+  BatchOptions opts;
+  opts.threads = 3;
+  const BatchResult r = RunBatchDetailed(TestDb(), queries, opts);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.completed, queries.size());
+  EXPECT_EQ(r.latency.count(), static_cast<int64_t>(queries.size()));
+  for (const ShardStats& s : r.shards) {
+    EXPECT_TRUE(s.status.ok()) << s.status.ToString();
+    EXPECT_EQ(s.completed, s.end - s.begin);
+  }
+}
+
+TEST(BatchAbort, RunBatchWrapperSurfacesDetailedStatus) {
+  std::vector<UotsQuery> queries = HeavyWorkload(8);
+  queries[3].locations.clear();
+  BatchOptions opts;
+  opts.threads = 2;
+  auto r = RunBatch(TestDb(), queries, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("query 3:"), std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace uots

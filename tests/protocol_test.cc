@@ -157,6 +157,49 @@ TEST(ProtocolTest, SemanticallyInvalidRequestsAreRejected) {
   }
 }
 
+TEST(ProtocolTest, CacheModeRoundTrips) {
+  // Default mode omits the field entirely and parses back as default.
+  QueryRequest req = MakeRequest();
+  EXPECT_EQ(EncodeQueryRequest(req).find("cache"), std::string::npos);
+  auto parsed = ParseQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->cache, CacheMode::kDefault);
+
+  req.cache = CacheMode::kBypass;
+  parsed = ParseQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->cache, CacheMode::kBypass);
+
+  // An explicit "default" is also accepted.
+  parsed = ParseQueryRequest(R"({"id":1,"locations":[1,2],"cache":"default"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cache, CacheMode::kDefault);
+}
+
+TEST(ProtocolTest, InvalidCacheModeIsRejected) {
+  EXPECT_FALSE(
+      ParseQueryRequest(R"({"id":1,"locations":[1,2],"cache":"maybe"})").ok());
+  EXPECT_FALSE(
+      ParseQueryRequest(R"({"id":1,"locations":[1,2],"cache":7})").ok());
+}
+
+TEST(ProtocolTest, CachedFlagRoundTrips) {
+  QueryResponse resp;
+  resp.id = 3;
+  resp.status = ResponseStatus::kOk;
+  resp.results.push_back(ScoredTrajectory{1, 0.5, 0.5, 0.5});
+  // Fresh responses omit the flag and parse back as not-cached.
+  EXPECT_EQ(EncodeQueryResponse(resp).find("cached"), std::string::npos);
+  auto parsed = ParseQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->cached);
+
+  resp.cached = true;
+  parsed = ParseQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->cached);
+}
+
 TEST(ProtocolTest, ResponseRoundTripsExactDoubles) {
   QueryResponse resp;
   resp.id = 7;

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/distance_field_cache.h"
 #include "core/batch.h"
 #include "core/workload.h"
 #include "net/generators.h"
@@ -367,6 +368,136 @@ TEST(ServerIntegrationTest, DeadlineExceededReturnsTimeoutNotHang) {
   auto resp2 = client.Call(good);
   ASSERT_TRUE(resp2.ok());
   EXPECT_TRUE(resp2->ok()) << resp2->error;
+}
+
+TEST(ServerIntegrationTest, CachedRepeatIsBitIdenticalAndFlagged) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  opts.service.cache_max_entries = 64;
+  opts.service.uots.distance_cache = std::make_shared<DistanceFieldCache>();
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 4);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryOptions local_opts;
+    auto local = RunQuery(*db, queries[i], local_opts);
+    ASSERT_TRUE(local.ok());
+
+    QueryRequest req;
+    req.id = static_cast<int64_t>(i * 2);
+    req.query = queries[i];
+    auto first = client.Call(req);
+    ASSERT_TRUE(first.ok() && first->ok());
+    EXPECT_FALSE(first->cached) << "first sighting cannot be a cache hit";
+
+    req.id = static_cast<int64_t>(i * 2 + 1);
+    auto second = client.Call(req);
+    ASSERT_TRUE(second.ok() && second->ok());
+    EXPECT_TRUE(second->cached) << "identical repeat must hit the cache";
+    EXPECT_TRUE(second->has_stats);
+
+    // Both answers match the in-process run bit for bit.
+    for (const auto* resp : {&first.value(), &second.value()}) {
+      ASSERT_EQ(resp->results.size(), local->items.size());
+      for (size_t j = 0; j < local->items.size(); ++j) {
+        EXPECT_EQ(resp->results[j].id, local->items[j].id);
+        EXPECT_EQ(resp->results[j].score, local->items[j].score);
+        EXPECT_EQ(resp->results[j].spatial_sim, local->items[j].spatial_sim);
+        EXPECT_EQ(resp->results[j].textual_sim, local->items[j].textual_sim);
+      }
+    }
+  }
+  fx.Stop();
+  EXPECT_EQ(fx.server().counters().cache_hits,
+            static_cast<int64_t>(queries.size()));
+}
+
+TEST(ServerIntegrationTest, BypassSkipsTheResultCache) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  opts.service.cache_max_entries = 64;
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  QueryRequest req;
+  req.id = 1;
+  req.query = queries[0];
+  auto warm = client.Call(req);  // populates the cache
+  ASSERT_TRUE(warm.ok() && warm->ok());
+
+  req.id = 2;
+  req.cache = CacheMode::kBypass;
+  auto bypass = client.Call(req);
+  ASSERT_TRUE(bypass.ok() && bypass->ok());
+  EXPECT_FALSE(bypass->cached) << "bypass must recompute";
+  // Recomputation agrees with the cached answer bit for bit.
+  ASSERT_EQ(bypass->results.size(), warm->results.size());
+  for (size_t j = 0; j < warm->results.size(); ++j) {
+    EXPECT_EQ(bypass->results[j].id, warm->results[j].id);
+    EXPECT_EQ(bypass->results[j].score, warm->results[j].score);
+  }
+
+  req.id = 3;
+  req.cache = CacheMode::kDefault;
+  auto hit = client.Call(req);
+  ASSERT_TRUE(hit.ok() && hit->ok());
+  EXPECT_TRUE(hit->cached) << "the entry must still be there after a bypass";
+}
+
+TEST(ServerIntegrationTest, EvictionCycleStaysCorrect) {
+  auto db = MakeTestDb();
+  ServerOptions opts;
+  // A one-entry, one-shard cache: alternating two queries evicts on every
+  // request, exercising the insert/evict/lookup cycle end to end.
+  opts.service.cache_max_entries = 1;
+  opts.service.cache_shards = 1;
+  ServerFixture fx(*db, opts);
+  const auto queries = MakeQueries(*db, 2);
+
+  std::vector<std::vector<ScoredTrajectory>> expected;
+  for (const auto& q : queries) {
+    auto local = RunQuery(*db, q);
+    ASSERT_TRUE(local.ok());
+    expected.push_back(local->items);
+  }
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  int64_t id = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t qi = 0; qi < 2; ++qi) {
+      QueryRequest req;
+      req.id = ++id;
+      req.query = queries[qi];
+      auto resp = client.Call(req);
+      ASSERT_TRUE(resp.ok() && resp->ok());
+      EXPECT_FALSE(resp->cached) << "evicted entry served as a hit";
+      ASSERT_EQ(resp->results.size(), expected[qi].size());
+      for (size_t j = 0; j < expected[qi].size(); ++j) {
+        EXPECT_EQ(resp->results[j].id, expected[qi][j].id);
+        EXPECT_EQ(resp->results[j].score, expected[qi][j].score);
+      }
+    }
+  }
+  // Back-to-back repeats of the same query DO hit the surviving entry.
+  QueryRequest req;
+  req.id = ++id;
+  req.query = queries[1];
+  auto repeat = client.Call(req);
+  ASSERT_TRUE(repeat.ok() && repeat->ok());
+  EXPECT_TRUE(repeat->cached);
+
+  ASSERT_NE(fx.server().service().result_cache(), nullptr);
+  const ResultCache::Stats s = fx.server().service().result_cache()->stats();
+  EXPECT_GE(s.evictions, 5);
+  EXPECT_EQ(s.entries, 1);
 }
 
 TEST(ServerIntegrationTest, GracefulShutdownDrainsAndStops) {

@@ -49,6 +49,7 @@ struct Flags {
   double cache_ttl_ms = 0.0;
   int cache_shards = 8;
   int distance_cache_mb = 0;  // 0 = tier-2 expansion cache off
+  bool oracle = true;  // use a snapshot-baked distance oracle when present
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -67,7 +68,8 @@ void Usage(const char* argv0) {
       "          [--default-deadline-ms=MS] [--idle-timeout-ms=MS]\n"
       "          [--drain-timeout-ms=MS] [--max-connections=N]\n"
       "          [--cache-max-entries=N] [--cache-ttl-ms=MS]\n"
-      "          [--cache-shards=N] [--distance-cache-mb=N]\n",
+      "          [--cache-shards=N] [--distance-cache-mb=N]\n"
+      "          [--oracle=on|off]\n",
       argv0);
 }
 
@@ -107,6 +109,12 @@ int main(int argc, char** argv) {
       flags.cache_shards = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--distance-cache-mb", &v)) {
       flags.distance_cache_mb = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--oracle", &v)) {
+      if (v != "on" && v != "off") {
+        std::fprintf(stderr, "--oracle takes on or off\n");
+        return 2;
+      }
+      flags.oracle = v == "on";
     } else {
       Usage(argv[0]);
       return 2;
@@ -181,6 +189,7 @@ int main(int argc, char** argv) {
     dcache = std::make_shared<uots::DistanceFieldCache>(dopts);
     opts.service.uots.distance_cache = dcache;
   }
+  opts.service.uots.use_oracle = flags.oracle;
 
   // SIGINT/SIGTERM ride the event loop via a signalfd so shutdown is just
   // another loop event — no async-signal-safety gymnastics. Block them
@@ -227,6 +236,11 @@ int main(int argc, char** argv) {
   }
   if (dcache != nullptr) {
     std::printf("distance cache: %d MB\n", flags.distance_cache_mb);
+  }
+  if (db->oracle() != nullptr) {
+    std::printf("distance oracle: %zu vertices, %zu upward arcs (%s)\n",
+                db->oracle()->NumVertices(), db->oracle()->NumUpEdges(),
+                flags.oracle ? "on" : "off");
   }
   std::fflush(stdout);
 

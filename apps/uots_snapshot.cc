@@ -3,14 +3,16 @@
 //   $ ./uots_snapshot build --out=brn.snap --city=BRN --trajectories=15000
 //   $ ./uots_snapshot build --out=d.snap --network=g.network --trips=t.trajectories
 //   $ ./uots_snapshot build --out=g.snap --gen-rows=60 --gen-cols=60 --gen-trips=5000
+//   $ ./uots_snapshot build --out=brn.snap --city=BRN --oracle
 //   $ ./uots_snapshot inspect brn.snap
 //   $ ./uots_snapshot verify brn.snap
 //
-// `build` produces a checksummed format-v1 snapshot from any dataset
-// source; `inspect` dumps the superblock, meta record, and section table
-// of a structurally valid snapshot; `verify` additionally sweeps every
-// payload checksum and id-range check (exit 0 only on a fully intact
-// file).
+// `build` produces a checksummed format-v2 snapshot from any dataset
+// source (`--oracle` additionally contracts the network and bakes the
+// distance oracle into the file); `inspect` dumps the superblock, meta
+// record, and section table of a structurally valid snapshot; `verify`
+// additionally sweeps every payload checksum and id-range check (exit 0
+// only on a fully intact file).
 
 #include <cinttypes>
 #include <cstdio>
@@ -22,6 +24,7 @@
 #include "common/datasets.h"
 #include "net/generators.h"
 #include "net/io.h"
+#include "oracle/ch_oracle.h"
 #include "storage/format.h"
 #include "storage/resolver.h"
 #include "storage/snapshot_reader.h"
@@ -43,6 +46,7 @@ struct BuildFlags {
   int gen_cols = 0;
   int gen_trips = 0;
   uint64_t seed = 1;
+  bool oracle = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -55,7 +59,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: uots_snapshot build --out=FILE\n"
+      "usage: uots_snapshot build --out=FILE [--oracle]\n"
       "           ( --network=FILE --trips=FILE\n"
       "           | --city=BRN|NRN [--trajectories=N]\n"
       "           | --gen-rows=R --gen-cols=C --gen-trips=N [--seed=S] )\n"
@@ -122,6 +126,22 @@ int RunBuild(const BuildFlags& flags) {
     return 2;
   }
 
+  if (flags.oracle) {
+    uots::OracleBuildStats ostats;
+    auto oracle = uots::DistanceOracle::Build(db->network(), {}, &ostats);
+    if (!oracle.ok()) {
+      std::fprintf(stderr, "build: oracle construction: %s\n",
+                   oracle.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("oracle: %zu vertices, %zu upward arcs (%" PRIu64
+                " shortcuts), %" PRIu64 " witness searches, built in %.2fs\n",
+                oracle->NumVertices(), oracle->NumUpEdges(), ostats.shortcuts,
+                ostats.witness_searches, ostats.seconds);
+    db->AttachOracle(
+        std::make_shared<uots::DistanceOracle>(std::move(*oracle)));
+  }
+
   const uots::Status st = uots::storage::WriteSnapshot(*db, flags.out);
   if (!st.ok()) {
     std::fprintf(stderr, "build: %s\n", st.ToString().c_str());
@@ -171,6 +191,15 @@ int RunInspect(const std::string& path) {
       info.meta.num_keyword_terms, info.meta.num_vocab_terms,
       info.meta.num_index_terms, info.meta.num_index_postings,
       info.meta.num_vertex_postings, info.meta.num_time_entries);
+  if (info.superblock.format_version < 2) {
+    std::printf("  no oracle (format v1 predates distance oracles)\n");
+  } else if (info.meta.num_oracle_vertices == 0) {
+    std::printf("  no oracle (build with uots_snapshot build --oracle)\n");
+  } else {
+    std::printf("  distance oracle: %" PRIu64 " vertices, %" PRIu64
+                " upward arcs\n",
+                info.meta.num_oracle_vertices, info.meta.num_oracle_edges);
+  }
   std::printf("  %-24s %12s %6s %14s %10s\n", "section", "count", "elem",
               "bytes", "crc32c");
   for (const auto& e : info.sections) {
@@ -225,6 +254,8 @@ int main(int argc, char** argv) {
         flags.gen_trips = std::atoi(v.c_str());
       } else if (ParseFlag(argv[i], "--seed", &v)) {
         flags.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+      } else if (std::strcmp(argv[i], "--oracle") == 0) {
+        flags.oracle = true;
       } else {
         std::fprintf(stderr, "unknown flag %s\n", argv[i]);
         Usage();

@@ -8,10 +8,13 @@
 // (fork/exec of this binary with --child=MODE), how long each load path
 // takes and how much memory it peaks at (/proc/self/status VmHWM). Modes:
 //
-//   none       process starts and loads nothing (overhead baseline)
-//   text       LoadDatabaseFromPath on the .network file: parse + index
-//   snap       LoadSnapshot with checksum sweep (the default load path)
-//   snap-nocrc LoadSnapshot without the checksum sweep
+//   none        process starts and loads nothing (overhead baseline)
+//   text        LoadDatabaseFromPath on the .network file: parse + index
+//   snap        LoadSnapshot with checksum sweep (the default load path)
+//   snap-nocrc  LoadSnapshot without the checksum sweep
+//   snap-oracle LoadSnapshot of a snapshot with baked oracle sections
+//               (measures the mmap-load delta the oracle columns add; its
+//               canary answers run WITH the oracle and must still match)
 //
 // Every child also answers the same 4-query workload and prints a result
 // checksum; the parent requires all modes to agree — a snapshot that loads
@@ -32,6 +35,7 @@
 #include "core/batch.h"
 #include "core/workload.h"
 #include "net/io.h"
+#include "oracle/ch_oracle.h"
 #include "storage/resolver.h"
 #include "storage/snapshot_reader.h"
 #include "storage/snapshot_writer.h"
@@ -215,9 +219,49 @@ int main(int argc, char** argv) {
   const std::string net_path = stem + ".network";
   const std::string traj_path = stem + ".trajectories";
   const std::string snap_path = stem + ".snap";
+  const std::string oracle_snap_path = stem + ".oracle.snap";
   if (!uots::SaveNetwork(db->network(), net_path).ok() ||
-      !uots::SaveTrajectories(db->store(), traj_path).ok() ||
-      !uots::storage::WriteSnapshot(*db, snap_path).ok()) {
+      !uots::SaveTrajectories(db->store(), traj_path).ok()) {
+    std::fprintf(stderr, "artifact write failed under %s\n", stem.c_str());
+    return 1;
+  }
+  // The text format stores coordinates and weights at 3-decimal precision,
+  // so a text round-trip yields a database whose low float bits differ
+  // from the generator's. Build the snapshots FROM the round-tripped
+  // database: every child then answers over bit-identical data and the
+  // checksum gate compares load paths, not serialization precision.
+  db.reset();
+  {
+    auto rt = uots::storage::LoadDatabaseFromPath(net_path);
+    if (!rt.ok()) {
+      std::fprintf(stderr, "text round-trip failed: %s\n",
+                   rt.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(rt->db);
+  }
+  if (!uots::storage::WriteSnapshot(*db, snap_path).ok()) {
+    std::fprintf(stderr, "artifact write failed under %s\n", stem.c_str());
+    return 1;
+  }
+  // Same dataset with the distance oracle baked in: three extra columns
+  // (ranks, upward offsets, upward edges) whose exact serialized size is
+  // reported so the mmap-load delta below has its denominator.
+  std::printf("contracting network for the oracle snapshot...\n");
+  std::fflush(stdout);
+  auto oracle = uots::DistanceOracle::Build(db->network(), {}, nullptr);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "oracle build failed: %s\n",
+                 oracle.status().ToString().c_str());
+    return 1;
+  }
+  const double oracle_section_mb =
+      static_cast<double>(oracle->ranks().size_bytes() +
+                          oracle->up_offsets().size_bytes() +
+                          oracle->up_edges().size_bytes()) /
+      (1024.0 * 1024.0);
+  db->AttachOracle(std::make_shared<uots::DistanceOracle>(std::move(*oracle)));
+  if (!uots::storage::WriteSnapshot(*db, oracle_snap_path).ok()) {
     std::fprintf(stderr, "artifact write failed under %s\n", stem.c_str());
     return 1;
   }
@@ -229,13 +273,14 @@ int main(int argc, char** argv) {
   } modes[] = {{"none", &net_path},
                {"text", &net_path},
                {"snap", &snap_path},
-               {"snap-nocrc", &snap_path}};
+               {"snap-nocrc", &snap_path},
+               {"snap-oracle", &oracle_snap_path}};
 
   uots::bench::Table table({"mode", "load_s", "peak_rss_mb", "heap_mb",
                             "mmap_mb"});
   table.PrintHeader();
   uots::bench::JsonReport report("coldstart");
-  double text_mean = 0.0, snap_mean = 0.0;
+  double text_mean = 0.0, snap_mean = 0.0, snap_oracle_mean = 0.0;
   long baseline_rss_kb = 0;
   uint64_t want_checksum = 0;
   bool checksums_agree = true;
@@ -262,6 +307,7 @@ int main(int argc, char** argv) {
       want_checksum = last.checksum;
     } else {
       if (std::strcmp(m.mode, "snap") == 0) snap_mean = mean_s;
+      if (std::strcmp(m.mode, "snap-oracle") == 0) snap_oracle_mean = mean_s;
       if (last.checksum != want_checksum) checksums_agree = false;
     }
     char buf[64];
@@ -288,6 +334,9 @@ int main(int argc, char** argv) {
         .Set("heap_mb", last.heap_mb)
         .Set("mmap_mb", last.mmap_mb)
         .Set("result_checksum", static_cast<int64_t>(last.checksum));
+    if (std::strcmp(m.mode, "snap-oracle") == 0) {
+      row.Set("oracle_section_mb", oracle_section_mb);
+    }
   }
 
   if (!checksums_agree) {
@@ -298,6 +347,12 @@ int main(int argc, char** argv) {
   if (snap_mean > 0.0 && text_mean > 0.0) {
     std::printf("\nresults identical across modes; snapshot speedup: %.1fx\n",
                 text_mean / snap_mean);
+  }
+  if (snap_oracle_mean > 0.0 && snap_mean > 0.0) {
+    std::printf("oracle sections: %.1f MB, mmap-load delta: %+.4fs "
+                "(%.4fs vs %.4fs)\n",
+                oracle_section_mb, snap_oracle_mean - snap_mean,
+                snap_oracle_mean, snap_mean);
   }
   if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
   return 0;

@@ -48,6 +48,21 @@ for preset in "${presets[@]}"; do
     "${builddir[${preset}]}/apps/uots_snapshot" verify "${snap}"
     rm -f "${snap}"
     ctest --preset "${preset}" -R uots_snapshot_test --output-on-failure
+    # Oracle drill: contract a network, bake the CH oracle into a v2
+    # snapshot, check the checksum sweep and structural validation accept
+    # it, and confirm inspect reports the oracle sections. The randomized
+    # oracle-vs-Dijkstra exactness suite then runs with full output; under
+    # asan this sweeps the contraction, rank-space CSR assembly, and the
+    # bidirectional query kernel.
+    echo "==> ${preset}: distance-oracle drill"
+    osnap="${builddir[${preset}]}/check-oracle.snap"
+    "${builddir[${preset}]}/apps/uots_snapshot" build --out="${osnap}" \
+      --gen-rows=24 --gen-cols=24 --gen-trips=600 --oracle
+    "${builddir[${preset}]}/apps/uots_snapshot" verify "${osnap}"
+    "${builddir[${preset}]}/apps/uots_snapshot" inspect "${osnap}" \
+      | grep -q "distance oracle"
+    rm -f "${osnap}"
+    ctest --preset "${preset}" -R uots_oracle_test --output-on-failure
   fi
 done
 echo "==> all checks passed"

@@ -80,6 +80,11 @@ struct UotsSearchOptions {
   /// are bit-identical either way; only heap work is saved. Excluded from
   /// result-cache keys for the same reason.
   std::shared_ptr<DistanceFieldCache> distance_cache;
+  /// Use the database's distance oracle (when one is attached) to resolve
+  /// candidates exactly on first contact and skip expansion rounds.
+  /// Results are bit-identical either way (see oracle/ch_oracle.h); like
+  /// the distance cache, excluded from result-cache keys.
+  bool use_oracle = true;
 };
 
 /// Creates a fresh engine of the given kind over `db`.

@@ -42,6 +42,7 @@ TrajectoryDatabase::TrajectoryDatabase(Parts parts,
       vertex_index_(std::move(parts.vertex_index)),
       keyword_index_(std::move(parts.keyword_index)),
       time_index_(std::move(parts.time_index)),
+      oracle_(std::move(parts.oracle)),
       backing_(std::move(parts.backing)) {
   ApplyModelWiring(opts);
   fingerprint_ = parts.fingerprint != 0 ? parts.fingerprint
@@ -88,6 +89,7 @@ MemoryBreakdown TrajectoryDatabase::Memory() const {
   m += vertex_index_->Memory();
   m += keyword_index_->Memory();
   m += time_index_->Memory();
+  if (oracle_ != nullptr) m += oracle_->Memory();
   return m;
 }
 

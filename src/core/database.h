@@ -19,6 +19,7 @@
 #include "core/model.h"
 #include "core/query.h"
 #include "net/graph.h"
+#include "oracle/ch_oracle.h"
 #include "text/inverted_index.h"
 #include "text/vocabulary.h"
 #include "traj/store.h"
@@ -51,6 +52,9 @@ class TrajectoryDatabase {
     /// Dataset identity (the snapshot superblock's dataset_fingerprint).
     /// 0 = unknown; the database then computes a structural fingerprint.
     uint64_t fingerprint = 0;
+    /// Optional precomputed distance oracle (snapshot sections 16-18);
+    /// null when the snapshot carries none.
+    std::shared_ptr<const DistanceOracle> oracle;
   };
 
   /// Assembles a database from prebuilt parts without rebuilding any index.
@@ -65,6 +69,21 @@ class TrajectoryDatabase {
   const InvertedKeywordIndex& keyword_index() const { return *keyword_index_; }
   const TimeIndex& time_index() const { return *time_index_; }
   const SimilarityModel& model() const { return model_; }
+
+  /// \brief Precomputed exact-distance oracle, or null when absent.
+  ///
+  /// Snapshot-loaded databases carry the oracle baked into the file;
+  /// text-built databases can attach one built in process. Engines that
+  /// find an oracle here use it for oracle-driven candidate pruning
+  /// (answers are bit-identical either way; see oracle/ch_oracle.h).
+  const DistanceOracle* oracle() const { return oracle_.get(); }
+
+  /// Attaches (or clears) a distance oracle after construction. The oracle
+  /// must describe this database's network. Not thread-safe; call before
+  /// sharing the database across threads.
+  void AttachOracle(std::shared_ptr<const DistanceOracle> oracle) {
+    oracle_ = std::move(oracle);
+  }
 
   /// \brief Nonzero identity of this dataset build, for salting caches.
   ///
@@ -94,6 +113,7 @@ class TrajectoryDatabase {
   std::unique_ptr<VertexTrajectoryIndex> vertex_index_;
   std::unique_ptr<InvertedKeywordIndex> keyword_index_;
   std::unique_ptr<TimeIndex> time_index_;
+  std::shared_ptr<const DistanceOracle> oracle_;
   /// Keeps view-backing memory (mmap'd snapshot) alive; null for heap-built
   /// databases.
   std::shared_ptr<const void> backing_;

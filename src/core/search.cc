@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
 
 #include "core/topk.h"
+#include "net/dijkstra.h"
 #include "util/timer.h"
 
 namespace uots {
@@ -54,6 +56,9 @@ UotsSearcher::UotsSearcher(const TrajectoryDatabase& db,
     : db_(&db), opts_(opts) {
   state_slot_.Resize(db.store().size());
   text_of_.Resize(db.store().size());
+  if (opts_.use_oracle && db.oracle() != nullptr) {
+    provider_ = MakeChProvider(*db.oracle());
+  }
 }
 
 void UotsSearcher::ResolveTextualDomain(const UotsQuery& query,
@@ -154,9 +159,21 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
   }
   size_t exhausted_count = 0;
 
+  // With a distance oracle the expansion loop runs identically — exact
+  // per-source scans, partial states, incremental bounds — until the
+  // radius-driven spatial bound alone is beaten. What remains then is the
+  // baseline's expensive tail: candidates (typically high-SimT ones) whose
+  // upper bound cannot drop below the threshold until EVERY expansion has
+  // reached them. The oracle finisher resolves exactly those candidates
+  // directly (see the termination check below) and stops, skipping the
+  // tail expansion entirely.
+  const bool use_oracle = provider_ != nullptr;
+  if (use_oracle) provider_->BeginQuery(query.locations);
+
   state_slot_.Reset();
   states_.clear();
   partial_.clear();
+  decay_pool_.clear();
 
   size_t text_ptr = 0;  // head of the not-fully-scanned textual remainder
   std::vector<double> labels(m, 0.0);
@@ -232,6 +249,56 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     ++stats->bound_rebuilds;
   };
 
+  // Oracle resolution: exactly scores one trajectory with a single
+  // multi-source oracle search over its whole sample-vertex set, yielding
+  // min over samples of sd(o_i, sample) for every source at once —
+  // bit-equal to the label the expansion would eventually settle (see
+  // oracle/ch_oracle.h). Sources that already scanned tau keep their
+  // expansion decays, and the final sum runs in source order either way,
+  // so the score is bitwise the score a full scan would have produced.
+  std::vector<VertexId> sample_verts;
+  const auto oracle_resolve = [&](TrajId t) {
+    int32_t idx = state_slot_.Get(t, -1);
+    if (idx < 0) {
+      idx = static_cast<int32_t>(states_.size());
+      state_slot_.Set(t, idx);
+      states_.push_back(TrajState{t, 0, 0, 0.0, text_of_.Get(t, 0.0), 0.0,
+                                  decay_pool_.size()});
+      decay_pool_.resize(decay_pool_.size() + m, 0.0);
+      ++stats->visited_trajectories;
+      // Never enters partial_: it is resolved right here.
+    }
+    TrajState& s = states_[idx];
+    if (s.known == static_cast<int>(m)) return;  // already exact
+    sample_verts.clear();
+    for (const Sample& smp : store.SamplesOf(t)) {
+      sample_verts.push_back(smp.vertex);
+    }
+    const std::span<const double> row = provider_->MinDistancesTo(sample_verts);
+    stats->trajectory_hits += static_cast<int64_t>(m) - s.known;
+    const uint64_t unset = ~s.mask & full_mask;
+    s.mask = full_mask;
+    s.known = static_cast<int>(m);
+    touched_since_rebuild = true;  // its partial_ entry is now droppable
+    double* decays = decay_pool_.data() + s.decay_base;
+    for (uint64_t rest = unset; rest != 0; rest &= rest - 1) {
+      const int i = __builtin_ctzll(rest);
+      if (row[i] == kInfDistance) {
+        // Unreachable from source i: expansion i could never scan tau, so
+        // the baseline never completes or scores it. Resolved-unscored.
+        return;
+      }
+      decays[i] = model.SpatialDecay(row[i]);
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) sum += decays[j];
+    s.sum_decay = sum;
+    const double spatial = sum / static_cast<double>(m);
+    const double score = SimilarityModel::Combine(lambda, spatial, s.text);
+    sink->Accept(ScoredTrajectory{t, score, spatial, s.text});
+    ++stats->candidates;
+  };
+
   // Processes one settled (source, vertex, distance) event.
   const auto process_hit = [&](size_t i, VertexId v, double d) {
     const double decay = model.SpatialDecay(d);
@@ -241,7 +308,9 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
       if (idx < 0) {
         idx = static_cast<int32_t>(states_.size());
         state_slot_.Set(t, idx);
-        states_.push_back(TrajState{t, 0, 0, 0.0, text_of_.Get(t, 0.0), 0.0});
+        states_.push_back(TrajState{t, 0, 0, 0.0, text_of_.Get(t, 0.0), 0.0,
+                                    decay_pool_.size()});
+        decay_pool_.resize(decay_pool_.size() + m, 0.0);
         partial_.push_back(idx);
         ++partial_count;
         ++stats->visited_trajectories;
@@ -253,6 +322,7 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
       s.mask |= bit;
       ++s.known;
       s.sum_decay += decay;
+      decay_pool_[s.decay_base + i] = decay;
       ++stats->trajectory_hits;
       touched_since_rebuild = true;
       if (s.known == static_cast<int>(m)) {
@@ -260,7 +330,14 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
         // remaining label contribution was to source i, just scanned.
         if (!fresh) labels[i] -= u_old;
         --partial_count;
-        const double spatial = s.sum_decay / static_cast<double>(m);
+        // Sum the decays in source order — the association order of
+        // SimilarityModel::SpatialSim — not scan order, so the score is
+        // independent of expansion scheduling (bit-identical across
+        // policies, the oracle path, and the brute-force reference).
+        const double* decays = decay_pool_.data() + s.decay_base;
+        double sum = 0.0;
+        for (size_t j = 0; j < m; ++j) sum += decays[j];
+        const double spatial = sum / static_cast<double>(m);
         const double score = SimilarityModel::Combine(lambda, spatial, s.text);
         sink->Accept(ScoredTrajectory{t, score, spatial, s.text});
         ++stats->candidates;
@@ -282,6 +359,32 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     }
   };
 
+  // ---- Oracle threshold seeding. ----
+  //
+  // Resolve the strongest textual candidates exactly before any expansion,
+  // until the top-k heap is full. This jumps the prune threshold to near
+  // its final value immediately, so the oracle finisher below fires at the
+  // smallest radius that excludes unseen keyword-less trajectories instead
+  // of waiting for expansion to complete k candidates the slow way.
+  //
+  // Answer-preserving: the baseline offers every trajectory whose exact
+  // score reaches the final k-th boundary (its bound never drops below the
+  // rising threshold, so it is never pruned and must complete before any
+  // termination test passes), and both sinks reduce the offered set through
+  // the same (score, id) order — so offering extra exactly-scored
+  // candidates early cannot change the kept set. A threshold-mode sink
+  // reports its fixed theta (finite) and is never seeded.
+  if (use_oracle) {
+    ScopedPhase round(stats, QueryPhase::kBoundMaintenance);
+    size_t seeded = 0;
+    while (seeded < text_docs_.size() &&
+           sink->PruneThreshold() ==
+               -std::numeric_limits<double>::infinity()) {
+      oracle_resolve(static_cast<TrajId>(text_docs_[seeded].doc));
+      ++seeded;
+    }
+  }
+
   bool aborted = false;
   for (;;) {
     if (exhausted_count == m) break;  // everything is fully scanned
@@ -296,8 +399,13 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     // partly-scanned set so per-round bookkeeping stays amortized.
     {
       ScopedPhase round(stats, QueryPhase::kSpatialExpansion);
-      const int batch =
+      int batch =
           std::max<int>(opts_.batch_size, static_cast<int>(partial_count / 4));
+      // In oracle mode the batch stays capped: the finisher below wants the
+      // termination check close to the earliest profitable stopping point,
+      // and an uncapped batch (it grows with the partly-scanned set)
+      // overshoots that crossing by thousands of settles.
+      if (use_oracle) batch = std::min(batch, 1024);
       ExpansionCursor& ex = *expansions_[cur];
       if (!ex.exhausted()) {
         for (int step = 0; step < batch; ++step) {
@@ -352,6 +460,88 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
         // inputs have moved: pay for one exact rebuild and re-check.
         rebuild_bounds();
         if (threshold >= current_global_ub()) terminated = true;
+      }
+
+      if (!terminated && use_oracle) {
+        // Oracle finisher. The expansion's remaining job splits in two:
+        // (a) growing radii until the spatial-only bound collapses, and
+        // (b) finishing the scan of every candidate still above threshold
+        // — (b) is the expensive tail, since a high-SimT candidate's bound
+        // cannot drop below the threshold until ALL m expansions reach it.
+        // Once (a) is done, expansion can contribute nothing the oracle
+        // does not deliver cheaper: resolve each still-blocking candidate
+        // exactly and stop. `>=` (not `>`) matches the baseline on
+        // boundary ties — a candidate whose exact score equals the final
+        // threshold keeps its bound at or above the threshold until fully
+        // scanned, so the baseline inevitably completes and offers it; the
+        // finisher must offer it too.
+        const double spatial_only = SimilarityModel::Combine(
+            lambda, total_rs / static_cast<double>(m), 0.0);
+        const double thr = sink->PruneThreshold();
+        bool fire = false;
+        if (thr >= spatial_only) {
+          // Safe to fire — but is it profitable yet? Every expansion batch
+          // shrinks the set the finisher would have to resolve (scans
+          // complete candidates; falling decays lower bounds below the
+          // threshold), so firing at the first safe round can be far more
+          // expensive than waiting a little. Rent-or-buy: count the
+          // resolutions firing now would take (partials whose cached bound
+          // clears the threshold, plus unseen textual heads above the
+          // radius bound) and fire once their cost, in expansion-settle
+          // units, no longer exceeds the expansion work already done. The
+          // count is a heuristic (cached bounds over-approximate), the
+          // resolutions themselves stay exact.
+          constexpr int64_t kResolveCostSettles = 160;
+          constexpr int64_t kFreeSettles = 4096;
+          int64_t need = 0;
+          for (const int32_t idx : partial_) {
+            const TrajState& s = states_[idx];
+            if (s.known != static_cast<int>(m) && s.cached_ub >= thr) ++need;
+          }
+          const ScoredDoc* text_beg = text_docs_.data() + text_ptr;
+          const ScoredDoc* text_end = text_docs_.data() + text_docs_.size();
+          const ScoredDoc* text_cut = std::partition_point(
+              text_beg, text_end,
+              [&](const ScoredDoc& d) {
+                return SimilarityModel::Combine(
+                           lambda, total_rs / static_cast<double>(m),
+                           d.score) > thr;
+              });
+          need += text_cut - text_beg;
+          fire = need * kResolveCostSettles <=
+                 std::max<int64_t>(stats->settled_vertices, kFreeSettles);
+        }
+        if (fire) {
+          for (const int32_t idx : partial_) {
+            TrajState& s = states_[idx];
+            if (s.known == static_cast<int>(m)) continue;  // already exact
+            if (state_ub(s) >= sink->PruneThreshold()) {
+              oracle_resolve(s.id);
+            } else {
+              // Its exact score is strictly below a threshold that only
+              // rises: the full resolution (and the tail expansion the
+              // baseline would spend completing it) is skipped outright.
+              ++stats->oracle_pruned_candidates;
+            }
+          }
+          // Unseen textual candidates, in descending SimT order: resolve
+          // heads while they can still beat the threshold. Everything at
+          // or past the break point — and every spatially-unseen
+          // trajectory with less text — is bounded below the threshold by
+          // the same expression the baseline terminates against.
+          while (text_ptr < text_docs_.size()) {
+            const ScoredDoc& head = text_docs_[text_ptr];
+            if (sink->PruneThreshold() >=
+                SimilarityModel::Combine(lambda,
+                                         total_rs / static_cast<double>(m),
+                                         head.score)) {
+              break;
+            }
+            oracle_resolve(static_cast<TrajId>(head.doc));
+            ++text_ptr;
+          }
+          terminated = true;
+        }
       }
     }
     if (terminated) break;
@@ -419,6 +609,7 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     stats->dcache_replayed += done.replayed_count();
     if (done.Publish()) ++stats->dcache_published;
   }
+  if (use_oracle) stats->oracle_lookups += provider_->TakeLookups();
   if (aborted) {
     return Status::DeadlineExceeded("search aborted by deadline/cancel");
   }

@@ -38,6 +38,7 @@
 
 #include "cache/expansion_cursor.h"
 #include "core/algorithm.h"
+#include "oracle/distance_provider.h"
 #include "util/versioned.h"
 
 namespace uots {
@@ -79,6 +80,8 @@ class UotsSearcher : public SearchAlgorithm {
     /// Radii only grow and decays only shrink, so this never underestimates
     /// the state's true current bound (see RunSearch).
     double cached_ub = 0.0;
+    /// Base index of this state's m per-source decays in decay_pool_.
+    size_t decay_base = 0;
   };
 
   /// \brief Result-collection policy shared by the top-k and threshold
@@ -100,6 +103,9 @@ class UotsSearcher : public SearchAlgorithm {
 
   const TrajectoryDatabase* db_;
   UotsSearchOptions opts_;
+  /// Exact-distance oracle front-end; null without an attached oracle (or
+  /// with opts_.use_oracle off). Per-searcher scratch, like expansions_.
+  std::unique_ptr<DistanceProvider> provider_;
   /// Expansion cursors: plain resumable Dijkstras without a distance cache,
   /// replay/record front-ends with one (opts_.distance_cache).
   std::vector<std::unique_ptr<ExpansionCursor>> expansions_;
@@ -107,6 +113,12 @@ class UotsSearcher : public SearchAlgorithm {
   VersionedArray<double> text_of_;      ///< traj id -> exact SimT
   std::vector<TrajState> states_;
   std::vector<int32_t> partial_;        ///< indexes of partly scanned states
+  /// Per-state, per-source decays e^(-d_i/sigma), m slots per state. Final
+  /// scores always sum these in source order — the same association order
+  /// as SimilarityModel::SpatialSim — so a score does not depend on which
+  /// source happened to scan the trajectory first (and matches the oracle
+  /// path and the brute-force reference bit for bit).
+  std::vector<double> decay_pool_;
   std::vector<ScoredDoc> text_docs_;    ///< textual candidates, SimT desc
 };
 

@@ -20,14 +20,19 @@ class TopK {
  public:
   explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
 
-  /// Offers an item; keeps it only if it beats the current threshold.
+  /// Offers an item; keeps it only if it beats the current boundary item.
+  /// Score ties at the boundary break by ascending id, so the kept set —
+  /// and therefore every engine's answer — does not depend on the order in
+  /// which equal-score candidates were offered.
   void Offer(const ScoredTrajectory& item) {
     if (heap_.size() < k_) {
       heap_.push_back(item);
       std::push_heap(heap_.begin(), heap_.end(), MinOrder);
       return;
     }
-    if (item.score > heap_.front().score) {
+    const ScoredTrajectory& worst = heap_.front();
+    if (item.score > worst.score ||
+        (item.score == worst.score && item.id < worst.id)) {
       std::pop_heap(heap_.begin(), heap_.end(), MinOrder);
       heap_.back() = item;
       std::push_heap(heap_.begin(), heap_.end(), MinOrder);
@@ -56,8 +61,12 @@ class TopK {
   }
 
  private:
+  /// Min-heap whose root is the boundary item: lowest score, and among
+  /// equal scores the highest id (the one an equal-score, lower-id offer
+  /// should displace).
   static bool MinOrder(const ScoredTrajectory& a, const ScoredTrajectory& b) {
-    return a.score > b.score;  // min-heap on score
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
   }
 
   size_t k_;

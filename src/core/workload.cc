@@ -54,8 +54,14 @@ Result<std::vector<UotsQuery>> MakeWorkload(const TrajectoryDatabase& db,
       q.locations.push_back(v);
     }
 
-    // Keywords: seed keywords with vocabulary noise mixed in.
-    const auto& seed_keys = store.KeywordsOf(seed_id).terms();
+    // Keywords: seed keywords with vocabulary noise mixed in. With
+    // decouple_keywords the keyword seed is an unrelated trajectory, so
+    // the textual and spatial domains pull in different directions.
+    const TrajId key_seed =
+        opts.decouple_keywords
+            ? static_cast<TrajId>(rng.Uniform(store.size()))
+            : seed_id;
+    const auto& seed_keys = store.KeywordsOf(key_seed).terms();
     std::vector<TermId> keys;
     for (int ki = 0; ki < opts.num_keywords; ++ki) {
       if (!seed_keys.empty() && !rng.Bernoulli(opts.keyword_noise)) {

@@ -33,6 +33,14 @@ struct WorkloadOptions {
   int num_keywords = 5;
   /// Probability a keyword is random noise instead of a seed keyword.
   double keyword_noise = 0.3;
+  /// Draw keywords from a different random trajectory than the one seeding
+  /// the locations. Models the paper's user-oriented scenario — the user
+  /// stands somewhere and asks for *qualities*, not for what is already
+  /// nearby — so the strong textual matches are spatially unrelated to the
+  /// query locations. This is the expansion-heavy regime: an incremental
+  /// search must drag every expansion out to each high-SimT candidate
+  /// before its bound lets go.
+  bool decouple_keywords = false;
   uint64_t seed = 7;
 };
 

@@ -1,0 +1,85 @@
+// Pluggable exact-distance source for the search layer.
+//
+// The UOTS searcher consults a DistanceProvider — when one is available —
+// to resolve a candidate trajectory's per-source network distances exactly
+// and immediately, instead of waiting for every expansion to reach it.
+// The contract is strict: distances must be bitwise identical to what the
+// incremental Dijkstra expansions would settle, so enabling a provider
+// never changes answers, only the work needed to reach them.
+//
+// The one production implementation wraps the contraction-hierarchy
+// querier. Providers hold per-thread scratch; construct one per engine.
+
+#ifndef UOTS_ORACLE_DISTANCE_PROVIDER_H_
+#define UOTS_ORACLE_DISTANCE_PROVIDER_H_
+
+#include <memory>
+#include <span>
+
+#include "net/graph.h"
+#include "oracle/querier.h"
+
+namespace uots {
+
+/// \brief Exact one-to-many network distances for one query at a time.
+class DistanceProvider {
+ public:
+  virtual ~DistanceProvider() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Starts a new query with the given source vertices.
+  virtual void BeginQuery(std::span<const VertexId> sources) = 0;
+
+  /// Exact sd(source_i, v) for every query source; the span (size m) is
+  /// valid until the next DistancesTo call.
+  virtual std::span<const double> DistancesTo(VertexId v) = 0;
+
+  /// Exact min_{v in set} sd(source_i, v) for every query source in one
+  /// shot — resolving a whole trajectory (its sample-vertex set) costs one
+  /// search instead of |set|. The span (size m) is valid until the next
+  /// MinDistancesTo call.
+  virtual std::span<const double> MinDistancesTo(
+      std::span<const VertexId> set) = 0;
+
+  /// Exact pairwise sd(s, t); kInfDistance if disconnected.
+  virtual double Distance(VertexId s, VertexId t) = 0;
+
+  /// Drains the provider's lookup counter (for QueryStats::oracle_lookups).
+  virtual int64_t TakeLookups() = 0;
+};
+
+/// \brief DistanceProvider backed by the contraction-hierarchy oracle.
+class ChDistanceProvider final : public DistanceProvider {
+ public:
+  explicit ChDistanceProvider(const DistanceOracle& oracle)
+      : querier_(oracle) {}
+
+  const char* name() const override { return "ch-oracle"; }
+  void BeginQuery(std::span<const VertexId> sources) override {
+    querier_.BeginQuery(sources);
+  }
+  std::span<const double> DistancesTo(VertexId v) override {
+    return querier_.DistancesTo(v);
+  }
+  std::span<const double> MinDistancesTo(
+      std::span<const VertexId> set) override {
+    return querier_.MinDistancesTo(set);
+  }
+  double Distance(VertexId s, VertexId t) override {
+    return querier_.Distance(s, t);
+  }
+  int64_t TakeLookups() override { return querier_.TakeLookups(); }
+
+ private:
+  OracleQuerier querier_;
+};
+
+inline std::unique_ptr<DistanceProvider> MakeChProvider(
+    const DistanceOracle& oracle) {
+  return std::make_unique<ChDistanceProvider>(oracle);
+}
+
+}  // namespace uots
+
+#endif  // UOTS_ORACLE_DISTANCE_PROVIDER_H_

@@ -1,0 +1,148 @@
+// Bidirectional upward-search query kernel over the contraction hierarchy.
+//
+// Pairwise: Distance(s, t) runs an upward Dijkstra from each endpoint
+// (one upward CSR serves both directions on an undirected network) with
+// stall-on-demand, and returns the minimum meet-vertex label sum.
+//
+// One-to-many (the search layer's workhorse): BeginQuery(sources) runs one
+// upward search per query location and scatters the settled labels into
+// per-vertex buckets; DistancesTo(v) then runs a single upward search from
+// v and probes the buckets at every settled vertex, yielding all m exact
+// distances sd(o_i, v) at once. Rows are memoized per vertex for the
+// duration of the query (hub vertices shared by many trajectories are
+// resolved once), with O(1) cross-query reset via version tags.
+//
+// Exactness: every label is a double sum of float arc weights (computed
+// without rounding at realistic scales; see oracle/ch_oracle.h), and the
+// returned distance is a min over such sums — bitwise identical to what a
+// plain Dijkstra on the road network would settle. Stalled vertices keep
+// their labels (valid upper bounds); the optimal meet vertex is never
+// stalled, so minima stay exact.
+
+#ifndef UOTS_ORACLE_QUERIER_H_
+#define UOTS_ORACLE_QUERIER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/dijkstra.h"
+#include "oracle/ch_oracle.h"
+#include "util/dary_heap.h"
+#include "util/versioned.h"
+
+namespace uots {
+
+/// \brief Per-thread query scratch over one (const, shared) oracle.
+class OracleQuerier {
+ public:
+  explicit OracleQuerier(const DistanceOracle& oracle);
+
+  /// Exact network distance sd(s, t); kInfDistance if disconnected.
+  double Distance(VertexId s, VertexId t);
+
+  /// Prepares the one-to-many state for a new query's source set.
+  void BeginQuery(std::span<const VertexId> sources);
+
+  /// All m exact distances sd(source_i, v), memoized per vertex until the
+  /// next BeginQuery. The span is valid until the next DistancesTo call.
+  std::span<const double> DistancesTo(VertexId v);
+
+  /// All m exact set distances min_{v in set} sd(source_i, v) — the
+  /// spatial kernel of candidate scoring (min over a trajectory's sample
+  /// vertices) — via ONE multi-source upward search: every set vertex
+  /// seeds the heap at distance zero, labels merge to min_{v} d_up(v, u),
+  /// and the bucket probe at each settled node folds the per-source
+  /// minima. One search replaces |set| separate rows; the span is valid
+  /// until the next MinDistancesTo call. Exact by the same argument as
+  /// Distance(): every label sum names a real path, and the optimal
+  /// (sample, meet) pair is settled with its exact double sum because the
+  /// multi-source label at the optimal meet never exceeds the optimal
+  /// single-source label there (and stalling only prunes dominated paths).
+  std::span<const double> MinDistancesTo(std::span<const VertexId> set);
+
+  /// Drains the lookup counter (distinct rows computed + pairwise calls).
+  int64_t TakeLookups() {
+    const int64_t n = lookups_;
+    lookups_ = 0;
+    return n;
+  }
+
+  /// Vertices settled by upward searches since construction (kernel-cost
+  /// telemetry: settles per lookup is the hierarchy-quality figure).
+  int64_t SettledVertices() const { return settled_; }
+
+ private:
+  /// True when rank node u's label `d` is dominated through a higher
+  /// neighbor already labeled by the same search — such nodes cannot
+  /// improve any shortest up-down path, so their out-arcs are not relaxed.
+  bool Stalled(uint32_t u, double d, const DistanceField& dist) const;
+
+  /// Upward Dijkstra from rank node s, invoking visit(u, label) for every
+  /// settled node (stalled ones included; their labels are valid upper
+  /// bounds). All ids here are rank-space (oracle/ch_oracle.h): searches
+  /// ascend through increasing node ids into the cache-hot top of the
+  /// hierarchy, which is what makes the kernel fast.
+  template <typename Visitor>
+  void UpwardSearch(uint32_t s, DistanceField* dist, VertexHeap* heap,
+                    Visitor&& visit) {
+    dist->Reset();
+    heap->Reset();
+    dist->Set(s, 0.0);
+    heap->Push(s, 0.0);
+    RunUpward(dist, heap, visit);
+  }
+
+  /// Drains an already-seeded heap to exhaustion (multi-source searches
+  /// seed several nodes at zero before calling this).
+  template <typename Visitor>
+  void RunUpward(DistanceField* dist, VertexHeap* heap, Visitor&& visit) {
+    while (!heap->empty()) {
+      const auto [d, u] = heap->Pop();
+      ++settled_;
+      visit(u, d);
+      if (Stalled(u, d, *dist)) continue;
+      for (const OracleEdge& e : oracle_->UpNeighbors(u)) {
+        const double nd = d + e.weight;
+        const double old = dist->Get(e.to);
+        if (nd < old) {
+          dist->Set(e.to, nd);
+          if (old == kInfDistance) {
+            heap->Push(e.to, nd);
+          } else {
+            heap->DecreaseKey(e.to, nd);
+          }
+        }
+      }
+    }
+  }
+
+  const DistanceOracle* oracle_;
+
+  // Pairwise scratch.
+  DistanceField fwd_dist_;
+  VertexHeap fwd_heap_;
+
+  // One-to-many scratch. Buckets are a pooled linked list headed by a
+  // version-tagged per-vertex slot, so BeginQuery resets them in O(1).
+  struct BucketEntry {
+    uint32_t source;
+    double dist;
+    int32_t next;
+  };
+  VersionedArray<int32_t> bucket_head_;
+  std::vector<BucketEntry> bucket_pool_;
+  size_t num_sources_ = 0;
+  VersionedArray<int64_t> row_of_;  ///< vertex -> base index into row_pool_
+  std::vector<double> row_pool_;    ///< memoized rows, m doubles each
+  DistanceField up_dist_;
+  VertexHeap up_heap_;
+  std::vector<double> min_row_;  ///< MinDistancesTo result, m doubles
+
+  int64_t lookups_ = 0;
+  int64_t settled_ = 0;
+};
+
+}  // namespace uots
+
+#endif  // UOTS_ORACLE_QUERIER_H_

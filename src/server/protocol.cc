@@ -381,6 +381,8 @@ Result<QueryResponse> ParseQueryResponse(std::string_view json) {
       resp.stats.dcache_hits = geti("dcache_hits");
       resp.stats.dcache_replayed = geti("dcache_replayed");
       resp.stats.dcache_published = geti("dcache_published");
+      resp.stats.oracle_lookups = geti("oracle_lookups");
+      resp.stats.oracle_pruned_candidates = geti("oracle_pruned_candidates");
       if (const JsonValue* ms = stats->Find("elapsed_ms")) {
         resp.stats.elapsed_ms = ms->NumberOr(0.0);
       }

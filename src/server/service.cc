@@ -110,9 +110,13 @@ std::shared_ptr<const CachedResult> UotsService::CacheLookup(
 }
 
 void UotsService::PublishCacheMetrics() const {
+  auto& reg = MetricsRegistry::Global();
+  reg.SetCounter("server.oracle.lookups",
+                 oracle_lookups_total_.load(std::memory_order_relaxed));
+  reg.SetCounter("server.oracle.pruned_candidates",
+                 oracle_pruned_total_.load(std::memory_order_relaxed));
   if (result_cache_ == nullptr) return;
   const ResultCache::Stats s = result_cache_->stats();
-  auto& reg = MetricsRegistry::Global();
   reg.SetCounter("server.cache.hits", s.hits);
   reg.SetCounter("server.cache.misses", s.misses);
   reg.SetCounter("server.cache.evictions", s.evictions + s.expired);
@@ -148,6 +152,11 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
       ReleaseEngine(kind, std::move(engine));
       if (r.ok()) {
         out.result = std::move(*r);
+        oracle_lookups_total_.fetch_add(out.result.stats.oracle_lookups,
+                                        std::memory_order_relaxed);
+        oracle_pruned_total_.fetch_add(
+            out.result.stats.oracle_pruned_candidates,
+            std::memory_order_relaxed);
         if (result_cache_ != nullptr && !cache_key.empty()) {
           auto cached = std::make_shared<CachedResult>();
           cached->items = out.result.items;

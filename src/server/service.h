@@ -94,7 +94,9 @@ class UotsService {
   ResultCache* result_cache() { return result_cache_.get(); }
 
   /// Copies cache counters into MetricsRegistry::Global() under
-  /// server.cache.{hits,misses,evictions,bytes}. Call before scraping.
+  /// server.cache.{hits,misses,evictions,bytes}, plus lifetime distance-
+  /// oracle totals under server.oracle.{lookups,pruned_candidates}. Call
+  /// before scraping.
   void PublishCacheMetrics() const;
 
   /// Requests currently admitted (queued + executing).
@@ -143,6 +145,11 @@ class UotsService {
 
   std::atomic<size_t> inflight_{0};
   std::atomic<bool> shutting_down_{false};
+
+  /// Lifetime totals of the per-query oracle counters, accumulated on
+  /// worker threads and copied out by PublishCacheMetrics.
+  std::atomic<int64_t> oracle_lookups_total_{0};
+  std::atomic<int64_t> oracle_pruned_total_{0};
 
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

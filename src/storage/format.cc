@@ -21,6 +21,9 @@ const char* SectionName(SectionId id) {
     case SectionId::kKeywordIndexPostings: return "keyword_index.postings";
     case SectionId::kKeywordIndexDocSizes: return "keyword_index.doc_sizes";
     case SectionId::kTimeIndexEntries: return "time_index.entries";
+    case SectionId::kOracleRanks: return "oracle.ranks";
+    case SectionId::kOracleUpOffsets: return "oracle.up_offsets";
+    case SectionId::kOracleUpEdges: return "oracle.up_edges";
   }
   return "unknown";
 }

@@ -1,4 +1,4 @@
-// On-disk snapshot layout (format version 1).
+// On-disk snapshot layout (format version 2; version-1 files still load).
 //
 // A snapshot is one file:
 //
@@ -36,8 +36,15 @@ namespace storage {
 /// First 8 bytes of every snapshot (not NUL-terminated on disk).
 inline constexpr char kMagic[8] = {'U', 'O', 'T', 'S', 'S', 'N', 'A', 'P'};
 
-/// Bumped on any incompatible layout change; readers reject mismatches.
-inline constexpr uint32_t kFormatVersion = 1;
+/// Version written by this build. Version 2 appended the three distance-
+/// oracle sections (ids 16-18) and widened SnapshotMeta by two counts; a
+/// version-2 file without an oracle simply carries them with count 0.
+/// Readers accept [kMinSupportedFormatVersion, kFormatVersion] and reject
+/// anything newer or older.
+inline constexpr uint32_t kFormatVersion = 2;
+/// Oldest version this reader still loads (version-1 files have 16
+/// sections, an 80-byte meta record, and never an oracle).
+inline constexpr uint32_t kMinSupportedFormatVersion = 1;
 
 /// Written as the literal 0x01020304 on a little-endian machine; a reader
 /// on the wrong endianness sees 0x04030201 and rejects the file instead of
@@ -66,9 +73,19 @@ enum class SectionId : uint32_t {
   kKeywordIndexPostings = 13, ///< DocId postings per term
   kKeywordIndexDocSizes = 14, ///< uint32_t, |keywords| per doc
   kTimeIndexEntries = 15,     ///< TimeIndex::Entry sorted by (time, traj)
+  // --- format version 2 additions (distance oracle; may be empty) ---
+  kOracleRanks = 16,          ///< uint32_t contraction rank per vertex
+  kOracleUpOffsets = 17,      ///< uint64_t, num_oracle_vertices + 1
+  kOracleUpEdges = 18,        ///< OracleEdge upward arcs (see oracle/)
 };
 
-inline constexpr uint32_t kSectionCount = 16;
+inline constexpr uint32_t kSectionCountV1 = 16;
+inline constexpr uint32_t kSectionCount = 19;
+
+/// Directory size of a given format version.
+inline constexpr uint32_t SectionCountForVersion(uint32_t version) {
+  return version >= 2 ? kSectionCount : kSectionCountV1;
+}
 
 /// Human-readable section name ("unknown" for out-of-range ids).
 const char* SectionName(SectionId id);
@@ -78,7 +95,7 @@ struct Superblock {
   char magic[8];            ///< kMagic
   uint32_t format_version;  ///< kFormatVersion
   uint32_t endian_tag;      ///< kEndianTag
-  uint32_t section_count;   ///< kSectionCount for version 1
+  uint32_t section_count;   ///< SectionCountForVersion(format_version)
   uint32_t superblock_crc;  ///< CRC32C of this struct with this field = 0
   uint64_t file_size;       ///< total snapshot size in bytes
   int64_t created_unix_s;   ///< build wall-clock time
@@ -118,8 +135,14 @@ struct SnapshotMeta {
   uint64_t num_index_postings;
   uint64_t num_vertex_postings;
   uint64_t num_time_entries;
+  // --- format version 2 additions; zero-filled when reading version 1 ---
+  uint64_t num_oracle_vertices;  ///< 0 = no oracle; else == num_vertices
+  uint64_t num_oracle_edges;     ///< upward arcs (roads + shortcuts)
 };
-static_assert(sizeof(SnapshotMeta) == 80, "meta layout drifted");
+/// On-disk meta record size per version (version 1 predates the oracle
+/// counts; the reader zero-fills the missing tail).
+inline constexpr uint64_t kSnapshotMetaBytesV1 = 80;
+static_assert(sizeof(SnapshotMeta) == 96, "meta layout drifted");
 static_assert(std::is_trivially_copyable_v<SnapshotMeta>);
 
 /// Rounds `n` up to the next multiple of kSectionAlignment.
@@ -127,9 +150,10 @@ inline constexpr uint64_t AlignUp(uint64_t n) {
   return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
 }
 
-/// Byte offset where the first section payload begins.
-inline constexpr uint64_t HeaderBytes() {
-  return AlignUp(sizeof(Superblock) + kSectionCount * sizeof(SectionEntry));
+/// Byte offset where the first section payload begins. Depends on the
+/// directory size, hence on the format version.
+inline constexpr uint64_t HeaderBytes(uint32_t section_count = kSectionCount) {
+  return AlignUp(sizeof(Superblock) + section_count * sizeof(SectionEntry));
 }
 
 }  // namespace storage

@@ -18,10 +18,14 @@ Status Corrupt(const std::string& what) {
   return Status::InvalidArgument("corrupt snapshot: " + what);
 }
 
-/// Expected element size per section (schema for format version 1).
-uint32_t ExpectedElemSize(SectionId id) {
+/// Expected element size per section. The meta record grew between format
+/// versions, so its expected size depends on the file's version.
+uint32_t ExpectedElemSize(SectionId id, uint32_t format_version) {
   switch (id) {
-    case SectionId::kMeta: return sizeof(SnapshotMeta);
+    case SectionId::kMeta:
+      return format_version >= 2
+                 ? static_cast<uint32_t>(sizeof(SnapshotMeta))
+                 : static_cast<uint32_t>(kSnapshotMetaBytesV1);
     case SectionId::kNetPositions: return sizeof(Point);
     case SectionId::kNetAdjacency: return sizeof(AdjacencyEntry);
     case SectionId::kTrajSamples: return sizeof(Sample);
@@ -31,12 +35,15 @@ uint32_t ExpectedElemSize(SectionId id) {
     case SectionId::kKeywordIndexPostings: return sizeof(DocId);
     case SectionId::kKeywordIndexDocSizes: return sizeof(uint32_t);
     case SectionId::kTimeIndexEntries: return sizeof(TimeIndex::Entry);
+    case SectionId::kOracleRanks: return sizeof(uint32_t);
+    case SectionId::kOracleUpEdges: return sizeof(OracleEdge);
     case SectionId::kNetOffsets:
     case SectionId::kTrajOffsets:
     case SectionId::kTrajKeywordOffsets:
     case SectionId::kVocabOffsets:
     case SectionId::kVertexIndexOffsets:
-    case SectionId::kKeywordIndexOffsets: return sizeof(uint64_t);
+    case SectionId::kKeywordIndexOffsets:
+    case SectionId::kOracleUpOffsets: return sizeof(uint64_t);
   }
   return 0;
 }
@@ -65,9 +72,11 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
                    std::string(sb.endian_tag == 0x04030201u ? "big" : "unknown") +
                    "-endian machine)");
   }
-  if (sb.format_version != kFormatVersion) {
+  if (sb.format_version < kMinSupportedFormatVersion ||
+      sb.format_version > kFormatVersion) {
     return Corrupt("unsupported format version " +
                    std::to_string(sb.format_version) + " (reader supports " +
+                   std::to_string(kMinSupportedFormatVersion) + ".." +
                    std::to_string(kFormatVersion) + ")");
   }
   Superblock crc_copy = sb;
@@ -75,16 +84,18 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
   if (Crc32c(&crc_copy, sizeof(crc_copy)) != sb.superblock_crc) {
     return Corrupt("superblock checksum mismatch");
   }
-  if (sb.section_count != kSectionCount) {
+  const uint32_t want_sections = SectionCountForVersion(sb.format_version);
+  if (sb.section_count != want_sections) {
     return Corrupt("section count " + std::to_string(sb.section_count) +
-                   " != " + std::to_string(kSectionCount));
+                   " != " + std::to_string(want_sections) + " (version " +
+                   std::to_string(sb.format_version) + ")");
   }
   if (sb.file_size != f.size()) {
     return Corrupt("file size mismatch: superblock says " +
                    std::to_string(sb.file_size) + ", file has " +
                    std::to_string(f.size()) + " (truncated?)");
   }
-  const uint64_t table_bytes = kSectionCount * sizeof(SectionEntry);
+  const uint64_t table_bytes = sb.section_count * sizeof(SectionEntry);
   if (sizeof(Superblock) + table_bytes > f.size()) {
     return Corrupt("section table extends past end of file");
   }
@@ -93,9 +104,9 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
     return Corrupt("section table checksum mismatch");
   }
 
-  std::vector<SectionEntry> sections(kSectionCount);
+  std::vector<SectionEntry> sections(sb.section_count);
   std::memcpy(sections.data(), table_raw, table_bytes);
-  for (uint32_t i = 0; i < kSectionCount; ++i) {
+  for (uint32_t i = 0; i < sb.section_count; ++i) {
     const SectionEntry& e = sections[i];
     const std::string name = SectionName(static_cast<SectionId>(i));
     if (e.id != i) {
@@ -108,7 +119,8 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
     if (e.offset > f.size() || e.size_bytes > f.size() - e.offset) {
       return Corrupt("section " + name + " extends past end of file");
     }
-    const uint32_t want = ExpectedElemSize(static_cast<SectionId>(i));
+    const uint32_t want =
+        ExpectedElemSize(static_cast<SectionId>(i), sb.format_version);
     if (e.elem_size != want) {
       return Corrupt("section " + name + " element size " +
                      std::to_string(e.elem_size) + " != " +
@@ -128,8 +140,11 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
   if (meta_entry.count != 1) {
     return Corrupt("meta section must hold exactly one record");
   }
-  SnapshotMeta meta;
-  std::memcpy(&meta, f.data() + meta_entry.offset, sizeof(meta));
+  // Version 1 wrote the 80-byte meta record (no oracle counts); the
+  // in-memory struct's tail stays zero, meaning "no oracle".
+  SnapshotMeta meta = {};
+  std::memcpy(&meta, f.data() + meta_entry.offset,
+              static_cast<size_t>(meta_entry.size_bytes));
 
   // Cross-check every section's count against the meta record.
   const struct {
@@ -157,6 +172,34 @@ Status ValidateStructure(const MappedFile& f, SnapshotInfo* info) {
       return Corrupt(std::string("section ") + SectionName(c.id) +
                      " count " + std::to_string(e.count) +
                      " contradicts meta (" + std::to_string(c.want) + ")");
+    }
+  }
+  if (sb.format_version >= 2) {
+    // The oracle is either absent (all three sections empty) or covers the
+    // whole network; a partial oracle is never valid.
+    if (meta.num_oracle_vertices != 0 &&
+        meta.num_oracle_vertices != meta.num_vertices) {
+      return Corrupt("oracle vertex count contradicts the network");
+    }
+    if (meta.num_oracle_vertices == 0 && meta.num_oracle_edges != 0) {
+      return Corrupt("oracle edges present without oracle vertices");
+    }
+    const struct {
+      SectionId id;
+      uint64_t want;
+    } oracle_counts[] = {
+        {SectionId::kOracleRanks, meta.num_oracle_vertices},
+        {SectionId::kOracleUpOffsets,
+         meta.num_oracle_vertices != 0 ? meta.num_oracle_vertices + 1 : 0},
+        {SectionId::kOracleUpEdges, meta.num_oracle_edges},
+    };
+    for (const auto& c : oracle_counts) {
+      const SectionEntry& e = sections[static_cast<uint32_t>(c.id)];
+      if (e.count != c.want) {
+        return Corrupt(std::string("section ") + SectionName(c.id) +
+                       " count " + std::to_string(e.count) +
+                       " contradicts meta (" + std::to_string(c.want) + ")");
+      }
     }
   }
 
@@ -310,6 +353,30 @@ Status ValidateRanges(const MappedFile& f, const SnapshotInfo& info) {
       return Corrupt("time-index entries are not sorted by (time, traj)");
     }
   }
+
+  // Oracle sections (version 2, when present): reuse the oracle's own
+  // structural validation over zero-copy views — rank permutation, offset
+  // span, strictly-upward in-range arcs with positive finite weights, and
+  // per-vertex target order. Even a checksum-rewritten oracle can then
+  // never send the query kernel out of bounds or into an infinite loop.
+  if (info.sections.size() > static_cast<uint32_t>(SectionId::kOracleUpEdges) &&
+      m.num_oracle_vertices != 0) {
+    DistanceOracle oracle = DistanceOracle::FromColumns(
+        ColumnVec<uint32_t>::View(
+            reinterpret_cast<const uint32_t*>(
+                f.data() + entry(SectionId::kOracleRanks).offset),
+            static_cast<size_t>(entry(SectionId::kOracleRanks).count)),
+        ColumnVec<uint64_t>::View(
+            reinterpret_cast<const uint64_t*>(
+                f.data() + entry(SectionId::kOracleUpOffsets).offset),
+            static_cast<size_t>(entry(SectionId::kOracleUpOffsets).count)),
+        ColumnVec<OracleEdge>::View(
+            reinterpret_cast<const OracleEdge*>(
+                f.data() + entry(SectionId::kOracleUpEdges).offset),
+            static_cast<size_t>(entry(SectionId::kOracleUpEdges).count)));
+    const Status s = oracle.Validate();
+    if (!s.ok()) return Corrupt("oracle sections: " + s.message());
+  }
   return Status::OK();
 }
 
@@ -384,6 +451,18 @@ Result<std::unique_ptr<TrajectoryDatabase>> LoadSnapshot(
           ViewOf<TimeIndex::Entry>(*file, info, SectionId::kTimeIndexEntries))),
       std::shared_ptr<const void>(file, file->data()),
       info.superblock.dataset_fingerprint};
+
+  // Version-2 snapshots may bake in a distance oracle; assemble it from
+  // the validated sections, zero-copy like everything else. The database's
+  // `backing` already pins the mapping the views point into.
+  if (info.sections.size() >
+          static_cast<uint32_t>(SectionId::kOracleUpEdges) &&
+      info.meta.num_oracle_vertices != 0) {
+    parts.oracle = std::make_shared<DistanceOracle>(DistanceOracle::FromColumns(
+        ViewOf<uint32_t>(*file, info, SectionId::kOracleRanks),
+        ViewOf<uint64_t>(*file, info, SectionId::kOracleUpOffsets),
+        ViewOf<OracleEdge>(*file, info, SectionId::kOracleUpEdges)));
+  }
 
   return std::make_unique<TrajectoryDatabase>(std::move(parts),
                                               opts.similarity);

@@ -115,6 +115,21 @@ Status WriteSnapshot(const TrajectoryDatabase& db, const std::string& path,
   meta.num_vertex_postings = vidx.TotalEntries();
   meta.num_time_entries = tidx.size();
 
+  // A database without an attached oracle still writes a version-2 file;
+  // its three oracle sections are present with count 0 (CRC of an empty
+  // payload is 0, and readers treat num_oracle_vertices == 0 as "none").
+  const DistanceOracle* oracle = db.oracle();
+  std::span<const uint32_t> oracle_ranks;
+  std::span<const uint64_t> oracle_up_offsets;
+  std::span<const OracleEdge> oracle_up_edges;
+  if (oracle != nullptr) {
+    oracle_ranks = oracle->ranks();
+    oracle_up_offsets = oracle->up_offsets();
+    oracle_up_edges = oracle->up_edges();
+    meta.num_oracle_vertices = oracle->NumVertices();
+    meta.num_oracle_edges = oracle->NumUpEdges();
+  }
+
   // Sections in SectionId order; the directory index IS the id.
   const PendingSection sections[kSectionCount] = {
       {SectionId::kMeta, sizeof(SnapshotMeta), &meta, sizeof(SnapshotMeta), 1},
@@ -135,6 +150,9 @@ Status WriteSnapshot(const TrajectoryDatabase& db, const std::string& path,
       Stage(SectionId::kKeywordIndexPostings, kidx.postings()),
       Stage(SectionId::kKeywordIndexDocSizes, kidx.doc_sizes()),
       Stage(SectionId::kTimeIndexEntries, tidx.entries()),
+      Stage(SectionId::kOracleRanks, oracle_ranks),
+      Stage(SectionId::kOracleUpOffsets, oracle_up_offsets),
+      Stage(SectionId::kOracleUpEdges, oracle_up_edges),
   };
 
   // Lay out offsets and checksum every payload.

@@ -29,7 +29,9 @@ std::string QueryStats::ToString() const {
      << " postings=" << posting_entries << " steps=" << schedule_steps
      << " rebuilds=" << bound_rebuilds << " dcache_hits=" << dcache_hits
      << " dcache_replayed=" << dcache_replayed
-     << " dcache_published=" << dcache_published << " ms=" << elapsed_ms;
+     << " dcache_published=" << dcache_published
+     << " oracle_lookups=" << oracle_lookups
+     << " oracle_pruned=" << oracle_pruned_candidates << " ms=" << elapsed_ms;
   os << " phases[";
   for (int i = 0; i < kNumQueryPhases; ++i) {
     if (i != 0) os << " ";
@@ -56,6 +58,8 @@ std::string QueryStats::ToJson() const {
      << ", \"dcache_hits\": " << dcache_hits
      << ", \"dcache_replayed\": " << dcache_replayed
      << ", \"dcache_published\": " << dcache_published
+     << ", \"oracle_lookups\": " << oracle_lookups
+     << ", \"oracle_pruned_candidates\": " << oracle_pruned_candidates
      << ", \"elapsed_ms\": " << elapsed_ms << ", \"phase_ms\": {";
   for (int i = 0; i < kNumQueryPhases; ++i) {
     if (i != 0) os << ", ";

@@ -81,6 +81,12 @@ struct QueryStats {
   int64_t dcache_replayed = 0;
   /// Prefixes this query published (new or extended) back into the cache.
   int64_t dcache_published = 0;
+  /// Distance-oracle kernel invocations (pairwise or one-to-many searches;
+  /// see oracle/querier.h). 0 when no oracle is attached or in use.
+  int64_t oracle_lookups = 0;
+  /// Candidates the oracle resolved to an exact score at or below the prune
+  /// threshold — work a plain expansion would have spent rounds bounding.
+  int64_t oracle_pruned_candidates = 0;
   /// Wall time accounted to each QueryPhase, in nanoseconds. Phases cover
   /// the bulk of a query but not 100% of elapsed_ms (validation and
   /// per-round glue are unattributed).
@@ -116,6 +122,8 @@ struct QueryStats {
     dcache_hits += o.dcache_hits;
     dcache_replayed += o.dcache_replayed;
     dcache_published += o.dcache_published;
+    oracle_lookups += o.oracle_lookups;
+    oracle_pruned_candidates += o.oracle_pruned_candidates;
     for (int i = 0; i < kNumQueryPhases; ++i) phase_ns[i] += o.phase_ns[i];
     elapsed_ms += o.elapsed_ms;
     return *this;

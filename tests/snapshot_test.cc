@@ -22,6 +22,8 @@
 #include "core/workload.h"
 #include "net/generators.h"
 #include "net/io.h"
+#include "oracle/ch_oracle.h"
+#include "oracle/querier.h"
 #include "storage/crc32c.h"
 #include "storage/format.h"
 #include "storage/resolver.h"
@@ -30,6 +32,7 @@
 #include "traj/generator.h"
 #include "traj/io.h"
 #include "traj/time_index.h"
+#include "util/rng.h"
 
 namespace uots {
 namespace {
@@ -526,6 +529,216 @@ TEST(Snapshot, MissingAndNonSnapshotFilesFailCleanly) {
   EXPECT_FALSE(storage::SniffSnapshotMagic(not_snap));
   EXPECT_FALSE(LoadSnapshot(not_snap).ok());
   std::remove(not_snap.c_str());
+}
+
+// --- distance oracle (format v2) ----------------------------------------
+
+std::unique_ptr<TrajectoryDatabase> MakeOracleDatabase(uint64_t seed = 7) {
+  auto db = MakeDatabase(seed);
+  auto oracle = DistanceOracle::Build(db->network());
+  EXPECT_TRUE(oracle.ok());
+  db->AttachOracle(std::make_shared<DistanceOracle>(std::move(*oracle)));
+  return db;
+}
+
+TEST(SnapshotOracle, OracleRoundTripsThroughSnapshot) {
+  auto db = MakeOracleDatabase();
+  const std::string path = TempPath("oracle.snap");
+  ASSERT_TRUE(WriteSnapshot(*db, path).ok());
+  const Status vst = VerifySnapshot(path);
+  EXPECT_TRUE(vst.ok()) << vst.ToString();
+
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->superblock.format_version, storage::kFormatVersion);
+  EXPECT_EQ(info->sections.size(), storage::kSectionCount);
+  EXPECT_EQ(info->meta.num_oracle_vertices, db->network().NumVertices());
+  EXPECT_EQ(info->meta.num_oracle_edges, db->oracle()->NumUpEdges());
+
+  auto loaded_r = LoadSnapshot(path);
+  ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+  const TrajectoryDatabase& loaded = **loaded_r;
+  ASSERT_NE(loaded.oracle(), nullptr);
+  const DistanceOracle& a = *db->oracle();
+  const DistanceOracle& b = *loaded.oracle();
+  ASSERT_EQ(b.NumVertices(), a.NumVertices());
+  ASSERT_EQ(b.NumUpEdges(), a.NumUpEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    ASSERT_EQ(b.RankOf(v), a.RankOf(v)) << "rank of " << v;
+  }
+  // Exact distances are bit-identical through the mmap-backed columns.
+  OracleQuerier qa(a);
+  OracleQuerier qb(b);
+  Rng rng(0x0bacu);
+  const auto n = static_cast<VertexId>(a.NumVertices());
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<VertexId>(rng.Next() % n);
+    const auto t = static_cast<VertexId>(rng.Next() % n);
+    ASSERT_EQ(qb.Distance(s, t), qa.Distance(s, t))
+        << "sd(" << s << ", " << t << ")";
+  }
+
+  // Oracle-backed answers from the snapshot-loaded database match brute
+  // force on the original in-memory one.
+  WorkloadOptions wopts;
+  wopts.num_queries = 8;
+  wopts.seed = 41;
+  auto queries = MakeWorkload(*db, wopts);
+  ASSERT_TRUE(queries.ok());
+  QueryOptions uots_opts;
+  uots_opts.algorithm = AlgorithmKind::kUots;
+  QueryOptions bf_opts;
+  bf_opts.algorithm = AlgorithmKind::kBruteForce;
+  for (const auto& q : *queries) {
+    auto with_oracle = RunQuery(loaded, q, uots_opts);
+    auto brute = RunQuery(*db, q, bf_opts);
+    ASSERT_TRUE(with_oracle.ok() && brute.ok());
+    ASSERT_EQ(with_oracle->items.size(), brute->items.size());
+    for (size_t j = 0; j < brute->items.size(); ++j) {
+      EXPECT_EQ(with_oracle->items[j].id, brute->items[j].id);
+      EXPECT_EQ(with_oracle->items[j].score, brute->items[j].score);
+    }
+    EXPECT_GT(with_oracle->stats.oracle_lookups, 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotOracle, OraclelessSnapshotLoadsWithNullOracle) {
+  auto db = MakeDatabase();
+  ASSERT_EQ(db->oracle(), nullptr);
+  const std::string path = TempPath("no_oracle.snap");
+  ASSERT_TRUE(WriteSnapshot(*db, path).ok());
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->meta.num_oracle_vertices, 0u);
+  EXPECT_EQ(
+      info->sections[static_cast<uint32_t>(SectionId::kOracleRanks)].count,
+      0u);
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->oracle(), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotOracle, SelfConsistentOracleTamperingIsRejected) {
+  // Duplicate a contraction rank AND rewrite every checksum: only the
+  // loader's structural oracle validation (permutation check) stands
+  // between a tampered file and an out-of-bounds upward search.
+  auto db = MakeOracleDatabase();
+  const std::string path = TempPath("oracle_tamper.snap");
+  ASSERT_TRUE(WriteSnapshot(*db, path).ok());
+  std::vector<char> bad = ReadAll(path);
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok());
+  const auto& e =
+      info->sections[static_cast<uint32_t>(SectionId::kOracleRanks)];
+  ASSERT_GE(e.count, 2u);
+  std::memcpy(bad.data() + e.offset + sizeof(uint32_t), bad.data() + e.offset,
+              sizeof(uint32_t));
+  FixUpAllChecksums(&bad);
+  const std::string tampered = TempPath("oracle_tampered.snap");
+  WriteAll(tampered, bad);
+  EXPECT_FALSE(VerifySnapshot(tampered).ok());
+  auto loaded = LoadSnapshot(tampered);
+  EXPECT_FALSE(loaded.ok());
+  if (!loaded.ok()) {
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(tampered.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV1Compat, HandWrittenV1FileLoadsWithoutOracle) {
+  // Down-convert a freshly written snapshot to format version 1 by hand —
+  // 16 directory entries, an 80-byte meta record, no oracle sections —
+  // exactly the layout v1 builds produced. The reader must load it cleanly
+  // with a null oracle (back-compat is a supported path, not an accident).
+  auto db = MakeDatabase();
+  const std::string v2path = TempPath("compat_v2.snap");
+  ASSERT_TRUE(WriteSnapshot(*db, v2path).ok());
+  const std::vector<char> v2 = ReadAll(v2path);
+
+  storage::Superblock sb;
+  std::memcpy(&sb, v2.data(), sizeof(sb));
+  std::vector<storage::SectionEntry> t2(storage::kSectionCount);
+  std::memcpy(t2.data(), v2.data() + sizeof(sb),
+              t2.size() * sizeof(storage::SectionEntry));
+
+  std::vector<storage::SectionEntry> t1(
+      t2.begin(), t2.begin() + storage::kSectionCountV1);
+  std::vector<std::vector<char>> payloads;
+  uint64_t cursor = storage::HeaderBytes(storage::kSectionCountV1);
+  for (uint32_t i = 0; i < storage::kSectionCountV1; ++i) {
+    const uint64_t size = i == static_cast<uint32_t>(SectionId::kMeta)
+                              ? storage::kSnapshotMetaBytesV1
+                              : t2[i].size_bytes;
+    const char* src = v2.data() + t2[i].offset;
+    payloads.emplace_back(src, src + size);
+    storage::SectionEntry& e = t1[i];
+    if (i == static_cast<uint32_t>(SectionId::kMeta)) {
+      e.elem_size = static_cast<uint32_t>(storage::kSnapshotMetaBytesV1);
+    }
+    e.offset = cursor;
+    e.size_bytes = size;
+    e.crc32c = Crc32c(payloads.back().data(), payloads.back().size());
+    cursor = storage::AlignUp(cursor + size);
+  }
+  uint32_t fingerprint = 0;
+  for (const auto& e : t1) {
+    const uint32_t triple[3] = {e.id, static_cast<uint32_t>(e.count),
+                                e.crc32c};
+    fingerprint = Crc32cExtend(fingerprint, triple, sizeof(triple));
+  }
+  sb.format_version = 1;
+  sb.section_count = storage::kSectionCountV1;
+  sb.file_size = cursor;
+  sb.dataset_fingerprint = fingerprint;
+  sb.section_table_crc =
+      Crc32c(t1.data(), t1.size() * sizeof(storage::SectionEntry));
+  sb.superblock_crc = 0;
+  sb.superblock_crc = Crc32c(&sb, sizeof(sb));
+
+  std::vector<char> v1(cursor, 0);
+  std::memcpy(v1.data(), &sb, sizeof(sb));
+  std::memcpy(v1.data() + sizeof(sb), t1.data(),
+              t1.size() * sizeof(storage::SectionEntry));
+  for (uint32_t i = 0; i < storage::kSectionCountV1; ++i) {
+    std::memcpy(v1.data() + t1[i].offset, payloads[i].data(),
+                payloads[i].size());
+  }
+  const std::string v1path = TempPath("compat_v1.snap");
+  WriteAll(v1path, v1);
+
+  const Status vst = VerifySnapshot(v1path);
+  EXPECT_TRUE(vst.ok()) << vst.ToString();
+  auto info = InspectSnapshot(v1path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->superblock.format_version, 1u);
+  EXPECT_EQ(info->sections.size(), storage::kSectionCountV1);
+  EXPECT_EQ(info->meta.num_oracle_vertices, 0u) << "zero-filled meta tail";
+  EXPECT_EQ(info->meta.num_trajectories, db->store().size());
+
+  auto loaded = LoadSnapshot(v1path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->oracle(), nullptr);
+
+  // A v1 file answers queries identically to the in-memory database.
+  WorkloadOptions wopts;
+  wopts.num_queries = 6;
+  auto queries = MakeWorkload(*db, wopts);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& q : *queries) {
+    auto a = RunQuery(**loaded, q, {});
+    auto b = RunQuery(*db, q, {});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->items.size(), b->items.size());
+    for (size_t j = 0; j < a->items.size(); ++j) {
+      EXPECT_EQ(a->items[j].id, b->items[j].id);
+      EXPECT_EQ(a->items[j].score, b->items[j].score);
+    }
+  }
+  std::remove(v1path.c_str());
+  std::remove(v2path.c_str());
 }
 
 // --- resolver -----------------------------------------------------------

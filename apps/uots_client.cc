@@ -33,6 +33,7 @@
 #include "core/batch.h"
 #include "core/workload.h"
 #include "server/client.h"
+#include "server/http.h"
 #include "storage/resolver.h"
 #include "text/zipf.h"
 #include "util/histogram.h"
@@ -70,6 +71,11 @@ struct Flags {
   /// disables the assertion.
   double min_hit_rate = -1.0;
   std::string json_out = "BENCH_server.json";
+  /// "HOST:PORT" of the server's admin plane. When set, /metrics is
+  /// scraped before and after the load run and the server-observed
+  /// run-window latency quantiles + cache hit rate are folded into the
+  /// report next to the client-observed numbers.
+  std::string scrape_admin;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -134,6 +140,48 @@ struct WorkerStats {
     transport_errors += o.transport_errors;
   }
 };
+
+/// One /metrics scrape, reduced to what the report folds in.
+struct AdminScrape {
+  double requests = 0.0;       // uots_server_requests_total
+  double responses_ok = 0.0;   // uots_server_responses_ok_total
+  double cache_hits = 0.0;     // uots_server_request_cache_hits_total
+  std::vector<uots::promtext::HistogramBucket> latency_buckets;
+};
+
+bool ScrapeAdmin(const std::string& host, uint16_t port, AdminScrape* out) {
+  auto r = uots::HttpFetch(host, port, "/metrics");
+  if (!r.ok()) {
+    std::fprintf(stderr, "scrape-admin: %s\n", r.status().ToString().c_str());
+    return false;
+  }
+  if (r->status != 200) {
+    std::fprintf(stderr, "scrape-admin: /metrics returned %d\n", r->status);
+    return false;
+  }
+  const std::string& text = r->body;
+  uots::promtext::FindValue(text, "uots_server_requests_total",
+                            &out->requests);
+  uots::promtext::FindValue(text, "uots_server_responses_ok_total",
+                            &out->responses_ok);
+  uots::promtext::FindValue(text, "uots_server_request_cache_hits_total",
+                            &out->cache_hits);
+  out->latency_buckets = uots::promtext::ParseHistogramBuckets(
+      text, "uots_server_request_latency_seconds");
+  return true;
+}
+
+/// Splits "HOST:PORT"; a bare "PORT" means 127.0.0.1.
+bool ParseHostPort(const std::string& s, std::string* host, uint16_t* port) {
+  const size_t colon = s.rfind(':');
+  const std::string port_str =
+      colon == std::string::npos ? s : s.substr(colon + 1);
+  *host = colon == std::string::npos ? "127.0.0.1" : s.substr(0, colon);
+  const int p = std::atoi(port_str.c_str());
+  if (p <= 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
 
 int RunVerify(const Flags& flags, const uots::TrajectoryDatabase& db,
               const std::vector<uots::UotsQuery>& queries,
@@ -259,6 +307,8 @@ int main(int argc, char** argv) {
       flags.min_hit_rate = std::atof(v.c_str());
     } else if (ParseFlag(argv[i], "--json-out", &v)) {
       flags.json_out = v;
+    } else if (ParseFlag(argv[i], "--scrape-admin", &v)) {
+      flags.scrape_admin = v;
     } else if (ParseBoolFlag(argv[i], "--verify")) {
       flags.verify = true;
     } else {
@@ -327,6 +377,19 @@ int main(int argc, char** argv) {
 
   if (flags.verify) {
     return RunVerify(flags, *db, queries, kind);
+  }
+
+  std::string admin_host;
+  uint16_t admin_port = 0;
+  AdminScrape scrape_before;
+  const bool scrape = !flags.scrape_admin.empty();
+  if (scrape) {
+    if (!ParseHostPort(flags.scrape_admin, &admin_host, &admin_port)) {
+      std::fprintf(stderr, "--scrape-admin wants HOST:PORT, got %s\n",
+                   flags.scrape_admin.c_str());
+      return 2;
+    }
+    if (!ScrapeAdmin(admin_host, admin_port, &scrape_before)) return 1;
   }
 
   const bool open_loop = flags.rate > 0.0;
@@ -464,6 +527,36 @@ int main(int argc, char** argv) {
       .Set("hit_p99_ms", total.hit_latency.PercentileMs(99))
       .Set("miss_p50_ms", total.miss_latency.PercentileMs(50))
       .Set("miss_p99_ms", total.miss_latency.PercentileMs(99));
+
+  if (scrape) {
+    AdminScrape after;
+    if (!ScrapeAdmin(admin_host, admin_port, &after)) return 1;
+    const double d_requests = after.requests - scrape_before.requests;
+    const double d_ok = after.responses_ok - scrape_before.responses_ok;
+    const double d_hits = after.cache_hits - scrape_before.cache_hits;
+    const double server_hit_rate = d_ok > 0 ? d_hits / d_ok : 0.0;
+    // Run-window quantiles from the cumulative-bucket deltas: what the
+    // *server* measured arrival-to-response for exactly this run (the
+    // lifetime quantile gauges would mix in whatever ran before us).
+    const double sp50 = uots::promtext::DeltaQuantileSeconds(
+        scrape_before.latency_buckets, after.latency_buckets, 50.0);
+    const double sp95 = uots::promtext::DeltaQuantileSeconds(
+        scrape_before.latency_buckets, after.latency_buckets, 95.0);
+    const double sp99 = uots::promtext::DeltaQuantileSeconds(
+        scrape_before.latency_buckets, after.latency_buckets, 99.0);
+    std::printf(
+        "server (scraped): requests=%.0f ok=%.0f hit_rate=%.1f%%  "
+        "p50<=%.3f ms p95<=%.3f ms p99<=%.3f ms\n",
+        d_requests, d_ok, 100.0 * server_hit_rate, sp50 * 1e3, sp95 * 1e3,
+        sp99 * 1e3);
+    row.Set("server_requests", d_requests)
+        .Set("server_ok", d_ok)
+        .Set("server_cache_hits", d_hits)
+        .Set("server_hit_rate", server_hit_rate)
+        .Set("server_p50_ms", sp50 * 1e3)
+        .Set("server_p95_ms", sp95 * 1e3)
+        .Set("server_p99_ms", sp99 * 1e3);
+  }
   if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
 
   if (flags.min_hit_rate >= 0.0 && hit_rate < flags.min_hit_rate) {

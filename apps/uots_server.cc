@@ -2,6 +2,11 @@
 //
 //   $ ./uots_server --city=BRN --port=7670 --threads=8
 //   $ ./uots_server --dataset=/path/to/brn.snap     # snapshot or text file
+//   $ ./uots_server --city=BRN --admin-port=7671    # + introspection plane
+//
+// With --admin-port the server also answers HTTP on that port: /metrics
+// (Prometheus), /statusz, /healthz, /slowqueries, and POST
+// /tracing?sample=N — see src/server/admin.h.
 //
 // Loads (or generates+caches) a benchmark city — or, with --dataset, any
 // snapshot/text dataset path — binds the TCP front-end,
@@ -50,6 +55,8 @@ struct Flags {
   int cache_shards = 8;
   int distance_cache_mb = 0;  // 0 = tier-2 expansion cache off
   bool oracle = true;  // use a snapshot-baked distance oracle when present
+  int admin_port = -1;  // -1 = admin plane off; 0 = ephemeral
+  std::string admin_bind = "127.0.0.1";
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -69,7 +76,7 @@ void Usage(const char* argv0) {
       "          [--drain-timeout-ms=MS] [--max-connections=N]\n"
       "          [--cache-max-entries=N] [--cache-ttl-ms=MS]\n"
       "          [--cache-shards=N] [--distance-cache-mb=N]\n"
-      "          [--oracle=on|off]\n",
+      "          [--oracle=on|off] [--admin-port=N] [--admin-bind=ADDR]\n",
       argv0);
 }
 
@@ -115,6 +122,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       flags.oracle = v == "on";
+    } else if (ParseFlag(argv[i], "--admin-port", &v)) {
+      flags.admin_port = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--admin-bind", &v)) {
+      flags.admin_bind = v;
     } else {
       Usage(argv[0]);
       return 2;
@@ -190,6 +201,12 @@ int main(int argc, char** argv) {
     opts.service.uots.distance_cache = dcache;
   }
   opts.service.uots.use_oracle = flags.oracle;
+  opts.admin.port = flags.admin_port;
+  opts.admin.bind_address = flags.admin_bind;
+  opts.dataset_source =
+      !flags.dataset.empty()
+          ? flags.dataset + " (" + source + ")"
+          : flags.city + " (" + std::string(source) + ")";
 
   // SIGINT/SIGTERM ride the event loop via a signalfd so shutdown is just
   // another loop event — no async-signal-safety gymnastics. Block them
@@ -229,6 +246,12 @@ int main(int argc, char** argv) {
   std::printf("serving on %s:%u (%zu workers, max %zu in flight)\n",
               flags.bind.c_str(), server.port(), server.service().num_threads(),
               opts.service.max_inflight);
+  if (server.admin_port() != 0) {
+    std::printf(
+        "admin on http://%s:%u (/metrics /statusz /healthz /slowqueries "
+        "/tracing)\n",
+        flags.admin_bind.c_str(), server.admin_port());
+  }
   if (opts.service.cache_max_entries > 0) {
     std::printf("result cache: %zu entries, ttl %.0f ms, %zu shards\n",
                 opts.service.cache_max_entries, opts.service.cache_ttl_ms,

@@ -63,6 +63,34 @@ for preset in "${presets[@]}"; do
       | grep -q "distance oracle"
     rm -f "${osnap}"
     ctest --preset "${preset}" -R uots_oracle_test --output-on-failure
+    # Admin-plane drill: serve a generated city with the admin listener on,
+    # drive a closed loop that also scrapes server-side quantiles, then hit
+    # every endpoint and check the exported metric families by name. Under
+    # asan this sweeps the HTTP parser, the slow-query ring, and the
+    # scrape-time render path against live traffic. SIGTERM at the end
+    # proves the drain still exits cleanly with the admin plane attached.
+    # (Plain backgrounding, no compound command: $! must be the server.)
+    echo "==> ${preset}: admin plane smoke"
+    if [[ "${preset}" == "release" ]]; then qport=7781 aport=7785
+    else qport=7782 aport=7786; fi
+    "${builddir[${preset}]}/apps/uots_server" --city=BRN --port="${qport}" \
+      --trajectories=1500 --cache-max-entries=256 --admin-port="${aport}" &
+    server_pid=$!
+    sleep 1
+    "${builddir[${preset}]}/apps/uots_client" --port="${qport}" \
+      --trajectories=1500 --zipf=0.99 --connections=2 --requests=300 \
+      --scrape-admin="${aport}"
+    admin="http://127.0.0.1:${aport}"
+    curl -fsS "${admin}/healthz" | grep -q "ok"
+    curl -fsS "${admin}/metrics" | grep -q "^uots_server_requests_total 3"
+    curl -fsS "${admin}/metrics" \
+      | grep -q "uots_server_request_latency_seconds_bucket"
+    curl -fsS "${admin}/statusz" | grep -q '"fingerprint"'
+    curl -fsS -X POST "${admin}/tracing?sample=4" \
+      | grep -q '"sample_every":4'
+    curl -fsS "${admin}/slowqueries" | grep -q '"request_id"'
+    kill -TERM "${server_pid}"
+    wait "${server_pid}"
   fi
 done
 echo "==> all checks passed"

@@ -1,0 +1,128 @@
+// Minimal HTTP/1.0 support for the admin introspection plane.
+//
+// The admin listener speaks just enough HTTP for curl, Prometheus, and a
+// load balancer's health checker: request line + headers in, a single
+// Content-Length-delimited response out, `Connection: close` semantics
+// (one request per connection — scrapes are rare and tiny, so connection
+// reuse buys nothing and a close-delimited lifecycle cannot leak state
+// between probes). The parser is incremental and strict: header blocks
+// above a small cap or without a well-formed request line are rejected so
+// a stray query-protocol client (4-byte binary length prefix!) or garbage
+// cannot wedge the admin port.
+//
+// The blocking client half (HttpFetch) is what uots_client --scrape-admin
+// and the integration tests use; it is deliberately synchronous.
+
+#ifndef UOTS_SERVER_HTTP_H_
+#define UOTS_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace uots {
+
+/// Header blocks larger than this are rejected with 431 and the
+/// connection is dropped.
+inline constexpr size_t kMaxHttpHeaderBytes = 8192;
+
+/// \brief A parsed admin-plane request (headers are not retained — no
+/// admin endpoint needs them).
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (upper-case as sent)
+  std::string path;    ///< target without the query string ("/metrics")
+  std::string query;   ///< raw query string without '?' ("sample=16")
+
+  /// Value of `key` in the query string ("" when absent). No %-decoding —
+  /// admin parameters are numbers and plain words.
+  std::string QueryParam(std::string_view key) const;
+};
+
+/// \brief Incremental request parser for one admin connection.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(size_t max_header_bytes = kMaxHttpHeaderBytes)
+      : max_header_bytes_(max_header_bytes) {}
+
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  enum class Next {
+    kRequest,   ///< *out holds one complete request
+    kNeedMore,  ///< header block incomplete; feed more bytes
+    kBad,       ///< malformed request line / method — answer 400 and close
+    kTooLarge,  ///< header block exceeds the cap — answer 431 and close
+  };
+
+  /// Parses the buffered bytes. Request bodies are not supported: anything
+  /// after the header block is ignored (admin POSTs carry their argument
+  /// in the query string).
+  Next Poll(HttpRequest* out);
+
+ private:
+  std::string buf_;
+  size_t max_header_bytes_;
+};
+
+/// Serializes a complete HTTP/1.0 response with Content-Length and
+/// `Connection: close`.
+std::string EncodeHttpResponse(int status, std::string_view content_type,
+                               std::string_view body);
+
+/// "OK", "Not Found", ... for the handful of codes the admin plane emits.
+const char* HttpStatusText(int status);
+
+/// \brief Status + body of a fetched admin page.
+struct HttpFetchResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Blocking one-shot GET (or `method`) of http://host:port/path_and_query.
+/// `host` is a dotted-quad address. Fails with IOError on connect/short
+/// read and DeadlineExceeded after `timeout_ms`.
+Result<HttpFetchResult> HttpFetch(const std::string& host, uint16_t port,
+                                  const std::string& path_and_query,
+                                  const std::string& method = "GET",
+                                  double timeout_ms = 5000.0);
+
+/// \brief Helpers for reading Prometheus text exposition (the scrape side
+/// of uots_client --scrape-admin and the admin integration tests).
+namespace promtext {
+
+/// Value of the first sample line whose name+labels prefix equals
+/// `series` exactly (e.g. "uots_server_requests_total" or
+/// `uots_server_request_latency_seconds_bucket{le="0.005"}`).
+/// Returns false when the series is absent.
+bool FindValue(const std::string& text, const std::string& series,
+               double* value);
+
+/// \brief One cumulative histogram bucket from the exposition text.
+struct HistogramBucket {
+  double le_seconds = 0.0;    ///< +Inf parses to infinity
+  int64_t cumulative = 0;     ///< count of samples <= le_seconds
+};
+
+/// All `<family>_bucket{le="..."}` samples of one histogram family, in
+/// exposition order (ascending le, +Inf last). Empty when absent.
+std::vector<HistogramBucket> ParseHistogramBuckets(const std::string& text,
+                                                   const std::string& family);
+
+/// Nearest-rank quantile (p in [0,100]) of the *window* between two
+/// scrapes of the same histogram family: subtracts the cumulative bucket
+/// counts and walks the deltas. Returns the matched bucket's le upper
+/// bound in seconds; NaN when the ladders differ or the window is empty.
+/// This is how a load generator reports honest server-side run-window
+/// latency (the lifetime quantile gauges would mix in warmup traffic).
+double DeltaQuantileSeconds(const std::vector<HistogramBucket>& before,
+                            const std::vector<HistogramBucket>& after,
+                            double p);
+
+}  // namespace promtext
+
+}  // namespace uots
+
+#endif  // UOTS_SERVER_HTTP_H_

@@ -167,6 +167,9 @@ Result<AlgorithmKind> ParseAlgorithmKind(std::string_view name) {
 std::string EncodeQueryRequest(const QueryRequest& req) {
   JsonValue o = JsonValue::Object();
   o.Set("id", JsonValue::Int(req.id));
+  if (!req.request_id.empty()) {
+    o.Set("request_id", JsonValue::Str(req.request_id));
+  }
   JsonValue locs = JsonValue::Array();
   for (VertexId v : req.query.locations) {
     locs.Append(JsonValue::Int(static_cast<int64_t>(v)));
@@ -200,6 +203,17 @@ Result<QueryRequest> ParseQueryRequest(std::string_view json) {
   QueryRequest req;
   if (const JsonValue* id = o.Find("id")) {
     UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &req.id));
+  }
+  if (const JsonValue* rid = o.Find("request_id")) {
+    if (!rid->is_string()) {
+      return Status::InvalidArgument("request_id must be a string");
+    }
+    if (rid->string_value().size() > kMaxRequestIdBytes) {
+      return Status::InvalidArgument(
+          "request_id too long (max " + std::to_string(kMaxRequestIdBytes) +
+          " bytes)");
+    }
+    req.request_id = rid->string_value();
   }
   const JsonValue* locs = o.Find("locations");
   if (locs == nullptr || !locs->is_array()) {
@@ -280,6 +294,9 @@ Result<QueryRequest> ParseQueryRequest(std::string_view json) {
 std::string EncodeQueryResponse(const QueryResponse& resp) {
   JsonValue o = JsonValue::Object();
   o.Set("id", JsonValue::Int(resp.id));
+  if (!resp.request_id.empty()) {
+    o.Set("request_id", JsonValue::Str(resp.request_id));
+  }
   o.Set("status", JsonValue::Str(ToString(resp.status)));
   if (resp.status != ResponseStatus::kOk) {
     if (!resp.error.empty()) o.Set("error", JsonValue::Str(resp.error));
@@ -326,6 +343,9 @@ Result<QueryResponse> ParseQueryResponse(std::string_view json) {
   QueryResponse resp;
   if (const JsonValue* id = o.Find("id")) {
     UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &resp.id));
+  }
+  if (const JsonValue* rid = o.Find("request_id")) {
+    resp.request_id = rid->StringOr("");
   }
   const JsonValue* status = o.Find("status");
   if (status == nullptr || !status->is_string()) {

@@ -8,8 +8,9 @@
 // tells the decoder exactly how many bytes to discard, so the connection
 // resynchronizes on the next frame instead of being dropped.
 //
-// Request object (all ids are numbers):
+// Request object (all ids are numbers except request_id):
 //   {"id": 7,                      // caller-chosen correlation id
+//    "request_id": "cli-42",       // optional; server generates when absent
 //    "locations": [12, 904, 77],   // query vertices, 1..64
 //    "keywords": [3, 15],          // term ids
 //    "lambda": 0.5, "k": 10,
@@ -17,12 +18,19 @@
 //    "deadline_ms": 50}            // optional; 0/absent = server default
 //
 // Response object:
-//   {"id": 7, "status": "ok",      // see ResponseStatus below
+//   {"id": 7, "request_id": "cli-42",  // echoed byte-for-byte (or generated)
+//    "status": "ok",                   // see ResponseStatus below
 //    "results": [{"traj": 5, "score": 0.93, "spatial": 0.9, "textual": 1.0}],
 //    "stats": {...},               // QueryStats::ToJson schema
 //    "server": {"queue_wait_ms": 0.1, "execute_ms": 2.3}}
 // or on failure:
-//   {"id": 7, "status": "overloaded", "retryable": true, "error": "..."}
+//   {"id": 7, "request_id": "s3-17", "status": "overloaded",
+//    "retryable": true, "error": "..."}
+//
+// The request_id is the observability correlation key: the server attaches
+// it to trace spans and slow-query-log entries (see server/admin.h), so a
+// response, a /slowqueries row, and a sampled span tree can all be joined
+// on one string.
 //
 // Scores are serialized with round-trip precision, so a client can compare
 // results bit-for-bit against an in-process RunQuery.
@@ -111,9 +119,16 @@ enum class CacheMode {
   kBypass,   ///< always compute; do not read or populate the cache
 };
 
+/// Client-supplied request_id values longer than this are rejected as a
+/// parse error (they would bloat logs and slow-log entries).
+inline constexpr size_t kMaxRequestIdBytes = 128;
+
 /// \brief A decoded query request.
 struct QueryRequest {
   int64_t id = 0;
+  /// Optional client-chosen correlation string; the server generates one
+  /// when empty and echoes it (either way) in the response.
+  std::string request_id;
   UotsQuery query;
   AlgorithmKind algorithm = AlgorithmKind::kUots;
   bool has_algorithm = false;  ///< request named one explicitly
@@ -130,6 +145,10 @@ Result<QueryRequest> ParseQueryRequest(std::string_view json);
 /// \brief A decoded (or to-be-encoded) query response.
 struct QueryResponse {
   int64_t id = 0;
+  /// Echo of the request's request_id (server-generated when the request
+  /// carried none). Set on every response the server sends, errors
+  /// included.
+  std::string request_id;
   ResponseStatus status = ResponseStatus::kOk;
   std::string error;
   std::vector<ScoredTrajectory> results;

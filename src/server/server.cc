@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -28,6 +29,34 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
+/// FNV-1a over the request-id string, folded to a non-negative int64 — the
+/// numeric span id that joins a trace span back to its request id.
+int64_t HashRequestId(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int64_t>(h & 0x7fffffffffffffffULL);
+}
+
+/// Canonical one-line query description for slow-log entries.
+std::string SummarizeQuery(const UotsQuery& q, AlgorithmKind kind) {
+  std::string out = "locs=";
+  out += std::to_string(q.locations.size());
+  out += " kw=";
+  out += std::to_string(q.keywords.size());
+  out += " lambda=";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", q.lambda);
+  out += buf;
+  out += " k=";
+  out += std::to_string(q.k);
+  out += " algo=";
+  out += ToString(kind);
+  return out;
+}
+
 }  // namespace
 
 UotsServer::UotsServer(const TrajectoryDatabase& db, const ServerOptions& opts)
@@ -44,6 +73,8 @@ UotsServer::~UotsServer() {
 
 Status UotsServer::Start() {
   UOTS_RETURN_NOT_OK(loop_.Init());
+  start_steady_ns_ = EventLoop::NowNs();
+  start_unix_ms_ = SlowLogNowUnixMs();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
@@ -76,15 +107,65 @@ Status UotsServer::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
-  return loop_.AddFd(listen_fd_, EPOLLIN, [this](uint32_t) {
+  UOTS_RETURN_NOT_OK(loop_.AddFd(listen_fd_, EPOLLIN, [this](uint32_t) {
     OnAcceptReady();
-  });
+  }));
+
+  if (opts_.admin.port >= 0) {
+    admin_ = std::make_unique<AdminPlane>(this, opts_.admin);
+    UOTS_RETURN_NOT_OK(admin_->Start());
+  }
+  if (opts_.metrics_publish_interval_ms > 0.0) {
+    // Self-rearming publish tick: exported cache/oracle counters stay fresh
+    // even when nobody scrapes (they used to appear only at shutdown).
+    metrics_timer_ = loop_.AddTimerAfterMs(opts_.metrics_publish_interval_ms,
+                                           [this] { RequeueMetricsTimer(); });
+  }
+  return Status::OK();
+}
+
+void UotsServer::RequeueMetricsTimer() {
+  service_->PublishCacheMetrics();
+  metrics_timer_ = loop_.AddTimerAfterMs(opts_.metrics_publish_interval_ms,
+                                         [this] { RequeueMetricsTimer(); });
 }
 
 void UotsServer::Run() { loop_.Run(); }
 
 void UotsServer::RequestShutdown() {
   loop_.Post([this] { BeginShutdown(); });
+}
+
+std::string UotsServer::GenerateRequestId(uint64_t conn_id) {
+  std::string id = "s";
+  id += std::to_string(conn_id);
+  id += '-';
+  id += std::to_string(next_request_seq_++);
+  return id;
+}
+
+void UotsServer::RecordSlowLog(const RequestCtx& ctx, const char* status_name,
+                               bool cached, double total_ms,
+                               double queue_wait_ms, double execute_ms,
+                               const QueryStats* stats,
+                               std::vector<TraceEvent> spans) {
+  if (admin_ == nullptr) return;
+  SlowLogEntry e;
+  e.request_id = ctx.request_id_str;
+  e.algorithm = ToString(ctx.kind);
+  e.query_summary = ctx.query_summary;
+  e.status = status_name;
+  e.cached = cached;
+  e.total_ms = total_ms;
+  e.queue_wait_ms = queue_wait_ms;
+  e.execute_ms = execute_ms;
+  e.completed_unix_ms = SlowLogNowUnixMs();
+  if (stats != nullptr) {
+    e.has_stats = true;
+    e.stats = *stats;
+  }
+  e.spans = std::move(spans);
+  admin_->slowlog().Add(std::move(e));
 }
 
 void UotsServer::OnAcceptReady() {
@@ -162,7 +243,8 @@ void UotsServer::OnConnEvent(uint64_t conn_id, uint32_t events) {
       if (next == FrameDecoder::Next::kOversized) {
         ++counters_.oversized_frames;
         ++conn->stats().protocol_errors;
-        SendError(conn, 0, ResponseStatus::kParseError,
+        SendError(conn, 0, GenerateRequestId(conn_id),
+                  ResponseStatus::kParseError,
                   "frame exceeds maximum size (" +
                       std::to_string(oversized) + " > " +
                       std::to_string(opts_.max_frame_bytes) + " bytes)");
@@ -193,17 +275,20 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
   if (!parsed.ok()) {
     ++counters_.parse_errors;
     ++conn->stats().protocol_errors;
-    SendError(conn, 0, ResponseStatus::kParseError,
-              parsed.status().message());
+    SendError(conn, 0, GenerateRequestId(conn->id()),
+              ResponseStatus::kParseError, parsed.status().message());
     return;
   }
   QueryRequest req = std::move(*parsed);
   ++counters_.requests;
   const int64_t arrival_ns = EventLoop::NowNs();
+  if (req.request_id.empty()) {
+    req.request_id = GenerateRequestId(conn->id());
+  }
 
   if (draining_) {
     ++counters_.rejected_shutting_down;
-    SendError(conn, req.id, ResponseStatus::kShuttingDown,
+    SendError(conn, req.id, req.request_id, ResponseStatus::kShuttingDown,
               "server is shutting down");
     return;
   }
@@ -221,14 +306,26 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
       ++counters_.responses_ok;
       QueryResponse resp;
       resp.id = req.id;
+      resp.request_id = req.request_id;
       resp.status = ResponseStatus::kOk;
       resp.results = hit->items;
       resp.has_stats = true;
       resp.stats = hit->stats;
       resp.cached = true;
       SendResponse(conn, resp);
+      const int64_t done_ns = EventLoop::NowNs();
       MetricsRegistry::Global().Record("server.request_latency",
-                                       EventLoop::NowNs() - arrival_ns);
+                                       done_ns - arrival_ns);
+      if (admin_ != nullptr) {
+        RequestCtx ctx;
+        ctx.request_id_str = std::move(req.request_id);
+        ctx.kind = kind;
+        ctx.query_summary = SummarizeQuery(req.query, kind);
+        RecordSlowLog(ctx, ToString(ResponseStatus::kOk), /*cached=*/true,
+                      static_cast<double>(done_ns - arrival_ns) / 1e6,
+                      /*queue_wait_ms=*/0.0, /*execute_ms=*/0.0,
+                      &hit->stats, {});
+      }
       return;
     }
   }
@@ -236,12 +333,29 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
   auto ctx = std::make_shared<RequestCtx>();
   ctx->conn_id = conn->id();
   ctx->request_id = req.id;
+  ctx->request_id_str = req.request_id;
+  ctx->kind = kind;
+  if (admin_ != nullptr) {
+    ctx->query_summary = SummarizeQuery(req.query, kind);
+  }
   ctx->arrival_ns = arrival_ns;
   ctx->deadline_ms = req.deadline_ms > 0.0
                          ? req.deadline_ms
                          : opts_.service.default_deadline_ms;
   if (ctx->deadline_ms > 0.0) {
     ctx->token.SetDeadlineAfterMs(ctx->deadline_ms);
+  }
+
+  // Runtime trace sampling: capture the span tree of every Nth executed
+  // request (POST /tracing?sample=N on the admin plane).
+  ExecuteOptions exec_opts;
+  exec_opts.span_id = HashRequestId(ctx->request_id_str);
+  if (admin_ != nullptr) {
+    const int every = admin_->trace_sample_every();
+    if (every > 0 && (++trace_sample_counter_ % static_cast<uint64_t>(
+                          every)) == 0) {
+      exec_opts.capture_spans = true;
+    }
   }
 
   const bool admitted = service_->TryExecute(
@@ -252,15 +366,16 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
           OnComplete(ctx, std::move(r));
         });
       },
-      std::move(cache_key));
+      std::move(cache_key), exec_opts);
   if (!admitted) {
     if (service_->shutting_down()) {
       ++counters_.rejected_shutting_down;
-      SendError(conn, req.id, ResponseStatus::kShuttingDown,
-                "server is shutting down");
+      SendError(conn, req.id, ctx->request_id_str,
+                ResponseStatus::kShuttingDown, "server is shutting down");
     } else {
       ++counters_.rejected_overloaded;
-      SendError(conn, req.id, ResponseStatus::kOverloaded,
+      SendError(conn, req.id, ctx->request_id_str,
+                ResponseStatus::kOverloaded,
                 "server at capacity (" +
                     std::to_string(opts_.service.max_inflight) +
                     " requests in flight)");
@@ -288,7 +403,8 @@ void UotsServer::OnDeadline(const std::shared_ptr<RequestCtx>& ctx) {
 
   Connection* conn = FindConn(ctx->conn_id);
   if (conn != nullptr) {
-    SendError(conn, ctx->request_id, ResponseStatus::kDeadlineExceeded,
+    SendError(conn, ctx->request_id, ctx->request_id_str,
+              ResponseStatus::kDeadlineExceeded,
               "deadline of " + std::to_string(ctx->deadline_ms) +
                   " ms exceeded");
   }
@@ -314,10 +430,13 @@ void UotsServer::OnComplete(const std::shared_ptr<RequestCtx>& ctx,
     ctx->deadline_timer = TimerHeap::kInvalidTimer;
   }
 
+  const ResponseStatus ws =
+      r.status.ok() ? ResponseStatus::kOk : FromStatus(r.status);
   if (conn != nullptr && !already_responded) {
     if (r.status.ok()) {
       QueryResponse resp;
       resp.id = ctx->request_id;
+      resp.request_id = ctx->request_id_str;
       resp.status = ResponseStatus::kOk;
       resp.results = std::move(r.result.items);
       resp.has_stats = true;
@@ -327,17 +446,29 @@ void UotsServer::OnComplete(const std::shared_ptr<RequestCtx>& ctx,
       ++counters_.responses_ok;
       SendResponse(conn, resp);
     } else {
-      const ResponseStatus ws = FromStatus(r.status);
       if (ws == ResponseStatus::kDeadlineExceeded) {
         ++counters_.deadline_exceeded;
       } else {
         ++counters_.errors_internal;
       }
-      SendError(conn, ctx->request_id, ws, r.status.message());
+      SendError(conn, ctx->request_id, ctx->request_id_str, ws,
+                r.status.message());
     }
     MetricsRegistry::Global().Record(
         "server.request_latency", EventLoop::NowNs() - ctx->arrival_ns);
   }
+  // The execution happened regardless of whether anyone was left to read
+  // the answer — log it (status reflects what the client saw when the
+  // deadline beat the worker).
+  const char* logged_status =
+      already_responded ? ToString(ResponseStatus::kDeadlineExceeded)
+                        : ToString(ws);
+  RecordSlowLog(*ctx, logged_status, /*cached=*/false,
+                static_cast<double>(EventLoop::NowNs() - ctx->arrival_ns) /
+                    1e6,
+                r.queue_wait_ms, r.execute_ms,
+                r.status.ok() ? &r.result.stats : nullptr,
+                std::move(r.spans));
 
   if (conn != nullptr && conn->close_after_flush && conn->inflight == 0 &&
       !conn->want_write()) {
@@ -361,9 +492,11 @@ void UotsServer::SendResponse(Connection* conn, const QueryResponse& resp) {
 }
 
 void UotsServer::SendError(Connection* conn, int64_t request_id,
+                           const std::string& request_id_str,
                            ResponseStatus status, const std::string& error) {
   QueryResponse resp;
   resp.id = request_id;
+  resp.request_id = request_id_str;
   resp.status = status;
   resp.error = error;
   SendResponse(conn, resp);
@@ -419,8 +552,10 @@ void UotsServer::CloseConnection(uint64_t conn_id) {
 void UotsServer::BeginShutdown() {
   if (draining_) return;
   draining_ = true;
-  // Stop accepting: new connections get ECONNREFUSED once the backlog
-  // drains; already-read frames get "shutting_down" responses.
+  // Stop accepting *queries*: new connections get ECONNREFUSED once the
+  // backlog drains; already-read frames get "shutting_down" responses. The
+  // admin listener stays up so /healthz reports not-ready while the drain
+  // runs (a load balancer keeps probing right through shutdown).
   if (listen_fd_ >= 0) {
     loop_.RemoveFd(listen_fd_);
     ::close(listen_fd_);
@@ -430,8 +565,7 @@ void UotsServer::BeginShutdown() {
   if (opts_.drain_timeout_ms > 0.0) {
     drain_fuse_ = loop_.AddTimerAfterMs(opts_.drain_timeout_ms, [this] {
       drain_fuse_ = TimerHeap::kInvalidTimer;
-      stop_requested_ = true;
-      loop_.Stop();
+      FinishShutdown();
     });
   }
   MaybeFinishShutdown();
@@ -444,11 +578,23 @@ void UotsServer::MaybeFinishShutdown() {
   for (auto& [id, conn] : conns_) {
     if (conn->want_write()) return;
   }
-  stop_requested_ = true;
   if (drain_fuse_ != TimerHeap::kInvalidTimer) {
     loop_.CancelTimer(drain_fuse_);
     drain_fuse_ = TimerHeap::kInvalidTimer;
   }
+  FinishShutdown();
+}
+
+void UotsServer::FinishShutdown() {
+  stop_requested_ = true;
+  // Export the final counter values, tear the admin plane's fds out of the
+  // loop while the loop still exists, and stop.
+  service_->PublishCacheMetrics();
+  if (metrics_timer_ != TimerHeap::kInvalidTimer) {
+    loop_.CancelTimer(metrics_timer_);
+    metrics_timer_ = TimerHeap::kInvalidTimer;
+  }
+  if (admin_ != nullptr) admin_->Shutdown();
   loop_.Stop();
 }
 

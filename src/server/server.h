@@ -10,6 +10,12 @@
 //             |        +-- draining: "shutting_down" (retryable)
 //             +-- malformed/oversized: error response, connection survives
 //
+// Every request carries a request id — the client's "request_id" string or
+// a server-generated "s<conn>-<seq>" — echoed on every response (errors
+// included), attached to the worker's trace span, and recorded in the
+// slow-query log, so one string joins a response, a /slowqueries row, and
+// a sampled span tree.
+//
 // A per-request deadline timer fires on the reactor: the client gets its
 // "deadline_exceeded" response at the deadline (the connection is never
 // blocked behind a slow query), the request's CancelToken is cancelled so
@@ -18,6 +24,8 @@
 // SIGINT/SIGTERM) closes the listener, answers new requests with
 // "shutting_down", waits for in-flight requests to complete and flush, and
 // then stops the loop — a drain fuse force-stops if a peer refuses to read.
+// The admin listener (server/admin.h) stays up through the drain so
+// /healthz can report not-ready while the drain is in progress.
 
 #ifndef UOTS_SERVER_SERVER_H_
 #define UOTS_SERVER_SERVER_H_
@@ -28,6 +36,7 @@
 #include <string>
 
 #include "core/database.h"
+#include "server/admin.h"
 #include "server/connection.h"
 #include "server/event_loop.h"
 #include "server/protocol.h"
@@ -48,6 +57,15 @@ struct ServerOptions {
   double drain_timeout_ms = 10000.0;
   /// Execution / admission knobs.
   ServiceOptions service;
+  /// Admin/introspection listener; admin.port = -1 (default) disables it.
+  AdminOptions admin;
+  /// Cache/oracle counters are re-published into MetricsRegistry on this
+  /// loop-timer period (plus at every /metrics scrape); 0 disables the
+  /// timer. Keeps exported values fresh even with no scraper attached.
+  double metrics_publish_interval_ms = 1000.0;
+  /// Human-readable dataset provenance shown in /statusz (snapshot path,
+  /// city file, "synthetic", ...).
+  std::string dataset_source;
 };
 
 /// \brief Reactor-facing counters, readable after Run() returns (or from
@@ -76,7 +94,8 @@ class UotsServer {
   UotsServer(const UotsServer&) = delete;
   UotsServer& operator=(const UotsServer&) = delete;
 
-  /// Binds and listens; after OK, port() is the actual port.
+  /// Binds and listens (query listener and, when configured, the admin
+  /// listener); after OK, port() / admin_port() are the actual ports.
   Status Start();
 
   /// Runs the reactor until shutdown completes. Call from the thread that
@@ -87,17 +106,37 @@ class UotsServer {
   void RequestShutdown();
 
   uint16_t port() const { return port_; }
+  /// Bound admin port; 0 when the admin plane is disabled.
+  uint16_t admin_port() const {
+    return admin_ == nullptr ? 0 : admin_->port();
+  }
   const ServerCounters& counters() const { return counters_; }
   size_t open_connections() const { return conns_.size(); }
+  /// Requests admitted by the loop whose response is not yet queued.
+  size_t loop_inflight() const { return loop_inflight_; }
+  /// True once graceful shutdown has begun (loop thread).
+  bool draining() const { return draining_; }
   EventLoop& loop() { return loop_; }
   UotsService& service() { return *service_; }
+  const TrajectoryDatabase& db() const { return db_; }
+  const ServerOptions& options() const { return opts_; }
+  /// The admin plane, or null when disabled.
+  AdminPlane* admin() { return admin_.get(); }
+  /// Wall-clock (unix) and steady-clock times captured in Start().
+  int64_t start_unix_ms() const { return start_unix_ms_; }
+  int64_t start_steady_ns() const { return start_steady_ns_; }
 
  private:
+  friend class AdminPlane;  // reads loop-owned state for /statusz et al.
+
   /// Loop-owned per-request state, shared with the deadline timer and the
   /// completion closure.
   struct RequestCtx {
     uint64_t conn_id = 0;
-    int64_t request_id = 0;
+    int64_t request_id = 0;       ///< wire "id" (numeric correlation)
+    std::string request_id_str;   ///< "request_id" (observability key)
+    AlgorithmKind kind = AlgorithmKind::kUots;
+    std::string query_summary;    ///< only filled when the admin plane is on
     int64_t arrival_ns = 0;
     double deadline_ms = 0.0;
     CancelToken token;
@@ -113,13 +152,23 @@ class UotsServer {
 
   Connection* FindConn(uint64_t conn_id);
   void SendResponse(Connection* conn, const QueryResponse& resp);
-  void SendError(Connection* conn, int64_t request_id, ResponseStatus status,
+  void SendError(Connection* conn, int64_t request_id,
+                 const std::string& request_id_str, ResponseStatus status,
                  const std::string& error);
   void UpdateWriteInterest(Connection* conn);
   void TouchIdleTimer(Connection* conn);
   void CloseConnection(uint64_t conn_id);
   void BeginShutdown();
   void MaybeFinishShutdown();
+  void FinishShutdown();
+  void RequeueMetricsTimer();
+  /// Fresh server-generated request id ("s<conn>-<seq>").
+  std::string GenerateRequestId(uint64_t conn_id);
+  /// Appends one completed request to the slow-query log (admin on only).
+  void RecordSlowLog(const RequestCtx& ctx, const char* status_name,
+                     bool cached, double total_ms, double queue_wait_ms,
+                     double execute_ms, const QueryStats* stats,
+                     std::vector<TraceEvent> spans);
 
   const TrajectoryDatabase& db_;
   ServerOptions opts_;
@@ -129,12 +178,18 @@ class UotsServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   uint64_t next_conn_id_ = 1;
+  uint64_t next_request_seq_ = 1;
   std::map<uint64_t, std::unique_ptr<Connection>> conns_;
   size_t loop_inflight_ = 0;  ///< requests admitted, response not yet queued
   bool draining_ = false;
   bool stop_requested_ = false;
   TimerHeap::TimerId drain_fuse_ = TimerHeap::kInvalidTimer;
+  TimerHeap::TimerId metrics_timer_ = TimerHeap::kInvalidTimer;
   ServerCounters counters_;
+  int64_t start_unix_ms_ = 0;
+  int64_t start_steady_ns_ = 0;
+  uint64_t trace_sample_counter_ = 0;
+  std::unique_ptr<AdminPlane> admin_;  // after loop_: destroyed first
 };
 
 }  // namespace uots

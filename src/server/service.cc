@@ -126,7 +126,8 @@ void UotsService::PublishCacheMetrics() const {
 bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
                              const CancelToken* cancel,
                              std::function<void(ExecutionResult)> done,
-                             std::string cache_key) {
+                             std::string cache_key,
+                             const ExecuteOptions& exec_opts) {
   if (shutting_down_.load(std::memory_order_relaxed)) return false;
   // Reserve an admission slot; undo on any rejection path.
   const size_t prev = inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -136,37 +137,44 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
   }
   const int64_t admitted_ns = CancelToken::NowNs();
   auto task = [this, query, kind, cancel, done = std::move(done),
-               cache_key = std::move(cache_key), admitted_ns]() mutable {
-    UOTS_TRACE_SCOPE("server_execute");
+               cache_key = std::move(cache_key), admitted_ns,
+               exec_opts]() mutable {
     ExecutionResult out;
     out.queue_wait_ms =
         static_cast<double>(CancelToken::NowNs() - admitted_ns) / 1e6;
     WallTimer exec_timer;
-    if (cancel != nullptr && cancel->ShouldAbort()) {
-      // Deadline passed while queued: skip the engine entirely.
-      out.status = Status::DeadlineExceeded("deadline exceeded in queue");
-    } else {
-      auto engine = AcquireEngine(kind);
-      engine->set_cancel(cancel);
-      Result<SearchResult> r = engine->Search(query);
-      ReleaseEngine(kind, std::move(engine));
-      if (r.ok()) {
-        out.result = std::move(*r);
-        oracle_lookups_total_.fetch_add(out.result.stats.oracle_lookups,
-                                        std::memory_order_relaxed);
-        oracle_pruned_total_.fetch_add(
-            out.result.stats.oracle_pruned_candidates,
-            std::memory_order_relaxed);
-        if (result_cache_ != nullptr && !cache_key.empty()) {
-          auto cached = std::make_shared<CachedResult>();
-          cached->items = out.result.items;
-          cached->stats = out.result.stats;
-          result_cache_->Insert(cache_key, std::move(cached));
-        }
+    if (exec_opts.capture_spans) Trace::BeginThreadCapture();
+    {
+      // Span opened after the capture begins and closed before it ends, so
+      // a sampled request's tree always contains its own root.
+      UOTS_TRACE_SCOPE_ID("server_execute", exec_opts.span_id);
+      if (cancel != nullptr && cancel->ShouldAbort()) {
+        // Deadline passed while queued: skip the engine entirely.
+        out.status = Status::DeadlineExceeded("deadline exceeded in queue");
       } else {
-        out.status = r.status();
+        auto engine = AcquireEngine(kind);
+        engine->set_cancel(cancel);
+        Result<SearchResult> r = engine->Search(query);
+        ReleaseEngine(kind, std::move(engine));
+        if (r.ok()) {
+          out.result = std::move(*r);
+          oracle_lookups_total_.fetch_add(out.result.stats.oracle_lookups,
+                                          std::memory_order_relaxed);
+          oracle_pruned_total_.fetch_add(
+              out.result.stats.oracle_pruned_candidates,
+              std::memory_order_relaxed);
+          if (result_cache_ != nullptr && !cache_key.empty()) {
+            auto cached = std::make_shared<CachedResult>();
+            cached->items = out.result.items;
+            cached->stats = out.result.stats;
+            result_cache_->Insert(cache_key, std::move(cached));
+          }
+        } else {
+          out.status = r.status();
+        }
       }
     }
+    if (exec_opts.capture_spans) out.spans = Trace::EndThreadCapture();
     out.execute_ms = exec_timer.ElapsedMillis();
     MetricsRegistry::Global().Record(
         "server.queue_wait", static_cast<int64_t>(out.queue_wait_ms * 1e6));

@@ -25,6 +25,7 @@
 #include "core/database.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace uots {
 
@@ -47,6 +48,17 @@ struct ServiceOptions {
   UotsSearchOptions uots;
 };
 
+/// \brief Per-request observability context riding along with TryExecute.
+struct ExecuteOptions {
+  /// Correlation id attached to the worker's "server_execute" trace span
+  /// (as the span's numeric id, via a stable string hash). -1 = none.
+  int64_t span_id = -1;
+  /// Capture the span tree of this request's execution (worker-thread
+  /// scope) into ExecutionResult::spans. Used by runtime trace sampling;
+  /// empty in UOTS_TRACE=OFF builds.
+  bool capture_spans = false;
+};
+
 /// \brief Outcome of one executed request, delivered to the completion
 /// callback on a worker thread.
 struct ExecutionResult {
@@ -54,6 +66,9 @@ struct ExecutionResult {
   SearchResult result;    ///< valid when status.ok()
   double queue_wait_ms = 0.0;  ///< admission -> worker pickup
   double execute_ms = 0.0;     ///< engine wall time
+  /// The request's span tree when ExecuteOptions::capture_spans was set
+  /// (names are static strings; safe to keep past the request).
+  std::vector<TraceEvent> spans;
 };
 
 /// \brief Thread-pool-backed query executor with bounded admission.
@@ -77,7 +92,8 @@ class UotsService {
   bool TryExecute(const UotsQuery& query, AlgorithmKind kind,
                   const CancelToken* cancel,
                   std::function<void(ExecutionResult)> done,
-                  std::string cache_key = {});
+                  std::string cache_key = {},
+                  const ExecuteOptions& exec_opts = {});
 
   /// \brief Result-cache probe, cheap enough for the reactor thread.
   ///
@@ -95,8 +111,11 @@ class UotsService {
 
   /// Copies cache counters into MetricsRegistry::Global() under
   /// server.cache.{hits,misses,evictions,bytes}, plus lifetime distance-
-  /// oracle totals under server.oracle.{lookups,pruned_candidates}. Call
-  /// before scraping.
+  /// oracle totals under server.oracle.{lookups,pruned_candidates}. The
+  /// admin plane calls this at every /metrics scrape and the server calls
+  /// it on a periodic loop timer, so the exported values are never staler
+  /// than one publish interval (they used to be exported only at
+  /// shutdown).
   void PublishCacheMetrics() const;
 
   /// Requests currently admitted (queued + executing).

@@ -21,6 +21,8 @@
 
 namespace uots {
 
+struct HistogramSnapshot;
+
 /// \brief Fixed-footprint log-scale histogram of nanosecond latencies.
 class LatencyHistogram {
  public:
@@ -62,21 +64,7 @@ class LatencyHistogram {
   /// the bucket holding the p-th value, clamped into [min_ns, max_ns]; the
   /// result therefore never underestimates the true percentile and
   /// overestimates it by at most 1/kSubBuckets relatively.
-  int64_t PercentileNs(double p) const {
-    if (count_ == 0) return 0;
-    const double clamped = std::max(0.0, std::min(100.0, p));
-    int64_t target =
-        static_cast<int64_t>(clamped / 100.0 * static_cast<double>(count_));
-    if (target < 1) target = 1;
-    int64_t seen = 0;
-    for (int i = 0; i < kNumBuckets; ++i) {
-      seen += counts_[i];
-      if (seen >= target) {
-        return std::clamp(BucketUpperBound(i), min_ns_, max_ns_);
-      }
-    }
-    return max_ns_;
-  }
+  int64_t PercentileNs(double p) const;
 
   double PercentileMs(double p) const {
     return static_cast<double>(PercentileNs(p)) / 1e6;
@@ -84,6 +72,26 @@ class LatencyHistogram {
 
   /// "n=120 mean=1.84ms p50=1.71ms p95=3.62ms p99=5.10ms max=5.43ms".
   std::string ToString() const;
+
+  /// Immutable copy of the full state (count/sum/min/max/buckets) for
+  /// readers that must stay consistent while recording continues. The
+  /// histogram itself is not synchronized — shared instances live behind
+  /// MetricsRegistry's mutex, which serializes Record against Get/Snapshot;
+  /// taking a HistogramSnapshot there hands the reader a frozen view whose
+  /// count, sum, quantiles, and bucket counts all describe the same set of
+  /// recorded values (a raw Percentile-then-count() pair on the live
+  /// histogram could straddle a Record).
+  HistogramSnapshot TakeSnapshot() const;
+
+  /// Count in bucket `index` (0 <= index < kNumBuckets).
+  int64_t BucketCount(int index) const { return counts_[index]; }
+
+  /// Number of recorded values <= `ns`, at bucket granularity: a bucket is
+  /// included iff its entire range is <= ns, so the result never
+  /// overcounts and undercounts by at most one bucket's population
+  /// (<= 6.25% relative boundary error). Monotone in `ns` — suitable for
+  /// cumulative ("le") exposition series.
+  int64_t CumulativeCountLe(int64_t ns) const;
 
   /// Maps `ns` (>= 0) to its bucket. Exposed for tests.
   static int BucketIndex(int64_t ns) {
@@ -114,6 +122,33 @@ class LatencyHistogram {
   int64_t sum_ns_ = 0;
   int64_t min_ns_ = std::numeric_limits<int64_t>::max();
   int64_t max_ns_ = 0;
+};
+
+/// \brief A frozen copy of one LatencyHistogram: every accessor answers
+/// about the same set of recorded values, no matter what the source
+/// histogram does afterwards. This is what exporters (Prometheus text,
+/// bench sidecars) should read instead of poking the live histogram field
+/// by field.
+struct HistogramSnapshot {
+  std::array<int64_t, LatencyHistogram::kNumBuckets> counts{};
+  int64_t count = 0;
+  int64_t sum_ns = 0;
+  int64_t min_ns = 0;  ///< 0 when empty
+  int64_t max_ns = 0;
+
+  double MeanNs() const {
+    return count > 0 ? static_cast<double>(sum_ns) / count : 0.0;
+  }
+
+  /// Same nearest-rank semantics (and <= 6.25% overestimate bound) as
+  /// LatencyHistogram::PercentileNs.
+  int64_t PercentileNs(double p) const;
+  double PercentileMs(double p) const {
+    return static_cast<double>(PercentileNs(p)) / 1e6;
+  }
+
+  /// Same bucket-granular semantics as LatencyHistogram::CumulativeCountLe.
+  int64_t CumulativeCountLe(int64_t ns) const;
 };
 
 }  // namespace uots

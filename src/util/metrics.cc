@@ -27,6 +27,24 @@ LatencyHistogram MetricsRegistry::Get(const std::string& name) const {
   return it != histograms_.end() ? it->second : LatencyHistogram();
 }
 
+HistogramSnapshot MetricsRegistry::GetSnapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.TakeSnapshot()
+                                 : HistogramSnapshot{};
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h.TakeSnapshot());
+  }
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;

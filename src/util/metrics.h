@@ -36,6 +36,16 @@ class MetricsRegistry {
   /// Copy of the histogram under `name`; empty histogram when absent.
   LatencyHistogram Get(const std::string& name) const;
 
+  /// Frozen view of the histogram under `name`, taken under the registry
+  /// mutex: count, sum, quantiles, and bucket counts all describe the same
+  /// recorded set even while other threads keep Record()ing. This is the
+  /// scrape-side read API.
+  HistogramSnapshot GetSnapshot(const std::string& name) const;
+
+  /// Consistent frozen view of every (name, snapshot) pair, sorted by
+  /// name — one lock acquisition for a whole exposition pass.
+  std::vector<std::pair<std::string, HistogramSnapshot>> SnapshotAll() const;
+
   /// Registered names, sorted.
   std::vector<std::string> Names() const;
 

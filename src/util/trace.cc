@@ -1,7 +1,9 @@
 #include "util/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -50,6 +52,19 @@ ThreadBuffer& LocalBuffer() {
   }();
   return *buffer;
 }
+
+/// Per-thread capture window (see Trace::BeginThreadCapture). `mark` is the
+/// owning thread's buffer size at Begin; only that thread appends to its
+/// buffer, so the suffix [mark, end) is exactly this capture's spans.
+struct ThreadCapture {
+  bool active = false;
+  size_t mark = 0;
+};
+
+ThreadCapture& LocalCapture() {
+  thread_local ThreadCapture capture;
+  return capture;
+}
 #endif  // UOTS_TRACE
 
 }  // namespace
@@ -84,6 +99,37 @@ std::vector<TraceEvent> Trace::Snapshot() {
     std::lock_guard<std::mutex> bl(b->mu);
     out.insert(out.end(), b->events.begin(), b->events.end());
   }
+  return out;
+}
+
+void Trace::BeginThreadCapture() {
+#if UOTS_TRACE
+  ThreadBuffer& b = LocalBuffer();
+  ThreadCapture& c = LocalCapture();
+  std::lock_guard<std::mutex> lock(b.mu);
+  c.mark = b.events.size();
+  c.active = true;
+#endif
+}
+
+std::vector<TraceEvent> Trace::EndThreadCapture() {
+  std::vector<TraceEvent> out;
+#if UOTS_TRACE
+  ThreadBuffer& b = LocalBuffer();
+  ThreadCapture& c = LocalCapture();
+  if (!c.active) return out;
+  c.active = false;
+  std::lock_guard<std::mutex> lock(b.mu);
+  const size_t mark = std::min(c.mark, b.events.size());
+  out.assign(b.events.begin() + static_cast<ptrdiff_t>(mark),
+             b.events.end());
+  if (!Trace::active()) {
+    // The spans existed only for this capture: hand them out and forget
+    // them, so sampling forever cannot exhaust the buffer cap or leak into
+    // a later global-session export.
+    b.events.resize(mark);
+  }
+#endif
   return out;
 }
 
@@ -135,7 +181,9 @@ bool Trace::WriteChromeJson(const std::string& path) {
 #if UOTS_TRACE
 
 TraceScope::TraceScope(const char* name, int64_t id)
-    : name_(name), id_(id), recording_(Trace::active()) {
+    : name_(name),
+      id_(id),
+      recording_(Trace::active() || LocalCapture().active) {
   if (!recording_) return;
   ThreadBuffer& b = LocalBuffer();
   depth_ = b.depth++;

@@ -3,8 +3,9 @@
 // Spans are recorded through the UOTS_TRACE_SCOPE / UOTS_TRACE_SCOPE_ID
 // macros into thread-local buffers (one uncontended mutex acquisition per
 // completed span, no allocation in the common case) and only while a trace
-// session is active (Trace::Start() .. Trace::Stop()); when no session is
-// active a span costs a single relaxed atomic load. Buffers outlive their
+// session is active (Trace::Start() .. Trace::Stop()) or the calling thread
+// has a capture open (BeginThreadCapture .. EndThreadCapture); when neither
+// holds, a span costs a relaxed atomic load plus a thread-local flag read. Buffers outlive their
 // threads, so spans from batch workers survive pool shutdown and show up in
 // the next Snapshot()/ToChromeJson().
 //
@@ -44,8 +45,8 @@ struct TraceEvent {
 /// \brief Process-wide trace session control and export.
 class Trace {
  public:
-  /// True while a session is active. Relaxed-atomic read; this is the only
-  /// cost an instrumented path pays when nothing is tracing.
+  /// True while a global session is active (thread captures not included).
+  /// Relaxed-atomic read.
   static bool active();
 
   static void Start();
@@ -61,6 +62,20 @@ class Trace {
 
   /// Number of spans dropped because a thread buffer hit its cap.
   static int64_t dropped();
+
+  /// \brief Per-thread span capture, independent of the global session.
+  ///
+  /// Between BeginThreadCapture and EndThreadCapture, spans opened by the
+  /// *calling thread* are recorded even when no global session is active —
+  /// this is what lets a server sample the span tree of one request on one
+  /// worker thread without turning tracing on process-wide. EndThreadCapture
+  /// returns the spans recorded by this thread since the matching Begin; if
+  /// no global session was running they are also removed from the thread
+  /// buffer, so sampling forever neither fills the buffer cap nor pollutes
+  /// a later ToChromeJson(). No-ops (empty result) when the tracer is
+  /// compiled out. Captures do not nest.
+  static void BeginThreadCapture();
+  static std::vector<TraceEvent> EndThreadCapture();
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}; ts/dur in us).
   static std::string ToChromeJson();

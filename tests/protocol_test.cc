@@ -200,6 +200,53 @@ TEST(ProtocolTest, CachedFlagRoundTrips) {
   EXPECT_TRUE(parsed->cached);
 }
 
+TEST(ProtocolTest, RequestIdRoundTrips) {
+  QueryRequest req = MakeRequest();
+  // Absent by default: no wire bytes spent, parses back empty.
+  EXPECT_EQ(EncodeQueryRequest(req).find("request_id"), std::string::npos);
+  auto parsed = ParseQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->request_id.empty());
+
+  req.request_id = "cli-42/abc";
+  parsed = ParseQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->request_id, "cli-42/abc");
+}
+
+TEST(ProtocolTest, OverlongRequestIdIsRejected) {
+  QueryRequest req = MakeRequest();
+  req.request_id = std::string(kMaxRequestIdBytes, 'x');
+  EXPECT_TRUE(ParseQueryRequest(EncodeQueryRequest(req)).ok())
+      << "exactly at the cap must be accepted";
+  req.request_id = std::string(kMaxRequestIdBytes + 1, 'x');
+  EXPECT_FALSE(ParseQueryRequest(EncodeQueryRequest(req)).ok());
+  EXPECT_FALSE(
+      ParseQueryRequest(R"({"id":1,"locations":[1,2],"request_id":7})").ok())
+      << "non-string request_id must be rejected";
+}
+
+TEST(ProtocolTest, ResponseRequestIdRoundTrips) {
+  QueryResponse resp;
+  resp.id = 4;
+  resp.status = ResponseStatus::kOk;
+  resp.request_id = "s3-17";
+  auto parsed = ParseQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->request_id, "s3-17");
+
+  // Errors carry the id too — correlation must survive failure paths.
+  resp.status = ResponseStatus::kParseError;
+  resp.error = "bad frame";
+  parsed = ParseQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->request_id, "s3-17");
+  EXPECT_EQ(parsed->status, ResponseStatus::kParseError);
+
+  resp.request_id.clear();
+  EXPECT_EQ(EncodeQueryResponse(resp).find("request_id"), std::string::npos);
+}
+
 TEST(ProtocolTest, ResponseRoundTripsExactDoubles) {
   QueryResponse resp;
   resp.id = 7;

@@ -21,6 +21,8 @@
 #include "core/workload.h"
 #include "net/generators.h"
 #include "server/client.h"
+#include "server/http.h"
+#include "server/json.h"
 #include "server/server.h"
 #include "traj/generator.h"
 
@@ -549,6 +551,434 @@ TEST(ServerIntegrationTest, RequestsDuringDrainGetShuttingDown) {
         << ToString(resp->status);
   }
   fx.Stop();
+}
+
+// --- admin plane -----------------------------------------------------------
+
+ServerOptions WithAdmin(ServerOptions opts = {}) {
+  opts.admin.port = 0;  // ephemeral, like the query port
+  return opts;
+}
+
+/// One admin-plane GET; fails the test on transport errors.
+HttpFetchResult AdminGet(uint16_t admin_port, const std::string& path,
+                         const std::string& method = "GET") {
+  auto fetched = HttpFetch("127.0.0.1", admin_port, path, method);
+  EXPECT_TRUE(fetched.ok()) << path << ": " << fetched.status().ToString();
+  return fetched.ok() ? *fetched : HttpFetchResult{};
+}
+
+TEST(AdminIntegrationTest, MetricsServeLiveAndStayMonotonicUnderLoad) {
+  auto db = MakeTestDb();
+  ServerOptions opts = WithAdmin();
+  opts.service.threads = 2;
+  ServerFixture fx(*db, opts);
+  const uint16_t admin_port = fx.server().admin_port();
+  ASSERT_GT(admin_port, 0);
+  const auto queries = MakeQueries(*db, 8);
+
+  // Counters are served before the first request ever arrives.
+  auto first = AdminGet(admin_port, "/metrics");
+  ASSERT_EQ(first.status, 200);
+  double requests_before = -1.0;
+  ASSERT_TRUE(promtext::FindValue(first.body, "uots_server_requests_total",
+                                  &requests_before));
+  EXPECT_DOUBLE_EQ(requests_before, 0.0);
+  // The latency histogram lives in the process-global metrics registry, so
+  // other tests in this binary may already have populated it: diff it.
+  double latency_count_before = 0.0;
+  promtext::FindValue(first.body, "uots_server_request_latency_seconds_count",
+                      &latency_count_before);
+
+  // Scrape concurrently with query load; every sample must be monotone.
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 15;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      BlockingClient client;
+      if (!client.Connect("127.0.0.1", fx.port()).ok()) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        QueryRequest req;
+        req.id = t * 100 + r;
+        req.query = queries[static_cast<size_t>(t + r) % queries.size()];
+        auto resp = client.Call(req);
+        if (!resp.ok() || !resp->ok()) ++failures;
+      }
+    });
+  }
+  double last_requests = 0.0;
+  auto prev_buckets = promtext::ParseHistogramBuckets(
+      first.body, "uots_server_request_latency_seconds");
+  for (int scrape = 0; scrape < 5; ++scrape) {
+    const auto mid = AdminGet(admin_port, "/metrics");
+    ASSERT_EQ(mid.status, 200);
+    double v = 0.0;
+    ASSERT_TRUE(
+        promtext::FindValue(mid.body, "uots_server_requests_total", &v));
+    EXPECT_GE(v, last_requests) << "requests_total went backwards";
+    last_requests = v;
+    const auto buckets = promtext::ParseHistogramBuckets(
+        mid.body, "uots_server_request_latency_seconds");
+    if (!prev_buckets.empty() && buckets.size() == prev_buckets.size()) {
+      for (size_t i = 0; i < buckets.size(); ++i) {
+        EXPECT_GE(buckets[i].cumulative, prev_buckets[i].cumulative)
+            << "bucket le=" << buckets[i].le_seconds << " went backwards";
+      }
+    }
+    prev_buckets = buckets;
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // After the load has fully drained, the scrape is exact, not eventual:
+  // cache metrics are published at scrape time.
+  const auto after = AdminGet(admin_port, "/metrics");
+  double requests_after = 0.0, latency_count = 0.0;
+  ASSERT_TRUE(promtext::FindValue(after.body, "uots_server_requests_total",
+                                  &requests_after));
+  EXPECT_DOUBLE_EQ(requests_after,
+                   static_cast<double>(kClients * kRequestsPerClient));
+  ASSERT_TRUE(promtext::FindValue(
+      after.body, "uots_server_request_latency_seconds_count",
+      &latency_count));
+  EXPECT_DOUBLE_EQ(latency_count - latency_count_before,
+                   static_cast<double>(kClients * kRequestsPerClient));
+}
+
+TEST(AdminIntegrationTest, StatuszReportsDatasetAndServerState) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db, WithAdmin());
+  const uint16_t admin_port = fx.server().admin_port();
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  QueryRequest req;
+  req.id = 1;
+  req.query = queries[0];
+  ASSERT_TRUE(client.Call(req).ok());
+
+  const auto page = AdminGet(admin_port, "/statusz");
+  ASSERT_EQ(page.status, 200);
+  auto root = ParseJson(page.body);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+
+  const JsonValue* dataset = root->Find("dataset");
+  ASSERT_NE(dataset, nullptr);
+  EXPECT_EQ(dataset->Find("vertices")->number_value(), 18 * 18);
+  EXPECT_EQ(dataset->Find("trajectories")->number_value(), 250);
+  EXPECT_EQ(dataset->Find("fingerprint")->string_value().substr(0, 2), "0x");
+
+  const JsonValue* srv = root->Find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->Find("port")->number_value(), fx.port());
+  EXPECT_EQ(srv->Find("admin_port")->number_value(), admin_port);
+  EXPECT_FALSE(srv->Find("draining")->bool_value());
+
+  const JsonValue* counters = root->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->Find("requests")->number_value(), 1.0);
+  EXPECT_GE(root->Find("uptime_seconds")->number_value(), 0.0);
+}
+
+TEST(AdminIntegrationTest, HealthzFlipsToNotReadyDuringDrain) {
+  // A larger city than MakeTestDb(): each brute-force query must take long
+  // enough that a backlog of them holds the drain open for a comfortable
+  // probe window even on a loaded machine.
+  GridNetworkOptions net_opts;
+  net_opts.rows = 40;
+  net_opts.cols = 40;
+  net_opts.seed = 23;
+  auto network = MakeGridNetwork(net_opts);
+  ASSERT_TRUE(network.ok());
+  TripGeneratorOptions trip_opts;
+  trip_opts.num_trajectories = 2000;
+  trip_opts.vocabulary_size = 160;
+  trip_opts.seed = 24;
+  auto trips = GenerateTrips(*network, trip_opts);
+  ASSERT_TRUE(trips.ok());
+  auto db = std::make_unique<TrajectoryDatabase>(std::move(*network),
+                                                 std::move(trips->store),
+                                                 std::move(trips->vocabulary));
+
+  ServerOptions opts = WithAdmin();
+  opts.service.threads = 1;  // serialize execution to hold the drain open
+  opts.service.max_inflight = 4096;  // admit the whole backlog
+  ServerFixture fx(*db, opts);
+  const uint16_t admin_port = fx.server().admin_port();
+  const auto queries = MakeQueries(*db, 4);
+
+  const auto ready = AdminGet(admin_port, "/healthz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_EQ(ready.body, "ok\n");
+
+  // Pipeline a pile of slow (brute-force) queries without reading a single
+  // response, then start the drain: the admitted backlog keeps the server
+  // draining long enough to observe the not-ready flip.
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  constexpr int kBacklog = 600;
+  for (int i = 0; i < kBacklog; ++i) {
+    QueryRequest req;
+    req.id = i;
+    req.query = queries[static_cast<size_t>(i) % queries.size()];
+    req.algorithm = AlgorithmKind::kBruteForce;
+    req.has_algorithm = true;
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  // The burst is only wire bytes until the reactor reads and admits it —
+  // shutting down before that would reject everything instantly and close
+  // the drain window we are trying to observe. Wait until /statusz shows a
+  // deep executor queue before pulling the trigger.
+  bool queued = false;
+  for (int attempt = 0; attempt < 2000 && !queued; ++attempt) {
+    const auto statusz = AdminGet(admin_port, "/statusz");
+    ASSERT_EQ(statusz.status, 200);
+    auto root = ParseJson(statusz.body);
+    ASSERT_TRUE(root.ok());
+    queued = root->Find("server")->Find("executor_queue_depth")
+                 ->number_value() >= kBacklog / 2;
+  }
+  ASSERT_TRUE(queued) << "backlog never reached the executor queue";
+  fx.server().RequestShutdown();
+
+  bool saw_draining = false;
+  for (int attempt = 0; attempt < 2000 && !saw_draining; ++attempt) {
+    auto probe = HttpFetch("127.0.0.1", admin_port, "/healthz");
+    if (!probe.ok()) break;  // drain finished, admin closed
+    if (probe->status == 503) {
+      EXPECT_EQ(probe->body, "draining\n");
+      saw_draining = true;
+    }
+  }
+  EXPECT_TRUE(saw_draining)
+      << "admin plane never reported 503 while the server drained";
+  fx.Stop();
+}
+
+TEST(AdminIntegrationTest, RequestIdsEchoByteForByte) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db, WithAdmin());
+  const auto queries = MakeQueries(*db, 2);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  // Client-supplied id comes back verbatim.
+  QueryRequest req;
+  req.id = 1;
+  req.request_id = "trip-planner/42 [shard_7]";
+  req.query = queries[0];
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok() && resp->ok());
+  EXPECT_EQ(resp->request_id, "trip-planner/42 [shard_7]");
+
+  // Without one, the server generates a unique id of its documented shape.
+  QueryRequest anon;
+  anon.id = 2;
+  anon.query = queries[0];
+  auto first = client.Call(anon);
+  anon.id = 3;
+  auto second = client.Call(anon);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_FALSE(first->request_id.empty());
+  EXPECT_EQ(first->request_id[0], 's');
+  EXPECT_NE(first->request_id.find('-'), std::string::npos);
+  EXPECT_NE(first->request_id, second->request_id);
+
+  // Error responses carry the id too.
+  QueryRequest dl;
+  dl.id = 4;
+  dl.request_id = "deadline-probe";
+  dl.query = queries[1];
+  dl.algorithm = AlgorithmKind::kBruteForce;
+  dl.has_algorithm = true;
+  dl.deadline_ms = 0.01;
+  auto timed_out = client.Call(dl);
+  ASSERT_TRUE(timed_out.ok());
+  EXPECT_EQ(timed_out->status, ResponseStatus::kDeadlineExceeded);
+  EXPECT_EQ(timed_out->request_id, "deadline-probe");
+}
+
+TEST(AdminIntegrationTest, SlowQueryLogRecordsPhaseBreakdown) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db, WithAdmin());
+  const uint16_t admin_port = fx.server().admin_port();
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  QueryRequest req;
+  req.id = 9;
+  req.request_id = "slow-marker";
+  req.query = queries[0];
+  req.algorithm = AlgorithmKind::kBruteForce;  // deliberately slow
+  req.has_algorithm = true;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok() && resp->ok());
+
+  const auto page = AdminGet(admin_port, "/slowqueries");
+  ASSERT_EQ(page.status, 200);
+  auto root = ParseJson(page.body);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_GE(root->Find("added")->number_value(), 1.0);
+
+  const JsonValue* recent = root->Find("recent");
+  ASSERT_NE(recent, nullptr);
+  const JsonValue* entry = nullptr;
+  for (const JsonValue& e : recent->array_items()) {
+    if (e.Find("request_id")->string_value() == "slow-marker") entry = &e;
+  }
+  ASSERT_NE(entry, nullptr) << "slow query missing from /slowqueries";
+  EXPECT_EQ(entry->Find("algorithm")->string_value(), "BF");
+  EXPECT_EQ(entry->Find("status")->string_value(), "ok");
+  EXPECT_NE(entry->Find("query")->string_value().find("locs=4"),
+            std::string::npos);
+  EXPECT_GT(entry->Find("total_ms")->number_value(), 0.0);
+  const JsonValue* stats = entry->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  const JsonValue* phases = stats->Find("phase_ms");
+  ASSERT_NE(phases, nullptr) << "per-phase breakdown missing";
+  EXPECT_FALSE(phases->object_items().empty());
+}
+
+TEST(AdminIntegrationTest, MalformedAdminHttpDoesNotDisturbQueries) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db, WithAdmin());
+  const uint16_t admin_port = fx.server().admin_port();
+  const auto queries = MakeQueries(*db, 1);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  QueryRequest req;
+  req.id = 1;
+  req.query = queries[0];
+  ASSERT_TRUE(client.Call(req).ok());
+
+  struct RawConn {
+    int fd = -1;
+    ~RawConn() {
+      if (fd >= 0) ::close(fd);
+    }
+    bool Connect(uint16_t port) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return false;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      return ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0;
+    }
+    std::string Transact(const std::string& bytes) {
+      EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+                static_cast<ssize_t>(bytes.size()));
+      std::string got;
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;  // admin closes after every response
+        got.append(buf, static_cast<size_t>(n));
+      }
+      return got;
+    }
+  };
+
+  // A query-protocol client that dialed the wrong port gets a clean 400.
+  RawConn garbage;
+  ASSERT_TRUE(garbage.Connect(admin_port));
+  const std::string got400 =
+      garbage.Transact(std::string("\x00\x00\x01\x00", 4) +
+                       "{\"id\":1}\r\n\r\n");
+  EXPECT_EQ(got400.find("HTTP/1.0 400"), 0u) << got400.substr(0, 64);
+
+  // Oversized header block gets 431 even without a terminator.
+  RawConn huge;
+  ASSERT_TRUE(huge.Connect(admin_port));
+  std::string big = "GET /metrics HTTP/1.0\r\nX-Pad: ";
+  big.append(kMaxHttpHeaderBytes + 1024, 'a');
+  const std::string got431 = huge.Transact(big);
+  EXPECT_EQ(got431.find("HTTP/1.0 431"), 0u) << got431.substr(0, 64);
+
+  // Unknown paths and unsupported methods answer without closing the plane.
+  EXPECT_EQ(AdminGet(admin_port, "/nope").status, 404);
+  EXPECT_EQ(AdminGet(admin_port, "/metrics", "PUT").status, 405);
+
+  // Neither the query connection nor the admin plane was disturbed.
+  req.id = 2;
+  auto after = client.Call(req);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->ok());
+  EXPECT_EQ(AdminGet(admin_port, "/healthz").status, 200);
+}
+
+TEST(AdminIntegrationTest, TracingSamplesSpansIntoSlowLog) {
+  auto db = MakeTestDb();
+  ServerFixture fx(*db, WithAdmin());
+  const uint16_t admin_port = fx.server().admin_port();
+  const auto queries = MakeQueries(*db, 1);
+
+  // Sampling starts disabled and is settable at runtime over HTTP.
+  auto off = AdminGet(admin_port, "/tracing");
+  ASSERT_EQ(off.status, 200);
+  EXPECT_NE(off.body.find("\"sample_every\":0"), std::string::npos);
+  EXPECT_EQ(AdminGet(admin_port, "/tracing", "POST").status, 400)
+      << "missing sample= must be rejected";
+  auto on = AdminGet(admin_port, "/tracing?sample=1", "POST");
+  ASSERT_EQ(on.status, 200);
+  EXPECT_NE(on.body.find("\"sample_every\":1"), std::string::npos);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  QueryRequest req;
+  req.id = 1;
+  req.request_id = "sampled-req";
+  req.query = queries[0];
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok() && resp->ok());
+
+  const auto page = AdminGet(admin_port, "/slowqueries");
+  ASSERT_EQ(page.status, 200);
+  auto root = ParseJson(page.body);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const JsonValue* entry = nullptr;
+  for (const JsonValue& e : root->Find("recent")->array_items()) {
+    if (e.Find("request_id")->string_value() == "sampled-req") entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+#if UOTS_TRACE
+  // Every request is sampled at sample=1: the span tree must be attached.
+  const JsonValue* spans = entry->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_FALSE(spans->array_items().empty()) << "no spans captured";
+  bool saw_execute = false;
+  for (const JsonValue& s : spans->array_items()) {
+    if (s.Find("name")->string_value() == "server_execute") saw_execute = true;
+    EXPECT_GE(s.Find("dur_us")->number_value(), 0.0);
+  }
+  EXPECT_TRUE(saw_execute) << "server_execute root span missing";
+#else
+  EXPECT_TRUE(entry->Find("spans")->array_items().empty());
+#endif
+
+  // Turning sampling back off stops capture for later requests.
+  ASSERT_EQ(AdminGet(admin_port, "/tracing?sample=0", "POST").status, 200);
+  req.id = 2;
+  req.request_id = "unsampled-req";
+  ASSERT_TRUE(client.Call(req).ok());
+  auto page2 = AdminGet(admin_port, "/slowqueries");
+  auto root2 = ParseJson(page2.body);
+  ASSERT_TRUE(root2.ok());
+  for (const JsonValue& e : root2->Find("recent")->array_items()) {
+    if (e.Find("request_id")->string_value() == "unsampled-req") {
+      EXPECT_TRUE(e.Find("spans")->array_items().empty());
+    }
+  }
 }
 
 }  // namespace

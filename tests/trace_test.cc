@@ -151,6 +151,63 @@ TEST_F(TraceTest, CompiledOutScopeIsZeroCost) {
 #endif
 }
 
+TEST_F(TraceTest, ThreadCaptureWorksWithoutSession) {
+  EXPECT_FALSE(Trace::active());
+  Trace::BeginThreadCapture();
+  { UOTS_TRACE_SCOPE_ID("sampled_request", 77); }
+  const auto spans = Trace::EndThreadCapture();
+#if UOTS_TRACE
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "sampled_request");
+  EXPECT_EQ(spans[0].id, 77);
+  // Without a global session the captured spans are removed from the
+  // thread buffer: perpetual sampling must not fill it or leak into a
+  // later export.
+  EXPECT_TRUE(Trace::Snapshot().empty());
+#else
+  EXPECT_TRUE(spans.empty());
+#endif
+}
+
+TEST_F(TraceTest, ThreadCaptureIsPerThread) {
+  Trace::BeginThreadCapture();
+  std::thread other([] { UOTS_TRACE_SCOPE("other_thread_span"); });
+  other.join();
+  { UOTS_TRACE_SCOPE("this_thread_span"); }
+  const auto spans = Trace::EndThreadCapture();
+#if UOTS_TRACE
+  // Only the capturing thread's spans come back; the other thread had
+  // neither a session nor a capture, so its span was never recorded.
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "this_thread_span");
+#else
+  EXPECT_TRUE(spans.empty());
+#endif
+}
+
+TEST_F(TraceTest, ThreadCaptureDuringSessionKeepsEventsInBuffer) {
+  Trace::Start();
+  Trace::BeginThreadCapture();
+  { UOTS_TRACE_SCOPE("both"); }
+  const auto spans = Trace::EndThreadCapture();
+  Trace::Stop();
+#if UOTS_TRACE
+  ASSERT_EQ(spans.size(), 1u);
+  // The global session still owns the events: they stay visible to
+  // Snapshot() even though a capture also returned them.
+  EXPECT_EQ(CountNamed(Trace::Snapshot(), "both"), 1);
+#else
+  EXPECT_TRUE(spans.empty());
+#endif
+}
+
+TEST_F(TraceTest, EmptyThreadCapture) {
+  Trace::BeginThreadCapture();
+  EXPECT_TRUE(Trace::EndThreadCapture().empty());
+  // EndThreadCapture without a matching Begin is harmless.
+  EXPECT_TRUE(Trace::EndThreadCapture().empty());
+}
+
 TEST_F(TraceTest, NowNsIsMonotonic) {
   const int64_t a = Trace::NowNs();
   const int64_t b = Trace::NowNs();

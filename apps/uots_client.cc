@@ -16,6 +16,7 @@
 //
 // Results print as a table and land in BENCH_server.json.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -36,6 +37,7 @@
 #include "server/http.h"
 #include "storage/resolver.h"
 #include "text/zipf.h"
+#include "traj/generator.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -62,6 +64,11 @@ struct Flags {
   std::string algorithm = "UOTS";
   double deadline_ms = 0.0;
   bool verify = false;
+  /// Live-ingest drill: generate N fresh trips, push them over the wire,
+  /// then verify every workload query bit-for-bit against a local cold
+  /// rebuild over base + ingested trips. 0 = off.
+  int ingest = 0;
+  int ingest_batch = 64;
   /// Zipf exponent for query selection; 0 = uniform rotation. Skewed picks
   /// model real trip-recommendation traffic (popular POI combos repeat)
   /// and are what make the server's result cache earn hits.
@@ -259,6 +266,119 @@ int RunVerify(const Flags& flags, const uots::TrajectoryDatabase& db,
   return 1;
 }
 
+/// Live-ingest drill. Generates `flags.ingest` fresh trips over the base
+/// dataset's network, pushes them to the server over the wire, then runs
+/// the full three-pass verify against a *local cold rebuild* over
+/// base + ingested trips — the server's merged base+delta view must be
+/// indistinguishable, bit for bit, from an index built from scratch.
+int RunIngest(const Flags& flags, const uots::TrajectoryDatabase& db,
+              const uots::WorkloadOptions& wopts, uots::AlgorithmKind kind) {
+  // Fresh trips: same generator the datasets use, but a displaced seed so
+  // no trip collides with the base set (the server dedups by content), and
+  // terms drawn from the server's own vocabulary so ingest validation
+  // accepts them.
+  uots::TripGeneratorOptions gopts;
+  gopts.num_trajectories = flags.ingest;
+  if (db.vocabulary().size() > 0) {
+    gopts.vocabulary_size = static_cast<int>(db.vocabulary().size());
+  }
+  gopts.seed = flags.seed + 0xA11CEULL;
+  auto gen = uots::GenerateTrips(db.network(), gopts);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "ingest: generate: %s\n",
+                 gen.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uots::Trajectory> trips;
+  trips.reserve(gen->store.size());
+  for (size_t i = 0; i < gen->store.size(); ++i) {
+    trips.push_back(gen->store.Materialize(static_cast<uots::TrajId>(i)));
+  }
+
+  uots::BlockingClient client;
+  uots::Status st =
+      client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest: connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int64_t base_count = static_cast<int64_t>(db.store().size());
+  const size_t batch =
+      flags.ingest_batch > 0 ? static_cast<size_t>(flags.ingest_batch) : 64;
+  size_t sent = 0;
+  int64_t generation = 0;
+  while (sent < trips.size()) {
+    uots::IngestRequest req;
+    req.id = static_cast<int64_t>(sent);
+    const size_t end = std::min(sent + batch, trips.size());
+    req.trajectories.assign(trips.begin() + static_cast<ptrdiff_t>(sent),
+                            trips.begin() + static_cast<ptrdiff_t>(end));
+    auto resp = client.Call(req);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "ingest: transport: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    if (!resp->ok()) {
+      std::fprintf(stderr, "ingest: server: %s (%s)\n", ToString(resp->status),
+                   resp->error.c_str());
+      return 1;
+    }
+    // Ids must land contiguously on top of the base range — that is the
+    // contract that makes the local rebuild's ids line up with the server's.
+    if (resp->first_traj != base_count + static_cast<int64_t>(sent) ||
+        resp->accepted != static_cast<int64_t>(end - sent)) {
+      std::fprintf(stderr,
+                   "ingest: id drift: first_traj=%" PRId64 " accepted=%" PRId64
+                   " (expected %" PRId64 " / %zu)\n",
+                   resp->first_traj, resp->accepted,
+                   base_count + static_cast<int64_t>(sent), end - sent);
+      return 1;
+    }
+    generation = resp->generation;
+    sent = end;
+  }
+  std::printf("ingest: %zu trips accepted over the wire (generation %" PRId64
+              ")\n",
+              sent, generation);
+
+  // Reference: a from-scratch rebuild over base + ingested, exactly what a
+  // restart after compaction would serve.
+  uots::TrajectoryStore merged;
+  for (size_t i = 0; i < db.store().size(); ++i) {
+    auto added = merged.Add(db.store().Materialize(static_cast<uots::TrajId>(i)));
+    if (!added.ok()) {
+      std::fprintf(stderr, "ingest: rebuild: %s\n",
+                   added.status().ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& t : trips) {
+    auto added = merged.Add(t);
+    if (!added.ok()) {
+      std::fprintf(stderr, "ingest: rebuild: %s\n",
+                   added.status().ToString().c_str());
+      return 1;
+    }
+  }
+  uots::SimilarityOptions sim;
+  sim.sigma_m = db.model().sigma_m();
+  sim.sigma_s = db.model().sigma_s();
+  sim.measure = db.model().textual().measure();
+  uots::TrajectoryDatabase ref(db.network(), std::move(merged),
+                               db.vocabulary(), sim);
+
+  // The workload is regenerated over the merged database so queries can
+  // (and do) surface ingested trips in their top-k.
+  auto queries_r = uots::MakeWorkload(ref, wopts);
+  if (!queries_r.ok()) {
+    std::fprintf(stderr, "ingest: workload: %s\n",
+                 queries_r.status().ToString().c_str());
+    return 1;
+  }
+  return RunVerify(flags, ref, *queries_r, kind);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,6 +429,10 @@ int main(int argc, char** argv) {
       flags.json_out = v;
     } else if (ParseFlag(argv[i], "--scrape-admin", &v)) {
       flags.scrape_admin = v;
+    } else if (ParseFlag(argv[i], "--ingest", &v)) {
+      flags.ingest = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--ingest-batch", &v)) {
+      flags.ingest_batch = std::atoi(v.c_str());
     } else if (ParseBoolFlag(argv[i], "--verify")) {
       flags.verify = true;
     } else {
@@ -367,6 +491,11 @@ int main(int argc, char** argv) {
   wopts.lambda = flags.lambda;
   wopts.k = flags.k;
   wopts.seed = flags.seed;
+
+  if (flags.ingest > 0) {
+    return RunIngest(flags, *db, wopts, kind);
+  }
+
   auto queries_r = uots::MakeWorkload(*db, wopts);
   if (!queries_r.ok()) {
     std::fprintf(stderr, "workload: %s\n",

@@ -57,6 +57,8 @@ struct Flags {
   bool oracle = true;  // use a snapshot-baked distance oracle when present
   int admin_port = -1;  // -1 = admin plane off; 0 = ephemeral
   std::string admin_bind = "127.0.0.1";
+  std::string compact_snapshot;     // empty = compaction off
+  double compact_interval_ms = 0.0; // 0 = manual (POST /compact) only
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -76,7 +78,8 @@ void Usage(const char* argv0) {
       "          [--drain-timeout-ms=MS] [--max-connections=N]\n"
       "          [--cache-max-entries=N] [--cache-ttl-ms=MS]\n"
       "          [--cache-shards=N] [--distance-cache-mb=N]\n"
-      "          [--oracle=on|off] [--admin-port=N] [--admin-bind=ADDR]\n",
+      "          [--oracle=on|off] [--admin-port=N] [--admin-bind=ADDR]\n"
+      "          [--compact-snapshot=PATH] [--compact-interval-ms=MS]\n",
       argv0);
 }
 
@@ -126,6 +129,10 @@ int main(int argc, char** argv) {
       flags.admin_port = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--admin-bind", &v)) {
       flags.admin_bind = v;
+    } else if (ParseFlag(argv[i], "--compact-snapshot", &v)) {
+      flags.compact_snapshot = v;
+    } else if (ParseFlag(argv[i], "--compact-interval-ms", &v)) {
+      flags.compact_interval_ms = std::atof(v.c_str());
     } else {
       Usage(argv[0]);
       return 2;
@@ -203,6 +210,8 @@ int main(int argc, char** argv) {
   opts.service.uots.use_oracle = flags.oracle;
   opts.admin.port = flags.admin_port;
   opts.admin.bind_address = flags.admin_bind;
+  opts.compact_snapshot_path = flags.compact_snapshot;
+  opts.compact_interval_ms = flags.compact_interval_ms;
   opts.dataset_source =
       !flags.dataset.empty()
           ? flags.dataset + " (" + source + ")"
@@ -219,7 +228,8 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGTERM);
   sigprocmask(SIG_BLOCK, &mask, nullptr);
 
-  uots::UotsServer server(*db, opts);
+  std::shared_ptr<const uots::TrajectoryDatabase> shared_db = std::move(db);
+  uots::UotsServer server(shared_db, opts);
   uots::Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
@@ -260,10 +270,15 @@ int main(int argc, char** argv) {
   if (dcache != nullptr) {
     std::printf("distance cache: %d MB\n", flags.distance_cache_mb);
   }
-  if (db->oracle() != nullptr) {
+  if (shared_db->oracle() != nullptr) {
     std::printf("distance oracle: %zu vertices, %zu upward arcs (%s)\n",
-                db->oracle()->NumVertices(), db->oracle()->NumUpEdges(),
+                shared_db->oracle()->NumVertices(),
+                shared_db->oracle()->NumUpEdges(),
                 flags.oracle ? "on" : "off");
+  }
+  if (!flags.compact_snapshot.empty()) {
+    std::printf("compaction: -> %s (%s)\n", flags.compact_snapshot.c_str(),
+                flags.compact_interval_ms > 0.0 ? "periodic" : "manual");
   }
   std::fflush(stdout);
 
@@ -287,6 +302,15 @@ int main(int argc, char** argv) {
       static_cast<long long>(c.parse_errors),
       static_cast<long long>(c.oversized_frames),
       static_cast<long long>(c.errors_internal));
+  if (c.ingest_requests > 0 || c.compactions > 0) {
+    std::printf(
+        "ingest: requests=%lld accepted_trips=%lld rejected_batches=%lld "
+        "compactions=%lld\n",
+        static_cast<long long>(c.ingest_requests),
+        static_cast<long long>(c.ingest_accepted_trips),
+        static_cast<long long>(c.ingest_rejected_batches),
+        static_cast<long long>(c.compactions));
+  }
   if (const uots::ResultCache* rc = server.service().result_cache()) {
     const uots::ResultCache::Stats s = rc->stats();
     std::printf(

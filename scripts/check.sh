@@ -91,6 +91,44 @@ for preset in "${presets[@]}"; do
     curl -fsS "${admin}/slowqueries" | grep -q '"request_id"'
     kill -TERM "${server_pid}"
     wait "${server_pid}"
+    # Live-ingest drill: serve with a compaction path, wire-ingest fresh
+    # trips, verify the served answers bit-for-bit against a local cold
+    # rebuild (base + ingested), fold the delta through POST /compact, and
+    # re-verify against the compacted snapshot itself — the file the fold
+    # wrote must both pass the standalone validator and describe exactly
+    # what the swapped-in server is serving. Under asan this sweeps the
+    # delta publication, the reactor-side apply, and the background
+    # merge/swap against live queries.
+    echo "==> ${preset}: live ingest + compaction drill"
+    if [[ "${preset}" == "release" ]]; then iqport=7783 iaport=7787
+    else iqport=7784 iaport=7788; fi
+    isnap="${builddir[${preset}]}/check-ingest.snap"
+    "${builddir[${preset}]}/apps/uots_server" --city=BRN --port="${iqport}" \
+      --trajectories=1500 --admin-port="${iaport}" \
+      --compact-snapshot="${isnap}" &
+    ingest_pid=$!
+    sleep 1
+    "${builddir[${preset}]}/apps/uots_client" --port="${iqport}" \
+      --trajectories=1500 --ingest=200 --num-queries=16
+    iadmin="http://127.0.0.1:${iaport}"
+    curl -fsS "${iadmin}/statusz" | grep -q '"delta_trajectories":200'
+    curl -fsS -X POST "${iadmin}/compact" | grep -q '"compacting":true'
+    for _ in $(seq 1 50); do
+      if curl -fsS "${iadmin}/statusz" | grep -q '"compactions":1'; then
+        break
+      fi
+      sleep 0.2
+    done
+    curl -fsS "${iadmin}/statusz" | grep -q '"compactions":1'
+    curl -fsS "${iadmin}/metrics" \
+      | grep -q "^uots_server_ingest_accepted_trips_total 200"
+    "${builddir[${preset}]}/apps/uots_snapshot" verify "${isnap}"
+    "${builddir[${preset}]}/apps/uots_client" --port="${iqport}" \
+      --dataset="${isnap}" --verify --num-queries=16
+    kill -TERM "${ingest_pid}"
+    wait "${ingest_pid}"
+    rm -f "${isnap}"
+    ctest --preset "${preset}" -R uots_ingest_test --output-on-failure
   fi
 done
 echo "==> all checks passed"

@@ -85,6 +85,12 @@ class DistanceFieldCache {
   /// older versions will be rejected. Call whenever the dataset changes.
   void Invalidate();
 
+  /// Generation-change entry point, named to match ResultCache: a
+  /// compaction swap retires the base this cache's prefixes were recorded
+  /// against. (Plain ingest never calls this — the network is untouched,
+  /// so settle sequences stay exact.) Observable in stats().invalidations.
+  void InvalidateGeneration() { Invalidate(); }
+
   uint64_t version() const;
   size_t max_events_per_source() const { return max_events_per_source_; }
   Stats stats() const;

@@ -113,12 +113,31 @@ void ResultCache::Clear() {
   }
 }
 
+void ResultCache::InvalidateGeneration() {
+  int64_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) {
+      bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      ++dropped;
+    }
+    shard->index.clear();
+    shard->lru.clear();
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidated_entries_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
 ResultCache::Stats ResultCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.invalidated_entries =
+      invalidated_entries_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
   return s;

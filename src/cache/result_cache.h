@@ -51,6 +51,8 @@ class ResultCache {
     int64_t misses = 0;
     int64_t evictions = 0;  ///< capacity evictions only
     int64_t expired = 0;    ///< TTL drops (counted in misses too)
+    int64_t invalidations = 0;      ///< InvalidateGeneration calls
+    int64_t invalidated_entries = 0;  ///< entries dropped by those calls
     int64_t entries = 0;
     int64_t bytes = 0;  ///< approximate payload bytes of live entries
   };
@@ -68,6 +70,17 @@ class ResultCache {
 
   /// Drops every entry (event counters keep their totals).
   void Clear();
+
+  /// \brief All-or-nothing invalidation on a dataset-generation change.
+  ///
+  /// Live ingest salts every key with the dataset's live fingerprint, so
+  /// entries minted under an older generation are already unreachable —
+  /// but unreachable is not gone: dead keys would squat in the LRU until
+  /// capacity churn evicted them. This drops every entry at once and
+  /// tallies the event, so "a stale-generation hit can never be served"
+  /// is enforced twice (unreachable keys AND an empty cache) and is
+  /// observable in stats().invalidations.
+  void InvalidateGeneration();
 
   Stats stats() const;
 
@@ -96,6 +109,8 @@ class ResultCache {
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> invalidated_entries_{0};
   std::atomic<int64_t> entries_{0};
   std::atomic<int64_t> bytes_{0};
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/topk.h"
+#include "ingest/merged_view.h"
 #include "net/dijkstra.h"
 #include "util/timer.h"
 
@@ -14,7 +15,8 @@ Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
   UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
-  const auto& store = db_->store();
+  MergedView view;
+  view.Bind(*db_);
   const auto& model = db_->model();
   const size_t m = query.locations.size();
 
@@ -38,11 +40,11 @@ Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
   std::vector<double> dists(m);
   {
     ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
-    for (TrajId id = 0; id < store.size(); ++id) {
+    for (TrajId id = 0; id < view.NumTrajectories(); ++id) {
       if ((id & 4095) == 0 && ShouldAbort()) {
         return Status::DeadlineExceeded("BF aborted by deadline/cancel");
       }
-      const auto samples = store.SamplesOf(id);
+      const auto samples = view.SamplesOf(id);
       for (size_t i = 0; i < m; ++i) {
         double best = std::numeric_limits<double>::infinity();
         for (const Sample& s : samples) {
@@ -54,7 +56,7 @@ Result<SearchResult> BruteForceSearch::Search(const UotsQuery& query) {
       }
       const double spatial = model.SpatialSim(dists);
       const double textual =
-          model.textual().Score(query.keywords, store.KeywordsOf(id));
+          model.textual().Score(query.keywords, view.KeywordsOf(id));
       const double score =
           SimilarityModel::Combine(query.lambda, spatial, textual);
       topk.Offer(ScoredTrajectory{id, score, spatial, textual});

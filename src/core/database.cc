@@ -49,6 +49,12 @@ TrajectoryDatabase::TrajectoryDatabase(Parts parts,
                                         : ComputeStructuralFingerprint();
 }
 
+uint64_t TrajectoryDatabase::live_fingerprint() const {
+  const uint64_t gen = delta_generation();
+  if (gen == 0) return fingerprint_;
+  return MixFingerprint(fingerprint_, gen);
+}
+
 uint64_t TrajectoryDatabase::ComputeStructuralFingerprint() const {
   uint64_t h = 0x75f17d6b3588f843ULL;
   h = MixFingerprint(h, network_.NumVertices());

@@ -14,7 +14,9 @@
 #ifndef UOTS_CORE_DATABASE_H_
 #define UOTS_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "core/model.h"
 #include "core/query.h"
@@ -28,6 +30,8 @@
 #include "util/column_vec.h"
 
 namespace uots {
+
+class DeltaIndex;  // src/ingest/delta_index.h
 
 /// \brief Immutable, fully-indexed trajectory database.
 class TrajectoryDatabase {
@@ -78,6 +82,10 @@ class TrajectoryDatabase {
   /// (answers are bit-identical either way; see oracle/ch_oracle.h).
   const DistanceOracle* oracle() const { return oracle_.get(); }
 
+  /// Shared handle to the same oracle, for carrying it across a rebuild
+  /// that leaves the network untouched (live compaction).
+  std::shared_ptr<const DistanceOracle> oracle_ptr() const { return oracle_; }
+
   /// Attaches (or clears) a distance oracle after construction. The oracle
   /// must describe this database's network. Not thread-safe; call before
   /// sharing the database across threads.
@@ -93,6 +101,45 @@ class TrajectoryDatabase {
   /// differently — acceptable for cache salting, where a false mismatch
   /// only costs a recompute while a false match would serve wrong answers.
   uint64_t fingerprint() const { return fingerprint_; }
+
+  /// \brief Publishes a sealed delta generation (live ingest, DESIGN.md
+  /// §11), or clears the overlay when `delta` is null (post-compaction).
+  ///
+  /// The delta slot is the one internally-synchronized piece of mutable
+  /// state on an otherwise immutable database: writers (the server's
+  /// reactor thread) swap in a fully-built immutable DeltaIndex; readers
+  /// snapshot the shared_ptr once per query via delta(). Every index,
+  /// column, and the oracle stay frozen — only the overlay pointer moves,
+  /// which is why these methods are const.
+  void PublishDelta(std::shared_ptr<const DeltaIndex> delta,
+                    uint64_t generation) const {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    delta_ = std::move(delta);
+    delta_generation_.store(generation, std::memory_order_release);
+  }
+
+  /// Current delta overlay (null when no trips have been ingested or all
+  /// have been compacted into the base). Safe from any thread; pin the
+  /// returned pointer for the duration of one query.
+  std::shared_ptr<const DeltaIndex> delta() const {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    return delta_;
+  }
+
+  /// Monotonic ingest generation: 0 until the first PublishDelta, bumped
+  /// once per applied batch, and once more (with a null delta) when a
+  /// compaction folds the overlay into a fresh base.
+  uint64_t delta_generation() const {
+    return delta_generation_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Dataset identity *including* the live delta generation.
+  ///
+  /// fingerprint() identifies the immutable base build; every applied
+  /// ingest batch changes live_fingerprint(), which is what cache keys
+  /// must be salted with so a pre-ingest entry can never satisfy a
+  /// post-ingest lookup (see cache/result_cache.h).
+  uint64_t live_fingerprint() const;
 
   /// Total bytes across network, store, and indexes (approximate).
   size_t MemoryUsage() const { return Memory().total(); }
@@ -118,6 +165,12 @@ class TrajectoryDatabase {
   /// databases.
   std::shared_ptr<const void> backing_;
   uint64_t fingerprint_ = 0;
+  /// Live-ingest overlay (see PublishDelta). Mutable because the overlay
+  /// is internally synchronized state layered on a logically-const
+  /// database: queries hold `const TrajectoryDatabase&` everywhere.
+  mutable std::mutex delta_mu_;
+  mutable std::shared_ptr<const DeltaIndex> delta_;
+  mutable std::atomic<uint64_t> delta_generation_{0};
 };
 
 }  // namespace uots

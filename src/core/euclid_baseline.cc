@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/topk.h"
+#include "ingest/merged_view.h"
 #include "util/timer.h"
 
 namespace uots {
@@ -14,7 +15,8 @@ Result<SearchResult> EuclideanSearch::Search(const UotsQuery& query) {
   UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
-  const auto& store = db_->store();
+  MergedView view;
+  view.Bind(*db_);
   const auto& g = db_->network();
   const auto& model = db_->model();
   const size_t m = query.locations.size();
@@ -29,8 +31,8 @@ Result<SearchResult> EuclideanSearch::Search(const UotsQuery& query) {
     ScopedPhase phase(&out.stats, QueryPhase::kRefinement);
     TopK topk(static_cast<size_t>(query.k));
     std::vector<double> dists(m);
-    for (TrajId id = 0; id < store.size(); ++id) {
-      const auto samples = store.SamplesOf(id);
+    for (TrajId id = 0; id < view.NumTrajectories(); ++id) {
+      const auto samples = view.SamplesOf(id);
       for (size_t i = 0; i < m; ++i) {
         double best = std::numeric_limits<double>::max();
         for (const Sample& s : samples) {
@@ -42,14 +44,14 @@ Result<SearchResult> EuclideanSearch::Search(const UotsQuery& query) {
       }
       const double spatial = model.SpatialSim(dists);
       const double textual =
-          model.textual().Score(query.keywords, store.KeywordsOf(id));
+          model.textual().Score(query.keywords, view.KeywordsOf(id));
       topk.Offer(ScoredTrajectory{
           id, SimilarityModel::Combine(query.lambda, spatial, textual), spatial,
           textual});
       ++out.stats.visited_trajectories;
     }
     out.items = std::move(topk).Finish();
-    out.stats.candidates = static_cast<int64_t>(store.size());
+    out.stats.candidates = static_cast<int64_t>(view.NumTrajectories());
   }
   out.stats.elapsed_ms = timer.ElapsedMillis();
   return out;

@@ -64,12 +64,14 @@ UotsSearcher::UotsSearcher(const TrajectoryDatabase& db,
 void UotsSearcher::ResolveTextualDomain(const UotsQuery& query,
                                         QueryStats* stats) {
   ScopedPhase phase(stats, QueryPhase::kTextualFilter);
-  const auto doc_keys = [this](DocId d) {
-    return db_->store().KeywordsOf(static_cast<TrajId>(d));
-  };
-  db_->keyword_index().ScoreCandidates(query.keywords, db_->model().textual(),
-                                       &text_docs_, &stats->posting_entries,
-                                       doc_keys);
+  // Scratch spans the merged id space; a freshly published delta (or a
+  // post-compaction rebind) grows it here, before any text_of_.Set.
+  if (state_slot_.size() != view_.NumTrajectories()) {
+    state_slot_.Resize(view_.NumTrajectories());
+    text_of_.Resize(view_.NumTrajectories());
+  }
+  view_.ScoreTextual(query.keywords, db_->model().textual(), &text_docs_,
+                     &stats->posting_entries, &text_scratch_);
   std::sort(text_docs_.begin(), text_docs_.end(),
             [](const ScoredDoc& a, const ScoredDoc& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -93,7 +95,7 @@ Result<SearchResult> UotsSearcher::SearchTextOnly(const UotsQuery& query) {
     }
     // Fill with SimT = 0 trajectories if k exceeds the candidate count.
     if (topk.size() < static_cast<size_t>(query.k)) {
-      for (TrajId id = 0; id < db_->store().size() &&
+      for (TrajId id = 0; id < view_.NumTrajectories() &&
                           topk.size() < static_cast<size_t>(query.k);
            ++id) {
         if (text_of_.Has(id)) continue;  // already offered
@@ -120,7 +122,7 @@ Result<SearchResult> UotsSearcher::SearchTextOnlyThreshold(
     // theta <= 0 is matched by every trajectory, including keyword-less
     // ones.
     if (theta <= 0.0) {
-      for (TrajId id = 0; id < db_->store().size(); ++id) {
+      for (TrajId id = 0; id < view_.NumTrajectories(); ++id) {
         if (text_of_.Has(id)) continue;
         out.items.push_back(ScoredTrajectory{id, 0.0, 0.0, 0.0});
       }
@@ -137,16 +139,9 @@ Result<SearchResult> UotsSearcher::SearchTextOnlyThreshold(
 
 Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
                                QueryStats* stats) {
-  const auto& store = db_->store();
   const auto& model = db_->model();
-  const auto& vindex = db_->vertex_index();
   const size_t m = query.locations.size();
   const double lambda = query.lambda;
-
-  if (state_slot_.size() != store.size()) {
-    state_slot_.Resize(store.size());
-    text_of_.Resize(store.size());
-  }
 
   // ---- Spatial domain: one expansion per query location. ----
   while (expansions_.size() < m) {
@@ -271,7 +266,7 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     TrajState& s = states_[idx];
     if (s.known == static_cast<int>(m)) return;  // already exact
     sample_verts.clear();
-    for (const Sample& smp : store.SamplesOf(t)) {
+    for (const Sample& smp : view_.SamplesOf(t)) {
       sample_verts.push_back(smp.vertex);
     }
     const std::span<const double> row = provider_->MinDistancesTo(sample_verts);
@@ -299,11 +294,14 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
     ++stats->candidates;
   };
 
-  // Processes one settled (source, vertex, distance) event.
+  // Processes one settled (source, vertex, distance) event. The scan body
+  // runs per trajectory; the outer wrapper walks the vertex's base posting
+  // segment then its delta segment — ascending global ids, exactly the
+  // posting list a rebuilt monolithic index would hold.
   const auto process_hit = [&](size_t i, VertexId v, double d) {
     const double decay = model.SpatialDecay(d);
     const uint64_t bit = uint64_t{1} << i;
-    for (TrajId t : vindex.TrajectoriesAt(v)) {
+    const auto scan_traj = [&](TrajId t) {
       int32_t idx = state_slot_.Get(t, -1);
       if (idx < 0) {
         idx = static_cast<int32_t>(states_.size());
@@ -316,7 +314,7 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
         ++stats->visited_trajectories;
       }
       TrajState& s = states_[idx];
-      if ((s.mask & bit) != 0) continue;  // source i already scanned tau
+      if ((s.mask & bit) != 0) return;  // source i already scanned tau
       const bool fresh = s.mask == 0;
       const double u_old = fresh ? 0.0 : s.cached_ub;
       s.mask |= bit;
@@ -341,7 +339,7 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
         const double score = SimilarityModel::Combine(lambda, spatial, s.text);
         sink->Accept(ScoredTrajectory{t, score, spatial, s.text});
         ++stats->candidates;
-        continue;
+        return;
       }
       const double u_new = state_ub(s);
       s.cached_ub = u_new;
@@ -356,7 +354,10 @@ Status UotsSearcher::RunSearch(const UotsQuery& query, Sink* sink,
         labels[j] += delta;
         unset &= unset - 1;
       }
-    }
+    };
+    const MergedView::Postings lists = view_.TrajectoriesAt(v);
+    for (TrajId t : lists.base) scan_traj(t);
+    for (TrajId t : lists.delta) scan_traj(t);
   };
 
   // ---- Oracle threshold seeding. ----
@@ -620,6 +621,7 @@ Result<SearchResult> UotsSearcher::Search(const UotsQuery& query) {
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
   UOTS_TRACE_SCOPE(name());
   WallTimer timer;
+  view_.Bind(*db_);
   SearchResult out;
   ResolveTextualDomain(query, &out.stats);
   if (query.lambda == 0.0) {
@@ -647,6 +649,7 @@ Result<SearchResult> UotsSearcher::SearchThreshold(const UotsQuery& query,
   UOTS_RETURN_NOT_OK(ValidateQuery(query, db_->network().NumVertices()));
   UOTS_TRACE_SCOPE("UOTS-threshold");
   WallTimer timer;
+  view_.Bind(*db_);
   SearchResult out;
   ResolveTextualDomain(query, &out.stats);
   if (query.lambda == 0.0) {

@@ -38,6 +38,7 @@
 
 #include "cache/expansion_cursor.h"
 #include "core/algorithm.h"
+#include "ingest/merged_view.h"
 #include "oracle/distance_provider.h"
 #include "util/versioned.h"
 
@@ -103,6 +104,9 @@ class UotsSearcher : public SearchAlgorithm {
 
   const TrajectoryDatabase* db_;
   UotsSearchOptions opts_;
+  /// Base+delta read surface, rebound at the top of every Search /
+  /// SearchThreshold so one query sees one sealed ingest generation.
+  MergedView view_;
   /// Exact-distance oracle front-end; null without an attached oracle (or
   /// with opts_.use_oracle off). Per-searcher scratch, like expansions_.
   std::unique_ptr<DistanceProvider> provider_;
@@ -120,6 +124,9 @@ class UotsSearcher : public SearchAlgorithm {
   /// path and the brute-force reference bit for bit).
   std::vector<double> decay_pool_;
   std::vector<ScoredDoc> text_docs_;    ///< textual candidates, SimT desc
+  /// Counter scratch for the shared keyword index (one per engine — the
+  /// index itself must stay read-only under concurrent queries).
+  TextScoringScratch text_scratch_;
 };
 
 }  // namespace uots

@@ -189,8 +189,8 @@ Result<TemporalSearchResult> TemporalUotsSearcher::Search(
       return db_->store().KeywordsOf(static_cast<TrajId>(d));
     };
     db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),
-                                         &text_docs_,
-                                         &out.stats.posting_entries, doc_keys);
+                                         &text_docs_, &out.stats.posting_entries,
+                                         doc_keys, &text_scratch_);
     std::sort(text_docs_.begin(), text_docs_.end(),
               [](const ScoredDoc& a, const ScoredDoc& b) {
                 if (a.score != b.score) return a.score > b.score;

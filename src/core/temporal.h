@@ -95,6 +95,9 @@ class TemporalUotsSearcher {
   std::vector<TrajState> states_;
   std::vector<int32_t> partial_;
   std::vector<ScoredDoc> text_docs_;
+  /// Counter scratch for the shared keyword index (one per engine — the
+  /// index itself must stay read-only under concurrent queries).
+  TextScoringScratch text_scratch_;
 };
 
 }  // namespace uots

@@ -9,7 +9,7 @@
 namespace uots {
 
 double TextFirstSearch::ExactSpatial(TrajId id, QueryStats* stats) const {
-  const auto samples = db_->store().SamplesOf(id);
+  const auto samples = view_.SamplesOf(id);
   double sum = 0.0;
   for (const auto& tree : trees_) {
     double best = std::numeric_limits<double>::infinity();
@@ -28,7 +28,7 @@ Result<SearchResult> TextFirstSearch::Search(const UotsQuery& query) {
   UOTS_TRACE_SCOPE(name());
   WallTimer timer;
   SearchResult out;
-  const auto& store = db_->store();
+  view_.Bind(*db_);
   const auto& model = db_->model();
 
   // Spatial acceleration: one full shortest-path tree per query location.
@@ -45,12 +45,8 @@ Result<SearchResult> TextFirstSearch::Search(const UotsQuery& query) {
   // Textual domain: exact SimT for every keyword-sharing trajectory.
   {
     ScopedPhase phase(&out.stats, QueryPhase::kTextualFilter);
-    const auto doc_keys = [this](DocId d) {
-      return db_->store().KeywordsOf(static_cast<TrajId>(d));
-    };
-    db_->keyword_index().ScoreCandidates(query.keywords, model.textual(),
-                                         &text_docs_,
-                                         &out.stats.posting_entries, doc_keys);
+    view_.ScoreTextual(query.keywords, model.textual(), &text_docs_,
+                       &out.stats.posting_entries, &text_scratch_);
     std::sort(text_docs_.begin(), text_docs_.end(),
               [](const ScoredDoc& a, const ScoredDoc& b) {
                 if (a.score != b.score) return a.score > b.score;
@@ -89,7 +85,7 @@ Result<SearchResult> TextFirstSearch::Search(const UotsQuery& query) {
         cand_ids.reserve(text_docs_.size());
         for (const auto& d : text_docs_) cand_ids.push_back(d.doc);
         std::sort(cand_ids.begin(), cand_ids.end());
-        for (TrajId id = 0; id < store.size(); ++id) {
+        for (TrajId id = 0; id < view_.NumTrajectories(); ++id) {
           if (topk.Full() && tail_ub <= topk.Threshold()) break;
           if (std::binary_search(cand_ids.begin(), cand_ids.end(), id)) {
             continue;

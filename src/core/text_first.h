@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "ingest/merged_view.h"
 #include "net/dijkstra.h"
 
 namespace uots {
@@ -39,8 +40,12 @@ class TextFirstSearch : public SearchAlgorithm {
   double ExactSpatial(TrajId id, QueryStats* stats) const;
 
   const TrajectoryDatabase* db_;
+  MergedView view_;  ///< base+delta surface, rebound per Search
   std::vector<ShortestPathTree> trees_;  // one per query location
   std::vector<ScoredDoc> text_docs_;
+  /// Counter scratch for the shared keyword index (one per engine — the
+  /// index itself must stay read-only under concurrent queries).
+  TextScoringScratch text_scratch_;
 };
 
 }  // namespace uots

@@ -479,6 +479,22 @@ std::string AdminPlane::Dispatch(const HttpRequest& req) {
     body += "}\n";
     return EncodeHttpResponse(200, "application/json", body);
   }
+  if (req.path == "/compact") {
+    if (req.method != "POST") {
+      return EncodeHttpResponse(405, "text/plain", "use POST\n");
+    }
+    // Runs on the loop thread (the admin plane shares the server's loop),
+    // which is exactly where TriggerCompaction must be called.
+    const Status st = server_->TriggerCompaction();
+    if (!st.ok()) {
+      const int code = st.code() == StatusCode::kUnavailable ? 409 : 400;
+      return EncodeHttpResponse(code, "text/plain", st.ToString() + "\n");
+    }
+    std::string body = "{\"compacting\":true,\"sealed_trajectories\":";
+    body += std::to_string(server_->ingestor().delta_trajectories());
+    body += "}\n";
+    return EncodeHttpResponse(202, "application/json", body);
+  }
   return EncodeHttpResponse(404, "text/plain", "not found\n");
 }
 
@@ -494,6 +510,7 @@ std::string AdminPlane::RenderHealthz(int* status) const {
 std::string AdminPlane::RenderMetrics() const {
   // Publish before reading so cache/oracle counters are scrape-fresh.
   server_->service().PublishCacheMetrics();
+  server_->PublishIngestMetrics();
 
   auto& reg = MetricsRegistry::Global();
   std::string out;
@@ -529,6 +546,12 @@ std::string AdminPlane::RenderMetrics() const {
   AppendCounter(&out, "uots_server_parse_errors", c.parse_errors);
   AppendCounter(&out, "uots_server_oversized_frames", c.oversized_frames);
   AppendCounter(&out, "uots_server_errors_internal", c.errors_internal);
+  AppendCounter(&out, "uots_server_ingest_requests", c.ingest_requests);
+  AppendCounter(&out, "uots_server_ingest_accepted_trips",
+                c.ingest_accepted_trips);
+  AppendCounter(&out, "uots_server_ingest_rejected_batches",
+                c.ingest_rejected_batches);
+  AppendCounter(&out, "uots_server_compactions", c.compactions);
   AppendCounter(&out, "uots_server_slowlog_entries", slowlog_.added());
 
   AppendGauge(&out, "uots_server_uptime_seconds",
@@ -601,6 +624,16 @@ std::string AdminPlane::RenderStatusz() const {
               JsonValue::Int(static_cast<int64_t>(mem.heap_bytes)));
   dataset.Set("mmap_bytes",
               JsonValue::Int(static_cast<int64_t>(mem.mmap_bytes)));
+  const Ingestor& ing = server_->ingestor();
+  dataset.Set("delta_trajectories",
+              JsonValue::Int(static_cast<int64_t>(ing.delta_trajectories())));
+  dataset.Set("delta_bytes",
+              JsonValue::Int(static_cast<int64_t>(ing.delta_bytes())));
+  dataset.Set("generation",
+              JsonValue::Int(static_cast<int64_t>(ing.generation())));
+  dataset.Set("last_compaction_ms",
+              JsonValue::Number(server_->last_compaction_ms()));
+  dataset.Set("compacting", JsonValue::Bool(server_->compacting()));
   root.Set("dataset", std::move(dataset));
 
   JsonValue srv = JsonValue::Object();
@@ -640,6 +673,12 @@ std::string AdminPlane::RenderStatusz() const {
   counters.Set("parse_errors", JsonValue::Int(c.parse_errors));
   counters.Set("oversized_frames", JsonValue::Int(c.oversized_frames));
   counters.Set("errors_internal", JsonValue::Int(c.errors_internal));
+  counters.Set("ingest_requests", JsonValue::Int(c.ingest_requests));
+  counters.Set("ingest_accepted_trips",
+               JsonValue::Int(c.ingest_accepted_trips));
+  counters.Set("ingest_rejected_batches",
+               JsonValue::Int(c.ingest_rejected_batches));
+  counters.Set("compactions", JsonValue::Int(c.compactions));
   root.Set("counters", std::move(counters));
 
   JsonValue slow = JsonValue::Object();

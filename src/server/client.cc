@@ -95,4 +95,40 @@ Result<QueryResponse> BlockingClient::Call(const QueryRequest& req) {
   return Receive();
 }
 
+Status BlockingClient::Send(const IngestRequest& req) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  const std::string frame = EncodeFrame(EncodeIngestRequest(req));
+  return WriteAll(frame.data(), frame.size());
+}
+
+Result<IngestResponse> BlockingClient::ReceiveIngest() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  for (;;) {
+    std::string payload;
+    size_t oversized = 0;
+    const FrameDecoder::Next next = decoder_.Poll(&payload, &oversized);
+    if (next == FrameDecoder::Next::kFrame) {
+      return ParseIngestResponse(payload);
+    }
+    if (next == FrameDecoder::Next::kOversized) {
+      return Status::IOError("server sent an oversized frame (" +
+                             std::to_string(oversized) + " bytes)");
+    }
+    char buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IOError("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Result<IngestResponse> BlockingClient::Call(const IngestRequest& req) {
+  UOTS_RETURN_NOT_OK(Send(req));
+  return ReceiveIngest();
+}
+
 }  // namespace uots

@@ -41,6 +41,17 @@ class BlockingClient {
   /// Send + Receive.
   Result<QueryResponse> Call(const QueryRequest& req);
 
+  /// Sends one ingest batch frame (blocking until fully written).
+  Status Send(const IngestRequest& req);
+
+  /// Receives the next frame as an ingest response (blocking). Do not
+  /// interleave with Receive() expectations — responses arrive in request
+  /// order.
+  Result<IngestResponse> ReceiveIngest();
+
+  /// Send + ReceiveIngest.
+  Result<IngestResponse> Call(const IngestRequest& req);
+
  private:
   Status WriteAll(const char* data, size_t n);
 

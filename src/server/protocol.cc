@@ -197,7 +197,10 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
 Result<QueryRequest> ParseQueryRequest(std::string_view json) {
   Result<JsonValue> parsed = ParseJson(json);
   if (!parsed.ok()) return parsed.status();
-  const JsonValue& o = *parsed;
+  return ParseQueryRequest(*parsed);
+}
+
+Result<QueryRequest> ParseQueryRequest(const JsonValue& o) {
   if (!o.is_object()) return Status::InvalidArgument("request must be an object");
 
   QueryRequest req;
@@ -289,6 +292,195 @@ Result<QueryRequest> ParseQueryRequest(std::string_view json) {
     }
   }
   return req;
+}
+
+RequestType RequestTypeOf(const JsonValue& o) {
+  const JsonValue* type = o.Find("type");
+  if (type == nullptr) return RequestType::kQuery;
+  if (!type->is_string()) return RequestType::kUnknown;
+  const std::string_view name = type->string_value();
+  if (name == "query") return RequestType::kQuery;
+  if (name == "ingest") return RequestType::kIngest;
+  return RequestType::kUnknown;
+}
+
+std::string EncodeIngestRequest(const IngestRequest& req) {
+  JsonValue o = JsonValue::Object();
+  o.Set("id", JsonValue::Int(req.id));
+  o.Set("type", JsonValue::Str("ingest"));
+  if (!req.request_id.empty()) {
+    o.Set("request_id", JsonValue::Str(req.request_id));
+  }
+  JsonValue trips = JsonValue::Array();
+  for (const Trajectory& t : req.trajectories) {
+    JsonValue trip = JsonValue::Object();
+    JsonValue samples = JsonValue::Array();
+    for (const Sample& s : t.samples) {
+      JsonValue pair = JsonValue::Array();
+      pair.Append(JsonValue::Int(static_cast<int64_t>(s.vertex)));
+      pair.Append(JsonValue::Int(s.time_s));
+      samples.Append(std::move(pair));
+    }
+    trip.Set("samples", std::move(samples));
+    JsonValue kws = JsonValue::Array();
+    for (TermId k : t.keywords.terms()) {
+      kws.Append(JsonValue::Int(static_cast<int64_t>(k)));
+    }
+    trip.Set("keywords", std::move(kws));
+    trips.Append(std::move(trip));
+  }
+  o.Set("trajectories", std::move(trips));
+  return o.Serialize();
+}
+
+Result<IngestRequest> ParseIngestRequest(const JsonValue& o) {
+  if (!o.is_object()) {
+    return Status::InvalidArgument("request must be an object");
+  }
+  IngestRequest req;
+  if (const JsonValue* id = o.Find("id")) {
+    UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &req.id));
+  }
+  if (const JsonValue* rid = o.Find("request_id")) {
+    if (!rid->is_string()) {
+      return Status::InvalidArgument("request_id must be a string");
+    }
+    if (rid->string_value().size() > kMaxRequestIdBytes) {
+      return Status::InvalidArgument(
+          "request_id too long (max " + std::to_string(kMaxRequestIdBytes) +
+          " bytes)");
+    }
+    req.request_id = rid->string_value();
+  }
+  const JsonValue* trips = o.Find("trajectories");
+  if (trips == nullptr || !trips->is_array()) {
+    return Status::InvalidArgument("trajectories must be an array");
+  }
+  if (trips->array_items().empty()) {
+    return Status::InvalidArgument("trajectories must not be empty");
+  }
+  if (trips->array_items().size() > kMaxIngestBatchTrajectories) {
+    return Status::InvalidArgument(
+        "too many trajectories in one batch (max " +
+        std::to_string(kMaxIngestBatchTrajectories) + ")");
+  }
+  req.trajectories.reserve(trips->array_items().size());
+  for (const JsonValue& trip : trips->array_items()) {
+    if (!trip.is_object()) {
+      return Status::InvalidArgument("trajectory must be an object");
+    }
+    Trajectory t;
+    const JsonValue* samples = trip.Find("samples");
+    if (samples == nullptr || !samples->is_array()) {
+      return Status::InvalidArgument("trajectory samples must be an array");
+    }
+    if (samples->array_items().size() > kMaxIngestSamplesPerTrajectory) {
+      return Status::InvalidArgument(
+          "too many samples (max " +
+          std::to_string(kMaxIngestSamplesPerTrajectory) + ")");
+    }
+    t.samples.reserve(samples->array_items().size());
+    for (const JsonValue& pair : samples->array_items()) {
+      if (!pair.is_array() || pair.array_items().size() != 2) {
+        return Status::InvalidArgument(
+            "sample must be a [vertex, time_s] pair");
+      }
+      int64_t vertex, time_s;
+      UOTS_RETURN_NOT_OK(ReadInt(pair.array_items()[0], "vertex", &vertex));
+      UOTS_RETURN_NOT_OK(ReadInt(pair.array_items()[1], "time_s", &time_s));
+      if (vertex < 0 || vertex > UINT32_MAX) {
+        return Status::InvalidArgument("sample vertex out of range");
+      }
+      if (time_s < 0 || time_s >= kSecondsPerDay) {
+        return Status::InvalidArgument(
+            "sample time_s must be in [0, 86400)");
+      }
+      t.samples.push_back(Sample{static_cast<VertexId>(vertex),
+                                 static_cast<int32_t>(time_s)});
+    }
+    std::vector<TermId> terms;
+    if (const JsonValue* kws = trip.Find("keywords")) {
+      if (!kws->is_array()) {
+        return Status::InvalidArgument("trajectory keywords must be an array");
+      }
+      if (kws->array_items().size() > kMaxIngestKeywordsPerTrajectory) {
+        return Status::InvalidArgument(
+            "too many keywords (max " +
+            std::to_string(kMaxIngestKeywordsPerTrajectory) + ")");
+      }
+      for (const JsonValue& v : kws->array_items()) {
+        int64_t id;
+        UOTS_RETURN_NOT_OK(ReadInt(v, "keyword", &id));
+        if (id < 0 || id > UINT32_MAX) {
+          return Status::InvalidArgument("keyword out of range");
+        }
+        terms.push_back(static_cast<TermId>(id));
+      }
+    }
+    t.keywords = KeywordSet(std::move(terms));
+    req.trajectories.push_back(std::move(t));
+  }
+  return req;
+}
+
+Result<IngestRequest> ParseIngestRequest(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  return ParseIngestRequest(*parsed);
+}
+
+std::string EncodeIngestResponse(const IngestResponse& resp) {
+  JsonValue o = JsonValue::Object();
+  o.Set("id", JsonValue::Int(resp.id));
+  if (!resp.request_id.empty()) {
+    o.Set("request_id", JsonValue::Str(resp.request_id));
+  }
+  o.Set("status", JsonValue::Str(ToString(resp.status)));
+  if (resp.status != ResponseStatus::kOk) {
+    if (!resp.error.empty()) o.Set("error", JsonValue::Str(resp.error));
+    o.Set("retryable", JsonValue::Bool(resp.retryable()));
+    return o.Serialize();
+  }
+  o.Set("accepted", JsonValue::Int(resp.accepted));
+  o.Set("first_traj", JsonValue::Int(resp.first_traj));
+  o.Set("generation", JsonValue::Int(resp.generation));
+  o.Set("delta_trajectories", JsonValue::Int(resp.delta_trajectories));
+  return o.Serialize();
+}
+
+Result<IngestResponse> ParseIngestResponse(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& o = *parsed;
+  if (!o.is_object()) {
+    return Status::InvalidArgument("response must be an object");
+  }
+  IngestResponse resp;
+  if (const JsonValue* id = o.Find("id")) {
+    UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &resp.id));
+  }
+  if (const JsonValue* rid = o.Find("request_id")) {
+    resp.request_id = rid->StringOr("");
+  }
+  const JsonValue* status = o.Find("status");
+  if (status == nullptr || !status->is_string()) {
+    return Status::InvalidArgument("response missing status");
+  }
+  resp.status = ParseResponseStatus(status->string_value());
+  if (const JsonValue* err = o.Find("error")) {
+    resp.error = err->StringOr("");
+  }
+  const auto geti = [&](const char* key, int64_t fallback) -> int64_t {
+    const JsonValue* v = o.Find(key);
+    return v != nullptr ? static_cast<int64_t>(v->NumberOr(
+                              static_cast<double>(fallback)))
+                        : fallback;
+  };
+  resp.accepted = geti("accepted", 0);
+  resp.first_traj = geti("first_traj", -1);
+  resp.generation = geti("generation", 0);
+  resp.delta_trajectories = geti("delta_trajectories", 0);
+  return resp;
 }
 
 std::string EncodeQueryResponse(const QueryResponse& resp) {

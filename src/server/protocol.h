@@ -47,6 +47,7 @@
 #include "core/algorithm.h"
 #include "core/query.h"
 #include "server/json.h"
+#include "traj/trajectory.h"
 #include "util/counters.h"
 #include "util/status.h"
 
@@ -141,6 +142,73 @@ std::string EncodeQueryRequest(const QueryRequest& req);
 /// Strict parse: unknown algorithm names, non-numeric ids, or missing
 /// required fields are errors (the server turns them into kParseError).
 Result<QueryRequest> ParseQueryRequest(std::string_view json);
+/// Same, over an already-parsed object (the server parses each frame once
+/// and dispatches on its "type" field; see RequestTypeOf).
+Result<QueryRequest> ParseQueryRequest(const JsonValue& o);
+
+/// \brief Wire request kinds, dispatched on the optional "type" field.
+enum class RequestType {
+  kQuery,    ///< "type" absent or "query"
+  kIngest,   ///< "type": "ingest"
+  kUnknown,  ///< anything else -> parse error
+};
+
+/// Classifies a parsed request object (object-ness is NOT checked here).
+RequestType RequestTypeOf(const JsonValue& o);
+
+/// Batches above this are rejected outright (atomic apply keeps the whole
+/// batch in memory twice while validating; a megabatch belongs in multiple
+/// frames).
+inline constexpr size_t kMaxIngestBatchTrajectories = 4096;
+/// Per-trajectory shape caps, mirroring what the generator/snapshot paths
+/// produce; anything larger is almost certainly a corrupt or hostile frame.
+inline constexpr size_t kMaxIngestSamplesPerTrajectory = 65536;
+inline constexpr size_t kMaxIngestKeywordsPerTrajectory = 4096;
+
+/// \brief A decoded ingest request: a batch of new trajectories.
+///
+/// Wire form (type distinguishes it from a query on the same connection):
+///   {"id": 9, "type": "ingest", "request_id": "cli-7",
+///    "trajectories": [
+///      {"samples": [[12, 3600], [13, 3660]], "keywords": [3, 15]}, ...]}
+/// Samples are [vertex, time_of_day_seconds] pairs, nondecreasing in time;
+/// keywords are term ids (deduplicated/sorted server-side).
+struct IngestRequest {
+  int64_t id = 0;
+  std::string request_id;
+  std::vector<Trajectory> trajectories;
+};
+
+std::string EncodeIngestRequest(const IngestRequest& req);
+Result<IngestRequest> ParseIngestRequest(const JsonValue& o);
+Result<IngestRequest> ParseIngestRequest(std::string_view json);
+
+/// \brief The ingest reply.
+///
+///   {"id": 9, "request_id": "cli-7", "status": "ok", "accepted": 128,
+///    "first_traj": 250128, "generation": 3, "delta_trajectories": 384}
+/// Batches are atomic: on any non-ok status, accepted == 0 and nothing was
+/// ingested ("error" names the first offending trajectory).
+struct IngestResponse {
+  int64_t id = 0;
+  std::string request_id;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;
+  int64_t accepted = 0;
+  /// Global TrajId of the first trajectory in the batch (contiguous ids
+  /// follow); -1 on failure.
+  int64_t first_traj = -1;
+  /// Delta generation now serving (bumped by this batch).
+  int64_t generation = 0;
+  /// Total uncompacted delta trips after this batch.
+  int64_t delta_trajectories = 0;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+  bool retryable() const { return IsRetryable(status); }
+};
+
+std::string EncodeIngestResponse(const IngestResponse& resp);
+Result<IngestResponse> ParseIngestResponse(std::string_view json);
 
 /// \brief A decoded (or to-be-encoded) query response.
 struct QueryResponse {

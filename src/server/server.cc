@@ -12,8 +12,13 @@
 #include <cstdio>
 #include <cstring>
 #include <utility>
+#include <vector>
 
+#include "cache/distance_field_cache.h"
+#include "storage/resolver.h"
+#include "storage/snapshot_writer.h"
 #include "util/metrics.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace uots {
@@ -59,12 +64,14 @@ std::string SummarizeQuery(const UotsQuery& q, AlgorithmKind kind) {
 
 }  // namespace
 
-UotsServer::UotsServer(const TrajectoryDatabase& db, const ServerOptions& opts)
-    : db_(db), opts_(opts) {
+UotsServer::UotsServer(std::shared_ptr<const TrajectoryDatabase> db,
+                       const ServerOptions& opts)
+    : db_(std::move(db)), opts_(opts), ingestor_(db_.get()) {
   service_ = std::make_unique<UotsService>(db_, opts_.service);
 }
 
 UotsServer::~UotsServer() {
+  if (compact_thread_.joinable()) compact_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -121,13 +128,43 @@ Status UotsServer::Start() {
     metrics_timer_ = loop_.AddTimerAfterMs(opts_.metrics_publish_interval_ms,
                                            [this] { RequeueMetricsTimer(); });
   }
+  if (!opts_.compact_snapshot_path.empty() && opts_.compact_interval_ms > 0.0) {
+    compact_timer_ = loop_.AddTimerAfterMs(opts_.compact_interval_ms, [this] {
+      RequeueCompactionTimer();
+    });
+  }
   return Status::OK();
+}
+
+void UotsServer::RequeueCompactionTimer() {
+  compact_timer_ = TimerHeap::kInvalidTimer;
+  if (draining_ || stop_requested_) return;
+  if (ingestor_.delta_trajectories() > 0 && !compacting_) {
+    (void)TriggerCompaction();  // failure leaves the delta for the next tick
+  }
+  compact_timer_ = loop_.AddTimerAfterMs(opts_.compact_interval_ms, [this] {
+    RequeueCompactionTimer();
+  });
 }
 
 void UotsServer::RequeueMetricsTimer() {
   service_->PublishCacheMetrics();
+  PublishIngestMetrics();
   metrics_timer_ = loop_.AddTimerAfterMs(opts_.metrics_publish_interval_ms,
                                          [this] { RequeueMetricsTimer(); });
+}
+
+void UotsServer::PublishIngestMetrics() const {
+  auto& reg = MetricsRegistry::Global();
+  reg.SetCounter("server.ingest.accepted", ingestor_.accepted_total());
+  reg.SetCounter("server.ingest.rejected", ingestor_.rejected_total());
+  reg.SetCounter("server.ingest.batches", ingestor_.batches_total());
+  reg.SetCounter("server.ingest.delta_trajectories",
+                 static_cast<int64_t>(ingestor_.delta_trajectories()));
+  reg.SetCounter("server.ingest.delta_bytes",
+                 static_cast<int64_t>(ingestor_.delta_bytes()));
+  reg.SetCounter("server.ingest.generation",
+                 static_cast<int64_t>(ingestor_.generation()));
 }
 
 void UotsServer::Run() { loop_.Run(); }
@@ -268,10 +305,120 @@ void UotsServer::OnConnEvent(uint64_t conn_id, uint32_t events) {
 }
 
 void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
-  Result<QueryRequest> parsed = [&payload] {
+  // Parse the JSON once, then dispatch on the optional "type" field: one
+  // connection freely interleaves queries and ingest batches.
+  Result<JsonValue> doc = [&payload] {
     UOTS_TRACE_SCOPE("server_parse");
-    return ParseQueryRequest(payload);
+    return ParseJson(payload);
   }();
+  if (!doc.ok() || !doc->is_object()) {
+    ++counters_.parse_errors;
+    ++conn->stats().protocol_errors;
+    SendError(conn, 0, GenerateRequestId(conn->id()),
+              ResponseStatus::kParseError,
+              doc.ok() ? "request must be an object"
+                       : doc.status().message());
+    return;
+  }
+  switch (RequestTypeOf(*doc)) {
+    case RequestType::kIngest:
+      HandleIngest(conn, *doc);
+      return;
+    case RequestType::kUnknown: {
+      ++counters_.parse_errors;
+      ++conn->stats().protocol_errors;
+      const JsonValue* type = doc->Find("type");
+      SendError(conn, 0, GenerateRequestId(conn->id()),
+                ResponseStatus::kParseError,
+                "unknown request type: " +
+                    (type != nullptr && type->is_string()
+                         ? type->string_value()
+                         : std::string("(not a string)")));
+      return;
+    }
+    case RequestType::kQuery:
+      break;
+  }
+  HandleQuery(conn, *doc);
+}
+
+void UotsServer::HandleIngest(Connection* conn, const JsonValue& doc) {
+  ++counters_.ingest_requests;
+  Result<IngestRequest> parsed = ParseIngestRequest(doc);
+  if (!parsed.ok()) {
+    ++counters_.parse_errors;
+    ++counters_.ingest_rejected_batches;
+    ++conn->stats().protocol_errors;
+    SendError(conn, 0, GenerateRequestId(conn->id()),
+              ResponseStatus::kParseError, parsed.status().message());
+    return;
+  }
+  IngestRequest req = std::move(*parsed);
+  if (req.request_id.empty()) {
+    req.request_id = GenerateRequestId(conn->id());
+  }
+  IngestResponse resp;
+  resp.id = req.id;
+  resp.request_id = req.request_id;
+  if (draining_) {
+    ++counters_.rejected_shutting_down;
+    ++counters_.ingest_rejected_batches;
+    resp.status = ResponseStatus::kShuttingDown;
+    resp.error = "server is shutting down";
+    SendIngestResponse(conn, resp);
+    return;
+  }
+
+  // Applied inline on the reactor: the Ingestor is single-writer by
+  // design, and a batch apply (validate + delta rebuild) is bounded by the
+  // batch/delta caps — comparable to the parse that preceded it.
+  const int64_t apply_start_ns = EventLoop::NowNs();
+  Result<Ingestor::ApplyResult> applied =
+      ingestor_.Apply(std::move(req.trajectories));
+  if (!applied.ok()) {
+    ++counters_.ingest_rejected_batches;
+    resp.status = FromStatus(applied.status());
+    resp.error = applied.status().message();
+    SendIngestResponse(conn, resp);
+    return;
+  }
+  counters_.ingest_accepted_trips += static_cast<int64_t>(applied->accepted);
+  // Every cached answer predates this batch. The live-fingerprint key salt
+  // already makes them unreachable; dropping them reclaims the memory now
+  // instead of waiting for LRU churn to wash the dead keys out.
+  if (service_->result_cache() != nullptr) {
+    service_->result_cache()->InvalidateGeneration();
+  }
+  // (The tier-2 expansion cache survives: ingest adds trajectories, never
+  // network vertices, so recorded settle sequences stay exact.)
+  resp.status = ResponseStatus::kOk;
+  resp.accepted = static_cast<int64_t>(applied->accepted);
+  resp.first_traj = static_cast<int64_t>(applied->first_id);
+  resp.generation = static_cast<int64_t>(applied->generation);
+  resp.delta_trajectories =
+      static_cast<int64_t>(ingestor_.delta_trajectories());
+  SendIngestResponse(conn, resp);
+  MetricsRegistry::Global().Record("server.ingest.apply",
+                                   EventLoop::NowNs() - apply_start_ns);
+}
+
+void UotsServer::SendIngestResponse(Connection* conn,
+                                    const IngestResponse& resp) {
+  std::string body;
+  {
+    UOTS_TRACE_SCOPE("server_serialize");
+    body = EncodeIngestResponse(resp);
+  }
+  conn->QueueFrame(body);
+  if (conn->Flush() == Connection::IoResult::kClosed) {
+    CloseConnection(conn->id());
+    return;
+  }
+  UpdateWriteInterest(conn);
+}
+
+void UotsServer::HandleQuery(Connection* conn, const JsonValue& doc) {
+  Result<QueryRequest> parsed = ParseQueryRequest(doc);
   if (!parsed.ok()) {
     ++counters_.parse_errors;
     ++conn->stats().protocol_errors;
@@ -391,6 +538,127 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
           OnDeadline(ctx);
         });
   }
+}
+
+Status UotsServer::TriggerCompaction() {
+  if (opts_.compact_snapshot_path.empty()) {
+    return Status::InvalidArgument("no compaction snapshot path configured");
+  }
+  if (compacting_) {
+    return Status::Unavailable("compaction already in progress");
+  }
+  if (draining_) {
+    return Status::Unavailable("server is draining");
+  }
+  if (ingestor_.delta_trajectories() == 0) {
+    return Status::InvalidArgument("delta is empty; nothing to compact");
+  }
+  // The previous worker (if any) already posted its outcome and was joined
+  // in FinishCompaction; joinable here only after a failed outcome path.
+  if (compact_thread_.joinable()) compact_thread_.join();
+  compacting_ = true;
+  // Seal point: trips applied after this copy stay in the delta and ride
+  // into the next compaction (Rebase keeps their global ids stable).
+  std::vector<Trajectory> sealed = ingestor_.pending();
+  compact_thread_ = std::thread(
+      [this, base = db_, trips = std::move(sealed)]() mutable {
+        RunCompaction(std::move(base), std::move(trips));
+      });
+  return Status::OK();
+}
+
+void UotsServer::RunCompaction(std::shared_ptr<const TrajectoryDatabase> base,
+                               std::vector<Trajectory> sealed_trips) {
+  CompactionOutcome out = BuildCompactedSnapshot(
+      *base, sealed_trips, opts_.compact_snapshot_path);
+  out.sealed = sealed_trips.size();
+  loop_.Post([this, out = std::move(out)]() mutable {
+    FinishCompaction(std::move(out));
+  });
+}
+
+UotsServer::CompactionOutcome UotsServer::BuildCompactedSnapshot(
+    const TrajectoryDatabase& base, const std::vector<Trajectory>& trips,
+    const std::string& path) {
+  WallTimer timer;
+  CompactionOutcome out;
+  out.status = [&]() -> Status {
+    // Merge: materialize the base rows, append the sealed delta, and
+    // rebuild every index from scratch — the same construction a cold
+    // restart over the combined data would run, which is exactly why the
+    // swapped-in result answers bit-identically to what the merged view
+    // was already serving.
+    TrajectoryStore merged;
+    const size_t base_count = base.store().size();
+    for (size_t id = 0; id < base_count; ++id) {
+      auto added = merged.Add(base.store().Materialize(static_cast<TrajId>(id)));
+      if (!added.ok()) return added.status();
+    }
+    for (const Trajectory& t : trips) {
+      auto added = merged.Add(t);
+      if (!added.ok()) return added.status();
+    }
+    SimilarityOptions sim;
+    sim.sigma_m = base.model().sigma_m();
+    sim.sigma_s = base.model().sigma_s();
+    sim.measure = base.model().textual().measure();
+    TrajectoryDatabase merged_db(base.network(), std::move(merged),
+                                 base.vocabulary(), sim);
+    // The oracle is a function of the network alone, which compaction
+    // never changes — carry the base's through so the new snapshot bakes
+    // it in and oracle-driven pruning survives the swap.
+    merged_db.AttachOracle(base.oracle_ptr());
+
+    storage::WriteOptions wopts;
+    wopts.tool = "uots_compact";
+    UOTS_RETURN_NOT_OK(storage::WriteSnapshot(merged_db, path, wopts));
+
+    // Validated reload: the database that goes live is the one read back
+    // from disk (checksums verified), not the in-memory merge — what the
+    // file serves after a restart is what this process serves now.
+    storage::ResolveOptions ropts;
+    ropts.similarity = sim;
+    auto loaded = storage::LoadDatabaseFromPath(path, ropts);
+    if (!loaded.ok()) return loaded.status();
+    out.db = std::shared_ptr<const TrajectoryDatabase>(std::move(loaded->db));
+    return Status::OK();
+  }();
+  out.build_ms = timer.ElapsedMillis();
+  return out;
+}
+
+void UotsServer::FinishCompaction(CompactionOutcome outcome) {
+  if (compact_thread_.joinable()) compact_thread_.join();
+  compacting_ = false;
+  auto& reg = MetricsRegistry::Global();
+  if (!outcome.status.ok()) {
+    reg.AddCounter("server.ingest.compact_failures", 1);
+    std::fprintf(stderr, "compaction failed: %s\n",
+                 outcome.status.ToString().c_str());
+    MaybeFinishShutdown();  // a drain may have been waiting on us
+    return;
+  }
+  // Swap order matters: re-point the server and service first (new
+  // admissions pin the new base), then rebase the ingestor so survivors
+  // keep their global ids on top of the grown base, then orphan both
+  // cache tiers — the result cache because its salted keys should be
+  // reclaimed, the expansion cache because its prefixes now describe a
+  // retired mapping.
+  db_ = std::move(outcome.db);
+  service_->SwapDatabase(db_);
+  ingestor_.Rebase(db_.get(), outcome.sealed);
+  if (service_->result_cache() != nullptr) {
+    service_->result_cache()->InvalidateGeneration();
+  }
+  if (opts_.service.uots.distance_cache != nullptr) {
+    opts_.service.uots.distance_cache->InvalidateGeneration();
+  }
+  ++counters_.compactions;
+  last_compaction_ms_ = outcome.build_ms;
+  reg.AddCounter("server.ingest.compactions", 1);
+  reg.Record("server.ingest.compact_build",
+             static_cast<int64_t>(outcome.build_ms * 1e6));
+  MaybeFinishShutdown();
 }
 
 void UotsServer::OnDeadline(const std::shared_ptr<RequestCtx>& ctx) {
@@ -574,6 +842,9 @@ void UotsServer::BeginShutdown() {
 void UotsServer::MaybeFinishShutdown() {
   if (!draining_ || stop_requested_) return;
   if (loop_inflight_ > 0) return;
+  // An in-flight compaction finishes in bounded time and posts back;
+  // FinishCompaction re-checks. (The drain fuse force-stops regardless.)
+  if (compacting_) return;
   // All admitted work is done; wait only for unflushed bytes.
   for (auto& [id, conn] : conns_) {
     if (conn->want_write()) return;
@@ -587,8 +858,36 @@ void UotsServer::MaybeFinishShutdown() {
 
 void UotsServer::FinishShutdown() {
   stop_requested_ = true;
+  // A force-stop (drain fuse) can land mid-compaction: wait it out so the
+  // worker never outlives the loop it posts to. Its posted completion
+  // simply never runs once the loop stops.
+  if (compact_thread_.joinable()) compact_thread_.join();
+  compacting_ = false;
+  if (compact_timer_ != TimerHeap::kInvalidTimer) {
+    loop_.CancelTimer(compact_timer_);
+    compact_timer_ = TimerHeap::kInvalidTimer;
+  }
+  // Durability fold: trips still in the delta exist only in this process.
+  // With a compaction path configured, write base + full delta out now so
+  // a restart from that snapshot serves everything that was ever acked.
+  if (!opts_.compact_snapshot_path.empty() &&
+      ingestor_.delta_trajectories() > 0) {
+    CompactionOutcome out = BuildCompactedSnapshot(
+        *db_, ingestor_.pending(), opts_.compact_snapshot_path);
+    if (out.status.ok()) {
+      ++counters_.compactions;
+      last_compaction_ms_ = out.build_ms;
+      MetricsRegistry::Global().AddCounter("server.ingest.compactions", 1);
+    } else {
+      MetricsRegistry::Global().AddCounter("server.ingest.compact_failures",
+                                           1);
+      std::fprintf(stderr, "shutdown compaction failed: %s\n",
+                   out.status.ToString().c_str());
+    }
+  }
   // Export the final counter values, tear the admin plane's fds out of the
   // loop while the loop still exists, and stop.
+  PublishIngestMetrics();
   service_->PublishCacheMetrics();
   if (metrics_timer_ != TimerHeap::kInvalidTimer) {
     loop_.CancelTimer(metrics_timer_);

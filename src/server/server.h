@@ -34,8 +34,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/database.h"
+#include "ingest/ingestor.h"
 #include "server/admin.h"
 #include "server/connection.h"
 #include "server/event_loop.h"
@@ -66,6 +68,15 @@ struct ServerOptions {
   /// Human-readable dataset provenance shown in /statusz (snapshot path,
   /// city file, "synthetic", ...).
   std::string dataset_source;
+  /// Destination for delta compaction: base + delta are merged, written
+  /// here as a v1 snapshot (atomic tmp+fsync+rename), validated by a full
+  /// reload, and swapped in live. Empty disables compaction (POST /compact
+  /// answers 409 and the drain skips the final fold).
+  std::string compact_snapshot_path;
+  /// Period of the automatic compaction timer; fires only when the delta
+  /// is non-empty. 0 disables the timer (POST /compact still works when a
+  /// snapshot path is configured).
+  double compact_interval_ms = 0.0;
 };
 
 /// \brief Reactor-facing counters, readable after Run() returns (or from
@@ -83,12 +94,27 @@ struct ServerCounters {
   int64_t parse_errors = 0;  ///< malformed JSON or invalid fields
   int64_t oversized_frames = 0;
   int64_t errors_internal = 0;
+  int64_t ingest_requests = 0;          ///< parsed frames that named an ingest
+  int64_t ingest_accepted_trips = 0;    ///< trajectories ingested
+  int64_t ingest_rejected_batches = 0;  ///< batches refused (atomic: 0 trips)
+  int64_t compactions = 0;              ///< delta folds swapped in live
 };
 
 /// \brief TCP front-end over a TrajectoryDatabase.
 class UotsServer {
  public:
-  UotsServer(const TrajectoryDatabase& db, const ServerOptions& opts);
+  /// Owning form: the server shares the database's lifetime, which live
+  /// compaction requires — SwapDatabase retires the old base only after
+  /// the last in-flight request drops its pinned reference.
+  UotsServer(std::shared_ptr<const TrajectoryDatabase> db,
+             const ServerOptions& opts);
+  /// Non-owning convenience for embedders/tests whose database outlives
+  /// the server. Ingest works; compaction swaps merely re-point the
+  /// server (the caller's object is never freed).
+  UotsServer(const TrajectoryDatabase& db, const ServerOptions& opts)
+      : UotsServer(std::shared_ptr<const TrajectoryDatabase>(
+                       std::shared_ptr<const void>(), &db),
+                   opts) {}
   ~UotsServer();
 
   UotsServer(const UotsServer&) = delete;
@@ -118,7 +144,23 @@ class UotsServer {
   bool draining() const { return draining_; }
   EventLoop& loop() { return loop_; }
   UotsService& service() { return *service_; }
-  const TrajectoryDatabase& db() const { return db_; }
+  /// The currently-serving database (loop thread; compaction may swap it).
+  const TrajectoryDatabase& db() const { return *db_; }
+  /// Ingest-side state (loop thread): delta size, generation, tallies.
+  const Ingestor& ingestor() const { return ingestor_; }
+  /// \brief Folds the delta into a fresh base snapshot, off-thread.
+  ///
+  /// Loop thread only (the admin plane and the compaction timer call it
+  /// there). Seals the current pending set, merges base + delta on a
+  /// background thread, writes options().compact_snapshot_path atomically,
+  /// validates it with a full reload, and posts the swap back to the loop.
+  /// Fails fast when no snapshot path is configured, a compaction is
+  /// already running, the server is draining, or the delta is empty.
+  Status TriggerCompaction();
+  /// True while a background compaction is in flight (loop thread).
+  bool compacting() const { return compacting_; }
+  /// Wall duration of the last completed compaction; -1 before the first.
+  double last_compaction_ms() const { return last_compaction_ms_; }
   const ServerOptions& options() const { return opts_; }
   /// The admin plane, or null when disabled.
   AdminPlane* admin() { return admin_.get(); }
@@ -144,9 +186,37 @@ class UotsServer {
     TimerHeap::TimerId deadline_timer = TimerHeap::kInvalidTimer;
   };
 
+  /// Outcome of the background merge, posted back to the loop thread.
+  struct CompactionOutcome {
+    Status status;
+    std::shared_ptr<const TrajectoryDatabase> db;  ///< validated reload
+    size_t sealed = 0;      ///< pending trips folded into the new base
+    double build_ms = 0.0;  ///< merge + write + validate wall time
+  };
+
   void OnAcceptReady();
   void OnConnEvent(uint64_t conn_id, uint32_t events);
   void HandleFrame(Connection* conn, std::string_view payload);
+  void HandleQuery(Connection* conn, const JsonValue& doc);
+  void HandleIngest(Connection* conn, const JsonValue& doc);
+  void SendIngestResponse(Connection* conn, const IngestResponse& resp);
+  /// Background-thread body of one compaction (never touches loop state).
+  void RunCompaction(std::shared_ptr<const TrajectoryDatabase> base,
+                     std::vector<Trajectory> sealed_trips);
+  /// Merge base + `trips`, write `path` atomically, reload + validate.
+  /// Pure with respect to server state (also run synchronously at shutdown
+  /// to fold an unflushed delta before exit).
+  static CompactionOutcome BuildCompactedSnapshot(
+      const TrajectoryDatabase& base, const std::vector<Trajectory>& trips,
+      const std::string& path);
+  /// Loop-thread completion: swap the validated reload in (or record the
+  /// failure) and release the single-compaction latch.
+  void FinishCompaction(CompactionOutcome outcome);
+  void RequeueCompactionTimer();
+  /// Copies ingest-side tallies into MetricsRegistry::Global() under
+  /// server.ingest.* (loop thread; the admin plane triggers it per scrape
+  /// via the metrics timer's published values).
+  void PublishIngestMetrics() const;
   void OnDeadline(const std::shared_ptr<RequestCtx>& ctx);
   void OnComplete(const std::shared_ptr<RequestCtx>& ctx, ExecutionResult r);
 
@@ -170,10 +240,19 @@ class UotsServer {
                      double execute_ms, const QueryStats* stats,
                      std::vector<TraceEvent> spans);
 
-  const TrajectoryDatabase& db_;
+  std::shared_ptr<const TrajectoryDatabase> db_;
   ServerOptions opts_;
   EventLoop loop_;
   std::unique_ptr<UotsService> service_;
+  Ingestor ingestor_;
+
+  /// Single-compaction latch plus the worker doing the merge. The thread
+  /// is joined in FinishCompaction (it has already posted its result by
+  /// then) or, if a drain interrupts it, in FinishShutdown.
+  bool compacting_ = false;
+  std::thread compact_thread_;
+  double last_compaction_ms_ = -1.0;
+  TimerHeap::TimerId compact_timer_ = TimerHeap::kInvalidTimer;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -10,9 +10,9 @@
 
 namespace uots {
 
-UotsService::UotsService(const TrajectoryDatabase& db,
+UotsService::UotsService(std::shared_ptr<const TrajectoryDatabase> db,
                          const ServiceOptions& opts)
-    : db_(db), opts_(opts) {
+    : db_(std::move(db)), opts_(opts) {
   int threads = opts_.threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -29,7 +29,6 @@ UotsService::UotsService(const TrajectoryDatabase& db,
     copts.ttl_ms = opts_.cache_ttl_ms;
     copts.shards = opts_.cache_shards;
     result_cache_ = std::make_unique<ResultCache>(copts);
-    cache_salt_ = db_.fingerprint();
   }
 }
 
@@ -49,12 +48,31 @@ void UotsService::Drain() {
   });
 }
 
+UotsService::DbSnapshot UotsService::SnapshotDb() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return DbSnapshot{db_, db_version_.load(std::memory_order_relaxed)};
+}
+
+void UotsService::SwapDatabase(std::shared_ptr<const TrajectoryDatabase> db) {
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    db_ = std::move(db);
+    db_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Idle engines hold raw pointers into the retired base; flush them.
+  // Executing engines are safe — their admission snapshot pins the old
+  // database until release, where the version tag discards them.
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  free_engines_.clear();
+}
+
 std::unique_ptr<SearchAlgorithm> UotsService::AcquireEngine(
-    AlgorithmKind kind) {
+    AlgorithmKind kind, const DbSnapshot& snap) {
   {
     std::lock_guard<std::mutex> lock(engines_mu_);
     for (size_t i = 0; i < free_engines_.size(); ++i) {
-      if (free_engines_[i].kind == kind) {
+      if (free_engines_[i].kind == kind &&
+          free_engines_[i].db_version == snap.version) {
         auto engine = std::move(free_engines_[i].engine);
         free_engines_.erase(free_engines_.begin() +
                             static_cast<ptrdiff_t>(i));
@@ -62,13 +80,19 @@ std::unique_ptr<SearchAlgorithm> UotsService::AcquireEngine(
       }
     }
   }
-  return CreateAlgorithm(db_, kind, opts_.uots);
+  return CreateAlgorithm(*snap.db, kind, opts_.uots);
 }
 
-void UotsService::ReleaseEngine(AlgorithmKind kind,
+void UotsService::ReleaseEngine(AlgorithmKind kind, uint64_t db_version,
                                 std::unique_ptr<SearchAlgorithm> engine) {
   engine->set_cancel(nullptr);  // never let a dead request's token linger
   std::lock_guard<std::mutex> lock(engines_mu_);
+  // A swap may have happened while this engine executed; it references the
+  // retired database, so it must not rejoin the pool. (Checked under
+  // engines_mu_: SwapDatabase bumps the version before clearing the pool,
+  // so a push racing the clear either sees the new version and drops, or
+  // lands before the clear and is flushed by it.)
+  if (db_version != db_version_.load(std::memory_order_acquire)) return;
   // Cap the pool at one idle engine per worker and per kind: at most
   // `threads` requests of a kind run concurrently, so extras could only
   // accumulate (e.g. after a burst that mixed algorithms) and pin scratch
@@ -78,7 +102,7 @@ void UotsService::ReleaseEngine(AlgorithmKind kind,
     if (p.kind == kind) ++same_kind;
   }
   if (same_kind >= static_cast<size_t>(opts_.threads)) return;
-  free_engines_.push_back(PooledEngine{kind, std::move(engine)});
+  free_engines_.push_back(PooledEngine{kind, db_version, std::move(engine)});
 }
 
 size_t UotsService::pooled_engines(AlgorithmKind kind) const {
@@ -102,7 +126,13 @@ std::shared_ptr<const CachedResult> UotsService::CacheLookup(
     return nullptr;
   }
   WallTimer timer;
-  *key_out = EncodeResultCacheKey(query, kind, opts_.uots, cache_salt_);
+  // Salt with the *live* fingerprint (base identity mixed with the delta
+  // generation): every applied ingest batch moves the salt, so a key
+  // minted before an ingest can never hit an entry stored after it, nor
+  // vice versa. This replaces the construction-time salt that kept
+  // serving pre-ingest answers after the dataset changed.
+  const uint64_t salt = db()->live_fingerprint();
+  *key_out = EncodeResultCacheKey(query, kind, opts_.uots, salt);
   auto hit = result_cache_->Lookup(*key_out);
   MetricsRegistry::Global().Record(
       "server.cache.lookup", static_cast<int64_t>(timer.ElapsedMillis() * 1e6));
@@ -136,9 +166,12 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
     return false;
   }
   const int64_t admitted_ns = CancelToken::NowNs();
+  // Pin the database build this request will run against: a compaction
+  // swap mid-flight retires the old base only once this snapshot drops.
+  DbSnapshot snap = SnapshotDb();
   auto task = [this, query, kind, cancel, done = std::move(done),
                cache_key = std::move(cache_key), admitted_ns,
-               exec_opts]() mutable {
+               snap = std::move(snap), exec_opts]() mutable {
     ExecutionResult out;
     out.queue_wait_ms =
         static_cast<double>(CancelToken::NowNs() - admitted_ns) / 1e6;
@@ -152,10 +185,10 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
         // Deadline passed while queued: skip the engine entirely.
         out.status = Status::DeadlineExceeded("deadline exceeded in queue");
       } else {
-        auto engine = AcquireEngine(kind);
+        auto engine = AcquireEngine(kind, snap);
         engine->set_cancel(cancel);
         Result<SearchResult> r = engine->Search(query);
-        ReleaseEngine(kind, std::move(engine));
+        ReleaseEngine(kind, snap.version, std::move(engine));
         if (r.ok()) {
           out.result = std::move(*r);
           oracle_lookups_total_.fetch_add(out.result.stats.oracle_lookups,

@@ -77,7 +77,18 @@ struct ExecutionResult {
 /// workers (wrap them with EventLoop::Post to get back to a reactor).
 class UotsService {
  public:
-  UotsService(const TrajectoryDatabase& db, const ServiceOptions& opts);
+  /// Owning form: the service shares the database's lifetime, which is
+  /// what live compaction needs (SwapDatabase retires the old base only
+  /// after the last in-flight request drops its reference).
+  UotsService(std::shared_ptr<const TrajectoryDatabase> db,
+              const ServiceOptions& opts);
+  /// Non-owning convenience for embedders/tests whose database outlives
+  /// the service. Such a service still serves ingests, but SwapDatabase
+  /// must not retire the caller's object (it only re-points the service).
+  UotsService(const TrajectoryDatabase& db, const ServiceOptions& opts)
+      : UotsService(std::shared_ptr<const TrajectoryDatabase>(
+                        std::shared_ptr<const void>(), &db),
+                    opts) {}
   ~UotsService();
 
   UotsService(const UotsService&) = delete;
@@ -135,6 +146,26 @@ class UotsService {
   const ServiceOptions& options() const { return opts_; }
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// Current database (pin for the duration of one use).
+  std::shared_ptr<const TrajectoryDatabase> db() const {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    return db_;
+  }
+
+  /// \brief Points the service at a compacted replacement database.
+  ///
+  /// Safe while requests are executing: in-flight work pins the old
+  /// database via the snapshot it took at admission; the idle engine pool
+  /// (whose engines hold raw pointers into the old base) is flushed, and
+  /// engines released later are discarded by version tag. Call
+  /// ResultCache-side invalidation separately (the compactor does).
+  void SwapDatabase(std::shared_ptr<const TrajectoryDatabase> db);
+
+  /// Monotonic count of SwapDatabase calls (engine-pool version tag).
+  uint64_t db_version() const {
+    return db_version_.load(std::memory_order_acquire);
+  }
+
   /// Idle pooled engines of `kind` (bounded by the worker count).
   size_t pooled_engines(AlgorithmKind kind) const;
   /// Idle pooled engines across all kinds.
@@ -142,22 +173,33 @@ class UotsService {
 
  private:
   /// A pooled engine; created lazily, one per concurrently-running request
-  /// of its kind (bounded by the worker count).
+  /// of its kind (bounded by the worker count). Engines hold raw pointers
+  /// into one database build, so every entry is tagged with the
+  /// SwapDatabase version it was built against and dies with it.
   struct PooledEngine {
     AlgorithmKind kind;
+    uint64_t db_version;
     std::unique_ptr<SearchAlgorithm> engine;
   };
 
-  std::unique_ptr<SearchAlgorithm> AcquireEngine(AlgorithmKind kind);
-  void ReleaseEngine(AlgorithmKind kind,
+  /// One admission's pinned view of the database.
+  struct DbSnapshot {
+    std::shared_ptr<const TrajectoryDatabase> db;
+    uint64_t version;
+  };
+  DbSnapshot SnapshotDb() const;
+
+  std::unique_ptr<SearchAlgorithm> AcquireEngine(AlgorithmKind kind,
+                                                 const DbSnapshot& snap);
+  void ReleaseEngine(AlgorithmKind kind, uint64_t db_version,
                      std::unique_ptr<SearchAlgorithm> engine);
 
-  const TrajectoryDatabase& db_;
+  mutable std::mutex db_mu_;
+  std::shared_ptr<const TrajectoryDatabase> db_;
+  std::atomic<uint64_t> db_version_{0};
   ServiceOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ResultCache> result_cache_;
-  /// Dataset identity folded into every cache key (see db.fingerprint()).
-  uint64_t cache_salt_ = 0;
 
   mutable std::mutex engines_mu_;
   std::vector<PooledEngine> free_engines_;

@@ -60,36 +60,46 @@ std::span<const DocId> InvertedKeywordIndex::Postings(TermId t) const {
 void InvertedKeywordIndex::ScoreCandidates(
     const KeywordSet& query, const TextualSimilarity& sim,
     std::vector<ScoredDoc>* out, int64_t* posting_entries,
-    const std::function<KeywordSet(DocId)>& doc_keys) const {
+    const std::function<KeywordSet(DocId)>& doc_keys,
+    TextScoringScratch* scratch) const {
   assert(finalized_);
   out->clear();
   if (query.empty()) return;
 
-  if (count_.size() != doc_sizes_.size()) {
-    count_.assign(doc_sizes_.size(), 0);
-    count_version_.assign(doc_sizes_.size(), 0);
-    version_ = 0;
+  // The index is shared across threads, so the counters must not live in
+  // it (they used to, as mutable members — concurrent queries silently
+  // corrupted each other's overlap counts). A caller without a reusable
+  // scratch pays a fresh zero-filled one per call.
+  TextScoringScratch local;
+  if (scratch == nullptr) scratch = &local;
+  if (scratch->count.size() != doc_sizes_.size()) {
+    scratch->count.assign(doc_sizes_.size(), 0);
+    scratch->count_version.assign(doc_sizes_.size(), 0);
+    scratch->version = 0;
   }
-  ++version_;
+  ++scratch->version;
+  const uint32_t version = scratch->version;
+  uint32_t* const count = scratch->count.data();
+  uint32_t* const count_version = scratch->count_version.data();
 
   // Merge posting lists, counting per-document term overlap.
   std::vector<DocId> touched;
   for (TermId t : query.terms()) {
     for (DocId d : Postings(t)) {
       if (posting_entries != nullptr) ++*posting_entries;
-      if (count_version_[d] != version_) {
-        count_version_[d] = version_;
-        count_[d] = 0;
+      if (count_version[d] != version) {
+        count_version[d] = version;
+        count[d] = 0;
         touched.push_back(d);
       }
-      ++count_[d];
+      ++count[d];
     }
   }
 
   out->reserve(touched.size());
   const double qsize = static_cast<double>(query.size());
   for (DocId d : touched) {
-    const double inter = count_[d];
+    const double inter = count[d];
     const double dsize = doc_sizes_[d];
     double score = 0.0;
     switch (sim.measure()) {
@@ -129,8 +139,6 @@ MemoryBreakdown InvertedKeywordIndex::Memory() const {
   m += offsets_.Memory();
   m += postings_.Memory();
   m += doc_sizes_.Memory();
-  m.heap_bytes += count_.capacity() * sizeof(uint32_t) +
-                  count_version_.capacity() * sizeof(uint32_t);
   for (const auto& p : building_) m.heap_bytes += p.capacity() * sizeof(DocId);
   return m;
 }

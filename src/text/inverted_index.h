@@ -37,6 +37,20 @@ struct ScoredDoc {
   double score;
 };
 
+/// \brief Caller-owned scratch for ScoreCandidates.
+///
+/// Per-doc intersection counters with O(1) reset (version tags), sized
+/// lazily to the index's document count. The scratch must be owned by the
+/// caller — one per engine/thread — because the index itself is shared
+/// across concurrently-executing queries: scratch stored inside the index
+/// (the original design) made two simultaneous ScoreCandidates calls
+/// corrupt each other's overlap counts and return wrong similarities.
+struct TextScoringScratch {
+  std::vector<uint32_t> count;
+  std::vector<uint32_t> count_version;
+  uint32_t version = 0;
+};
+
 /// \brief Immutable-after-Finalize keyword inverted index.
 class InvertedKeywordIndex {
  public:
@@ -60,11 +74,15 @@ class InvertedKeywordIndex {
   /// Results are unsorted. For TextualMeasure::kWeighted a `doc_keys`
   /// accessor must be supplied (weighted overlap needs the full sets); for
   /// the counting measures it is ignored. `posting_entries`, if non-null,
-  /// is incremented by the number of posting entries scanned.
+  /// is incremented by the number of posting entries scanned. `scratch`,
+  /// if non-null, must not be shared between concurrent calls (keep one
+  /// per engine); when null a call-local scratch is allocated, which is
+  /// always safe but pays an O(num_documents) zero-fill per call.
   void ScoreCandidates(
       const KeywordSet& query, const TextualSimilarity& sim,
       std::vector<ScoredDoc>* out, int64_t* posting_entries = nullptr,
-      const std::function<KeywordSet(DocId)>& doc_keys = nullptr) const;
+      const std::function<KeywordSet(DocId)>& doc_keys = nullptr,
+      TextScoringScratch* scratch = nullptr) const;
 
   /// Document frequency per term (posting-list lengths), for idf weighting.
   std::vector<int64_t> DocumentFrequencies() const;
@@ -89,11 +107,6 @@ class InvertedKeywordIndex {
   ColumnVec<uint64_t> offsets_;  ///< num_terms + 1 (empty before Finalize)
   ColumnVec<DocId> postings_;    ///< ascending within each term slice
   ColumnVec<uint32_t> doc_sizes_;  ///< |keys| per doc id
-  // Scratch for ScoreCandidates: per-doc intersection counters with O(1)
-  // reset (version tags), sized lazily to num_documents().
-  mutable std::vector<uint32_t> count_;
-  mutable std::vector<uint32_t> count_version_;
-  mutable uint32_t version_ = 0;
 };
 
 }  // namespace uots

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 
 #include "util/rng.h"
 
@@ -133,6 +135,65 @@ TEST(InvertedIndex, DocWithNoKeywordsNeverReturned) {
   index.ScoreCandidates(KeywordSet({4}), TextualSimilarity(), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].doc, 1u);
+}
+
+// The index is shared by every concurrently-executing query engine, so
+// scoring must not touch index-resident state. This hammers one index
+// from several threads (each with its own caller-owned scratch, as the
+// engines hold) and checks every result against the single-threaded
+// answer. Against the old design — overlap counters stored as mutable
+// members of the index — concurrent calls corrupt each other's counts
+// and this fails within a few iterations.
+TEST(InvertedIndex, ConcurrentScoringIsExactWithPerCallerScratch) {
+  Rng rng(77);
+  const auto docs = RandomDocs(rng, 300, 30, 6);
+  InvertedKeywordIndex index;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    index.AddDocument(static_cast<DocId>(d), docs[d]);
+  }
+  index.Finalize();
+  const TextualSimilarity sim;  // jaccard
+
+  std::vector<KeywordSet> queries;
+  for (int q = 0; q < 16; ++q) {
+    std::vector<TermId> terms;
+    for (int i = 0; i < 3; ++i) {
+      terms.push_back(static_cast<TermId>(rng.Uniform(30)));
+    }
+    queries.emplace_back(std::move(terms));
+  }
+  std::vector<std::vector<ScoredDoc>> expected(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    index.ScoreCandidates(queries[q], sim, &expected[q]);
+  }
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      TextScoringScratch scratch;  // one per thread, like one per engine
+      std::vector<ScoredDoc> got;
+      Rng pick(900 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 400; ++i) {
+        const size_t q = pick.Uniform(queries.size());
+        index.ScoreCandidates(queries[q], sim, &got, nullptr, nullptr,
+                              &scratch);
+        if (got.size() != expected[q].size()) {
+          ++wrong;
+          continue;
+        }
+        for (size_t j = 0; j < got.size(); ++j) {
+          if (got[j].doc != expected[q][j].doc ||
+              got[j].score != expected[q][j].score) {
+            ++wrong;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 TEST(InvertedIndex, MemoryUsageGrowsWithContent) {

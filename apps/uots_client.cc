@@ -20,6 +20,7 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +39,8 @@
 #include "storage/resolver.h"
 #include "text/zipf.h"
 #include "traj/generator.h"
+#include "trip/planner.h"
+#include "trip/workload.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -69,6 +72,12 @@ struct Flags {
   /// rebuild over base + ingested trips. 0 = off.
   int ingest = 0;
   int ingest_batch = 64;
+  /// Trip-assembly mode: the workload becomes trip queries ("type":"trip"
+  /// frames); --verify then compares assembled trips bit-for-bit against a
+  /// cold in-process TripPlanner. The JSON report defaults to
+  /// BENCH_trip.json and --scrape-admin folds the trip.* histograms in.
+  bool trip = false;
+  double trip_gap = 0.0;  ///< connector gap budget in meters (0 = unlimited)
   /// Zipf exponent for query selection; 0 = uniform rotation. Skewed picks
   /// model real trip-recommendation traffic (popular POI combos repeat)
   /// and are what make the server's result cache earn hits.
@@ -77,7 +86,8 @@ struct Flags {
   /// Fail (exit 1) when the observed cache hit rate is below this; < 0
   /// disables the assertion.
   double min_hit_rate = -1.0;
-  std::string json_out = "BENCH_server.json";
+  std::string json_out = "BENCH_server.json";  // --trip: BENCH_trip.json
+  bool json_out_set = false;  ///< --json-out given explicitly
   /// "HOST:PORT" of the server's admin plane. When set, /metrics is
   /// scraped before and after the load run and the server-observed
   /// run-window latency quantiles + cache hit rate are folded into the
@@ -110,12 +120,12 @@ struct WorkerStats {
   int64_t other_errors = 0;
   int64_t transport_errors = 0;
 
-  void Count(const uots::QueryResponse& resp, int64_t latency_ns) {
+  void Count(uots::ResponseStatus status, bool cached, int64_t latency_ns) {
     latency.Record(latency_ns);
-    switch (resp.status) {
+    switch (status) {
       case uots::ResponseStatus::kOk:
         ++ok;
-        if (resp.cached) {
+        if (cached) {
           ++cache_hits;
           hit_latency.Record(latency_ns);
         } else {
@@ -151,9 +161,14 @@ struct WorkerStats {
 /// One /metrics scrape, reduced to what the report folds in.
 struct AdminScrape {
   double requests = 0.0;       // uots_server_requests_total
+  double trip_requests = 0.0;  // uots_server_trip_requests_total
   double responses_ok = 0.0;   // uots_server_responses_ok_total
   double cache_hits = 0.0;     // uots_server_request_cache_hits_total
   std::vector<uots::promtext::HistogramBucket> latency_buckets;
+  // Trip-plane histograms (server-side planner wall time + phase split).
+  std::vector<uots::promtext::HistogramBucket> trip_plan_buckets;
+  std::vector<uots::promtext::HistogramBucket> trip_harvest_buckets;
+  std::vector<uots::promtext::HistogramBucket> trip_assemble_buckets;
 };
 
 bool ScrapeAdmin(const std::string& host, uint16_t port, AdminScrape* out) {
@@ -173,8 +188,16 @@ bool ScrapeAdmin(const std::string& host, uint16_t port, AdminScrape* out) {
                             &out->responses_ok);
   uots::promtext::FindValue(text, "uots_server_request_cache_hits_total",
                             &out->cache_hits);
+  uots::promtext::FindValue(text, "uots_server_trip_requests_total",
+                            &out->trip_requests);
   out->latency_buckets = uots::promtext::ParseHistogramBuckets(
       text, "uots_server_request_latency_seconds");
+  out->trip_plan_buckets = uots::promtext::ParseHistogramBuckets(
+      text, "uots_trip_plan_seconds");
+  out->trip_harvest_buckets = uots::promtext::ParseHistogramBuckets(
+      text, "uots_trip_harvest_seconds");
+  out->trip_assemble_buckets = uots::promtext::ParseHistogramBuckets(
+      text, "uots_trip_assemble_seconds");
   return true;
 }
 
@@ -262,6 +285,70 @@ int RunVerify(const Flags& flags, const uots::TrajectoryDatabase& db,
     return 0;
   }
   std::printf("verify: %d mismatches over %zu queries\n", mismatches,
+              queries.size());
+  return 1;
+}
+
+/// Trip-mode verify: the same three-pass cache drill as RunVerify, but the
+/// reference is a cold in-process TripPlanner over the locally built
+/// database. AssembledTrip::operator== compares every score bit and every
+/// segment's provenance, so "identical" here is exact, not approximate.
+int RunTripVerify(const Flags& flags, const uots::TrajectoryDatabase& db,
+                  const std::vector<uots::TripQuery>& queries) {
+  uots::BlockingClient client;
+  uots::Status st =
+      client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  uots::TripPlanner planner(db);
+  int mismatches = 0;
+  int64_t hits_observed = 0;
+  static constexpr const char* kPassName[] = {"default", "default-again",
+                                              "bypass"};
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto local = planner.Plan(queries[i]);
+    if (!local.ok()) {
+      std::fprintf(stderr, "trip %zu: local: %s\n", i,
+                   local.status().ToString().c_str());
+      return 1;
+    }
+    for (int pass = 0; pass < 3; ++pass) {
+      uots::TripRequest req;
+      req.id = static_cast<int64_t>(i) * 4 + pass;
+      req.query = queries[i];
+      req.cache = pass == 2 ? uots::CacheMode::kBypass
+                            : uots::CacheMode::kDefault;
+      auto remote = client.Call(req);
+      if (!remote.ok()) {
+        std::fprintf(stderr, "trip %zu (%s): transport: %s\n", i,
+                     kPassName[pass], remote.status().ToString().c_str());
+        return 1;
+      }
+      if (!remote->ok()) {
+        std::fprintf(stderr, "trip %zu (%s): server: %s (%s)\n", i,
+                     kPassName[pass], ToString(remote->status),
+                     remote->error.c_str());
+        return 1;
+      }
+      if (remote->cached) ++hits_observed;
+      if (remote->trips != local->trips) {
+        ++mismatches;
+        std::fprintf(stderr, "trip %zu (%s): MISMATCH (%zu vs %zu trips)\n",
+                     i, kPassName[pass], remote->trips.size(),
+                     local->trips.size());
+      }
+    }
+  }
+  if (mismatches == 0) {
+    std::printf(
+        "trip verify: %zu/%zu queries bit-for-bit identical across "
+        "default/repeat/bypass (%" PRId64 " cache hits observed)\n",
+        queries.size(), queries.size(), hits_observed);
+    return 0;
+  }
+  std::printf("trip verify: %d mismatches over %zu queries\n", mismatches,
               queries.size());
   return 1;
 }
@@ -427,6 +514,11 @@ int main(int argc, char** argv) {
       flags.min_hit_rate = std::atof(v.c_str());
     } else if (ParseFlag(argv[i], "--json-out", &v)) {
       flags.json_out = v;
+      flags.json_out_set = true;
+    } else if (ParseFlag(argv[i], "--trip-gap", &v)) {
+      flags.trip_gap = std::atof(v.c_str());
+    } else if (ParseBoolFlag(argv[i], "--trip")) {
+      flags.trip = true;
     } else if (ParseFlag(argv[i], "--scrape-admin", &v)) {
       flags.scrape_admin = v;
     } else if (ParseFlag(argv[i], "--ingest", &v)) {
@@ -454,6 +546,9 @@ int main(int argc, char** argv) {
   const uots::CacheMode cache_mode = flags.cache == "bypass"
                                          ? uots::CacheMode::kBypass
                                          : uots::CacheMode::kDefault;
+  if (flags.trip && !flags.json_out_set) {
+    flags.json_out = "BENCH_trip.json";
+  }
 
   // The same deterministic dataset + workload the server loaded: needed for
   // --verify, and it gives the load generator realistic queries.
@@ -496,16 +591,41 @@ int main(int argc, char** argv) {
     return RunIngest(flags, *db, wopts, kind);
   }
 
-  auto queries_r = uots::MakeWorkload(*db, wopts);
-  if (!queries_r.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 queries_r.status().ToString().c_str());
-    return 1;
+  // Trip mode swaps the workload family; everything downstream (loop
+  // shape, zipf selection, latency accounting) is shared.
+  std::vector<uots::UotsQuery> queries;
+  std::vector<uots::TripQuery> trip_queries;
+  if (flags.trip) {
+    uots::TripWorkloadOptions topts;
+    topts.num_queries = flags.num_queries;
+    topts.num_locations = flags.locations;
+    topts.num_keywords = flags.keywords;
+    topts.lambda = flags.lambda;
+    topts.k = flags.k;
+    topts.gap_budget_m = flags.trip_gap;
+    topts.seed = flags.seed;
+    auto tq = uots::MakeTripWorkload(*db, topts);
+    if (!tq.ok()) {
+      std::fprintf(stderr, "trip workload: %s\n",
+                   tq.status().ToString().c_str());
+      return 1;
+    }
+    trip_queries = std::move(*tq);
+  } else {
+    auto queries_r = uots::MakeWorkload(*db, wopts);
+    if (!queries_r.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   queries_r.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(*queries_r);
   }
-  const std::vector<uots::UotsQuery> queries = std::move(*queries_r);
+  const size_t workload_size =
+      flags.trip ? trip_queries.size() : queries.size();
 
   if (flags.verify) {
-    return RunVerify(flags, *db, queries, kind);
+    return flags.trip ? RunTripVerify(flags, *db, trip_queries)
+                      : RunVerify(flags, *db, queries, kind);
   }
 
   std::string admin_host;
@@ -554,7 +674,7 @@ int main(int argc, char** argv) {
       std::unique_ptr<uots::ZipfSampler> zipf_sampler;
       if (flags.zipf > 0.0) {
         zipf_sampler =
-            std::make_unique<uots::ZipfSampler>(queries.size(), flags.zipf);
+            std::make_unique<uots::ZipfSampler>(workload_size, flags.zipf);
       }
       uots::Rng rng(flags.seed + static_cast<uint64_t>(t) * 0x9e3779b9ULL);
       for (;;) {
@@ -577,9 +697,27 @@ int main(int argc, char** argv) {
         if (zipf_sampler != nullptr) {
           qi = static_cast<int64_t>(zipf_sampler->Sample(rng));
         } else if (open_loop) {
-          qi = (tick + t) % static_cast<int64_t>(queries.size());
+          qi = (tick + t) % static_cast<int64_t>(workload_size);
         } else {
-          qi = next_request.load() % static_cast<int64_t>(queries.size());
+          qi = next_request.load() % static_cast<int64_t>(workload_size);
+        }
+        if (flags.trip) {
+          uots::TripRequest req;
+          req.id = tick + t * 1000000;
+          req.query = trip_queries[static_cast<size_t>(qi)];
+          req.deadline_ms = flags.deadline_ms;
+          req.cache = cache_mode;
+          auto resp = client.Call(req);
+          const auto done = std::chrono::steady_clock::now();
+          if (!resp.ok()) {
+            ++my.transport_errors;
+            break;
+          }
+          my.Count(resp->status, resp->cached,
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       done - scheduled)
+                       .count());
+          continue;
         }
         uots::QueryRequest req;
         req.id = tick + t * 1000000;
@@ -594,7 +732,7 @@ int main(int argc, char** argv) {
           ++my.transport_errors;
           break;
         }
-        my.Count(*resp,
+        my.Count(resp->status, resp->cached,
                  std::chrono::duration_cast<std::chrono::nanoseconds>(
                      done - scheduled)
                      .count());
@@ -629,11 +767,11 @@ int main(int argc, char** argv) {
               total.hit_latency.PercentileMs(50),
               total.miss_latency.PercentileMs(50));
 
-  uots::bench::JsonReport report("server_load");
+  uots::bench::JsonReport report(flags.trip ? "trip_load" : "server_load");
   auto& row = report.AddRow();
   row.Set("mode", std::string(open_loop ? "open" : "closed"))
       .Set("city", flags.city)
-      .Set("algorithm", flags.algorithm)
+      .Set("algorithm", flags.trip ? std::string("TRIP") : flags.algorithm)
       .Set("connections", static_cast<int64_t>(nconn))
       .Set("wall_seconds", wall_s)
       .Set("completed", completed)
@@ -685,6 +823,44 @@ int main(int argc, char** argv) {
         .Set("server_p50_ms", sp50 * 1e3)
         .Set("server_p95_ms", sp95 * 1e3)
         .Set("server_p99_ms", sp99 * 1e3);
+    if (flags.trip) {
+      // The trip.* histogram family, folded in like server.*: run-window
+      // planner wall time plus its harvest/assemble phase split.
+      const double d_trips = after.trip_requests - scrape_before.trip_requests;
+      const double tp50 = uots::promtext::DeltaQuantileSeconds(
+          scrape_before.trip_plan_buckets, after.trip_plan_buckets, 50.0);
+      const double tp95 = uots::promtext::DeltaQuantileSeconds(
+          scrape_before.trip_plan_buckets, after.trip_plan_buckets, 95.0);
+      const double tp99 = uots::promtext::DeltaQuantileSeconds(
+          scrape_before.trip_plan_buckets, after.trip_plan_buckets, 99.0);
+      const double th95 = uots::promtext::DeltaQuantileSeconds(
+          scrape_before.trip_harvest_buckets, after.trip_harvest_buckets,
+          95.0);
+      const double ta95 = uots::promtext::DeltaQuantileSeconds(
+          scrape_before.trip_assemble_buckets, after.trip_assemble_buckets,
+          95.0);
+      // An all-hits window computes no plans, so the trip.* histograms
+      // gain no samples and every window quantile is NaN (null in the
+      // JSON report) — say so instead of printing nan.
+      if (std::isnan(tp50)) {
+        std::printf(
+            "server (trip.*): requests=%.0f (all served from cache; no "
+            "planner samples in window)\n",
+            d_trips);
+      } else {
+        std::printf(
+            "server (trip.*): requests=%.0f plan p50<=%.3f ms p95<=%.3f ms "
+            "p99<=%.3f ms  harvest p95<=%.3f ms assemble p95<=%.3f ms\n",
+            d_trips, tp50 * 1e3, tp95 * 1e3, tp99 * 1e3, th95 * 1e3,
+            ta95 * 1e3);
+      }
+      row.Set("server_trip_requests", d_trips)
+          .Set("trip_plan_p50_ms", tp50 * 1e3)
+          .Set("trip_plan_p95_ms", tp95 * 1e3)
+          .Set("trip_plan_p99_ms", tp99 * 1e3)
+          .Set("trip_harvest_p95_ms", th95 * 1e3)
+          .Set("trip_assemble_p95_ms", ta95 * 1e3);
+    }
   }
   if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
 

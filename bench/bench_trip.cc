@@ -1,0 +1,272 @@
+// Trip-assembly experiment (EXPERIMENTS.md T1, trip edition).
+//
+//   $ ./bench/bench_trip [--city=BRN] [--trajectories=15000] [--queries=60]
+//                        [--locations=2,4,6,8] [--k=3] [--oracle=1]
+//
+// For each query-location count m the harness runs the same trip workload
+// twice — Dijkstra connectors, then oracle connectors — on the default
+// city dataset (BRN, 15k trajectories unless overridden):
+//
+//   1. latency — per-query wall time distribution (mean/p50/p95/p99) of
+//      the oracle run, plus the harvest/assemble phase split;
+//   2. speedup — Dijkstra-connector mean over oracle-connector mean;
+//   3. determinism — the two passes must produce bit-identical trips
+//      (scores, similarities, connectors, provenance); the run FAILS
+//      otherwise. This is the CI-facing restatement of the planner's
+//      oracle on/off contract at full dataset scale.
+//
+// Results land in BENCH_trip.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/report.h"
+#include "oracle/ch_oracle.h"
+#include "trip/planner.h"
+#include "trip/workload.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Flags {
+  std::string city = "BRN";
+  int trajectories = 0;  // 0 = the city default (15k BRN / 30k NRN)
+  int queries = 60;
+  std::string locations = "2,4,6,8";
+  int k = 3;
+  double gap_budget_m = 0.0;
+  bool use_oracle = true;
+  std::string json_out = "BENCH_trip.json";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+std::vector<int> ParseCsv(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+double Quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// One pass over the workload. Appends per-query wall seconds and answers;
+/// accumulates engine stats.
+double RunPass(uots::TripPlanner* planner,
+               const std::vector<uots::TripQuery>& queries,
+               std::vector<double>* latencies,
+               std::vector<std::vector<uots::AssembledTrip>>* answers,
+               uots::QueryStats* total) {
+  uots::WallTimer pass;
+  for (const auto& q : queries) {
+    uots::WallTimer one;
+    auto r = planner->Plan(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "trip query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (latencies != nullptr) latencies->push_back(one.ElapsedSeconds());
+    if (answers != nullptr) answers->push_back(std::move(r->trips));
+    if (total != nullptr) *total += r->stats;
+  }
+  return pass.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--city", &v)) {
+      flags.city = v;
+    } else if (ParseFlag(argv[i], "--trajectories", &v)) {
+      flags.trajectories = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--queries", &v)) {
+      flags.queries = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--locations", &v)) {
+      flags.locations = v;
+    } else if (ParseFlag(argv[i], "--k", &v)) {
+      flags.k = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--gap", &v)) {
+      flags.gap_budget_m = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--oracle", &v)) {
+      flags.use_oracle = std::atoi(v.c_str()) != 0;
+    } else if (ParseFlag(argv[i], "--json-out", &v)) {
+      flags.json_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const uots::bench::City city =
+      flags.city == "NRN" ? uots::bench::City::kNRN : uots::bench::City::kBRN;
+  auto db = flags.trajectories > 0
+                ? uots::bench::LoadCity(city, flags.trajectories)
+                : uots::bench::LoadCity(city);
+  if (db == nullptr) {
+    std::fprintf(stderr, "failed to load city dataset\n");
+    return 1;
+  }
+  std::printf("dataset: %s, %zu vertices, %zu trajectories\n",
+              uots::bench::CityName(city), db->network().NumVertices(),
+              db->store().size());
+
+  if (flags.use_oracle && db->oracle() == nullptr) {
+    uots::WallTimer build;
+    auto oracle = uots::DistanceOracle::Build(db->network());
+    if (!oracle.ok()) {
+      std::fprintf(stderr, "oracle: %s\n", oracle.status().ToString().c_str());
+      return 1;
+    }
+    db->AttachOracle(
+        std::make_shared<uots::DistanceOracle>(std::move(*oracle)));
+    std::printf("oracle built in %.2fs\n", build.ElapsedSeconds());
+  }
+
+  uots::bench::Table table({"locs", "dijkstra_ms", "oracle_ms", "speedup",
+                            "p50_ms", "p95_ms", "p99_ms", "harvest_pct",
+                            "assemble_pct", "avg_segments"});
+  table.PrintHeader();
+  uots::bench::JsonReport report("trip");
+
+  for (const int locs : ParseCsv(flags.locations)) {
+    uots::TripWorkloadOptions wopts;
+    wopts.num_queries = flags.queries;
+    wopts.num_locations = locs;
+    wopts.k = flags.k;
+    wopts.gap_budget_m = flags.gap_budget_m;
+    wopts.seed = 11;
+    auto queries = uots::MakeTripWorkload(*db, wopts);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   queries.status().ToString().c_str());
+      return 1;
+    }
+
+    uots::TripPlannerOptions dij_opts;
+    dij_opts.use_oracle = false;
+    uots::TripPlanner dijkstra(*db, dij_opts);
+    std::vector<std::vector<uots::AssembledTrip>> dij_answers;
+    // Warm one pass (page in postings and the expansion scratch), measure
+    // the second.
+    RunPass(&dijkstra, *queries, nullptr, nullptr, nullptr);
+    const double dij_s =
+        RunPass(&dijkstra, *queries, nullptr, &dij_answers, nullptr);
+
+    uots::TripPlannerOptions ora_opts;
+    ora_opts.use_oracle = flags.use_oracle;
+    uots::TripPlanner oracle_planner(*db, ora_opts);
+    std::vector<double> latencies;
+    std::vector<std::vector<uots::AssembledTrip>> ora_answers;
+    uots::QueryStats stats;
+    RunPass(&oracle_planner, *queries, nullptr, nullptr, nullptr);
+    const double ora_s =
+        RunPass(&oracle_planner, *queries, &latencies, &ora_answers, &stats);
+
+    // The oracle on/off contract, at dataset scale, on every answer.
+    if (dij_answers != ora_answers) {
+      std::fprintf(stderr,
+                   "FAIL: oracle trips differ from Dijkstra trips (locs=%d)\n",
+                   locs);
+      return 1;
+    }
+
+    size_t total_segments = 0;
+    size_t assembled = 0;
+    double connector_m = 0.0;
+    for (const auto& trips : ora_answers) {
+      for (const auto& t : trips) {
+        total_segments += t.segments.size();
+        connector_m += t.connector_total_m;
+        ++assembled;
+      }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double n = static_cast<double>(queries->size());
+    const double dij_ms = dij_s / n * 1e3;
+    const double ora_ms = ora_s / n * 1e3;
+    const double p50 = Quantile(latencies, 0.50) * 1e3;
+    const double p95 = Quantile(latencies, 0.95) * 1e3;
+    const double p99 = Quantile(latencies, 0.99) * 1e3;
+    const double total_ns = static_cast<double>(
+        std::max<int64_t>(1, stats.TotalPhaseNs()));
+    const double harvest_pct =
+        100.0 * static_cast<double>(
+                    stats.PhaseNs(uots::QueryPhase::kTripHarvest)) /
+        total_ns;
+    const double assemble_pct =
+        100.0 * static_cast<double>(
+                    stats.PhaseNs(uots::QueryPhase::kTripAssemble)) /
+        total_ns;
+    const double avg_segments =
+        assembled == 0 ? 0.0
+                       : static_cast<double>(total_segments) /
+                             static_cast<double>(assembled);
+
+    char c[10][32];
+    std::snprintf(c[0], sizeof(c[0]), "%d", locs);
+    std::snprintf(c[1], sizeof(c[1]), "%.3f", dij_ms);
+    std::snprintf(c[2], sizeof(c[2]), "%.3f", ora_ms);
+    std::snprintf(c[3], sizeof(c[3]), "%.1fx", dij_ms / ora_ms);
+    std::snprintf(c[4], sizeof(c[4]), "%.3f", p50);
+    std::snprintf(c[5], sizeof(c[5]), "%.3f", p95);
+    std::snprintf(c[6], sizeof(c[6]), "%.3f", p99);
+    std::snprintf(c[7], sizeof(c[7]), "%.1f", harvest_pct);
+    std::snprintf(c[8], sizeof(c[8]), "%.1f", assemble_pct);
+    std::snprintf(c[9], sizeof(c[9]), "%.2f", avg_segments);
+    table.PrintRow(
+        {c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7], c[8], c[9]});
+
+    auto& row = report.AddRow();
+    row.Set("city", std::string(uots::bench::CityName(city)))
+        .Set("trajectories", static_cast<int64_t>(db->store().size()))
+        .Set("num_locations", static_cast<int64_t>(locs))
+        .Set("queries", static_cast<int64_t>(queries->size()))
+        .Set("k", static_cast<int64_t>(flags.k))
+        .Set("dijkstra_ms_per_query", dij_ms)
+        .Set("oracle_ms_per_query", ora_ms)
+        .Set("connector_speedup", dij_ms / ora_ms)
+        .Set("p50_ms", p50)
+        .Set("p95_ms", p95)
+        .Set("p99_ms", p99)
+        .Set("harvest_pct", harvest_pct)
+        .Set("assemble_pct", assemble_pct)
+        .Set("avg_segments_per_trip", avg_segments)
+        .Set("avg_connector_m",
+             assembled == 0 ? 0.0 : connector_m / static_cast<double>(assembled))
+        .Set("assembled_trips", static_cast<int64_t>(assembled))
+        .Set("oracle_lookups", stats.oracle_lookups)
+        .Set("answers_identical", static_cast<int64_t>(1));
+  }
+
+  if (!flags.json_out.empty()) report.WriteFile(flags.json_out);
+  return 0;
+}

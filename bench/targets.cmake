@@ -32,3 +32,5 @@ uots_add_bench(bench_coldstart)        # S1 (snapshot load vs text build)
 uots_add_bench(bench_cache)            # C1 (cross-query caching tiers)
 uots_add_bench(bench_oracle)           # O1 (CH distance oracle)
 uots_add_bench(bench_ingest)           # I1 (live ingest + compaction)
+uots_add_bench(bench_trip)             # T1 (trip assembly)
+target_link_libraries(bench_trip PRIVATE uots_trip)

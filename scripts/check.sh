@@ -129,6 +129,34 @@ for preset in "${presets[@]}"; do
     wait "${ingest_pid}"
     rm -f "${isnap}"
     ctest --preset "${preset}" -R uots_ingest_test --output-on-failure
+    # Trip-assembly drill: construct connected trips over the wire and
+    # demand byte equality against a cold in-process planner (cache
+    # default, repeat, and bypass passes), then a short closed loop that
+    # folds the trip.* histogram deltas scraped from the admin plane into
+    # the client report. Under asan this sweeps the harvester's expansion
+    # reuse, the k-best assembly DP, and the version-tagged trip-planner
+    # pool against live traffic.
+    echo "==> ${preset}: trip assembly drill"
+    if [[ "${preset}" == "release" ]]; then tqport=7789 taport=7791
+    else tqport=7790 taport=7792; fi
+    "${builddir[${preset}]}/apps/uots_server" --city=BRN --port="${tqport}" \
+      --trajectories=1500 --cache-max-entries=256 --admin-port="${taport}" &
+    trip_pid=$!
+    sleep 1
+    "${builddir[${preset}]}/apps/uots_client" --port="${tqport}" \
+      --trajectories=1500 --trip --verify --num-queries=16
+    "${builddir[${preset}]}/apps/uots_client" --port="${tqport}" \
+      --trajectories=1500 --trip --num-queries=16 --connections=2 \
+      --requests=200 --scrape-admin="${taport}" \
+      --json-out="${builddir[${preset}]}/check-trip.json"
+    curl -fsS "http://127.0.0.1:${taport}/metrics" \
+      | grep -q "uots_trip_plan_seconds_bucket"
+    curl -fsS "http://127.0.0.1:${taport}/slowqueries" | grep -q '"segments"'
+    kill -TERM "${trip_pid}"
+    wait "${trip_pid}"
+    rm -f "${builddir[${preset}]}/check-trip.json"
+    ctest --preset "${preset}" -R "uots_trip_test|uots_trip_server_test" \
+      --output-on-failure
   fi
 done
 echo "==> all checks passed"

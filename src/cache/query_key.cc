@@ -52,6 +52,33 @@ std::string EncodeResultCacheKey(const UotsQuery& query, AlgorithmKind kind,
   return out;
 }
 
+std::string EncodeTripCacheKey(const TripQuery& query, uint64_t fingerprint) {
+  std::string out;
+  out.reserve(48 + 4 * query.locations.size() +
+              4 * query.keywords.terms().size());
+  out.push_back('\x02');  // trip key schema (disjoint from retrieval '\x01')
+  PutU64(fingerprint, &out);
+  out.push_back(query.ordered ? '\x01' : '\x00');
+  out.push_back(query.use_categories ? '\x01' : '\x00');
+  uint64_t gap_bits;
+  static_assert(sizeof(gap_bits) == sizeof(query.gap_budget_m));
+  std::memcpy(&gap_bits, &query.gap_budget_m, sizeof(gap_bits));
+  PutU64(gap_bits, &out);
+  PutU32(static_cast<uint32_t>(query.segments_per_location), &out);
+  PutU32(static_cast<uint32_t>(query.window), &out);
+  uint64_t lambda_bits;
+  static_assert(sizeof(lambda_bits) == sizeof(query.lambda));
+  std::memcpy(&lambda_bits, &query.lambda, sizeof(lambda_bits));
+  PutU64(lambda_bits, &out);
+  PutU32(static_cast<uint32_t>(query.k), &out);
+  PutU32(static_cast<uint32_t>(query.locations.size()), &out);
+  for (VertexId v : query.locations) PutU32(static_cast<uint32_t>(v), &out);
+  const auto terms = query.keywords.terms();
+  PutU32(static_cast<uint32_t>(terms.size()), &out);
+  for (TermId t : terms) PutU32(static_cast<uint32_t>(t), &out);
+  return out;
+}
+
 uint64_t HashCacheKey(const std::string& key) {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (const char c : key) {

@@ -18,6 +18,7 @@
 
 #include "core/algorithm.h"
 #include "core/query.h"
+#include "trip/trip_query.h"
 
 namespace uots {
 
@@ -27,6 +28,18 @@ namespace uots {
 std::string EncodeResultCacheKey(const UotsQuery& query, AlgorithmKind kind,
                                  const UotsSearchOptions& opts,
                                  uint64_t fingerprint);
+
+/// \brief Canonical key for a trip-assembly query (schema '\x02', disjoint
+/// from retrieval keys by construction).
+///
+/// Every answer-steering field participates: the constraint flags
+/// (ordered, categories), gap budget bits, harvest shape (segments per
+/// location, window), lambda bits, k, locations, keyword terms. Trip
+/// locations are encoded IN QUERY ORDER even for unordered queries — the
+/// nearest-neighbor tour starts at the first location and breaks ties by
+/// index, so the answer is not permutation-invariant the way retrieval
+/// scores are.
+std::string EncodeTripCacheKey(const TripQuery& query, uint64_t fingerprint);
 
 /// 64-bit FNV-1a over the key bytes (shard selection, not identity).
 uint64_t HashCacheKey(const std::string& key);

@@ -41,8 +41,13 @@ int64_t ResultCache::NowNs() {
 }
 
 int64_t ResultCache::ApproxBytes(const CachedResult& value) {
-  return static_cast<int64_t>(sizeof(CachedResult) +
-                              value.items.size() * sizeof(ScoredTrajectory));
+  int64_t bytes = static_cast<int64_t>(
+      sizeof(CachedResult) + value.items.size() * sizeof(ScoredTrajectory));
+  for (const AssembledTrip& trip : value.trips) {
+    bytes += static_cast<int64_t>(sizeof(AssembledTrip) +
+                                  trip.segments.size() * sizeof(TripSegment));
+  }
+  return bytes;
 }
 
 std::shared_ptr<const CachedResult> ResultCache::Lookup(

@@ -20,13 +20,17 @@
 #include <vector>
 
 #include "core/query.h"
+#include "trip/trip_query.h"
 
 namespace uots {
 
-/// \brief A cached answer: the items a fresh run would return, bit for bit,
-/// plus the stats of the run that computed them.
+/// \brief A cached answer: what a fresh run would return, bit for bit,
+/// plus the stats of the run that computed them. Retrieval answers fill
+/// `items`; trip answers fill `trips` (the key schema byte keeps the two
+/// families disjoint, so an entry never mixes both).
 struct CachedResult {
   std::vector<ScoredTrajectory> items;
+  std::vector<AssembledTrip> trips;
   QueryStats stats;
 };
 

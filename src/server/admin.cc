@@ -176,6 +176,9 @@ void AppendSlowEntryJson(std::string* out, const SlowLogEntry& e) {
   AppendJsonString(out, "query", e.query_summary, &first);
   AppendJsonString(out, "status", e.status, &first);
   AppendJsonKV(out, "cached", e.cached ? "true" : "false", &first);
+  if (e.segments >= 0) {
+    AppendJsonKV(out, "segments", std::to_string(e.segments), &first);
+  }
   std::string num;
   JsonAppendDouble(e.total_ms, &num);
   AppendJsonKV(out, "total_ms", num, &first);
@@ -536,6 +539,7 @@ std::string AdminPlane::RenderMetrics() const {
   AppendCounter(&out, "uots_server_connections_rejected",
                 c.connections_rejected);
   AppendCounter(&out, "uots_server_requests", c.requests);
+  AppendCounter(&out, "uots_server_trip_requests", c.trip_requests);
   AppendCounter(&out, "uots_server_responses_ok", c.responses_ok);
   AppendCounter(&out, "uots_server_request_cache_hits", c.cache_hits);
   AppendCounter(&out, "uots_server_rejected_overloaded",
@@ -664,6 +668,7 @@ std::string AdminPlane::RenderStatusz() const {
   counters.Set("connections_closed", JsonValue::Int(c.connections_closed));
   counters.Set("connections_rejected", JsonValue::Int(c.connections_rejected));
   counters.Set("requests", JsonValue::Int(c.requests));
+  counters.Set("trip_requests", JsonValue::Int(c.trip_requests));
   counters.Set("responses_ok", JsonValue::Int(c.responses_ok));
   counters.Set("cache_hits", JsonValue::Int(c.cache_hits));
   counters.Set("rejected_overloaded", JsonValue::Int(c.rejected_overloaded));

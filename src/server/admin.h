@@ -54,8 +54,11 @@ class UotsServer;
 /// \brief One completed request as remembered by the slow-query log.
 struct SlowLogEntry {
   std::string request_id;     ///< correlation id (client-supplied or s*-*)
-  std::string algorithm;      ///< ToString(AlgorithmKind) name
+  std::string algorithm;      ///< ToString(AlgorithmKind) name, or "TRIP"
   std::string query_summary;  ///< canonical "locs=.. kw=.. lambda=.. k=.."
+  /// Segment count of the best assembled trip (trip requests only; -1 for
+  /// retrieval queries, omitted from the JSON rendering).
+  int segments = -1;
   std::string status;         ///< wire status name ("ok", ...)
   bool cached = false;        ///< answered from the result cache
   double total_ms = 0.0;      ///< arrival -> response queued

@@ -131,4 +131,40 @@ Result<IngestResponse> BlockingClient::Call(const IngestRequest& req) {
   return ReceiveIngest();
 }
 
+Status BlockingClient::Send(const TripRequest& req) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  const std::string frame = EncodeFrame(EncodeTripRequest(req));
+  return WriteAll(frame.data(), frame.size());
+}
+
+Result<TripResponse> BlockingClient::ReceiveTrip() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  for (;;) {
+    std::string payload;
+    size_t oversized = 0;
+    const FrameDecoder::Next next = decoder_.Poll(&payload, &oversized);
+    if (next == FrameDecoder::Next::kFrame) {
+      return ParseTripResponse(payload);
+    }
+    if (next == FrameDecoder::Next::kOversized) {
+      return Status::IOError("server sent an oversized frame (" +
+                             std::to_string(oversized) + " bytes)");
+    }
+    char buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IOError("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Result<TripResponse> BlockingClient::Call(const TripRequest& req) {
+  UOTS_RETURN_NOT_OK(Send(req));
+  return ReceiveTrip();
+}
+
 }  // namespace uots

@@ -52,6 +52,16 @@ class BlockingClient {
   /// Send + ReceiveIngest.
   Result<IngestResponse> Call(const IngestRequest& req);
 
+  /// Sends one trip-assembly request frame (blocking until fully written).
+  Status Send(const TripRequest& req);
+
+  /// Receives the next frame as a trip response (blocking; responses
+  /// arrive in request order).
+  Result<TripResponse> ReceiveTrip();
+
+  /// Send + ReceiveTrip.
+  Result<TripResponse> Call(const TripRequest& req);
+
  private:
   Status WriteAll(const char* data, size_t n);
 

@@ -301,6 +301,7 @@ RequestType RequestTypeOf(const JsonValue& o) {
   const std::string_view name = type->string_value();
   if (name == "query") return RequestType::kQuery;
   if (name == "ingest") return RequestType::kIngest;
+  if (name == "trip") return RequestType::kTrip;
   return RequestType::kUnknown;
 }
 
@@ -523,6 +524,325 @@ std::string EncodeQueryResponse(const QueryResponse& resp) {
   JsonAppendDouble(resp.execute_ms, &out);
   out += "}}";
   return out;
+}
+
+std::string EncodeTripRequest(const TripRequest& req) {
+  JsonValue o = JsonValue::Object();
+  o.Set("id", JsonValue::Int(req.id));
+  o.Set("type", JsonValue::Str("trip"));
+  if (!req.request_id.empty()) {
+    o.Set("request_id", JsonValue::Str(req.request_id));
+  }
+  JsonValue locs = JsonValue::Array();
+  for (VertexId v : req.query.locations) {
+    locs.Append(JsonValue::Int(static_cast<int64_t>(v)));
+  }
+  o.Set("locations", std::move(locs));
+  JsonValue kws = JsonValue::Array();
+  for (TermId t : req.query.keywords.terms()) {
+    kws.Append(JsonValue::Int(static_cast<int64_t>(t)));
+  }
+  o.Set("keywords", std::move(kws));
+  o.Set("lambda", JsonValue::Number(req.query.lambda));
+  o.Set("k", JsonValue::Int(req.query.k));
+  if (req.query.ordered) o.Set("ordered", JsonValue::Bool(true));
+  if (req.query.use_categories) o.Set("categories", JsonValue::Bool(true));
+  if (req.query.gap_budget_m > 0.0) {
+    o.Set("gap_budget_m", JsonValue::Number(req.query.gap_budget_m));
+  }
+  o.Set("segments_per_location",
+        JsonValue::Int(req.query.segments_per_location));
+  o.Set("window", JsonValue::Int(req.query.window));
+  if (req.deadline_ms > 0.0) {
+    o.Set("deadline_ms", JsonValue::Number(req.deadline_ms));
+  }
+  if (req.cache == CacheMode::kBypass) {
+    o.Set("cache", JsonValue::Str("bypass"));
+  }
+  return o.Serialize();
+}
+
+Result<TripRequest> ParseTripRequest(const JsonValue& o) {
+  if (!o.is_object()) {
+    return Status::InvalidArgument("request must be an object");
+  }
+  TripRequest req;
+  if (const JsonValue* id = o.Find("id")) {
+    UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &req.id));
+  }
+  if (const JsonValue* rid = o.Find("request_id")) {
+    if (!rid->is_string()) {
+      return Status::InvalidArgument("request_id must be a string");
+    }
+    if (rid->string_value().size() > kMaxRequestIdBytes) {
+      return Status::InvalidArgument(
+          "request_id too long (max " + std::to_string(kMaxRequestIdBytes) +
+          " bytes)");
+    }
+    req.request_id = rid->string_value();
+  }
+  const JsonValue* locs = o.Find("locations");
+  if (locs == nullptr || !locs->is_array()) {
+    return Status::InvalidArgument("locations must be an array");
+  }
+  if (locs->array_items().empty()) {
+    return Status::InvalidArgument("locations must not be empty");
+  }
+  if (locs->array_items().size() > kMaxTripLocations) {
+    return Status::InvalidArgument("too many locations (max " +
+                                   std::to_string(kMaxTripLocations) + ")");
+  }
+  req.query.locations.reserve(locs->array_items().size());
+  for (const JsonValue& v : locs->array_items()) {
+    int64_t id;
+    UOTS_RETURN_NOT_OK(ReadInt(v, "location", &id));
+    if (id < 0 || id > UINT32_MAX) {
+      return Status::InvalidArgument("location out of range");
+    }
+    req.query.locations.push_back(static_cast<VertexId>(id));
+  }
+  std::vector<TermId> terms;
+  if (const JsonValue* kws = o.Find("keywords")) {
+    if (!kws->is_array()) {
+      return Status::InvalidArgument("keywords must be an array");
+    }
+    for (const JsonValue& v : kws->array_items()) {
+      int64_t id;
+      UOTS_RETURN_NOT_OK(ReadInt(v, "keyword", &id));
+      if (id < 0 || id > UINT32_MAX) {
+        return Status::InvalidArgument("keyword out of range");
+      }
+      terms.push_back(static_cast<TermId>(id));
+    }
+  }
+  req.query.keywords = KeywordSet(std::move(terms));
+  if (const JsonValue* lambda = o.Find("lambda")) {
+    if (!lambda->is_number()) {
+      return Status::InvalidArgument("lambda must be a number");
+    }
+    req.query.lambda = lambda->number_value();
+  }
+  if (const JsonValue* k = o.Find("k")) {
+    int64_t kk;
+    UOTS_RETURN_NOT_OK(ReadInt(*k, "k", &kk));
+    if (kk < 0 || kk > INT32_MAX) {
+      return Status::InvalidArgument("k out of range");
+    }
+    req.query.k = static_cast<int>(kk);
+  }
+  if (const JsonValue* ordered = o.Find("ordered")) {
+    if (!ordered->is_bool()) {
+      return Status::InvalidArgument("ordered must be a boolean");
+    }
+    req.query.ordered = ordered->bool_value();
+  }
+  if (const JsonValue* cats = o.Find("categories")) {
+    if (!cats->is_bool()) {
+      return Status::InvalidArgument("categories must be a boolean");
+    }
+    req.query.use_categories = cats->bool_value();
+  }
+  if (const JsonValue* gap = o.Find("gap_budget_m")) {
+    if (!gap->is_number() || gap->number_value() < 0.0) {
+      return Status::InvalidArgument("gap_budget_m must be a number >= 0");
+    }
+    req.query.gap_budget_m = gap->number_value();
+  }
+  if (const JsonValue* spl = o.Find("segments_per_location")) {
+    int64_t v;
+    UOTS_RETURN_NOT_OK(ReadInt(*spl, "segments_per_location", &v));
+    if (v < 1 || v > 64) {
+      return Status::InvalidArgument("segments_per_location out of range");
+    }
+    req.query.segments_per_location = static_cast<int>(v);
+  }
+  if (const JsonValue* window = o.Find("window")) {
+    int64_t v;
+    UOTS_RETURN_NOT_OK(ReadInt(*window, "window", &v));
+    if (v < 0 || v > 1024) {
+      return Status::InvalidArgument("window out of range");
+    }
+    req.query.window = static_cast<int>(v);
+  }
+  if (const JsonValue* dl = o.Find("deadline_ms")) {
+    if (!dl->is_number() || dl->number_value() < 0.0) {
+      return Status::InvalidArgument("deadline_ms must be a number >= 0");
+    }
+    req.deadline_ms = dl->number_value();
+  }
+  if (const JsonValue* cache = o.Find("cache")) {
+    if (!cache->is_string()) {
+      return Status::InvalidArgument("cache must be a string");
+    }
+    const std::string_view mode = cache->string_value();
+    if (mode == "bypass") {
+      req.cache = CacheMode::kBypass;
+    } else if (mode != "default") {
+      return Status::InvalidArgument("cache must be \"default\" or \"bypass\"");
+    }
+  }
+  return req;
+}
+
+Result<TripRequest> ParseTripRequest(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  return ParseTripRequest(*parsed);
+}
+
+std::string EncodeTripResponse(const TripResponse& resp) {
+  JsonValue o = JsonValue::Object();
+  o.Set("id", JsonValue::Int(resp.id));
+  if (!resp.request_id.empty()) {
+    o.Set("request_id", JsonValue::Str(resp.request_id));
+  }
+  o.Set("status", JsonValue::Str(ToString(resp.status)));
+  if (resp.status != ResponseStatus::kOk) {
+    if (!resp.error.empty()) o.Set("error", JsonValue::Str(resp.error));
+    o.Set("retryable", JsonValue::Bool(resp.retryable()));
+    return o.Serialize();
+  }
+  JsonValue trips = JsonValue::Array();
+  for (const AssembledTrip& trip : resp.trips) {
+    JsonValue t = JsonValue::Object();
+    t.Set("score", JsonValue::Number(trip.score));
+    t.Set("spatial", JsonValue::Number(trip.spatial_sim));
+    t.Set("textual", JsonValue::Number(trip.textual_sim));
+    t.Set("connector_m", JsonValue::Number(trip.connector_total_m));
+    JsonValue segments = JsonValue::Array();
+    for (const TripSegment& s : trip.segments) {
+      JsonValue seg = JsonValue::Object();
+      seg.Set("traj", JsonValue::Int(static_cast<int64_t>(s.traj)));
+      seg.Set("begin", JsonValue::Int(static_cast<int64_t>(s.begin)));
+      seg.Set("end", JsonValue::Int(static_cast<int64_t>(s.end)));
+      seg.Set("entry", JsonValue::Int(static_cast<int64_t>(s.entry)));
+      seg.Set("exit", JsonValue::Int(static_cast<int64_t>(s.exit)));
+      seg.Set("loc_distance", JsonValue::Number(s.loc_distance));
+      seg.Set("connector_m", JsonValue::Number(s.connector_m));
+      segments.Append(std::move(seg));
+    }
+    t.Set("segments", std::move(segments));
+    trips.Append(std::move(t));
+  }
+  o.Set("trips", std::move(trips));
+  if (resp.cached) o.Set("cached", JsonValue::Bool(true));
+  std::string out;
+  out.reserve(256);
+  std::string head = o.Serialize();
+  head.pop_back();  // '}'
+  out += head;
+  if (resp.has_stats) {
+    out += ",\"stats\":";
+    out += resp.stats.ToJson();
+  }
+  out += ",\"server\":{\"queue_wait_ms\":";
+  JsonAppendDouble(resp.queue_wait_ms, &out);
+  out += ",\"execute_ms\":";
+  JsonAppendDouble(resp.execute_ms, &out);
+  out += "}}";
+  return out;
+}
+
+Result<TripResponse> ParseTripResponse(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& o = *parsed;
+  if (!o.is_object()) {
+    return Status::InvalidArgument("response must be an object");
+  }
+  TripResponse resp;
+  if (const JsonValue* id = o.Find("id")) {
+    UOTS_RETURN_NOT_OK(ReadInt(*id, "id", &resp.id));
+  }
+  if (const JsonValue* rid = o.Find("request_id")) {
+    resp.request_id = rid->StringOr("");
+  }
+  const JsonValue* status = o.Find("status");
+  if (status == nullptr || !status->is_string()) {
+    return Status::InvalidArgument("response missing status");
+  }
+  resp.status = ParseResponseStatus(status->string_value());
+  if (const JsonValue* err = o.Find("error")) {
+    resp.error = err->StringOr("");
+  }
+  if (const JsonValue* trips = o.Find("trips")) {
+    if (!trips->is_array()) {
+      return Status::InvalidArgument("trips must be an array");
+    }
+    for (const JsonValue& t : trips->array_items()) {
+      if (!t.is_object()) {
+        return Status::InvalidArgument("trip must be an object");
+      }
+      AssembledTrip trip;
+      trip.score = t.Find("score") ? t.Find("score")->NumberOr(0) : 0;
+      trip.spatial_sim =
+          t.Find("spatial") ? t.Find("spatial")->NumberOr(0) : 0;
+      trip.textual_sim =
+          t.Find("textual") ? t.Find("textual")->NumberOr(0) : 0;
+      trip.connector_total_m =
+          t.Find("connector_m") ? t.Find("connector_m")->NumberOr(0) : 0;
+      if (const JsonValue* segments = t.Find("segments")) {
+        if (!segments->is_array()) {
+          return Status::InvalidArgument("segments must be an array");
+        }
+        for (const JsonValue& sv : segments->array_items()) {
+          if (!sv.is_object()) {
+            return Status::InvalidArgument("segment must be an object");
+          }
+          TripSegment s;
+          const auto geti = [&](const char* key, int64_t fallback) -> int64_t {
+            const JsonValue* v = sv.Find(key);
+            return v != nullptr ? static_cast<int64_t>(v->NumberOr(
+                                      static_cast<double>(fallback)))
+                                : fallback;
+          };
+          s.traj = static_cast<TrajId>(geti("traj", -1));
+          s.begin = static_cast<uint32_t>(geti("begin", 0));
+          s.end = static_cast<uint32_t>(geti("end", 0));
+          s.entry = static_cast<VertexId>(geti("entry", -1));
+          s.exit = static_cast<VertexId>(geti("exit", -1));
+          s.loc_distance = sv.Find("loc_distance")
+                               ? sv.Find("loc_distance")->NumberOr(0)
+                               : 0;
+          s.connector_m = sv.Find("connector_m")
+                              ? sv.Find("connector_m")->NumberOr(0)
+                              : 0;
+          trip.segments.push_back(s);
+        }
+      }
+      resp.trips.push_back(std::move(trip));
+    }
+  }
+  if (const JsonValue* cached = o.Find("cached")) {
+    resp.cached = cached->BoolOr(false);
+  }
+  if (const JsonValue* server = o.Find("server")) {
+    if (server->is_object()) {
+      if (const JsonValue* v = server->Find("queue_wait_ms")) {
+        resp.queue_wait_ms = v->NumberOr(0.0);
+      }
+      if (const JsonValue* v = server->Find("execute_ms")) {
+        resp.execute_ms = v->NumberOr(0.0);
+      }
+    }
+  }
+  if (const JsonValue* stats = o.Find("stats")) {
+    if (stats->is_object()) {
+      resp.has_stats = true;
+      const auto geti = [&](const char* key) -> int64_t {
+        const JsonValue* v = stats->Find(key);
+        return v != nullptr ? static_cast<int64_t>(v->NumberOr(0)) : 0;
+      };
+      resp.stats.visited_trajectories = geti("visited_trajectories");
+      resp.stats.settled_vertices = geti("settled_vertices");
+      resp.stats.candidates = geti("candidates");
+      resp.stats.oracle_lookups = geti("oracle_lookups");
+      if (const JsonValue* ms = stats->Find("elapsed_ms")) {
+        resp.stats.elapsed_ms = ms->NumberOr(0.0);
+      }
+    }
+  }
+  return resp;
 }
 
 Result<QueryResponse> ParseQueryResponse(std::string_view json) {

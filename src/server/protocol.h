@@ -48,6 +48,7 @@
 #include "core/query.h"
 #include "server/json.h"
 #include "traj/trajectory.h"
+#include "trip/trip_query.h"
 #include "util/counters.h"
 #include "util/status.h"
 
@@ -150,6 +151,7 @@ Result<QueryRequest> ParseQueryRequest(const JsonValue& o);
 enum class RequestType {
   kQuery,    ///< "type" absent or "query"
   kIngest,   ///< "type": "ingest"
+  kTrip,     ///< "type": "trip"
   kUnknown,  ///< anything else -> parse error
 };
 
@@ -234,6 +236,62 @@ struct QueryResponse {
 
 std::string EncodeQueryResponse(const QueryResponse& resp);
 Result<QueryResponse> ParseQueryResponse(std::string_view json);
+
+/// \brief A decoded trip-assembly request.
+///
+/// Wire form ("type" distinguishes it from a query on the same
+/// connection):
+///   {"id": 3, "type": "trip", "request_id": "cli-9",
+///    "locations": [12, 904, 77], "keywords": [3, 15],
+///    "lambda": 0.5, "k": 3,
+///    "ordered": true,             // optional; visit locations in order
+///    "categories": true,          // optional; category-hierarchy matching
+///    "gap_budget_m": 1500.0,      // optional; 0/absent = unlimited
+///    "segments_per_location": 8,  // optional harvest shape
+///    "window": 4,                 // optional harvest shape
+///    "deadline_ms": 50, "cache": "bypass"}  // as on query requests
+struct TripRequest {
+  int64_t id = 0;
+  std::string request_id;
+  TripQuery query;
+  double deadline_ms = 0.0;  ///< 0 = use the server default
+  CacheMode cache = CacheMode::kDefault;
+};
+
+std::string EncodeTripRequest(const TripRequest& req);
+Result<TripRequest> ParseTripRequest(const JsonValue& o);
+Result<TripRequest> ParseTripRequest(std::string_view json);
+
+/// \brief The trip reply: assembled trips with per-segment provenance.
+///
+///   {"id": 3, "request_id": "cli-9", "status": "ok",
+///    "trips": [{"score": 0.91, "spatial": 0.88, "textual": 0.95,
+///               "connector_m": 812.5,
+///               "segments": [{"traj": 5, "begin": 2, "end": 11,
+///                             "entry": 40, "exit": 61,
+///                             "loc_distance": 120.5, "connector_m": 0},
+///                            ...]}],
+///    "stats": {...}, "server": {...}}
+/// All doubles round-trip exactly (JsonAppendDouble), so a client can
+/// compare trips bit-for-bit against an in-process TripPlanner.
+struct TripResponse {
+  int64_t id = 0;
+  std::string request_id;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;
+  std::vector<AssembledTrip> trips;
+  bool has_stats = false;
+  QueryStats stats;
+  bool cached = false;
+  double queue_wait_ms = 0.0;
+  double execute_ms = 0.0;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+  bool retryable() const { return IsRetryable(status); }
+};
+
+std::string EncodeTripResponse(const TripResponse& resp);
+Result<TripResponse> ParseTripResponse(std::string_view json);
 
 /// Parses a ToString(AlgorithmKind) name ("UOTS", "BF", ...), case-
 /// insensitively. kNotFound for unknown names.

@@ -62,6 +62,29 @@ std::string SummarizeQuery(const UotsQuery& q, AlgorithmKind kind) {
   return out;
 }
 
+/// Canonical one-line trip-query description for slow-log entries.
+std::string SummarizeTripQuery(const TripQuery& q) {
+  std::string out = "trip locs=";
+  out += std::to_string(q.locations.size());
+  out += " kw=";
+  out += std::to_string(q.keywords.size());
+  out += " lambda=";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", q.lambda);
+  out += buf;
+  out += " k=";
+  out += std::to_string(q.k);
+  out += " ordered=";
+  out += q.ordered ? '1' : '0';
+  out += " cat=";
+  out += q.use_categories ? '1' : '0';
+  if (q.gap_budget_m > 0.0) {
+    std::snprintf(buf, sizeof(buf), " gap=%.3g", q.gap_budget_m);
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace
 
 UotsServer::UotsServer(std::shared_ptr<const TrajectoryDatabase> db,
@@ -185,11 +208,12 @@ void UotsServer::RecordSlowLog(const RequestCtx& ctx, const char* status_name,
                                bool cached, double total_ms,
                                double queue_wait_ms, double execute_ms,
                                const QueryStats* stats,
-                               std::vector<TraceEvent> spans) {
+                               std::vector<TraceEvent> spans, int segments) {
   if (admin_ == nullptr) return;
   SlowLogEntry e;
   e.request_id = ctx.request_id_str;
-  e.algorithm = ToString(ctx.kind);
+  e.algorithm = ctx.is_trip ? "TRIP" : ToString(ctx.kind);
+  e.segments = segments;
   e.query_summary = ctx.query_summary;
   e.status = status_name;
   e.cached = cached;
@@ -323,6 +347,9 @@ void UotsServer::HandleFrame(Connection* conn, std::string_view payload) {
   switch (RequestTypeOf(*doc)) {
     case RequestType::kIngest:
       HandleIngest(conn, *doc);
+      return;
+    case RequestType::kTrip:
+      HandleTrip(conn, *doc);
       return;
     case RequestType::kUnknown: {
       ++counters_.parse_errors;
@@ -511,6 +538,125 @@ void UotsServer::HandleQuery(Connection* conn, const JsonValue& doc) {
         // Worker thread: hop back to the loop that owns the connection.
         loop_.Post([this, ctx, r = std::move(r)]() mutable {
           OnComplete(ctx, std::move(r));
+        });
+      },
+      std::move(cache_key), exec_opts);
+  if (!admitted) {
+    if (service_->shutting_down()) {
+      ++counters_.rejected_shutting_down;
+      SendError(conn, req.id, ctx->request_id_str,
+                ResponseStatus::kShuttingDown, "server is shutting down");
+    } else {
+      ++counters_.rejected_overloaded;
+      SendError(conn, req.id, ctx->request_id_str,
+                ResponseStatus::kOverloaded,
+                "server at capacity (" +
+                    std::to_string(opts_.service.max_inflight) +
+                    " requests in flight)");
+    }
+    return;
+  }
+
+  ++conn->inflight;
+  ++loop_inflight_;
+  if (ctx->deadline_ms > 0.0) {
+    ctx->deadline_timer =
+        loop_.AddTimerAfterMs(ctx->deadline_ms, [this, ctx] {
+          OnDeadline(ctx);
+        });
+  }
+}
+
+void UotsServer::HandleTrip(Connection* conn, const JsonValue& doc) {
+  Result<TripRequest> parsed = ParseTripRequest(doc);
+  if (!parsed.ok()) {
+    ++counters_.parse_errors;
+    ++conn->stats().protocol_errors;
+    SendError(conn, 0, GenerateRequestId(conn->id()),
+              ResponseStatus::kParseError, parsed.status().message());
+    return;
+  }
+  TripRequest req = std::move(*parsed);
+  ++counters_.trip_requests;
+  const int64_t arrival_ns = EventLoop::NowNs();
+  if (req.request_id.empty()) {
+    req.request_id = GenerateRequestId(conn->id());
+  }
+
+  if (draining_) {
+    ++counters_.rejected_shutting_down;
+    SendError(conn, req.id, req.request_id, ResponseStatus::kShuttingDown,
+              "server is shutting down");
+    return;
+  }
+
+  // Same reactor-side cache probe as retrieval queries; the trip key
+  // schema keeps the two families disjoint.
+  std::string cache_key;
+  if (req.cache != CacheMode::kBypass) {
+    if (auto hit = service_->TripCacheLookup(req.query, &cache_key)) {
+      ++counters_.cache_hits;
+      ++counters_.responses_ok;
+      TripResponse resp;
+      resp.id = req.id;
+      resp.request_id = req.request_id;
+      resp.status = ResponseStatus::kOk;
+      resp.trips = hit->trips;
+      resp.has_stats = true;
+      resp.stats = hit->stats;
+      resp.cached = true;
+      SendTripResponse(conn, resp);
+      const int64_t done_ns = EventLoop::NowNs();
+      MetricsRegistry::Global().Record("server.request_latency",
+                                       done_ns - arrival_ns);
+      if (admin_ != nullptr) {
+        RequestCtx ctx;
+        ctx.request_id_str = std::move(req.request_id);
+        ctx.is_trip = true;
+        ctx.query_summary = SummarizeTripQuery(req.query);
+        const int segments =
+            hit->trips.empty() ? 0
+                               : static_cast<int>(hit->trips[0].segments.size());
+        RecordSlowLog(ctx, ToString(ResponseStatus::kOk), /*cached=*/true,
+                      static_cast<double>(done_ns - arrival_ns) / 1e6,
+                      /*queue_wait_ms=*/0.0, /*execute_ms=*/0.0,
+                      &hit->stats, {}, segments);
+      }
+      return;
+    }
+  }
+
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->conn_id = conn->id();
+  ctx->request_id = req.id;
+  ctx->request_id_str = req.request_id;
+  ctx->is_trip = true;
+  if (admin_ != nullptr) {
+    ctx->query_summary = SummarizeTripQuery(req.query);
+  }
+  ctx->arrival_ns = arrival_ns;
+  ctx->deadline_ms = req.deadline_ms > 0.0
+                         ? req.deadline_ms
+                         : opts_.service.default_deadline_ms;
+  if (ctx->deadline_ms > 0.0) {
+    ctx->token.SetDeadlineAfterMs(ctx->deadline_ms);
+  }
+
+  ExecuteOptions exec_opts;
+  exec_opts.span_id = HashRequestId(ctx->request_id_str);
+  if (admin_ != nullptr) {
+    const int every = admin_->trace_sample_every();
+    if (every > 0 && (++trace_sample_counter_ % static_cast<uint64_t>(
+                          every)) == 0) {
+      exec_opts.capture_spans = true;
+    }
+  }
+
+  const bool admitted = service_->TryExecuteTrip(
+      req.query, &ctx->token,
+      [this, ctx](TripExecutionResult r) {
+        loop_.Post([this, ctx, r = std::move(r)]() mutable {
+          OnTripComplete(ctx, std::move(r));
         });
       },
       std::move(cache_key), exec_opts);
@@ -743,6 +889,87 @@ void UotsServer::OnComplete(const std::shared_ptr<RequestCtx>& ctx,
     CloseConnection(ctx->conn_id);
   }
   MaybeFinishShutdown();
+}
+
+void UotsServer::OnTripComplete(const std::shared_ptr<RequestCtx>& ctx,
+                                TripExecutionResult r) {
+  // Mirror of OnComplete for trip-assembly requests (loop thread).
+  --loop_inflight_;
+
+  Connection* conn = FindConn(ctx->conn_id);
+  if (conn != nullptr) {
+    --conn->inflight;
+  }
+
+  const bool already_responded = ctx->responded;
+  ctx->responded = true;
+  if (ctx->deadline_timer != TimerHeap::kInvalidTimer) {
+    loop_.CancelTimer(ctx->deadline_timer);
+    ctx->deadline_timer = TimerHeap::kInvalidTimer;
+  }
+
+  const ResponseStatus ws =
+      r.status.ok() ? ResponseStatus::kOk : FromStatus(r.status);
+  int segments = -1;
+  if (r.status.ok()) {
+    segments = r.result.trips.empty()
+                   ? 0
+                   : static_cast<int>(r.result.trips[0].segments.size());
+  }
+  if (conn != nullptr && !already_responded) {
+    if (r.status.ok()) {
+      TripResponse resp;
+      resp.id = ctx->request_id;
+      resp.request_id = ctx->request_id_str;
+      resp.status = ResponseStatus::kOk;
+      resp.trips = std::move(r.result.trips);
+      resp.has_stats = true;
+      resp.stats = r.result.stats;
+      resp.queue_wait_ms = r.queue_wait_ms;
+      resp.execute_ms = r.execute_ms;
+      ++counters_.responses_ok;
+      SendTripResponse(conn, resp);
+    } else {
+      if (ws == ResponseStatus::kDeadlineExceeded) {
+        ++counters_.deadline_exceeded;
+      } else {
+        ++counters_.errors_internal;
+      }
+      SendError(conn, ctx->request_id, ctx->request_id_str, ws,
+                r.status.message());
+    }
+    MetricsRegistry::Global().Record(
+        "server.request_latency", EventLoop::NowNs() - ctx->arrival_ns);
+  }
+  const char* logged_status =
+      already_responded ? ToString(ResponseStatus::kDeadlineExceeded)
+                        : ToString(ws);
+  RecordSlowLog(*ctx, logged_status, /*cached=*/false,
+                static_cast<double>(EventLoop::NowNs() - ctx->arrival_ns) /
+                    1e6,
+                r.queue_wait_ms, r.execute_ms,
+                r.status.ok() ? &r.result.stats : nullptr,
+                std::move(r.spans), segments);
+
+  if (conn != nullptr && conn->close_after_flush && conn->inflight == 0 &&
+      !conn->want_write()) {
+    CloseConnection(ctx->conn_id);
+  }
+  MaybeFinishShutdown();
+}
+
+void UotsServer::SendTripResponse(Connection* conn, const TripResponse& resp) {
+  std::string body;
+  {
+    UOTS_TRACE_SCOPE("server_serialize");
+    body = EncodeTripResponse(resp);
+  }
+  conn->QueueFrame(body);
+  if (conn->Flush() == Connection::IoResult::kClosed) {
+    CloseConnection(conn->id());
+    return;
+  }
+  UpdateWriteInterest(conn);
 }
 
 void UotsServer::SendResponse(Connection* conn, const QueryResponse& resp) {

@@ -86,6 +86,7 @@ struct ServerCounters {
   int64_t connections_closed = 0;
   int64_t connections_rejected = 0;  ///< max_connections hit
   int64_t requests = 0;              ///< parsed frames that named a query
+  int64_t trip_requests = 0;         ///< parsed frames that named a trip
   int64_t responses_ok = 0;
   int64_t cache_hits = 0;  ///< ok responses served from the result cache
   int64_t rejected_overloaded = 0;
@@ -178,6 +179,7 @@ class UotsServer {
     int64_t request_id = 0;       ///< wire "id" (numeric correlation)
     std::string request_id_str;   ///< "request_id" (observability key)
     AlgorithmKind kind = AlgorithmKind::kUots;
+    bool is_trip = false;         ///< trip-assembly request (kind unused)
     std::string query_summary;    ///< only filled when the admin plane is on
     int64_t arrival_ns = 0;
     double deadline_ms = 0.0;
@@ -198,6 +200,7 @@ class UotsServer {
   void OnConnEvent(uint64_t conn_id, uint32_t events);
   void HandleFrame(Connection* conn, std::string_view payload);
   void HandleQuery(Connection* conn, const JsonValue& doc);
+  void HandleTrip(Connection* conn, const JsonValue& doc);
   void HandleIngest(Connection* conn, const JsonValue& doc);
   void SendIngestResponse(Connection* conn, const IngestResponse& resp);
   /// Background-thread body of one compaction (never touches loop state).
@@ -219,9 +222,12 @@ class UotsServer {
   void PublishIngestMetrics() const;
   void OnDeadline(const std::shared_ptr<RequestCtx>& ctx);
   void OnComplete(const std::shared_ptr<RequestCtx>& ctx, ExecutionResult r);
+  void OnTripComplete(const std::shared_ptr<RequestCtx>& ctx,
+                      TripExecutionResult r);
 
   Connection* FindConn(uint64_t conn_id);
   void SendResponse(Connection* conn, const QueryResponse& resp);
+  void SendTripResponse(Connection* conn, const TripResponse& resp);
   void SendError(Connection* conn, int64_t request_id,
                  const std::string& request_id_str, ResponseStatus status,
                  const std::string& error);
@@ -235,10 +241,12 @@ class UotsServer {
   /// Fresh server-generated request id ("s<conn>-<seq>").
   std::string GenerateRequestId(uint64_t conn_id);
   /// Appends one completed request to the slow-query log (admin on only).
+  /// `segments` is the best assembled trip's segment count for trip
+  /// requests (-1 for retrieval queries, where it is meaningless).
   void RecordSlowLog(const RequestCtx& ctx, const char* status_name,
                      bool cached, double total_ms, double queue_wait_ms,
                      double execute_ms, const QueryStats* stats,
-                     std::vector<TraceEvent> spans);
+                     std::vector<TraceEvent> spans, int segments = -1);
 
   std::shared_ptr<const TrajectoryDatabase> db_;
   ServerOptions opts_;

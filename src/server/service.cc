@@ -64,6 +64,7 @@ void UotsService::SwapDatabase(std::shared_ptr<const TrajectoryDatabase> db) {
   // database until release, where the version tag discards them.
   std::lock_guard<std::mutex> lock(engines_mu_);
   free_engines_.clear();
+  free_trip_planners_.clear();
 }
 
 std::unique_ptr<SearchAlgorithm> UotsService::AcquireEngine(
@@ -105,6 +106,41 @@ void UotsService::ReleaseEngine(AlgorithmKind kind, uint64_t db_version,
   free_engines_.push_back(PooledEngine{kind, db_version, std::move(engine)});
 }
 
+std::unique_ptr<TripPlanner> UotsService::AcquireTripPlanner(
+    const DbSnapshot& snap) {
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    for (size_t i = 0; i < free_trip_planners_.size(); ++i) {
+      if (free_trip_planners_[i].db_version == snap.version) {
+        auto planner = std::move(free_trip_planners_[i].planner);
+        free_trip_planners_.erase(free_trip_planners_.begin() +
+                                  static_cast<ptrdiff_t>(i));
+        return planner;
+      }
+    }
+  }
+  return std::make_unique<TripPlanner>(*snap.db);
+}
+
+void UotsService::ReleaseTripPlanner(uint64_t db_version,
+                                     std::unique_ptr<TripPlanner> planner) {
+  planner->set_cancel(nullptr);
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  // Same swap-race reasoning as ReleaseEngine: a stale-version planner
+  // references the retired database and must not rejoin the pool.
+  if (db_version != db_version_.load(std::memory_order_acquire)) return;
+  if (free_trip_planners_.size() >= static_cast<size_t>(opts_.threads)) {
+    return;
+  }
+  free_trip_planners_.push_back(
+      PooledTripPlanner{db_version, std::move(planner)});
+}
+
+size_t UotsService::pooled_trip_planners() const {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  return free_trip_planners_.size();
+}
+
 size_t UotsService::pooled_engines(AlgorithmKind kind) const {
   std::lock_guard<std::mutex> lock(engines_mu_);
   size_t n = 0;
@@ -133,6 +169,21 @@ std::shared_ptr<const CachedResult> UotsService::CacheLookup(
   // serving pre-ingest answers after the dataset changed.
   const uint64_t salt = db()->live_fingerprint();
   *key_out = EncodeResultCacheKey(query, kind, opts_.uots, salt);
+  auto hit = result_cache_->Lookup(*key_out);
+  MetricsRegistry::Global().Record(
+      "server.cache.lookup", static_cast<int64_t>(timer.ElapsedMillis() * 1e6));
+  return hit;
+}
+
+std::shared_ptr<const CachedResult> UotsService::TripCacheLookup(
+    const TripQuery& query, std::string* key_out) {
+  if (result_cache_ == nullptr) {
+    key_out->clear();
+    return nullptr;
+  }
+  WallTimer timer;
+  const uint64_t salt = db()->live_fingerprint();
+  *key_out = EncodeTripCacheKey(query, salt);
   auto hit = result_cache_->Lookup(*key_out);
   MetricsRegistry::Global().Record(
       "server.cache.lookup", static_cast<int64_t>(timer.ElapsedMillis() * 1e6));
@@ -224,6 +275,77 @@ bool UotsService::TryExecute(const UotsQuery& query, AlgorithmKind kind,
   if (!fut.has_value()) {
     // Pool already shutting down (or its queue bound raced); either way
     // this request was never scheduled.
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+bool UotsService::TryExecuteTrip(const TripQuery& query,
+                                 const CancelToken* cancel,
+                                 std::function<void(TripExecutionResult)> done,
+                                 std::string cache_key,
+                                 const ExecuteOptions& exec_opts) {
+  if (shutting_down_.load(std::memory_order_relaxed)) return false;
+  const size_t prev = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= opts_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  const int64_t admitted_ns = CancelToken::NowNs();
+  DbSnapshot snap = SnapshotDb();
+  auto task = [this, query, cancel, done = std::move(done),
+               cache_key = std::move(cache_key), admitted_ns,
+               snap = std::move(snap), exec_opts]() mutable {
+    TripExecutionResult out;
+    out.queue_wait_ms =
+        static_cast<double>(CancelToken::NowNs() - admitted_ns) / 1e6;
+    WallTimer exec_timer;
+    if (exec_opts.capture_spans) Trace::BeginThreadCapture();
+    {
+      UOTS_TRACE_SCOPE_ID("trip_execute", exec_opts.span_id);
+      if (cancel != nullptr && cancel->ShouldAbort()) {
+        out.status = Status::DeadlineExceeded("deadline exceeded in queue");
+      } else {
+        auto planner = AcquireTripPlanner(snap);
+        planner->set_cancel(cancel);
+        Result<TripResult> r = planner->Plan(query);
+        ReleaseTripPlanner(snap.version, std::move(planner));
+        if (r.ok()) {
+          out.result = std::move(*r);
+          oracle_lookups_total_.fetch_add(out.result.stats.oracle_lookups,
+                                          std::memory_order_relaxed);
+          if (result_cache_ != nullptr && !cache_key.empty()) {
+            auto cached = std::make_shared<CachedResult>();
+            cached->trips = out.result.trips;
+            cached->stats = out.result.stats;
+            result_cache_->Insert(cache_key, std::move(cached));
+          }
+        } else {
+          out.status = r.status();
+        }
+      }
+    }
+    if (exec_opts.capture_spans) out.spans = Trace::EndThreadCapture();
+    out.execute_ms = exec_timer.ElapsedMillis();
+    auto& reg = MetricsRegistry::Global();
+    reg.Record("server.queue_wait",
+               static_cast<int64_t>(out.queue_wait_ms * 1e6));
+    reg.Record("trip.plan", static_cast<int64_t>(out.execute_ms * 1e6));
+    if (out.status.ok()) {
+      reg.Record("trip.harvest",
+                 out.result.stats.PhaseNs(QueryPhase::kTripHarvest));
+      reg.Record("trip.assemble",
+                 out.result.stats.PhaseNs(QueryPhase::kTripAssemble));
+    }
+    done(std::move(out));
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
+  };
+  auto fut = pool_->TrySubmit(std::move(task));
+  if (!fut.has_value()) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     return false;
   }

@@ -23,6 +23,7 @@
 #include "cache/result_cache.h"
 #include "core/algorithm.h"
 #include "core/database.h"
+#include "trip/planner.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -71,6 +72,16 @@ struct ExecutionResult {
   std::vector<TraceEvent> spans;
 };
 
+/// \brief Outcome of one executed trip request (see TryExecuteTrip).
+struct TripExecutionResult {
+  Status status;        ///< planner status (OK, kDeadlineExceeded, ...)
+  TripResult result;    ///< valid when status.ok()
+  double queue_wait_ms = 0.0;  ///< admission -> worker pickup
+  double execute_ms = 0.0;     ///< planner wall time
+  /// The request's span tree when ExecuteOptions::capture_spans was set.
+  std::vector<TraceEvent> spans;
+};
+
 /// \brief Thread-pool-backed query executor with bounded admission.
 ///
 /// TryExecute may be called from any thread; completions run on pool
@@ -106,6 +117,16 @@ class UotsService {
                   std::string cache_key = {},
                   const ExecuteOptions& exec_opts = {});
 
+  /// Admits and dispatches one trip-assembly query. Shares the admission
+  /// budget, worker pool, snapshot pinning, and drain accounting with
+  /// TryExecute; trip planners are pooled separately from retrieval
+  /// engines (same version-tagged lifecycle). \return false when at
+  /// capacity or shutting down — `done` is NOT invoked in that case.
+  bool TryExecuteTrip(const TripQuery& query, const CancelToken* cancel,
+                      std::function<void(TripExecutionResult)> done,
+                      std::string cache_key = {},
+                      const ExecuteOptions& exec_opts = {});
+
   /// \brief Result-cache probe, cheap enough for the reactor thread.
   ///
   /// Returns the cached answer on a hit. On a miss, `key_out` receives the
@@ -116,6 +137,11 @@ class UotsService {
   std::shared_ptr<const CachedResult> CacheLookup(const UotsQuery& query,
                                                   AlgorithmKind kind,
                                                   std::string* key_out);
+
+  /// Trip-family twin of CacheLookup (schema byte keeps the key spaces
+  /// disjoint; the same generation salt applies).
+  std::shared_ptr<const CachedResult> TripCacheLookup(const TripQuery& query,
+                                                      std::string* key_out);
 
   /// The result cache, or null when ServiceOptions disabled it.
   ResultCache* result_cache() { return result_cache_.get(); }
@@ -170,6 +196,8 @@ class UotsService {
   size_t pooled_engines(AlgorithmKind kind) const;
   /// Idle pooled engines across all kinds.
   size_t pooled_engines() const;
+  /// Idle pooled trip planners (bounded by the worker count).
+  size_t pooled_trip_planners() const;
 
  private:
   /// A pooled engine; created lazily, one per concurrently-running request
@@ -189,10 +217,20 @@ class UotsService {
   };
   DbSnapshot SnapshotDb() const;
 
+  /// A pooled trip planner; same version-tagged lifecycle as PooledEngine
+  /// (planners hold raw pointers into one database build too).
+  struct PooledTripPlanner {
+    uint64_t db_version;
+    std::unique_ptr<TripPlanner> planner;
+  };
+
   std::unique_ptr<SearchAlgorithm> AcquireEngine(AlgorithmKind kind,
                                                  const DbSnapshot& snap);
   void ReleaseEngine(AlgorithmKind kind, uint64_t db_version,
                      std::unique_ptr<SearchAlgorithm> engine);
+  std::unique_ptr<TripPlanner> AcquireTripPlanner(const DbSnapshot& snap);
+  void ReleaseTripPlanner(uint64_t db_version,
+                          std::unique_ptr<TripPlanner> planner);
 
   mutable std::mutex db_mu_;
   std::shared_ptr<const TrajectoryDatabase> db_;
@@ -203,6 +241,7 @@ class UotsService {
 
   mutable std::mutex engines_mu_;
   std::vector<PooledEngine> free_engines_;
+  std::vector<PooledTripPlanner> free_trip_planners_;
 
   std::atomic<size_t> inflight_{0};
   std::atomic<bool> shutting_down_{false};

@@ -1,0 +1,95 @@
+#include "trip/category_tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace uots {
+
+CategoryTree CategoryTree::Synthetic(const Vocabulary& vocab) {
+  CategoryTree tree;
+  const size_t n = vocab.size();
+  tree.parent_.resize(n, kInvalidTerm);
+  for (size_t i = 1; i < n; ++i) {
+    tree.parent_[i] = static_cast<TermId>((i - 1) / 8);
+  }
+  tree.BuildChildren();
+  return tree;
+}
+
+Result<CategoryTree> CategoryTree::Parse(std::string_view text,
+                                         const Vocabulary& vocab) {
+  CategoryTree tree;
+  tree.parent_.resize(vocab.size(), kInvalidTerm);
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string child, parent;
+    if (!(fields >> child) || child[0] == '#') continue;
+    if (!(fields >> parent)) {
+      return Status::InvalidArgument("category line needs 'child parent': " +
+                                     line);
+    }
+    const TermId c = vocab.Lookup(child);
+    const TermId p = vocab.Lookup(parent);
+    if (c == kInvalidTerm || p == kInvalidTerm) {
+      return Status::InvalidArgument("unknown category term in: " + line);
+    }
+    if (c == p) return Status::InvalidArgument("self-parent term: " + child);
+    if (tree.parent_[c] != kInvalidTerm) {
+      return Status::InvalidArgument("term has two parents: " + child);
+    }
+    tree.parent_[c] = p;
+  }
+  // Cycle check: every term must reach a root within size() steps.
+  for (TermId t = 0; t < tree.parent_.size(); ++t) {
+    TermId cur = t;
+    size_t steps = 0;
+    while (cur != kInvalidTerm) {
+      if (++steps > tree.parent_.size()) {
+        return Status::InvalidArgument("category hierarchy has a cycle");
+      }
+      cur = tree.parent_[cur];
+    }
+  }
+  tree.BuildChildren();
+  return tree;
+}
+
+void CategoryTree::BuildChildren() {
+  const size_t n = parent_.size();
+  child_offsets_.assign(n + 1, 0);
+  size_t num_children = 0;
+  for (TermId t = 0; t < n; ++t) {
+    if (parent_[t] != kInvalidTerm) {
+      ++child_offsets_[parent_[t] + 1];
+      ++num_children;
+    }
+  }
+  for (size_t i = 1; i <= n; ++i) child_offsets_[i] += child_offsets_[i - 1];
+  children_.resize(num_children);
+  std::vector<uint32_t> cursor(child_offsets_.begin(), child_offsets_.end() - 1);
+  // Iterating t ascending fills each node's child slice in ascending order.
+  for (TermId t = 0; t < n; ++t) {
+    if (parent_[t] != kInvalidTerm) children_[cursor[parent_[t]]++] = t;
+  }
+}
+
+KeywordSet CategoryTree::ExpandQuery(const KeywordSet& query) const {
+  if (parent_.empty()) return query;
+  std::vector<TermId> expanded(query.terms().begin(), query.terms().end());
+  // BFS over descendants; KeywordSet normalization dedups shared subtrees.
+  std::vector<TermId> frontier(query.terms().begin(), query.terms().end());
+  while (!frontier.empty()) {
+    const TermId t = frontier.back();
+    frontier.pop_back();
+    for (TermId child : ChildrenOf(t)) {
+      expanded.push_back(child);
+      frontier.push_back(child);
+    }
+  }
+  return KeywordSet(std::move(expanded));
+}
+
+}  // namespace uots

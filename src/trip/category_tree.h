@@ -1,0 +1,80 @@
+// Category hierarchy over vocabulary terms.
+//
+// "Sequenced Route Query with Semantic Hierarchy" answers route queries
+// whose keywords are categories: a query term like "restaurant" should
+// match any trajectory tagged with a descendant like "ramen". We model the
+// hierarchy as a forest over TermIds (each term has at most one parent)
+// and implement matching by *query expansion*: ExpandQuery() returns the
+// query terms plus all their descendants, after which the unchanged SimT
+// machinery scores trajectories against the expanded set. Expansion keeps
+// the hot scoring path identical to retrieval and makes category matching
+// a pure, deterministic preprocessing step.
+//
+// A tree is loaded with the dataset ("child parent" lines referencing term
+// strings) or derived synthetically as a pure function of the vocabulary
+// size — the latter is what the generators and the wire `--verify` path
+// use, so a cold in-process rebuild always reconstructs the same tree the
+// server holds.
+
+#ifndef UOTS_TRIP_CATEGORY_TREE_H_
+#define UOTS_TRIP_CATEGORY_TREE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Immutable parent/children forest over TermIds.
+class CategoryTree {
+ public:
+  /// An empty tree: every term is its own root; ExpandQuery is identity.
+  CategoryTree() = default;
+
+  /// \brief The canonical synthetic hierarchy for a vocabulary of n terms:
+  /// term 0 is the root and parent(i) = (i-1)/8 — a complete 8-ary tree.
+  /// A pure function of vocabulary size, so any process holding the same
+  /// vocabulary derives bit-for-bit the same expansion.
+  static CategoryTree Synthetic(const Vocabulary& vocab);
+
+  /// \brief Parses "child parent" lines (term strings, whitespace
+  /// separated; blank lines and lines starting with '#' are skipped).
+  /// Fails on unknown terms, reassigned parents, or cycles.
+  static Result<CategoryTree> Parse(std::string_view text,
+                                    const Vocabulary& vocab);
+
+  /// Number of terms the tree spans (0 for the empty tree).
+  size_t size() const { return parent_.size(); }
+
+  /// Parent of `t`, or kInvalidTerm for roots / out-of-range terms.
+  TermId ParentOf(TermId t) const {
+    return t < parent_.size() ? parent_[t] : kInvalidTerm;
+  }
+
+  /// Direct children of `t` (ascending).
+  std::span<const TermId> ChildrenOf(TermId t) const {
+    if (t >= parent_.size()) return {};
+    return {children_.data() + child_offsets_[t],
+            children_.data() + child_offsets_[t + 1]};
+  }
+
+  /// \brief Query terms plus every descendant term (the category-match
+  /// closure). Terms outside the tree pass through unchanged. The result
+  /// is a normalized KeywordSet, so downstream SimT scoring is identical
+  /// to a retrieval query that had listed the descendants explicitly.
+  KeywordSet ExpandQuery(const KeywordSet& query) const;
+
+ private:
+  void BuildChildren();
+
+  std::vector<TermId> parent_;          ///< parent_[t] or kInvalidTerm (root)
+  std::vector<uint32_t> child_offsets_;  ///< CSR offsets, size size()+1
+  std::vector<TermId> children_;         ///< CSR payload, ascending per node
+};
+
+}  // namespace uots
+
+#endif  // UOTS_TRIP_CATEGORY_TREE_H_

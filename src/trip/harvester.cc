@@ -1,0 +1,73 @@
+#include "trip/harvester.h"
+
+#include <algorithm>
+
+namespace uots {
+
+void SegmentHarvester::Harvest(const MergedView& view,
+                               const SimilarityModel& model,
+                               const KeywordSet& expanded_query,
+                               VertexId location, int max_segments, int window,
+                               QueryStats* stats,
+                               std::vector<SegmentCandidate>* out) {
+  if (seen_.size() < view.NumTrajectories()) {
+    seen_.Resize(view.NumTrajectories());
+  }
+  seen_.Reset();
+  expansion_.Reset(location);
+
+  const int64_t pops0 = expansion_.heap_pops();
+  const int64_t pushes0 = expansion_.heap_pushes();
+  const int64_t decreases0 = expansion_.heap_decreases();
+  const int64_t settled0 = expansion_.settled_count();
+
+  int found = 0;
+  VertexId v = kInvalidVertex;
+  double dist = 0.0;
+  while (found < max_segments && expansion_.Step(&v, &dist)) {
+    const MergedView::Postings postings = view.TrajectoriesAt(v);
+    for (const auto segment : {postings.base, postings.delta}) {
+      for (TrajId traj : segment) {
+        if (seen_.Has(traj)) continue;
+        seen_.Set(traj, 1);
+        ++stats->trajectory_hits;
+        EmitCandidate(view, model, expanded_query, traj, v, dist, window, out);
+        if (++found >= max_segments) break;
+      }
+      if (found >= max_segments) break;
+    }
+  }
+
+  stats->settled_vertices += expansion_.settled_count() - settled0;
+  stats->heap_pops += expansion_.heap_pops() - pops0;
+  stats->heap_pushes += expansion_.heap_pushes() - pushes0;
+  stats->heap_decreases += expansion_.heap_decreases() - decreases0;
+}
+
+void SegmentHarvester::EmitCandidate(const MergedView& view,
+                                     const SimilarityModel& model,
+                                     const KeywordSet& expanded_query,
+                                     TrajId traj, VertexId settle_vertex,
+                                     double dist, int window,
+                                     std::vector<SegmentCandidate>* out) {
+  const std::span<const Sample> samples = view.SamplesOf(traj);
+  // Anchor = the first sample at the settled vertex: the earliest point of
+  // the trip at its closest approach to the query location.
+  uint32_t anchor = 0;
+  for (; anchor < samples.size(); ++anchor) {
+    if (samples[anchor].vertex == settle_vertex) break;
+  }
+
+  SegmentCandidate c;
+  c.traj = traj;
+  c.begin = anchor >= static_cast<uint32_t>(window) ? anchor - window : 0;
+  c.end = std::min<uint64_t>(samples.size(), uint64_t{anchor} + window + 1);
+  c.entry = samples[c.begin].vertex;
+  c.exit = samples[c.end - 1].vertex;
+  c.distance = dist;
+  c.decay = model.SpatialDecay(dist);
+  c.text = model.textual().Score(expanded_query, view.KeywordsOf(traj));
+  out->push_back(c);
+}
+
+}  // namespace uots

@@ -1,0 +1,139 @@
+// Trip-assembly query and result types.
+//
+// A trip query asks for a *constructed* trip instead of a ranked list of
+// existing trajectories: the answer stitches segments of indexed
+// trajectories into one connected route over the road network that covers
+// every query location, scored with the same SimU machinery as retrieval
+// so the numbers are comparable. Each answer carries full provenance
+// (source trajectory id + sample range per segment) and the exact network
+// distance of every connector between consecutive segments.
+//
+// This header is intentionally *types only* (no library dependency beyond
+// the net/text/traj/util leaves) so the cache layer can canonicalize trip
+// queries (cache/query_key.h) without linking the trip engine.
+
+#ifndef UOTS_TRIP_TRIP_QUERY_H_
+#define UOTS_TRIP_TRIP_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "text/keyword_set.h"
+#include "traj/trajectory.h"
+#include "util/counters.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// Trip queries share the retrieval bound on location count.
+inline constexpr size_t kMaxTripLocations = 64;
+
+/// \brief A trip-construction query.
+///
+/// The traveler names the places the trip must cover (`locations`) and the
+/// qualities it should have (`keywords`); the engine harvests trajectory
+/// segments near each location and stitches the best combination into one
+/// connected trip.
+struct TripQuery {
+  std::vector<VertexId> locations;
+  KeywordSet keywords;
+  /// SimU mixing weight (1 = purely spatial, 0 = purely textual).
+  double lambda = 0.5;
+  /// Number of assembled trips to return, descending by score.
+  int k = 1;
+  /// Ordered-visit constraint: cover locations[0], then locations[1], ...
+  /// in the given order. Unordered trips use a deterministic
+  /// nearest-neighbor visit order instead.
+  bool ordered = false;
+  /// Category-hierarchy keyword matching: a query term also matches any
+  /// descendant term in the dataset's category tree.
+  bool use_categories = false;
+  /// Maximum network distance, in meters, allowed for the connector
+  /// between consecutive segments. 0 = unlimited.
+  double gap_budget_m = 0.0;
+  /// Candidate segments harvested per query location (S).
+  int segments_per_location = 8;
+  /// Half-width of the sample window cut around the anchor sample: the
+  /// segment spans samples [anchor - window, anchor + window].
+  int window = 4;
+};
+
+/// \brief One harvested trajectory segment placed in an assembled trip.
+struct TripSegment {
+  /// Source trajectory (global id over base + delta).
+  TrajId traj = kInvalidTraj;
+  /// Half-open sample range [begin, end) of `traj` forming the segment.
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  /// First / last vertex of the segment (samples[begin] / samples[end-1]).
+  VertexId entry = kInvalidVertex;
+  VertexId exit = kInvalidVertex;
+  /// Exact network distance d(o_i, traj) from the covered query location.
+  double loc_distance = 0.0;
+  /// Network distance of the shortest-path connector from the *previous*
+  /// segment's exit to this segment's entry; 0 for the first segment.
+  double connector_m = 0.0;
+
+  friend bool operator==(const TripSegment& a, const TripSegment& b) {
+    return a.traj == b.traj && a.begin == b.begin && a.end == b.end &&
+           a.entry == b.entry && a.exit == b.exit &&
+           a.loc_distance == b.loc_distance && a.connector_m == b.connector_m;
+  }
+};
+
+/// \brief One assembled trip: one segment per query location, in visit
+/// order, consecutive segments joined by shortest-path connectors.
+struct AssembledTrip {
+  double score = 0.0;        ///< SimU = lambda*spatial + (1-lambda)*textual
+  double spatial_sim = 0.0;  ///< mean exp(-d(o_i, seg_i)/sigma) over locations
+  double textual_sim = 0.0;  ///< mean SimT(query, keywords(seg_i.traj))
+  double connector_total_m = 0.0;  ///< sum of all connector distances
+  std::vector<TripSegment> segments;
+
+  friend bool operator==(const AssembledTrip& a, const AssembledTrip& b) {
+    return a.score == b.score && a.spatial_sim == b.spatial_sim &&
+           a.textual_sim == b.textual_sim &&
+           a.connector_total_m == b.connector_total_m &&
+           a.segments == b.segments;
+  }
+};
+
+/// \brief Top-k assembled trips plus instrumentation.
+struct TripResult {
+  std::vector<AssembledTrip> trips;  ///< descending by (score, id-sequence)
+  QueryStats stats;
+};
+
+/// Validates a trip query against a network of `num_vertices` vertices.
+inline Status ValidateTripQuery(const TripQuery& q, size_t num_vertices) {
+  if (q.locations.empty()) {
+    return Status::InvalidArgument("trip query needs at least one location");
+  }
+  if (q.locations.size() > kMaxTripLocations) {
+    return Status::InvalidArgument("too many trip locations (max 64)");
+  }
+  for (VertexId v : q.locations) {
+    if (v >= num_vertices) {
+      return Status::InvalidArgument("trip location out of range");
+    }
+  }
+  if (q.lambda < 0.0 || q.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0,1]");
+  }
+  if (q.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (q.segments_per_location < 1 || q.segments_per_location > 64) {
+    return Status::InvalidArgument("segments_per_location must be in [1,64]");
+  }
+  if (q.window < 0 || q.window > 1024) {
+    return Status::InvalidArgument("window must be in [0,1024]");
+  }
+  if (q.gap_budget_m < 0.0) {
+    return Status::InvalidArgument("gap_budget_m must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace uots
+
+#endif  // UOTS_TRIP_TRIP_QUERY_H_

@@ -1,0 +1,79 @@
+#include "trip/workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace uots {
+
+Result<std::vector<TripQuery>> MakeTripWorkload(
+    const TrajectoryDatabase& db, const TripWorkloadOptions& opts) {
+  if (db.store().empty()) {
+    return Status::InvalidArgument("database has no trajectories");
+  }
+  if (opts.num_queries < 0 || opts.num_locations < 1 ||
+      opts.num_locations > static_cast<int>(kMaxTripLocations)) {
+    return Status::InvalidArgument("bad trip workload shape");
+  }
+  if (opts.lambda < 0.0 || opts.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0,1]");
+  }
+  if (opts.keyword_noise < 0.0 || opts.keyword_noise > 1.0 ||
+      opts.ordered_fraction < 0.0 || opts.ordered_fraction > 1.0 ||
+      opts.category_fraction < 0.0 || opts.category_fraction > 1.0) {
+    return Status::InvalidArgument("workload fractions must be in [0,1]");
+  }
+  Rng rng(opts.seed);
+  const auto& g = db.network();
+  const auto& store = db.store();
+  const size_t vocab =
+      db.vocabulary().size() > 0 ? db.vocabulary().size() : 1000;
+
+  std::vector<TripQuery> out;
+  out.reserve(opts.num_queries);
+  for (int qi = 0; qi < opts.num_queries; ++qi) {
+    const TrajId seed_id = static_cast<TrajId>(rng.Uniform(store.size()));
+    const auto samples = store.SamplesOf(seed_id);
+    TripQuery q;
+    q.lambda = opts.lambda;
+    q.k = opts.k;
+    q.ordered = rng.Bernoulli(opts.ordered_fraction);
+    q.use_categories = rng.Bernoulli(opts.category_fraction);
+    q.gap_budget_m = opts.gap_budget_m;
+    q.segments_per_location = opts.segments_per_location;
+    q.window = opts.window;
+
+    // Locations: evenly spaced seed samples, each perturbed by a short
+    // random walk — the traveler wants a trip *like* one that exists.
+    for (int li = 0; li < opts.num_locations; ++li) {
+      const size_t pick =
+          samples.size() <= 1
+              ? 0
+              : (li * (samples.size() - 1)) / (opts.num_locations > 1
+                                                   ? opts.num_locations - 1
+                                                   : 1);
+      VertexId v = samples[std::min(pick, samples.size() - 1)].vertex;
+      for (int s = 0; s < opts.location_walk_steps; ++s) {
+        const auto nbrs = g.Neighbors(v);
+        if (nbrs.empty()) break;
+        v = nbrs[rng.Uniform(nbrs.size())].to;
+      }
+      q.locations.push_back(v);
+    }
+
+    const auto& seed_keys = store.KeywordsOf(seed_id).terms();
+    std::vector<TermId> keys;
+    for (int ki = 0; ki < opts.num_keywords; ++ki) {
+      if (!seed_keys.empty() && !rng.Bernoulli(opts.keyword_noise)) {
+        keys.push_back(seed_keys[rng.Uniform(seed_keys.size())]);
+      } else {
+        keys.push_back(static_cast<TermId>(rng.Uniform(vocab)));
+      }
+    }
+    q.keywords = KeywordSet(std::move(keys));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace uots

@@ -1,0 +1,50 @@
+// Trip-query workload generator (benches, load client, drills).
+//
+// Same philosophy as core/workload.h: queries are seeded from existing
+// trajectories so every query has harvestable segments nearby, and the
+// whole batch is a pure function of the options (client --verify replays
+// the identical workload in-process against a cold planner).
+
+#ifndef UOTS_TRIP_WORKLOAD_H_
+#define UOTS_TRIP_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "trip/trip_query.h"
+#include "util/status.h"
+
+namespace uots {
+
+/// \brief Knobs for MakeTripWorkload.
+struct TripWorkloadOptions {
+  int num_queries = 20;
+  /// Query locations per trip (m).
+  int num_locations = 4;
+  double lambda = 0.5;
+  int k = 3;
+  /// Random-walk steps applied to each seed sample (location perturbation).
+  int location_walk_steps = 3;
+  /// Query keywords per query (before deduplication).
+  int num_keywords = 5;
+  /// Probability a keyword is random noise instead of a seed keyword.
+  double keyword_noise = 0.3;
+  /// Fraction of queries carrying the ordered-visit constraint.
+  double ordered_fraction = 0.5;
+  /// Fraction of queries using category-hierarchy keyword matching.
+  double category_fraction = 0.5;
+  /// Connector gap budget in meters (0 = unlimited) for every query.
+  double gap_budget_m = 0.0;
+  int segments_per_location = 8;
+  int window = 4;
+  uint64_t seed = 11;
+};
+
+/// Generates a deterministic batch of trip queries over `db`.
+Result<std::vector<TripQuery>> MakeTripWorkload(const TrajectoryDatabase& db,
+                                                const TripWorkloadOptions& opts);
+
+}  // namespace uots
+
+#endif  // UOTS_TRIP_WORKLOAD_H_

@@ -16,6 +16,10 @@ const char* ToString(QueryPhase phase) {
       return "scheduling";
     case QueryPhase::kRefinement:
       return "refinement";
+    case QueryPhase::kTripHarvest:
+      return "trip_harvest";
+    case QueryPhase::kTripAssemble:
+      return "trip_assemble";
   }
   return "unknown";
 }

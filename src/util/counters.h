@@ -39,9 +39,15 @@ enum class QueryPhase : int {
   /// Candidate refinement / result materialization: exact scoring sweeps
   /// in filter-and-refine baselines, final top-k extraction and sort.
   kRefinement,
+  /// Trip assembly only: per-location candidate-segment harvest (network
+  /// expansions over the merged view plus segment extraction).
+  kTripHarvest,
+  /// Trip assembly only: visit ordering, connector distances, and the
+  /// k-best DP over segment endpoints.
+  kTripAssemble,
 };
 
-inline constexpr int kNumQueryPhases = 5;
+inline constexpr int kNumQueryPhases = 7;
 
 /// Stable lower_snake name of a phase ("textual_filter", ...).
 const char* ToString(QueryPhase phase);
@@ -90,7 +96,7 @@ struct QueryStats {
   /// Wall time accounted to each QueryPhase, in nanoseconds. Phases cover
   /// the bulk of a query but not 100% of elapsed_ms (validation and
   /// per-round glue are unattributed).
-  int64_t phase_ns[kNumQueryPhases] = {0, 0, 0, 0, 0};
+  int64_t phase_ns[kNumQueryPhases] = {};
   /// Wall-clock time spent answering the query.
   double elapsed_ms = 0.0;
 
